@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Broadcast Congestion Emu Gc Genetic Hashtbl List Option Printf R2c2 Routing Sim String Topology Unix Util Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Broadcast Congestion Genetic Hashtbl Instance Lazy List Measure Printf Routing Staged Test Time Toolkit Topology Util Wire Workload

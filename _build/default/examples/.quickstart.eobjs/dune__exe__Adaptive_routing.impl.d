@@ -1,0 +1,1 @@
+examples/adaptive_routing.ml: Array Format Genetic List R2c2 Routing Topology Util Wire Workload

@@ -1,0 +1,1 @@
+examples/datacenter_mix.ml: Array Format Sim Topology Util Workload

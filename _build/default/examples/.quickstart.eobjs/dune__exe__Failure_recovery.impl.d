@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Array Broadcast Format List R2c2 String Topology Util Wire

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Format List R2c2 Routing String Topology Util Wire

@@ -1,0 +1,1 @@
+examples/tenant_isolation.ml: Format R2c2 Topology

@@ -1,0 +1,43 @@
+(* Datacenter workload mix: the heavy-tailed flow mix of §5.2 on a 216-node
+   rack, comparing R2C2's packet-level behavior with the TCP baseline.
+
+   Run with: dune exec examples/datacenter_mix.exe *)
+
+let () =
+  let topo = Topology.torus [| 6; 6; 6 |] in
+  let rng = Util.Rng.create 42 in
+  let flows = 400 in
+  (* Pareto(1.05, mean 100 KB) sizes, Poisson arrivals every 1 us: ~95% of
+     flows are mice, most bytes ride in elephants. *)
+  let specs = Workload.Flowgen.poisson_pareto topo rng ~flows ~mean_interarrival_ns:1_000.0 in
+  Format.printf "workload: %d flows, %.0f%% short (<100 KB), %.0f%% of bytes in short flows@."
+    flows
+    (100.0 *. Workload.Flowgen.short_fraction specs ~threshold:100_000)
+    (100.0 *. Workload.Flowgen.bytes_in_small specs ~threshold:100_000);
+
+  Format.printf "simulating R2C2 (rate-based, packet spraying)...@.";
+  let r2c2 = Sim.R2c2_sim.run Sim.R2c2_sim.default_config topo specs in
+  Format.printf "simulating TCP (window-based, ECMP single path)...@.";
+  let tcp = Sim.Tcp_sim.run Sim.Tcp_sim.default_config topo specs in
+
+  let report name (metrics : Sim.Metrics.t) max_queue drops =
+    let short = Sim.Metrics.fcts_us ~max_size:100_000 metrics in
+    let long = Sim.Metrics.throughputs_gbps ~min_size:1_000_000 metrics in
+    Format.printf "%s:@." name;
+    Format.printf "  completed %d/%d flows, %d drops@." (Sim.Metrics.completed_count metrics)
+      flows drops;
+    Format.printf "  short-flow FCT: p50 %.1f us, p99 %.1f us@."
+      (Util.Stats.percentile short 50.0) (Util.Stats.percentile short 99.0);
+    if Array.length long > 0 then
+      Format.printf "  long-flow throughput: mean %.2f Gbps@." (Util.Stats.mean long);
+    let q = Array.map float_of_int max_queue in
+    Format.printf "  max queue: median %.1f KB, p99 %.1f KB@."
+      (Util.Stats.percentile q 50.0 /. 1024.0)
+      (Util.Stats.percentile q 99.0 /. 1024.0)
+  in
+  report "R2C2" r2c2.Sim.R2c2_sim.metrics r2c2.Sim.R2c2_sim.max_queue r2c2.Sim.R2c2_sim.drops;
+  report "TCP" tcp.Sim.Tcp_sim.metrics tcp.Sim.Tcp_sim.max_queue tcp.Sim.Tcp_sim.drops;
+  Format.printf "R2C2 broadcast overhead: %.2f%% of wire traffic@."
+    (100.0
+    *. r2c2.Sim.R2c2_sim.control_wire_bytes
+    /. (r2c2.Sim.R2c2_sim.control_wire_bytes +. r2c2.Sim.R2c2_sim.data_wire_bytes))

@@ -1,0 +1,74 @@
+(* Quickstart: build a rack, open a few flows, and watch the R2C2 control
+   plane allocate rates.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 64-node rack wired as a 4x4x4 3D torus with 10 Gbps links. *)
+  let topo = Topology.torus [| 4; 4; 4 |] in
+  Format.printf "rack: %a@." Topology.pp topo;
+  Format.printf "average distance: %.2f hops, diameter %d@."
+    (Topology.average_distance topo) (Topology.diameter topo);
+
+  let stack = R2c2.Stack.create topo in
+
+  (* Observe the 16-byte broadcasts the stack emits for every flow event. *)
+  R2c2.Stack.on_broadcast stack (fun b ->
+      let kind =
+        match b.Wire.event with
+        | Wire.Flow_start -> "start"
+        | Wire.Flow_finish -> "finish"
+        | Wire.Demand_update -> "demand"
+        | Wire.Route_change -> "route"
+      in
+      Format.printf "  broadcast: %-6s %d -> %d via tree %d (%a)@." kind b.Wire.bsrc
+        b.Wire.bdst b.Wire.tree Routing.pp_protocol b.Wire.rp);
+
+  (* Three flows: two compete for node 0, the third is off on its own. *)
+  Format.printf "opening flows...@.";
+  let f1 = R2c2.Stack.open_flow stack ~src:1 ~dst:0 in
+  let f2 = R2c2.Stack.open_flow stack ~src:2 ~dst:0 in
+  let f3 = R2c2.Stack.open_flow ~protocol:Routing.Vlb stack ~src:40 ~dst:63 in
+
+  (* Every node can compute the same allocation locally — no probing. *)
+  R2c2.Stack.recompute stack;
+  Format.printf "allocations after one rate computation:@.";
+  List.iter
+    (fun (id, gbps) -> Format.printf "  flow %d: %6.2f Gbps@." id gbps)
+    (R2c2.Stack.allocations stack);
+  Format.printf "aggregate: %.2f Gbps, control traffic so far: %d bytes@."
+    (R2c2.Stack.aggregate_throughput_gbps stack)
+    (R2c2.Stack.control_bytes_sent stack);
+
+  (* The data plane is source routing: sample a packet path for flow 1 and
+     show the wire header that would carry it. *)
+  let rng = Util.Rng.create 7 in
+  let path, selectors = R2c2.Stack.sample_packet_route stack f1 rng in
+  Format.printf "a packet of flow %d takes path [%s]@." f1
+    (String.concat " -> " (Array.to_list (Array.map string_of_int path)));
+  let header =
+    {
+      Wire.flow = f1;
+      src = 1;
+      dst = 0;
+      seq = 0;
+      plen = 1465;
+      route = selectors;
+      ridx = 0;
+    }
+  in
+  let bytes = Wire.encode_data header in
+  Format.printf "encoded header: %d bytes, checksum-protected@." (Bytes.length bytes);
+
+  (* A host-limited flow announces its demand so others can use the slack. *)
+  R2c2.Stack.set_demand stack f1 ~gbps:(Some 1.0);
+  R2c2.Stack.recompute stack;
+  Format.printf "after flow %d declares a 1 Gbps demand:@." f1;
+  List.iter
+    (fun (id, gbps) -> Format.printf "  flow %d: %6.2f Gbps@." id gbps)
+    (R2c2.Stack.allocations stack);
+
+  R2c2.Stack.close_flow stack f1;
+  R2c2.Stack.close_flow stack f2;
+  R2c2.Stack.close_flow stack f3;
+  Format.printf "done.@."

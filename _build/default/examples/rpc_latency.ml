@@ -1,0 +1,68 @@
+(* RPC over R2C2: the dynamic simulator API drives a request/response
+   application — clients fire small requests at servers, each server
+   answers with a larger response *when the request arrives*, and we
+   measure end-to-end RPC latency while elephant background flows compete
+   for the fabric.
+
+   This is the latency-sensitive "rack-scale application" traffic the
+   paper's goals G2/G3 are about: RPCs must cut through the elephants'
+   bandwidth without queueing behind them.
+
+   Run with: dune exec examples/rpc_latency.exe *)
+
+let () =
+  let topo = Topology.torus [| 4; 4; 4 |] in
+  let cfg = Sim.R2c2_sim.default_config in
+  let sim = Sim.R2c2_sim.create cfg topo in
+  let eng = Sim.R2c2_sim.engine sim in
+  let rng = Util.Rng.create 42 in
+
+  (* Background elephants: eight long transfers between random pairs. *)
+  let hosts = Topology.host_count topo in
+  Format.printf "rack: %a; starting 8 background elephants@." Topology.pp topo;
+  Sim.Engine.at eng 0 (fun () ->
+      for _ = 1 to 8 do
+        let src = Util.Rng.int rng hosts in
+        let dst = (src + 1 + Util.Rng.int rng (hosts - 1)) mod hosts in
+        ignore (Sim.R2c2_sim.start_flow sim ~src ~dst ~size:20_000_000)
+      done);
+
+  (* RPC workload: 200 requests (2 KB) at Poisson 20 µs spacing; the server
+     responds with 64 KB the moment the request completes. *)
+  let rpc_latencies = ref [] in
+  let pending = ref 0 in
+  let request_at t_ns client server =
+    Sim.Engine.at eng t_ns (fun () ->
+        incr pending;
+        let t0 = Sim.Engine.now eng in
+        ignore
+          (Sim.R2c2_sim.start_flow sim ~src:client ~dst:server ~size:2_000
+             ~on_complete:(fun _ ->
+               (* The server answers as soon as it has the request. *)
+               ignore
+                 (Sim.R2c2_sim.start_flow sim ~src:server ~dst:client ~size:64_000
+                    ~on_complete:(fun _ ->
+                      decr pending;
+                      rpc_latencies :=
+                        (float_of_int (Sim.Engine.now eng - t0) /. 1000.0) :: !rpc_latencies)))))
+  in
+  let t = ref 0.0 in
+  for _ = 1 to 200 do
+    t := !t +. Util.Rng.exponential rng ~mean:20_000.0;
+    let client = Util.Rng.int rng hosts in
+    let server = (client + 1 + Util.Rng.int rng (hosts - 1)) mod hosts in
+    request_at (int_of_float !t) client server
+  done;
+
+  Sim.R2c2_sim.run_engine sim;
+  let res = Sim.R2c2_sim.results sim in
+  let lat = Array.of_list !rpc_latencies in
+  Format.printf "completed %d RPCs (%d still pending), %d total flows@." (Array.length lat)
+    !pending
+    (Sim.Metrics.completed_count res.Sim.R2c2_sim.metrics);
+  Format.printf "RPC latency: p50 %.1f us, p95 %.1f us, p99 %.1f us@."
+    (Util.Stats.percentile lat 50.0) (Util.Stats.percentile lat 95.0)
+    (Util.Stats.percentile lat 99.0);
+  let q = Array.map (fun b -> float_of_int b /. 1024.0) res.Sim.R2c2_sim.max_queue in
+  Format.printf "max queue under elephants: median %.1f KB, p99 %.1f KB@."
+    (Util.Stats.percentile q 50.0) (Util.Stats.percentile q 99.0)

@@ -1,0 +1,80 @@
+type tree = { parent : int array; children : int list array; depth : int; hops : int array }
+
+type t = {
+  topo : Topology.t;
+  trees_per_source : int;
+  cache : (int, tree) Hashtbl.t;  (* key = src * trees_per_source + tree id *)
+}
+
+let make ?(trees_per_source = 4) topo =
+  if trees_per_source < 1 then invalid_arg "Broadcast.make: trees_per_source < 1";
+  { topo; trees_per_source; cache = Hashtbl.create 64 }
+
+let topo t = t.topo
+let trees_per_source t = t.trees_per_source
+
+let tree_hops parent ~root =
+  let n = Array.length parent in
+  let hops = Array.make n (-1) in
+  hops.(root) <- 0;
+  let rec hop v = if hops.(v) >= 0 then hops.(v) else begin
+      let h = hop parent.(v) + 1 in
+      hops.(v) <- h;
+      h
+    end
+  in
+  for v = 0 to n - 1 do
+    if parent.(v) >= 0 then ignore (hop v)
+  done;
+  hops
+
+let get_tree t ~src ~tree =
+  if tree < 0 || tree >= t.trees_per_source then invalid_arg "Broadcast: tree id out of range";
+  let key = (src * t.trees_per_source) + tree in
+  match Hashtbl.find_opt t.cache key with
+  | Some tr -> tr
+  | None ->
+      let parent = Topology.shortest_path_tree t.topo ~root:src ~variant:tree in
+      let children = Topology.tree_children parent ~root:src in
+      let depth = Topology.tree_depth parent ~root:src in
+      let hops = tree_hops parent ~root:src in
+      let tr = { parent; children; depth; hops } in
+      Hashtbl.replace t.cache key tr;
+      tr
+
+let choose_tree t rng ~src:_ = Util.Rng.int rng t.trees_per_source
+
+let children t ~src ~tree v = (get_tree t ~src ~tree).children.(v)
+let parent t ~src ~tree v = (get_tree t ~src ~tree).parent.(v)
+let depth t ~src ~tree = (get_tree t ~src ~tree).depth
+let delivery_hops t ~src ~tree = (get_tree t ~src ~tree).hops
+
+let edges t ~src ~tree =
+  let tr = get_tree t ~src ~tree in
+  let acc = ref [] in
+  Array.iteri (fun v p -> if v <> src && p >= 0 then acc := (p, v) :: !acc) tr.parent;
+  List.rev !acc
+
+(* -- overhead model ------------------------------------------------------ *)
+
+let bytes_per_broadcast topo = Wire.broadcast_size * (Topology.vertex_count topo - 1)
+
+let relative_flow_overhead topo ~flow_bytes =
+  let bcast = 2 * bytes_per_broadcast topo in
+  let wire = float_of_int flow_bytes *. Topology.average_distance topo in
+  float_of_int bcast /. wire
+
+let analytic_overhead topo ~frac_small_bytes ~small_size ~large_size =
+  if frac_small_bytes < 0.0 || frac_small_bytes > 1.0 then
+    invalid_arg "Broadcast.analytic_overhead: fraction out of range";
+  let per_flow = float_of_int (2 * bytes_per_broadcast topo) in
+  let hops = Topology.average_distance topo in
+  (* Per unit of payload bytes: flows/byte in each class times broadcast
+     bytes per flow, against payload-bytes * average path length of wire
+     traffic. *)
+  let bcast_wire =
+    (frac_small_bytes /. float_of_int small_size *. per_flow)
+    +. ((1.0 -. frac_small_bytes) /. float_of_int large_size *. per_flow)
+  in
+  let data_wire = hops in
+  bcast_wire /. (bcast_wire +. data_wire)

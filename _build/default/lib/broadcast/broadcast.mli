@@ -1,0 +1,55 @@
+(** Rack-wide broadcast of flow events (paper §3.2).
+
+    Every source owns several shortest-path spanning trees of the rack;
+    a broadcast packet carries [(source, tree-id)] and intermediate nodes
+    forward it to their children in that tree via a broadcast FIB. Using
+    several trees per source load-balances the broadcast traffic and gives
+    alternatives under failures. *)
+
+type t
+
+val make : ?trees_per_source:int -> Topology.t -> t
+(** Build the broadcast FIB machinery (default 4 trees per source). Trees
+    are constructed lazily per source and cached. *)
+
+val topo : t -> Topology.t
+val trees_per_source : t -> int
+
+val choose_tree : t -> Util.Rng.t -> src:int -> int
+(** Tree id for the next broadcast, drawn uniformly to spread load. *)
+
+val children : t -> src:int -> tree:int -> int -> int list
+(** FIB lookup: nodes to which a vertex forwards a [(src, tree)] broadcast
+    packet. *)
+
+val parent : t -> src:int -> tree:int -> int -> int
+(** Parent of a vertex in the tree ([src] is its own parent). *)
+
+val depth : t -> src:int -> tree:int -> int
+(** Maximum hop count from the source to any vertex — the broadcast time in
+    hops. *)
+
+val edges : t -> src:int -> tree:int -> (int * int) list
+(** Tree edges as (parent, child) pairs; [Topology.vertex_count - 1] of
+    them. *)
+
+val delivery_hops : t -> src:int -> tree:int -> int array
+(** Per-vertex hop distance from the source along the tree. *)
+
+(** {2 Overhead model (paper §3.2 and Fig. 9)} *)
+
+val bytes_per_broadcast : Topology.t -> int
+(** Total wire bytes of one 16-byte broadcast: 16 * (vertices - 1). *)
+
+val analytic_overhead :
+  Topology.t -> frac_small_bytes:float -> small_size:int -> large_size:int -> float
+(** Fraction of total wire traffic consumed by flow-event broadcasts when a
+    [frac_small_bytes] fraction of all payload bytes travels in flows of
+    [small_size] bytes and the rest in flows of [large_size] bytes; every
+    flow broadcasts a start and a finish event. Matches §3.2's examples:
+    26.66%-per-10KB-flow relative overhead, 1.3% of capacity when 5% of
+    bytes are in small flows. *)
+
+val relative_flow_overhead : Topology.t -> flow_bytes:int -> float
+(** Broadcast bytes (start + finish) over the expected wire bytes of a flow
+    of the given size under minimal routing. *)

@@ -1,0 +1,1 @@
+lib/congestion/channel_load.ml: Array List Routing Topology

@@ -1,0 +1,1 @@
+lib/congestion/demand.mli:

@@ -1,0 +1,1 @@
+lib/congestion/waterfill.ml: Array Float Hashtbl List Option

@@ -1,0 +1,23 @@
+let channel_loads ctx p flows =
+  let t = Routing.topo ctx in
+  let load = Array.make (Topology.link_count t) 0.0 in
+  List.iter
+    (fun (src, dst, demand) ->
+      if src <> dst && demand > 0.0 then
+        Array.iter
+          (fun (l, frac) -> load.(l) <- load.(l) +. (demand *. frac))
+          (Routing.fractions ctx p ~src ~dst))
+    flows;
+  load
+
+let saturation_injection ctx p flows =
+  let load = channel_loads ctx p flows in
+  let worst = Array.fold_left max 0.0 load in
+  if worst <= 0.0 then infinity else 1.0 /. worst
+
+let capacity_fraction ctx p flows =
+  let t = Routing.topo ctx in
+  let capacity =
+    2.0 *. float_of_int (Topology.bisection_links t) /. float_of_int (Topology.host_count t)
+  in
+  saturation_injection ctx p flows /. capacity

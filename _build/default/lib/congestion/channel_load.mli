@@ -1,0 +1,23 @@
+(** Saturation-throughput analysis of routing algorithms under a traffic
+    pattern — the model behind the paper's Fig. 2 table (after Dally &
+    Towles).
+
+    A pattern assigns every source a set of destinations with relative
+    demands summing to 1 per node. Under routing protocol [p], the expected
+    load on link [l] per unit injection is
+    [gamma(l) = sum over flows of demand * fraction(l)]. With unit link
+    capacity, the saturation injection rate per node is [1 / max gamma],
+    and the paper's table normalizes it by the network capacity
+    [2 * bisection_links / nodes]. *)
+
+val channel_loads : Routing.ctx -> Routing.protocol -> (int * int * float) list -> float array
+(** [channel_loads ctx p flows] with [flows = (src, dst, demand) list]:
+    expected per-link load for unit-capacity links. *)
+
+val saturation_injection : Routing.ctx -> Routing.protocol -> (int * int * float) list -> float
+(** Per-node injection rate (in link-capacity units) at which the most
+    loaded link saturates. *)
+
+val capacity_fraction : Routing.ctx -> Routing.protocol -> (int * int * float) list -> float
+(** Saturation throughput as a fraction of bisection capacity — directly
+    comparable to the Fig. 2 table entries. *)

@@ -1,0 +1,13 @@
+type t = { period_ns : float; ewma : Util.Stats.ewma }
+
+let create ?(alpha = 0.5) ~period_ns () =
+  if period_ns <= 0 then invalid_arg "Demand.create: period must be positive";
+  { period_ns = float_of_int period_ns; ewma = Util.Stats.ewma_create ~alpha }
+
+let observe t ~rate ~queued_bytes =
+  let d = rate +. (queued_bytes /. t.period_ns) in
+  Util.Stats.ewma_update t.ewma d
+
+let estimate t = Util.Stats.ewma_value t.ewma
+
+let is_host_limited t ~allocation = estimate t < allocation

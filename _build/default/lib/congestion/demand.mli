@@ -1,0 +1,23 @@
+(** Host-limited flow demand estimation (paper §3.3.2, Eq. 1).
+
+    A flow sending faster than its allocation queues at the sender; the
+    demand for the next period is estimated as
+    [d(i+1) = r(i) + q(i)/T] — current rate plus observed sender-side
+    queuing drained over one period — smoothed by an EWMA. *)
+
+type t
+
+val create : ?alpha:float -> period_ns:int -> unit -> t
+(** [alpha] is the EWMA smoothing factor (default 0.5); [period_ns] the
+    estimation period T. *)
+
+val observe : t -> rate:float -> queued_bytes:float -> unit
+(** Feed one period's allocated rate (bytes/ns) and sender-queue depth. *)
+
+val estimate : t -> float
+(** Current smoothed demand estimate in bytes/ns; 0 before the first
+    observation. *)
+
+val is_host_limited : t -> allocation:float -> bool
+(** True when the estimated demand falls below the current allocation, i.e.
+    the flow cannot use its share and the spare should be re-broadcast. *)

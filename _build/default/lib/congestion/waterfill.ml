@@ -1,0 +1,331 @@
+type flow = {
+  id : int;
+  weight : float;
+  priority : int;
+  demand : float option;
+  links : (int * float) array;
+}
+
+let flow ?(weight = 1.0) ?(priority = 0) ?demand ~id links =
+  { id; weight; priority; demand; links }
+
+let eps = 1e-9
+
+let validate flows capacities =
+  Array.iter
+    (fun f ->
+      if f.weight <= 0.0 then invalid_arg "Waterfill: non-positive weight";
+      (match f.demand with
+      | Some d when d < 0.0 -> invalid_arg "Waterfill: negative demand"
+      | _ -> ());
+      Array.iter
+        (fun (l, frac) ->
+          if frac <= 0.0 then invalid_arg "Waterfill: non-positive fraction";
+          if l < 0 || l >= Array.length capacities then
+            invalid_arg "Waterfill: link id out of range")
+        f.links)
+    flows
+
+(* One priority round of progressive filling over [indices], mutating
+   [remaining] capacity and writing into [rates]. *)
+let fill_round ~remaining ~rates flows indices =
+  let nl = Array.length remaining in
+  let frozen = Array.make (Array.length flows) false in
+  (* Per-link sum of weight * fraction over unfrozen flows of this round. *)
+  let wsum = Array.make nl 0.0 in
+  let on_link = Array.make nl [] in
+  List.iter
+    (fun i ->
+      let f = flows.(i) in
+      Array.iter
+        (fun (l, frac) ->
+          wsum.(l) <- wsum.(l) +. (f.weight *. frac);
+          on_link.(l) <- i :: on_link.(l))
+        f.links)
+    indices;
+  let active = ref (List.length indices) in
+  let t = ref 0.0 in
+  (* Demand-limited flows freeze at fill level demand/weight. *)
+  let demand_level i =
+    match flows.(i).demand with Some d -> Some (d /. flows.(i).weight) | None -> None
+  in
+  while !active > 0 do
+    (* Smallest fill increment that saturates a link or meets a demand. *)
+    let dt = ref infinity in
+    for l = 0 to nl - 1 do
+      if wsum.(l) > eps then begin
+        let step = remaining.(l) /. wsum.(l) in
+        if step < !dt then dt := step
+      end
+    done;
+    List.iter
+      (fun i ->
+        if not frozen.(i) then
+          match demand_level i with
+          | Some lvl when lvl -. !t < !dt -> dt := lvl -. !t
+          | _ -> ())
+      indices;
+    if !dt = infinity then begin
+      (* No constraining link and no demand: flows with no links; give 0. *)
+      List.iter
+        (fun i ->
+          if not frozen.(i) then begin
+            frozen.(i) <- true;
+            rates.(i) <- flows.(i).weight *. !t;
+            decr active
+          end)
+        indices
+    end
+    else begin
+      let dt = max 0.0 !dt in
+      t := !t +. dt;
+      (* Drain capacity at the advanced fill level. *)
+      for l = 0 to nl - 1 do
+        if wsum.(l) > eps then remaining.(l) <- remaining.(l) -. (dt *. wsum.(l))
+      done;
+      (* Freeze flows on saturated links. *)
+      for l = 0 to nl - 1 do
+        if wsum.(l) > eps && remaining.(l) <= eps then begin
+          List.iter
+            (fun i ->
+              if not frozen.(i) then begin
+                frozen.(i) <- true;
+                rates.(i) <- flows.(i).weight *. !t;
+                decr active;
+                Array.iter
+                  (fun (l', frac) -> wsum.(l') <- wsum.(l') -. (flows.(i).weight *. frac))
+                  flows.(i).links
+              end)
+            on_link.(l);
+          remaining.(l) <- 0.0
+        end
+      done;
+      (* Freeze flows whose demand is met. *)
+      List.iter
+        (fun i ->
+          if not frozen.(i) then
+            match demand_level i with
+            | Some lvl when lvl <= !t +. eps -> begin
+                frozen.(i) <- true;
+                rates.(i) <- flows.(i).weight *. lvl;
+                decr active;
+                Array.iter
+                  (fun (l', frac) -> wsum.(l') <- wsum.(l') -. (flows.(i).weight *. frac))
+                  flows.(i).links
+              end
+            | _ -> ())
+        indices
+    end
+  done
+
+let by_priority flows =
+  let by_prio = Hashtbl.create 4 in
+  Array.iteri
+    (fun i f ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_prio f.priority) in
+      Hashtbl.replace by_prio f.priority (i :: cur))
+    flows;
+  let prios = List.sort_uniq compare (Hashtbl.fold (fun p _ acc -> p :: acc) by_prio []) in
+  List.map (fun p -> List.rev (Hashtbl.find by_prio p)) prios
+
+let allocate_reference ?(headroom = 0.0) ~capacities flows =
+  if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+  validate flows capacities;
+  let rates = Array.make (Array.length flows) 0.0 in
+  let remaining = Array.map (fun c -> c *. (1.0 -. headroom)) capacities in
+  List.iter (fun idx -> fill_round ~remaining ~rates flows idx) (by_priority flows);
+  rates
+
+(* -- efficient variant (§4.2) ------------------------------------------- *)
+
+(* Min-heap on float keys with insertion-order tie-breaking; payloads carry
+   a version for lazy deletion. *)
+module Fheap = struct
+  type 'a t = { mutable keys : float array; mutable vals : 'a array; mutable len : int }
+
+  let create dummy = { keys = Array.make 64 0.0; vals = Array.make 64 dummy; len = 0 }
+
+  let push h key v =
+    if h.len = Array.length h.keys then begin
+      let keys = Array.make (2 * h.len) 0.0 and vals = Array.make (2 * h.len) h.vals.(0) in
+      Array.blit h.keys 0 keys 0 h.len;
+      Array.blit h.vals 0 vals 0 h.len;
+      h.keys <- keys;
+      h.vals <- vals
+    end;
+    h.keys.(h.len) <- key;
+    h.vals.(h.len) <- v;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+      let p = (!i - 1) / 2 in
+      let k = h.keys.(p) and v' = h.vals.(p) in
+      h.keys.(p) <- h.keys.(!i);
+      h.vals.(p) <- h.vals.(!i);
+      h.keys.(!i) <- k;
+      h.vals.(!i) <- v';
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let key = h.keys.(0) and v = h.vals.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.keys.(0) <- h.keys.(h.len);
+        h.vals.(0) <- h.vals.(h.len);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let s = ref !i in
+          if l < h.len && h.keys.(l) < h.keys.(!s) then s := l;
+          if r < h.len && h.keys.(r) < h.keys.(!s) then s := r;
+          if !s = !i then continue := false
+          else begin
+            let k = h.keys.(!s) and v' = h.vals.(!s) in
+            h.keys.(!s) <- h.keys.(!i);
+            h.vals.(!s) <- h.vals.(!i);
+            h.keys.(!i) <- k;
+            h.vals.(!i) <- v';
+            i := !s
+          end
+        done
+      end;
+      Some (key, v)
+    end
+end
+
+(* Operation counters for the performance ablation (bench `ablation`). *)
+let dbg_pops = ref 0
+let dbg_valid = ref 0
+let dbg_scan = ref 0
+let dbg_push = ref 0
+
+type event = Link_sat of int (* link *) | Demand_met of int (* flow index *)
+
+(* One priority round, event-driven: a heap orders link saturations and
+   demand caps by fill level. Each link keeps exactly ONE heap entry whose
+   key is a lower bound on its true saturation level (the level can only
+   grow as other flows freeze and stop loading the link). On pop the true
+   level is recomputed: if it moved, the entry is re-inserted at the new
+   key; otherwise the link saturates and its flows freeze. Keeping the
+   heap at O(links) entries keeps every sift in cache, which is what makes
+   this the fast variant. *)
+let fast_round ~remaining ~rates flows indices =
+  let nl = Array.length remaining in
+  let wsum = Array.make nl 0.0 in
+  let last_t = Array.make nl 0.0 in
+  let queued = Array.make nl false in
+  let on_link = Array.make nl [] in
+  let frozen = Array.make (Array.length flows) false in
+  let heap = Fheap.create (Demand_met 0) in
+  let settle l t =
+    if t > last_t.(l) then begin
+      remaining.(l) <- Float.max 0.0 (remaining.(l) -. (wsum.(l) *. (t -. last_t.(l))));
+      last_t.(l) <- t
+    end
+  in
+  let sat_level l =
+    if wsum.(l) > eps then last_t.(l) +. (remaining.(l) /. wsum.(l)) else infinity
+  in
+  List.iter
+    (fun i ->
+      let f = flows.(i) in
+      Array.iter
+        (fun (l, frac) ->
+          wsum.(l) <- wsum.(l) +. (f.weight *. frac);
+          on_link.(l) <- i :: on_link.(l))
+        f.links)
+    indices;
+  List.iter
+    (fun i ->
+      let f = flows.(i) in
+      Array.iter
+        (fun (l, _) ->
+          if not queued.(l) then begin
+            queued.(l) <- true;
+            incr dbg_push;
+            Fheap.push heap (sat_level l) (Link_sat l)
+          end)
+        f.links;
+      match f.demand with
+      | Some d -> Fheap.push heap (d /. f.weight) (Demand_met i)
+      | None -> ())
+    indices;
+  let active = ref (List.length indices) in
+  let freeze_flow i level =
+    if not frozen.(i) then begin
+      frozen.(i) <- true;
+      rates.(i) <- flows.(i).weight *. level;
+      decr active;
+      Array.iter
+        (fun (l, frac) ->
+          settle l level;
+          wsum.(l) <- Float.max 0.0 (wsum.(l) -. (flows.(i).weight *. frac)))
+        flows.(i).links
+    end
+  in
+  let rec drain () =
+    if !active > 0 then begin
+      match Fheap.pop heap with
+      | None ->
+          (* No constraining event left: flows with no links get 0. *)
+          List.iter (fun i -> freeze_flow i 0.0) indices
+      | Some (key, Link_sat l) ->
+          incr dbg_pops;
+          let cur = sat_level l in
+          if cur = infinity then () (* no unfrozen flow loads this link *)
+          else if cur > key +. (1e-12 *. (1.0 +. abs_float key)) then begin
+            (* The level moved since this entry was queued; re-insert. *)
+            incr dbg_push;
+            Fheap.push heap cur (Link_sat l)
+          end
+          else begin
+            incr dbg_valid;
+            settle l cur;
+            List.iter
+              (fun i ->
+                incr dbg_scan;
+                freeze_flow i cur)
+              on_link.(l)
+          end;
+          drain ()
+      | Some (key, Demand_met i) ->
+          freeze_flow i key;
+          drain ()
+    end
+  in
+  drain ()
+
+let allocate ?(headroom = 0.0) ~capacities flows =
+  if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+  validate flows capacities;
+  let rates = Array.make (Array.length flows) 0.0 in
+  let remaining = Array.map (fun c -> c *. (1.0 -. headroom)) capacities in
+  List.iter (fun idx -> fast_round ~remaining ~rates flows idx) (by_priority flows);
+  rates
+
+let link_utilization ~capacities flows rates =
+  let load = Array.make (Array.length capacities) 0.0 in
+  Array.iteri
+    (fun i f -> Array.iter (fun (l, frac) -> load.(l) <- load.(l) +. (rates.(i) *. frac)) f.links)
+    flows;
+  Array.mapi (fun l x -> if capacities.(l) > 0.0 then x /. capacities.(l) else 0.0) load
+
+let bottleneck_fill ~capacities flows =
+  let nl = Array.length capacities in
+  let wsum = Array.make nl 0.0 in
+  Array.iter
+    (fun f ->
+      Array.iter (fun (l, frac) -> wsum.(l) <- wsum.(l) +. (f.weight *. frac)) f.links)
+    flows;
+  let fill = ref infinity in
+  for l = 0 to nl - 1 do
+    if wsum.(l) > eps then begin
+      let step = capacities.(l) /. wsum.(l) in
+      if step < !fill then fill := step
+    end
+  done;
+  !fill

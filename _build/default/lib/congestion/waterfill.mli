@@ -1,0 +1,56 @@
+(** Weighted max-min rate allocation by progressive filling (paper §3.3).
+
+    Every flow comes with its per-link rate fractions (from
+    {!Routing.fractions}): a flow sending at rate [r] loads link [l] with
+    [r *. frac]. The allocator raises the fill level of all flows of the
+    highest priority at equal weighted pace, freezing flows as links
+    saturate or demands are met, then repeats for the next priority level
+    with the leftover capacity (§3.3.2, "Beyond per-flow fairness").
+
+    A [headroom] fraction of every link's capacity is set aside to absorb
+    flows that have started but are not yet globally visible (§3.3.2). *)
+
+type flow = {
+  id : int;  (** opaque; echoed back in results *)
+  weight : float;  (** allocation weight, > 0 *)
+  priority : int;  (** 0 is served first *)
+  demand : float option;  (** rate cap for host-limited flows *)
+  links : (int * float) array;  (** (link id, fraction), fractions > 0 *)
+}
+
+val flow :
+  ?weight:float -> ?priority:int -> ?demand:float -> id:int -> (int * float) array -> flow
+(** Convenience constructor; weight defaults to 1, priority to 0. *)
+
+val allocate : ?headroom:float -> capacities:float array -> flow array -> float array
+(** [allocate ~capacities flows] returns the rate of each flow, indexed as
+    the input array. [capacities.(l)] is link [l]'s capacity in rate units.
+    [headroom] (default 0) is the capacity fraction left unallocated.
+    Raises [Invalid_argument] on non-positive weights or fractions.
+
+    This is the paper's "efficient variant of the water-filling algorithm"
+    (§4.2): saturation events are processed from a heap with lazy per-link
+    settlement, so the cost is near-linear in the total number of
+    (flow, link) incidences rather than iterations times links. *)
+
+val allocate_reference : ?headroom:float -> capacities:float array -> flow array -> float array
+(** Textbook progressive filling [12]: raise all rates at equal weighted
+    pace, scan every link for the next saturation, repeat. Quadratic but
+    obviously correct — the oracle that {!allocate} is property-tested
+    against. *)
+
+val link_utilization : capacities:float array -> flow array -> float array -> float array
+(** [link_utilization ~capacities flows rates] is each link's load divided
+    by its capacity; for checking feasibility in tests. *)
+
+val bottleneck_fill : capacities:float array -> flow array -> float
+(** Fill level at which the first link saturates when all flows rise
+    together — the single-iteration core of progressive filling, exposed
+    for the channel-load analysis. *)
+
+(**/**)
+
+val dbg_pops : int ref
+val dbg_valid : int ref
+val dbg_scan : int ref
+val dbg_push : int ref

@@ -1,0 +1,1 @@
+lib/core/control_traffic.mli: Topology

@@ -1,0 +1,1 @@
+lib/core/stack.ml: Array Broadcast Congestion Genetic Hashtbl List Option Routing Topology Util Wire

@@ -1,0 +1,1 @@
+lib/core/stack.mli: Broadcast Routing Topology Util Wire

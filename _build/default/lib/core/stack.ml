@@ -1,0 +1,229 @@
+type config = {
+  link_gbps : float;
+  headroom : float;
+  trees_per_source : int;
+  default_protocol : Routing.protocol;
+  selection_choices : Routing.protocol array;
+}
+
+let default_config =
+  {
+    link_gbps = 10.0;
+    headroom = 0.05;
+    trees_per_source = 4;
+    default_protocol = Routing.Rps;
+    selection_choices = [| Routing.Rps; Routing.Vlb |];
+  }
+
+type flow_id = int
+
+type flow = {
+  id : flow_id;
+  src : int;
+  dst : int;
+  weight : int;
+  priority : int;
+  mutable protocol : Routing.protocol;
+  mutable demand_gbps : float option;
+  mutable rate_gbps : float;
+  demand_estimator : Congestion.Demand.t option ref;
+}
+
+type t = {
+  cfg : config;
+  topo : Topology.t;
+  rctx : Routing.ctx;
+  bcast : Broadcast.t;
+  rng : Util.Rng.t;
+  flows : (flow_id, flow) Hashtbl.t;
+  mutable next_id : flow_id;
+  mutable observers : (Wire.broadcast -> unit) list;
+  mutable control_bytes : int;
+  capacities : float array;
+}
+
+let create ?(config = default_config) ?(seed = 1) topo =
+  {
+    cfg = config;
+    topo;
+    rctx = Routing.make topo;
+    bcast = Broadcast.make ~trees_per_source:config.trees_per_source topo;
+    rng = Util.Rng.create seed;
+    flows = Hashtbl.create 64;
+    next_id = 0;
+    observers = [];
+    control_bytes = 0;
+    capacities = Array.make (Topology.link_count topo) (config.link_gbps /. 8.0);
+  }
+
+let topology t = t.topo
+let routing t = t.rctx
+let broadcast t = t.bcast
+let config t = t.cfg
+let on_broadcast t f = t.observers <- f :: t.observers
+
+let emit_broadcast t f event =
+  let demand_kbps =
+    match f.demand_gbps with
+    | None -> 0
+    | Some g -> min 0xFFFFFFFF (int_of_float (g *. 1_000_000.0))
+  in
+  let pkt =
+    {
+      Wire.event;
+      bsrc = f.src;
+      bdst = f.dst;
+      weight = min 255 f.weight;
+      priority = min 255 f.priority;
+      demand_kbps;
+      tree = Broadcast.choose_tree t.bcast t.rng ~src:f.src;
+      rp = f.protocol;
+    }
+  in
+  (* The encoding must round-trip; this exercises the wire format on every
+     control event. *)
+  (match Wire.decode_broadcast (Wire.encode_broadcast pkt) with
+  | Ok p -> assert (p = pkt)
+  | Error e -> failwith ("Stack: broadcast encoding failed: " ^ e));
+  t.control_bytes <- t.control_bytes + Broadcast.bytes_per_broadcast t.topo;
+  List.iter (fun obs -> obs pkt) t.observers
+
+let find t id =
+  match Hashtbl.find_opt t.flows id with
+  | Some f -> f
+  | None -> invalid_arg "Stack: unknown flow id"
+
+let open_flow ?(weight = 1) ?(priority = 0) ?protocol t ~src ~dst =
+  let h = Topology.host_count t.topo in
+  if src = dst then invalid_arg "Stack.open_flow: src = dst";
+  if src < 0 || src >= h || dst < 0 || dst >= h then
+    invalid_arg "Stack.open_flow: host out of range";
+  if weight < 1 then invalid_arg "Stack.open_flow: weight < 1";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let f =
+    {
+      id;
+      src;
+      dst;
+      weight;
+      priority;
+      protocol = Option.value ~default:t.cfg.default_protocol protocol;
+      demand_gbps = None;
+      rate_gbps = 0.0;
+      demand_estimator = ref None;
+    }
+  in
+  Hashtbl.replace t.flows id f;
+  emit_broadcast t f Wire.Flow_start;
+  id
+
+let close_flow t id =
+  let f = find t id in
+  Hashtbl.remove t.flows id;
+  emit_broadcast t f Wire.Flow_finish
+
+let set_demand t id ~gbps =
+  let f = find t id in
+  f.demand_gbps <- gbps;
+  emit_broadcast t f Wire.Demand_update
+
+let set_protocol t id proto =
+  let f = find t id in
+  if f.protocol <> proto then begin
+    f.protocol <- proto;
+    emit_broadcast t f Wire.Route_change
+  end
+
+let observe_sender_queue t id ~queued_bytes ~period_ns =
+  let f = find t id in
+  let est =
+    match !(f.demand_estimator) with
+    | Some e -> e
+    | None ->
+        let e = Congestion.Demand.create ~period_ns () in
+        f.demand_estimator := Some e;
+        e
+  in
+  (* Rates are tracked in Gbps; the estimator works in bytes/ns. *)
+  Congestion.Demand.observe est ~rate:(f.rate_gbps /. 8.0) ~queued_bytes;
+  let alloc = f.rate_gbps /. 8.0 in
+  if alloc > 0.0 && Congestion.Demand.is_host_limited est ~allocation:alloc then
+    set_demand t id ~gbps:(Some (Congestion.Demand.estimate est *. 8.0))
+
+let flow_array t =
+  let fl = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows [] in
+  Array.of_list (List.sort (fun a b -> compare a.id b.id) fl)
+
+let recompute t =
+  let fl = flow_array t in
+  let wf =
+    Array.map
+      (fun f ->
+        Congestion.Waterfill.flow ~weight:(float_of_int f.weight) ~priority:f.priority
+          ?demand:(Option.map (fun g -> g /. 8.0) f.demand_gbps)
+          ~id:f.id
+          (Routing.fractions t.rctx f.protocol ~src:f.src ~dst:f.dst))
+      fl
+  in
+  let rates = Congestion.Waterfill.allocate ~headroom:t.cfg.headroom ~capacities:t.capacities wf in
+  Array.iteri (fun i f -> f.rate_gbps <- rates.(i) *. 8.0) fl
+
+let rate_gbps t id = (find t id).rate_gbps
+
+let allocations t =
+  Hashtbl.fold (fun id f acc -> (id, f.rate_gbps) :: acc) t.flows []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let active_flows t =
+  Hashtbl.fold (fun id f acc -> (id, f.src, f.dst, f.protocol) :: acc) t.flows []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let aggregate_throughput_gbps t =
+  Hashtbl.fold (fun _ f acc -> acc +. f.rate_gbps) t.flows 0.0
+
+let reselect_routing ?pop_size ?mutation ?generations t rng =
+  let fl = flow_array t in
+  if Array.length fl = 0 then 0
+  else begin
+    let selector =
+      Genetic.Selector.make ~headroom:t.cfg.headroom ~choices:t.cfg.selection_choices t.rctx
+        ~link_gbps:t.cfg.link_gbps
+    in
+    let flows = Array.map (fun f -> (f.src, f.dst)) fl in
+    (* Flows routed outside the choice set keep their protocol but seed the
+       search from the default choice. *)
+    let in_choices p = Array.exists (fun c -> c = p) t.cfg.selection_choices in
+    let init =
+      Array.map
+        (fun f -> if in_choices f.protocol then f.protocol else t.cfg.selection_choices.(0))
+        fl
+    in
+    let current = Genetic.Selector.aggregate_throughput_gbps selector ~flows init in
+    let best, fit =
+      Genetic.Selector.select ?pop_size ?mutation ?generations selector rng ~flows ~init
+    in
+    if fit > current +. 1e-9 then begin
+      let changed = ref 0 in
+      Array.iteri
+        (fun i f ->
+          if f.protocol <> best.(i) then begin
+            incr changed;
+            set_protocol t f.id best.(i)
+          end)
+        fl;
+      !changed
+    end
+    else 0
+  end
+
+let sample_packet_route t id rng =
+  let f = find t id in
+  let path = Routing.sample_path t.rctx rng f.protocol ~src:f.src ~dst:f.dst in
+  (path, Wire.route_selectors t.rctx path)
+
+let control_bytes_sent t = t.control_bytes
+
+let handle_failure t =
+  let fl = flow_array t in
+  Array.iter (fun f -> emit_broadcast t f Wire.Flow_start) fl

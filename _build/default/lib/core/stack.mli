@@ -1,0 +1,95 @@
+(** The R2C2 network stack control plane (paper §3).
+
+    A [Stack.t] is one node's view of the rack — which, thanks to flow-event
+    broadcasting, equals every other node's view. Applications open and
+    close flows; the stack broadcasts the events (exposed via
+    {!on_broadcast} and counted in {!control_bytes_sent}), tracks the
+    global traffic matrix, computes weighted max-min allocations with
+    headroom on {!recompute}, estimates demand for host-limited flows, and
+    periodically re-selects routing protocols for long flows to maximize
+    aggregate throughput.
+
+    The packet-level data plane lives in the [sim] library; this module is
+    the control plane usable directly by applications and tests. *)
+
+type config = {
+  link_gbps : float;
+  headroom : float;
+  trees_per_source : int;
+  default_protocol : Routing.protocol;
+  selection_choices : Routing.protocol array;
+      (** protocols the routing re-selection may assign *)
+}
+
+val default_config : config
+(** 10 Gbps links, 5% headroom, 4 broadcast trees per source, RPS default
+    routing, selection between RPS and VLB. *)
+
+type t
+type flow_id = int
+
+val create : ?config:config -> ?seed:int -> Topology.t -> t
+
+val topology : t -> Topology.t
+val routing : t -> Routing.ctx
+val broadcast : t -> Broadcast.t
+val config : t -> config
+
+val on_broadcast : t -> (Wire.broadcast -> unit) -> unit
+(** Observe every broadcast packet the stack emits (it is also checked to
+    round-trip through {!Wire.encode_broadcast}). *)
+
+val open_flow :
+  ?weight:int -> ?priority:int -> ?protocol:Routing.protocol -> t -> src:int -> dst:int -> flow_id
+(** Announce a new flow. Raises [Invalid_argument] on [src = dst] or
+    out-of-range hosts. *)
+
+val close_flow : t -> flow_id -> unit
+(** Announce flow termination; unknown ids raise. *)
+
+val set_demand : t -> flow_id -> gbps:float option -> unit
+(** Declare a host-limited flow's demand ([None] = network-limited);
+    broadcast as a demand update. *)
+
+val set_protocol : t -> flow_id -> Routing.protocol -> unit
+(** Re-route a flow; broadcast as a route change. *)
+
+val observe_sender_queue : t -> flow_id -> queued_bytes:float -> period_ns:int -> unit
+(** Feed sender-side queuing into the §3.3.2 demand estimator; when the
+    estimate drops below the current allocation the flow's demand is
+    updated (and broadcast) automatically. *)
+
+val recompute : t -> unit
+(** One rate-computation round over the current traffic matrix. *)
+
+val rate_gbps : t -> flow_id -> float
+(** Allocation from the last {!recompute}; 0 before any recompute. *)
+
+val allocations : t -> (flow_id * float) list
+(** All current allocations, in Gbps. *)
+
+val active_flows : t -> (flow_id * int * int * Routing.protocol) list
+(** (id, src, dst, protocol) of open flows. *)
+
+val aggregate_throughput_gbps : t -> float
+(** Sum of current allocations. *)
+
+val reselect_routing :
+  ?pop_size:int -> ?mutation:float -> ?generations:int -> t -> Util.Rng.t -> int
+(** §3.4: GA over the open flows' routing protocols maximizing aggregate
+    throughput; applies (and broadcasts) improved assignments. Returns the
+    number of flows whose protocol changed. Call {!recompute} afterwards to
+    refresh allocations. *)
+
+val sample_packet_route : t -> flow_id -> Util.Rng.t -> int array * int array
+(** Data plane helper: one packet's vertex path under the flow's current
+    protocol, with its 3-bit route selectors for the {!Wire} header. *)
+
+val control_bytes_sent : t -> int
+(** Wire bytes of all broadcasts so far:
+    16 * (vertices - 1) per event. *)
+
+val handle_failure : t -> unit
+(** §3.2 failure handling: after a topology-discovery event every node
+    re-broadcasts its ongoing flows; this re-announces every open flow
+    (observable via {!on_broadcast}) so a rebuilt rack view converges. *)

@@ -1,0 +1,1 @@
+lib/emu/fluid.ml: Array Congestion Float Hashtbl List Option Routing Topology Workload

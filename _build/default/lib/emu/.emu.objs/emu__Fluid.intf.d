@@ -1,0 +1,1 @@
+lib/emu/fluid.mli: Routing Topology Workload

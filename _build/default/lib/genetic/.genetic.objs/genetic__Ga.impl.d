@@ -1,0 +1,1 @@
+lib/genetic/ga.ml: Array Float List Util

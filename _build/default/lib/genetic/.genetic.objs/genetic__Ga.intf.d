@@ -1,0 +1,1 @@
+lib/genetic/ga.mli: Util

@@ -1,0 +1,1 @@
+lib/genetic/selector.ml: Array Congestion Float Ga Hashtbl List Option Routing Topology Util

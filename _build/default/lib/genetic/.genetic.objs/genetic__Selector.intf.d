@@ -1,0 +1,1 @@
+lib/genetic/selector.mli: Routing Util

@@ -1,0 +1,87 @@
+type utility =
+  | Aggregate_throughput
+  | Tail_throughput
+  | Tenant_tail of int array
+
+type t = {
+  ctx : Routing.ctx;
+  headroom : float;
+  choices : Routing.protocol array;
+  utility : utility;
+  capacities : float array;
+}
+
+let make ?(headroom = 0.0) ?(choices = [| Routing.Rps; Routing.Vlb |])
+    ?(utility = Aggregate_throughput) ctx ~link_gbps =
+  if Array.length choices = 0 then invalid_arg "Selector.make: no protocol choices";
+  let nl = Topology.link_count (Routing.topo ctx) in
+  { ctx; headroom; choices; utility; capacities = Array.make nl (link_gbps /. 8.0) }
+
+let rates_of t ~flows assignment =
+  if Array.length assignment <> Array.length flows then
+    invalid_arg "Selector: assignment length mismatch";
+  let wf =
+    Array.mapi
+      (fun i (src, dst) ->
+        Congestion.Waterfill.flow ~id:i (Routing.fractions t.ctx assignment.(i) ~src ~dst))
+      flows
+  in
+  Congestion.Waterfill.allocate ~headroom:t.headroom ~capacities:t.capacities wf
+
+let aggregate_throughput_gbps t ~flows assignment =
+  8.0 *. Array.fold_left ( +. ) 0.0 (rates_of t ~flows assignment)
+
+let utility_gbps t ~flows assignment =
+  let rates = rates_of t ~flows assignment in
+  match t.utility with
+  | Aggregate_throughput -> 8.0 *. Array.fold_left ( +. ) 0.0 rates
+  | Tail_throughput ->
+      if Array.length rates = 0 then 0.0
+      else 8.0 *. Array.fold_left Float.min rates.(0) rates
+  | Tenant_tail tenants ->
+      if Array.length tenants <> Array.length flows then
+        invalid_arg "Selector: tenant map length mismatch";
+      let totals = Hashtbl.create 8 in
+      Array.iteri
+        (fun i r ->
+          let tnt = tenants.(i) in
+          Hashtbl.replace totals tnt (r +. Option.value ~default:0.0 (Hashtbl.find_opt totals tnt)))
+        rates;
+      let worst = Hashtbl.fold (fun _ v acc -> Float.min v acc) totals infinity in
+      if worst = infinity then 0.0 else 8.0 *. worst
+
+let uniform t ~flows proto = utility_gbps t ~flows (Array.make (Array.length flows) proto)
+
+let random_assignment t rng ~flows =
+  Array.init (Array.length flows) (fun _ -> Util.Rng.pick rng t.choices)
+
+let select ?(pop_size = 100) ?(mutation = 0.01) ?(generations = 30) t rng ~flows ~init =
+  let encode assignment =
+    Array.map
+      (fun proto ->
+        let rec find i =
+          if i >= Array.length t.choices then
+            invalid_arg "Selector.select: init uses a protocol outside choices"
+          else if t.choices.(i) = proto then i
+          else find (i + 1)
+        in
+        find 0)
+      assignment
+  in
+  let decode genes = Array.map (fun g -> t.choices.(g)) genes in
+  let problem =
+    {
+      Ga.genes = Array.length flows;
+      choices = Array.length t.choices;
+      fitness = (fun genes -> utility_gbps t ~flows (decode genes));
+    }
+  in
+  (* Seed the uniform single-protocol assignments so the search can never
+     end below the all-RPS / all-VLB baselines (elitism keeps them). *)
+  let seeds =
+    List.init (Array.length t.choices) (fun c -> Array.make (Array.length flows) c)
+  in
+  let best, fit =
+    Ga.optimize ~pop_size ~mutation ~generations ~seeds rng problem ~init:(encode init)
+  in
+  (decode best, fit)

@@ -1,0 +1,352 @@
+type protocol = Rps | Dor | Vlb | Wlb
+
+let all_protocols = [ Rps; Dor; Vlb; Wlb ]
+
+let protocol_to_int = function Rps -> 0 | Dor -> 1 | Vlb -> 2 | Wlb -> 3
+
+let protocol_of_int = function
+  | 0 -> Some Rps
+  | 1 -> Some Dor
+  | 2 -> Some Vlb
+  | 3 -> Some Wlb
+  | _ -> None
+
+let protocol_name = function Rps -> "RPS" | Dor -> "DOR" | Vlb -> "VLB" | Wlb -> "WLB"
+let pp_protocol ppf p = Format.pp_print_string ppf (protocol_name p)
+
+let wlb_beta = 0.5
+
+type ctx = {
+  topo : Topology.t;
+  frac_cache : (int, (int * float) array) Hashtbl.t;
+      (* key = (protocol, src, dst) packed; sparse link fractions *)
+  vlb_a : (int, float array) Hashtbl.t;  (* per source: sum over waypoints of minimal fractions *)
+  vlb_b : (int, float array) Hashtbl.t;  (* per destination *)
+  wlb_dist : (int, float array) Hashtbl.t;  (* per (src,dst): waypoint prefix weights *)
+}
+
+let make topo =
+  {
+    topo;
+    frac_cache = Hashtbl.create 1024;
+    vlb_a = Hashtbl.create 64;
+    vlb_b = Hashtbl.create 64;
+    wlb_dist = Hashtbl.create 256;
+  }
+
+let topo ctx = ctx.topo
+
+let pack ctx p ~src ~dst =
+  let n = Topology.vertex_count ctx.topo in
+  ((protocol_to_int p * n) + src) * n + dst
+
+(* -- path sampling ------------------------------------------------------ *)
+
+let walk_minimal ctx rng ~src ~dst =
+  (* Random shortest path: spray uniformly over productive hops at every
+     vertex. *)
+  let rec go acc u =
+    if u = dst then List.rev (dst :: acc)
+    else begin
+      let hops = Topology.productive_hops ctx.topo u ~dst in
+      let v, _ = Util.Rng.pick rng hops in
+      go (u :: acc) v
+    end
+  in
+  Array.of_list (go [] src)
+
+(* Dimension-ordered paths. On a torus an exact half-way offset can be
+   corrected in either wrap direction; destination-tag routing uses both
+   evenly, so we enumerate every tie combination with its probability
+   (at most 2^dims weighted paths). *)
+let dor_torus_paths ctx ~src ~dst =
+  let t = ctx.topo in
+  let dims = match Topology.kind t with
+    | Topology.Torus d | Topology.Mesh d -> d
+    | Topology.Clos _ | Topology.Flattened_butterfly _ | Topology.Custom _ -> assert false
+  in
+  let wrap = match Topology.kind t with Topology.Torus _ -> true | _ -> false in
+  let cd = Topology.coords t dst in
+  (* steps_choices.(i): list of (step, probability) for dimension i. *)
+  let c0 = Topology.coords t src in
+  let choices =
+    Array.mapi
+      (fun i k ->
+        if c0.(i) = cd.(i) then [ (0, 1.0) ]
+        else if not wrap then [ ((if cd.(i) > c0.(i) then 1 else -1), 1.0) ]
+        else begin
+          let fwd = (cd.(i) - c0.(i) + k) mod k in
+          if fwd < k - fwd then [ (1, 1.0) ]
+          else if fwd > k - fwd then [ (-1, 1.0) ]
+          else [ (1, 0.5); (-1, 0.5) ]
+        end)
+      dims
+  in
+  let rec expand i acc_steps acc_prob =
+    if i = Array.length dims then begin
+      let c = Array.copy c0 in
+      let path = ref [ src ] in
+      List.iteri
+        (fun dim step ->
+          let k = dims.(dim) in
+          while c.(dim) <> cd.(dim) do
+            c.(dim) <- (c.(dim) + step + k) mod k;
+            path := Topology.of_coords t c :: !path
+          done)
+        (List.rev acc_steps);
+      [ (Array.of_list (List.rev !path), acc_prob) ]
+    end
+    else
+      List.concat_map
+        (fun (step, p) -> expand (i + 1) (step :: acc_steps) (acc_prob *. p))
+        choices.(i)
+  in
+  expand 0 [] 1.0
+
+let dor_torus_path ctx rng ~src ~dst =
+  let paths = dor_torus_paths ctx ~src ~dst in
+  match paths with
+  | [ (p, _) ] -> p
+  | _ ->
+      let weights = Array.of_list (List.map snd paths) in
+      let i = Util.Rng.categorical rng weights in
+      fst (List.nth paths i)
+
+let deterministic_min_path ctx ~src ~dst =
+  (* Fallback single shortest path for non-grid topologies: lowest-id
+     productive hop at every step. *)
+  let rec go acc u =
+    if u = dst then List.rev (dst :: acc)
+    else begin
+      let hops = Topology.productive_hops ctx.topo u ~dst in
+      let best =
+        Array.fold_left
+          (fun best (v, _) -> match best with Some b when b <= v -> best | _ -> Some v)
+          None hops
+      in
+      match best with Some v -> go (u :: acc) v | None -> assert false
+    end
+  in
+  Array.of_list (go [] src)
+
+let dor_path ctx rng ~src ~dst =
+  match Topology.kind ctx.topo with
+  | Topology.Torus _ | Topology.Mesh _ -> dor_torus_path ctx rng ~src ~dst
+  | Topology.Clos _ | Topology.Flattened_butterfly _ | Topology.Custom _ ->
+      deterministic_min_path ctx ~src ~dst
+
+let dor_paths_weighted ctx ~src ~dst =
+  match Topology.kind ctx.topo with
+  | Topology.Torus _ | Topology.Mesh _ -> dor_torus_paths ctx ~src ~dst
+  | Topology.Clos _ | Topology.Flattened_butterfly _ | Topology.Custom _ ->
+      [ (deterministic_min_path ctx ~src ~dst, 1.0) ]
+
+let concat_phases p1 p2 =
+  (* [p1] ends where [p2] starts; drop the duplicated waypoint. *)
+  Array.append p1 (Array.sub p2 1 (Array.length p2 - 1))
+
+let wlb_waypoint_weights ctx ~src ~dst =
+  let key = (src * Topology.vertex_count ctx.topo) + dst in
+  match Hashtbl.find_opt ctx.wlb_dist key with
+  | Some w -> w
+  | None ->
+      let t = ctx.topo in
+      let h = Topology.host_count t in
+      let base = Topology.distance t src dst in
+      let weights =
+        Array.init h (fun w ->
+            let extra = Topology.distance t src w + Topology.distance t w dst - base in
+            wlb_beta ** float_of_int extra)
+      in
+      (* Prefix sums for O(log n) sampling. *)
+      let prefix = Array.make h 0.0 in
+      let acc = ref 0.0 in
+      for i = 0 to h - 1 do
+        acc := !acc +. weights.(i);
+        prefix.(i) <- !acc
+      done;
+      Hashtbl.replace ctx.wlb_dist key prefix;
+      prefix
+
+let sample_prefix rng prefix =
+  let total = prefix.(Array.length prefix - 1) in
+  let x = Util.Rng.float rng total in
+  (* Binary search for the first prefix >= x. *)
+  let lo = ref 0 and hi = ref (Array.length prefix - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if prefix.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let two_phase ctx rng ~src ~dst w =
+  if w = src then walk_minimal ctx rng ~src ~dst
+  else if w = dst then walk_minimal ctx rng ~src ~dst
+  else concat_phases (walk_minimal ctx rng ~src ~dst:w) (walk_minimal ctx rng ~src:w ~dst)
+
+let sample_path ctx rng p ~src ~dst =
+  if src = dst then invalid_arg "Routing.sample_path: src = dst";
+  match p with
+  | Rps -> walk_minimal ctx rng ~src ~dst
+  | Dor -> dor_path ctx rng ~src ~dst
+  | Vlb ->
+      let w = Util.Rng.int rng (Topology.host_count ctx.topo) in
+      two_phase ctx rng ~src ~dst w
+  | Wlb ->
+      let prefix = wlb_waypoint_weights ctx ~src ~dst in
+      let w = sample_prefix rng prefix in
+      two_phase ctx rng ~src ~dst w
+
+let ecmp_path ctx ~flow_id ~src ~dst =
+  let seed = (flow_id * 1000003) lxor (src * 8191) lxor dst in
+  let rng = Util.Rng.create seed in
+  walk_minimal ctx rng ~src ~dst
+
+let path_links ctx path =
+  Array.init
+    (Array.length path - 1)
+    (fun i ->
+      match Topology.find_link ctx.topo path.(i) path.(i + 1) with
+      | Some l -> l
+      | None -> invalid_arg "Routing.path_links: non-adjacent vertices")
+
+let sample_paths_distinct ctx rng ~k ~src ~dst =
+  let seen = Hashtbl.create 16 in
+  let paths = ref [] in
+  let tries = ref 0 in
+  while Hashtbl.length seen < k && !tries < 8 * k do
+    incr tries;
+    let p = walk_minimal ctx rng ~src ~dst in
+    let key = String.concat "," (Array.to_list (Array.map string_of_int p)) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      paths := p :: !paths
+    end
+  done;
+  List.rev !paths
+
+(* -- link fractions ----------------------------------------------------- *)
+
+let min_fractions_uncached ctx ~src ~dst =
+  (* DP over the shortest-path DAG: probability mass splits uniformly over
+     productive hops at every vertex. *)
+  let t = ctx.topo in
+  let d = Topology.dist_to t dst in
+  let layers = Array.make (d.(src) + 1) [] in
+  layers.(d.(src)) <- [ src ];
+  let prob = Hashtbl.create 32 in
+  Hashtbl.replace prob src 1.0;
+  let frac = Hashtbl.create 32 in
+  for layer = d.(src) downto 1 do
+    List.iter
+      (fun u ->
+        let p = Hashtbl.find prob u in
+        let hops = Topology.productive_hops t u ~dst in
+        let share = p /. float_of_int (Array.length hops) in
+        Array.iter
+          (fun (v, l) ->
+            let cur = Option.value ~default:0.0 (Hashtbl.find_opt frac l) in
+            Hashtbl.replace frac l (cur +. share);
+            match Hashtbl.find_opt prob v with
+            | Some q -> Hashtbl.replace prob v (q +. share)
+            | None ->
+                Hashtbl.replace prob v share;
+                layers.(d.(v)) <- v :: layers.(d.(v)))
+          hops)
+      layers.(layer)
+  done;
+  let out = Hashtbl.fold (fun l f acc -> (l, f) :: acc) frac [] in
+  Array.of_list (List.sort compare out)
+
+let dor_fractions ctx ~src ~dst =
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun (path, p) ->
+      Array.iter
+        (fun l ->
+          let cur = Option.value ~default:0.0 (Hashtbl.find_opt acc l) in
+          Hashtbl.replace acc l (cur +. p))
+        (path_links ctx path))
+    (dor_paths_weighted ctx ~src ~dst);
+  Array.of_list (List.sort compare (Hashtbl.fold (fun l f out -> (l, f) :: out) acc []))
+
+let accumulate_dense dense scale sparse =
+  Array.iter (fun (l, f) -> dense.(l) <- dense.(l) +. (scale *. f)) sparse
+
+let vlb_a ctx src =
+  match Hashtbl.find_opt ctx.vlb_a src with
+  | Some a -> a
+  | None ->
+      let t = ctx.topo in
+      let dense = Array.make (Topology.link_count t) 0.0 in
+      for w = 0 to Topology.host_count t - 1 do
+        if w <> src then accumulate_dense dense 1.0 (min_fractions_uncached ctx ~src ~dst:w)
+      done;
+      Hashtbl.replace ctx.vlb_a src dense;
+      dense
+
+let vlb_b ctx dst =
+  match Hashtbl.find_opt ctx.vlb_b dst with
+  | Some b -> b
+  | None ->
+      let t = ctx.topo in
+      let dense = Array.make (Topology.link_count t) 0.0 in
+      for w = 0 to Topology.host_count t - 1 do
+        if w <> dst then accumulate_dense dense 1.0 (min_fractions_uncached ctx ~src:w ~dst)
+      done;
+      Hashtbl.replace ctx.vlb_b dst dense;
+      dense
+
+let sparse_of_dense dense =
+  let acc = ref [] in
+  for l = Array.length dense - 1 downto 0 do
+    if dense.(l) > 1e-12 then acc := (l, dense.(l)) :: !acc
+  done;
+  Array.of_list !acc
+
+let vlb_fractions ctx ~src ~dst =
+  (* Expected load: average over uniform waypoints of phase-1 plus phase-2
+     minimal fractions. Waypoints equal to src or dst degenerate to a single
+     minimal phase, which the sums already capture (the degenerate phase
+     contributes nothing). *)
+  let h = float_of_int (Topology.host_count ctx.topo) in
+  let a = vlb_a ctx src and b = vlb_b ctx dst in
+  let dense = Array.make (Array.length a) 0.0 in
+  Array.iteri (fun l x -> dense.(l) <- (x +. b.(l)) /. h) a;
+  sparse_of_dense dense
+
+let wlb_fractions ctx ~src ~dst =
+  let t = ctx.topo in
+  let h = Topology.host_count t in
+  let prefix = wlb_waypoint_weights ctx ~src ~dst in
+  let total = prefix.(h - 1) in
+  let dense = Array.make (Topology.link_count t) 0.0 in
+  for w = 0 to h - 1 do
+    let weight = (if w = 0 then prefix.(0) else prefix.(w) -. prefix.(w - 1)) /. total in
+    if weight > 0.0 then begin
+      if w <> src && w <> dst then begin
+        accumulate_dense dense weight (min_fractions_uncached ctx ~src ~dst:w);
+        accumulate_dense dense weight (min_fractions_uncached ctx ~src:w ~dst)
+      end
+      else accumulate_dense dense weight (min_fractions_uncached ctx ~src ~dst)
+    end
+  done;
+  sparse_of_dense dense
+
+let fractions ctx p ~src ~dst =
+  if src = dst then invalid_arg "Routing.fractions: src = dst";
+  let key = pack ctx p ~src ~dst in
+  match Hashtbl.find_opt ctx.frac_cache key with
+  | Some f -> f
+  | None ->
+      let f =
+        match p with
+        | Rps -> min_fractions_uncached ctx ~src ~dst
+        | Dor -> dor_fractions ctx ~src ~dst
+        | Vlb -> vlb_fractions ctx ~src ~dst
+        | Wlb -> wlb_fractions ctx ~src ~dst
+      in
+      Hashtbl.replace ctx.frac_cache key f;
+      f
+
+let min_path_fractions ctx ~src ~dst = fractions ctx Rps ~src ~dst

@@ -1,0 +1,67 @@
+(** Routing protocols for direct-connect rack topologies.
+
+    Four protocols from the paper (§2.2.1):
+    - {b RPS} — randomized packet spraying: every packet takes an independent
+      uniformly-drawn shortest path.
+    - {b DOR} — destination-tag / dimension-order routing: one deterministic
+      shortest path, correcting coordinates dimension by dimension.
+    - {b VLB} — Valiant load balancing: every packet bounces off a uniformly
+      random intermediate host, taking a random minimal path per phase.
+    - {b WLB} — weighted load balancing: like VLB but the waypoint is drawn
+      with probability biased towards shorter total paths.
+
+    Besides per-packet path sampling (data plane), the module computes a
+    flow's {e link fractions}: the expected fraction of the flow's rate
+    crossing each directed link, which is what the paper's flow-level rate
+    computation consumes (§3.3). Fraction computation is cached per
+    (protocol, src, dst) inside a {!ctx}. *)
+
+type protocol = Rps | Dor | Vlb | Wlb
+
+val all_protocols : protocol list
+val protocol_to_int : protocol -> int
+val protocol_of_int : int -> protocol option
+val protocol_name : protocol -> string
+val pp_protocol : Format.formatter -> protocol -> unit
+
+type ctx
+(** Per-topology routing context holding fraction caches. *)
+
+val make : Topology.t -> ctx
+val topo : ctx -> Topology.t
+
+(** {2 Data plane: per-packet path sampling} *)
+
+val sample_path : ctx -> Util.Rng.t -> protocol -> src:int -> dst:int -> int array
+(** Vertex sequence [src; ...; dst] of one packet's path. For RPS/DOR the
+    path is minimal; for VLB/WLB it concatenates two minimal phases through
+    a waypoint. [src <> dst] required. *)
+
+val ecmp_path : ctx -> flow_id:int -> src:int -> dst:int -> int array
+(** Deterministic shortest path chosen by hashing the flow identifier — the
+    single-path routing used under the TCP baseline. *)
+
+val path_links : ctx -> int array -> int array
+(** Directed-link ids along a vertex path. Raises if consecutive vertices
+    are not adjacent. *)
+
+val sample_paths_distinct : ctx -> Util.Rng.t -> k:int -> src:int -> dst:int -> int array list
+(** Up to [k] distinct minimal vertex paths (used by the idealized per-flow
+    queue baseline). *)
+
+(** {2 Control plane: link fractions} *)
+
+val fractions : ctx -> protocol -> src:int -> dst:int -> (int * float) array
+(** [fractions ctx p ~src ~dst] lists [(link_id, f)] with [f] the expected
+    rate fraction of a [src]->[dst] flow under protocol [p] on that link;
+    entries with zero fraction are omitted. For minimal protocols the
+    fractions out of [src] sum to 1; for VLB/WLB a link can carry both
+    phases so per-link fractions may exceed shortest-path values. *)
+
+val min_path_fractions : ctx -> src:int -> dst:int -> (int * float) array
+(** Fractions of uniform packet spraying over shortest paths (the RPS data
+    plane); exposed for analysis and tests. *)
+
+val wlb_beta : float
+(** Path-length bias of WLB: waypoint [w] is drawn with probability
+    proportional to [wlb_beta ^ (d(s,w) + d(w,d) - d(s,d))]. *)

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Broadcast Engine List Queue Topology

@@ -1,0 +1,1 @@
+lib/sim/pfq_sim.ml: Array Congestion Float List Option Routing Topology Util Workload

@@ -1,0 +1,1 @@
+lib/sim/pfq_sim.mli: Topology Workload

@@ -1,0 +1,1 @@
+lib/sim/r2c2_sim.ml: Array Broadcast Congestion Engine Float Genetic Hashtbl List Metrics Net Option Routing Topology Util Wire Workload

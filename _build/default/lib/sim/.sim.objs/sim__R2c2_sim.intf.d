@@ -1,0 +1,1 @@
+lib/sim/r2c2_sim.mli: Engine Metrics Routing Topology Workload

@@ -1,0 +1,1 @@
+lib/sim/reliability.ml: Array Engine Util

@@ -1,0 +1,1 @@
+lib/sim/tcp_sim.ml: Array Engine Float Hashtbl List Metrics Net Printf Routing Wire Workload

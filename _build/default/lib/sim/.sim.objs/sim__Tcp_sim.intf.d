@@ -1,0 +1,1 @@
+lib/sim/tcp_sim.mli: Metrics Topology Workload

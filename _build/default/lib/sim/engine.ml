@@ -1,0 +1,33 @@
+type t = { mutable now : int; q : (unit -> unit) Util.Heap.t }
+
+let create () = { now = 0; q = Util.Heap.create () }
+
+let now t = t.now
+
+let at t time thunk =
+  if time < t.now then invalid_arg "Engine.at: time in the past";
+  Util.Heap.push t.q time thunk
+
+let after t delay thunk =
+  if delay < 0 then invalid_arg "Engine.after: negative delay";
+  Util.Heap.push t.q (t.now + delay) thunk
+
+let run ?until t =
+  let stop = ref false in
+  while not !stop do
+    match Util.Heap.peek t.q with
+    | None -> stop := true
+    | Some (time, _) -> (
+        match until with
+        | Some u when time > u ->
+            t.now <- u;
+            stop := true
+        | _ -> (
+            match Util.Heap.pop t.q with
+            | None -> stop := true
+            | Some (time, thunk) ->
+                t.now <- time;
+                thunk ()))
+  done
+
+let pending t = Util.Heap.size t.q

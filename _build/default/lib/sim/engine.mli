@@ -1,0 +1,24 @@
+(** Discrete-event simulation engine.
+
+    Time is integer nanoseconds. Events scheduled for the same instant fire
+    in scheduling order, making runs deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation time in ns. *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** Schedule a thunk at an absolute time (>= now). *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** Schedule a thunk [delay] ns from now. *)
+
+val run : ?until:int -> t -> unit
+(** Process events in time order until the queue empties or the clock
+    passes [until]. *)
+
+val pending : t -> int
+(** Number of scheduled events; for tests. *)

@@ -1,0 +1,116 @@
+type flow = {
+  id : int;
+  src : int;
+  dst : int;
+  size : int;
+  arrival_ns : int;
+  mutable start_tx_ns : int;
+  mutable delivered : int;
+  mutable finish_ns : int;
+  mutable next_seq : int;
+  mutable reorder_max : int;
+  ooo : (int, int) Hashtbl.t;
+}
+
+type t = { flows : (int, flow) Hashtbl.t; mutable completed : int }
+
+let create () = { flows = Hashtbl.create 256; completed = 0 }
+
+let add_flow t ~id ~src ~dst ~size ~arrival_ns =
+  if Hashtbl.mem t.flows id then invalid_arg "Metrics.add_flow: duplicate id";
+  Hashtbl.replace t.flows id
+    {
+      id;
+      src;
+      dst;
+      size;
+      arrival_ns;
+      start_tx_ns = -1;
+      delivered = 0;
+      finish_ns = -1;
+      next_seq = 0;
+      reorder_max = 0;
+      ooo = Hashtbl.create 8;
+    }
+
+let find t id =
+  match Hashtbl.find_opt t.flows id with
+  | Some f -> f
+  | None -> invalid_arg "Metrics: unknown flow"
+
+let note_first_tx t ~id ~now =
+  let f = find t id in
+  if f.start_tx_ns < 0 then f.start_tx_ns <- now
+
+let record_delivery t ~id ~seq ~payload ~now =
+  let f = find t id in
+  if f.finish_ns >= 0 then false
+  else if seq < f.next_seq || Hashtbl.mem f.ooo seq then false (* duplicate *)
+  else begin
+    if seq = f.next_seq then begin
+      f.delivered <- f.delivered + payload;
+      f.next_seq <- f.next_seq + 1;
+      (* Drain any contiguous out-of-order suffix. *)
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt f.ooo f.next_seq with
+        | Some p ->
+            Hashtbl.remove f.ooo f.next_seq;
+            f.delivered <- f.delivered + p;
+            f.next_seq <- f.next_seq + 1
+        | None -> continue := false
+      done
+    end
+    else begin
+      Hashtbl.replace f.ooo seq payload;
+      if Hashtbl.length f.ooo > f.reorder_max then f.reorder_max <- Hashtbl.length f.ooo
+    end;
+    if f.delivered >= f.size && f.finish_ns < 0 then begin
+      f.finish_ns <- now;
+      t.completed <- t.completed + 1;
+      true
+    end
+    else false
+  end
+
+let complete _t f = f.finish_ns >= 0
+let completed_count t = t.completed
+let all t = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows []
+
+let fct_ns f =
+  if f.finish_ns < 0 then invalid_arg "Metrics.fct_ns: incomplete flow";
+  f.finish_ns - f.arrival_ns
+
+let throughput_gbps f =
+  let fct = fct_ns f in
+  if fct <= 0 then invalid_arg "Metrics.throughput_gbps: zero-duration flow";
+  float_of_int (8 * f.size) /. float_of_int fct
+
+let in_band ?(min_size = 0) ?(max_size = max_int) f = f.size >= min_size && f.size < max_size
+
+let fcts_us ?min_size ?max_size t =
+  let xs =
+    List.filter_map
+      (fun f ->
+        if f.finish_ns >= 0 && in_band ?min_size ?max_size f then
+          Some (float_of_int (fct_ns f) /. 1000.0)
+        else None)
+      (all t)
+  in
+  Array.of_list xs
+
+let throughputs_gbps ?min_size ?max_size t =
+  let xs =
+    List.filter_map
+      (fun f ->
+        if f.finish_ns >= 0 && in_band ?min_size ?max_size f then Some (throughput_gbps f)
+        else None)
+      (all t)
+  in
+  Array.of_list xs
+
+let reorder_depths t =
+  Array.of_list
+    (List.filter_map
+       (fun f -> if f.finish_ns >= 0 then Some (float_of_int f.reorder_max) else None)
+       (all t))

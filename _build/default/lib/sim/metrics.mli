@@ -1,0 +1,46 @@
+(** Per-flow and per-queue measurement for simulator runs. *)
+
+type flow = {
+  id : int;
+  src : int;
+  dst : int;
+  size : int;
+  arrival_ns : int;
+  mutable start_tx_ns : int;  (** first packet injection; -1 until then *)
+  mutable delivered : int;  (** payload bytes received *)
+  mutable finish_ns : int;  (** -1 until complete *)
+  mutable next_seq : int;  (** receiver's next in-order sequence *)
+  mutable reorder_max : int;  (** peak out-of-order buffer, packets *)
+  ooo : (int, int) Hashtbl.t;  (** seq -> payload of out-of-order packets *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_flow : t -> id:int -> src:int -> dst:int -> size:int -> arrival_ns:int -> unit
+
+val note_first_tx : t -> id:int -> now:int -> unit
+
+val record_delivery : t -> id:int -> seq:int -> payload:int -> now:int -> bool
+(** Account one received packet; duplicates are ignored. Returns [true]
+    when this packet completes the flow ([delivered >= size]). *)
+
+val find : t -> int -> flow
+val complete : t -> flow -> bool
+val completed_count : t -> int
+val all : t -> flow list
+
+val fct_ns : flow -> int
+(** Completion minus arrival; raises if incomplete. *)
+
+val throughput_gbps : flow -> float
+(** size / fct in Gbit/s; raises if incomplete. *)
+
+val fcts_us : ?min_size:int -> ?max_size:int -> t -> float array
+(** Completion times (µs) of completed flows within the size band. *)
+
+val throughputs_gbps : ?min_size:int -> ?max_size:int -> t -> float array
+
+val reorder_depths : t -> float array
+(** Peak reorder-buffer depth per completed flow, in packets. *)

@@ -1,0 +1,152 @@
+type kind =
+  | Data of { flow : int; seq : int; last : bool }
+  | Ack of { flow : int; ackno : int }
+  | Bcast of { bcast_id : int; root : int; tree : int }
+
+type packet = {
+  kind : kind;
+  bytes : int;
+  route : int array;
+  mutable hop : int;
+}
+
+type link_state = {
+  q : packet Queue.t;
+  mutable busy : bool;
+  mutable qbytes : int;
+  mutable max_qbytes : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  links : link_state array;
+  queue_capacity : int;
+  count_control : bool;
+  bits_per_ns : float;
+  hop_latency_ns : int;
+  mutable broadcast : Broadcast.t option;
+  mutable deliver : packet -> unit;
+  mutable bcast_deliver : packet -> node:int -> unit;
+  mutable drop : packet -> unit;
+  mutable drops : int;
+  mutable data_wire : float;
+  mutable control_wire : float;
+}
+
+let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link_gbps
+    ~hop_latency_ns () =
+  if link_gbps <= 0.0 then invalid_arg "Net.create: link_gbps";
+  {
+    engine;
+    topo;
+    links =
+      Array.init (Topology.link_count topo) (fun _ ->
+          { q = Queue.create (); busy = false; qbytes = 0; max_qbytes = 0 });
+    queue_capacity;
+    count_control;
+    bits_per_ns = link_gbps;
+    hop_latency_ns;
+    broadcast = None;
+    deliver = ignore;
+    bcast_deliver = (fun _ ~node:_ -> ());
+    drop = ignore;
+    drops = 0;
+    data_wire = 0.0;
+    control_wire = 0.0;
+  }
+
+let topo t = t.topo
+let engine t = t.engine
+let on_deliver t f = t.deliver <- f
+let on_bcast_deliver t f = t.bcast_deliver <- f
+let on_drop t f = t.drop <- f
+let set_broadcast t b = t.broadcast <- Some b
+
+let tx_time_ns t bytes =
+  int_of_float (ceil (float_of_int (8 * bytes) /. t.bits_per_ns))
+
+let count_wire t pkt =
+  match pkt.kind with
+  | Data _ | Ack _ -> t.data_wire <- t.data_wire +. float_of_int pkt.bytes
+  | Bcast _ ->
+      if t.count_control then t.control_wire <- t.control_wire +. float_of_int pkt.bytes
+
+(* Forwarding is mutually recursive with arrival: an arriving packet is
+   re-enqueued towards its next hop. *)
+let rec start_tx t link_id =
+  let ls = t.links.(link_id) in
+  match Queue.peek_opt ls.q with
+  | None -> ls.busy <- false
+  | Some pkt ->
+      ls.busy <- true;
+      let tx = tx_time_ns t pkt.bytes in
+      Engine.after t.engine tx (fun () ->
+          let pkt = Queue.pop ls.q in
+          ls.qbytes <- ls.qbytes - pkt.bytes;
+          (* Serialization of the next packet overlaps propagation. *)
+          start_tx t link_id;
+          Engine.after t.engine t.hop_latency_ns (fun () ->
+              arrive t (Topology.link_dst t.topo link_id) pkt))
+
+and enqueue_link t link_id pkt =
+  let ls = t.links.(link_id) in
+  if ls.qbytes + pkt.bytes > t.queue_capacity then begin
+    t.drops <- t.drops + 1;
+    t.drop pkt
+  end
+  else begin
+    Queue.push pkt ls.q;
+    ls.qbytes <- ls.qbytes + pkt.bytes;
+    if ls.qbytes > ls.max_qbytes then ls.max_qbytes <- ls.qbytes;
+    if not ls.busy then start_tx t link_id
+  end
+
+and arrive t node pkt =
+  count_wire t pkt;
+  match pkt.kind with
+  | Bcast { root; tree; _ } ->
+      t.bcast_deliver pkt ~node;
+      forward_bcast t ~root ~tree ~from:node ~bytes:pkt.bytes ~kind:pkt.kind
+  | Data _ | Ack _ ->
+      pkt.hop <- pkt.hop + 1;
+      assert (pkt.route.(pkt.hop) = node);
+      if pkt.hop = Array.length pkt.route - 1 then t.deliver pkt
+      else begin
+        match Topology.find_link t.topo node pkt.route.(pkt.hop + 1) with
+        | Some l -> enqueue_link t l pkt
+        | None -> invalid_arg "Net: route crosses non-adjacent vertices"
+      end
+
+and forward_bcast t ~root ~tree ~from ~bytes ~kind =
+  let b =
+    match t.broadcast with
+    | Some b -> b
+    | None -> invalid_arg "Net: broadcast FIB not configured"
+  in
+  List.iter
+    (fun child ->
+      match Topology.find_link t.topo from child with
+      | Some l -> enqueue_link t l { kind; bytes; route = [||]; hop = 0 }
+      | None -> assert false)
+    (Broadcast.children b ~src:root ~tree from)
+
+let send t pkt =
+  let len = Array.length pkt.route in
+  if len < 2 then invalid_arg "Net.send: route needs at least two vertices";
+  let node = pkt.route.(pkt.hop) in
+  match Topology.find_link t.topo node pkt.route.(pkt.hop + 1) with
+  | Some l -> enqueue_link t l pkt
+  | None -> invalid_arg "Net.send: route crosses non-adjacent vertices"
+
+let send_bcast t ~root ~tree ~bcast_id ~bytes =
+  forward_bcast t ~root ~tree ~from:root ~bytes ~kind:(Bcast { bcast_id; root; tree })
+
+let max_queue_bytes t = Array.map (fun ls -> ls.max_qbytes) t.links
+let drops t = t.drops
+let data_bytes_on_wire t = t.data_wire
+let control_bytes_on_wire t = t.control_wire
+
+let reset_wire_counters t =
+  t.data_wire <- 0.0;
+  t.control_wire <- 0.0

@@ -1,0 +1,73 @@
+(** Packet-level network fabric.
+
+    Every directed link has a FIFO output queue at its source node, a
+    serialization rate and a propagation delay. Packets are source routed:
+    they carry their full vertex path and a hop index, so intermediate
+    nodes forward without any per-flow state (paper §3.5).
+
+    Broadcast packets carry a [(source, tree)] pair instead of a path and
+    are replicated to the tree children at every node (paper §3.2). *)
+
+type kind =
+  | Data of { flow : int; seq : int; last : bool }
+  | Ack of { flow : int; ackno : int }
+  | Bcast of { bcast_id : int; root : int; tree : int }
+
+type packet = {
+  kind : kind;
+  bytes : int;  (** wire size, header included *)
+  route : int array;  (** vertex path for Data/Ack; [||] for Bcast *)
+  mutable hop : int;  (** next index into [route] *)
+}
+
+type t
+
+val create :
+  Engine.t ->
+  Topology.t ->
+  ?queue_capacity:int ->
+  ?count_control:bool ->
+  link_gbps:float ->
+  hop_latency_ns:int ->
+  unit ->
+  t
+(** [queue_capacity] bounds each output queue in bytes (tail drop);
+    default unbounded. [count_control] (default true) includes broadcast
+    bytes in the control-traffic counters. *)
+
+val topo : t -> Topology.t
+val engine : t -> Engine.t
+
+val on_deliver : t -> (packet -> unit) -> unit
+(** Called when a Data/Ack packet reaches the end of its route. *)
+
+val on_bcast_deliver : t -> (packet -> node:int -> unit) -> unit
+(** Called at {e every} vertex (including relays) receiving a broadcast
+    copy, excluding the root itself. *)
+
+val on_drop : t -> (packet -> unit) -> unit
+
+val set_broadcast : t -> Broadcast.t -> unit
+(** Required before sending broadcast packets. *)
+
+val send : t -> packet -> unit
+(** Inject a source-routed packet at [route.(hop)]; [hop] must point at the
+    current node (normally 0). *)
+
+val send_bcast : t -> root:int -> tree:int -> bcast_id:int -> bytes:int -> unit
+(** Inject a broadcast at its root; copies fan out along the tree. *)
+
+val tx_time_ns : t -> int -> int
+(** Serialization time of a packet of the given byte size. *)
+
+val max_queue_bytes : t -> int array
+(** Per-link maximum queue occupancy observed (bytes). *)
+
+val drops : t -> int
+val data_bytes_on_wire : t -> float
+(** Total bytes * hops carried for Data/Ack packets. *)
+
+val control_bytes_on_wire : t -> float
+(** Total bytes * hops carried for broadcast packets. *)
+
+val reset_wire_counters : t -> unit

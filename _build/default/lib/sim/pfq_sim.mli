@@ -1,0 +1,30 @@
+(** Idealized per-flow-queue baseline (paper §5.2, "PFQ").
+
+    The paper's upper bound: per-flow queues with back-pressure at every
+    node, which no real rack node could afford. We realize the bound as a
+    fluid simulation with {e path-level} max-min allocation recomputed
+    instantaneously on every flow event, zero headroom and zero control
+    delay: each flow spreads over up to [paths_per_flow] distinct shortest
+    paths whose rates fill independently, i.e. exactly the freedom that
+    per-flow queuing buys. Completion times additionally include the
+    store-and-forward pipeline latency of the flow's path. *)
+
+type config = {
+  link_gbps : float;
+  hop_latency_ns : int;
+  mtu : int;
+  paths_per_flow : int;
+  seed : int;
+}
+
+val default_config : config
+(** 10 Gbps, 100 ns hops, 1500-byte MTU, 8 paths per flow. *)
+
+type flow_result = {
+  spec : Workload.Flowgen.spec;
+  fct_ns : int;
+  throughput_gbps : float;
+}
+
+val run : ?until_ns:int -> config -> Topology.t -> Workload.Flowgen.spec list -> flow_result list
+(** Results for flows that complete before [until_ns] (default: all). *)

@@ -1,0 +1,459 @@
+type control = Global_epoch | Per_node
+
+type config = {
+  link_gbps : float;
+  hop_latency_ns : int;
+  headroom : float;
+  recompute_interval_ns : int;
+  mtu : int;
+  trees_per_source : int;
+  real_broadcast : bool;
+  queue_capacity : int;
+  control : control;
+  reselect_interval_ns : int option;
+      (** §3.4: when set, long flows are periodically re-assigned a routing
+          protocol (RPS vs VLB) by the GA selector *)
+  seed : int;
+}
+
+let default_config =
+  {
+    link_gbps = 10.0;
+    hop_latency_ns = 100;
+    headroom = 0.05;
+    recompute_interval_ns = 500_000;
+    mtu = 1500;
+    trees_per_source = 4;
+    real_broadcast = true;
+    queue_capacity = max_int;
+    control = Global_epoch;
+    reselect_interval_ns = None;
+    seed = 1;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  max_queue : int array;
+  drops : int;
+  data_wire_bytes : float;
+  control_wire_bytes : float;
+  recomputes : int;
+  rate_updates : (int * float) list;
+  reselections : int;
+  flows_rerouted : int;
+}
+
+type fstate = {
+  idx : int;
+  src : int;
+  dst : int;
+  mutable proto : Routing.protocol;
+  weight : float;
+  priority : int;
+  mutable wf_links : (int * float) array;
+  demand : float option;  (** host cap, wire bytes per ns *)
+  started_ns : int;
+  mutable remaining : int;  (** payload bytes not yet injected *)
+  mutable seq : int;
+  mutable rate : float;  (** allocated rate, wire bytes per ns *)
+  mutable last_inject : int;
+  mutable inject_gen : int;
+  mutable visible : bool;  (** start broadcast reached every node *)
+  mutable done_sending : bool;
+}
+
+type t = {
+  cfg : config;
+  topo : Topology.t;
+  eng : Engine.t;
+  net : Net.t;
+  bcast : Broadcast.t;
+  rctx : Routing.ctx;
+  rng : Util.Rng.t;
+  root_rng : Util.Rng.t;
+  mtrcs : Metrics.t;
+  cap_bytes_ns : float;
+  capacities : float array;
+  active : (int, fstate) Hashtbl.t;
+  all_states : (int, fstate) Hashtbl.t;  (** for per-node views that may lag *)
+  views : (int, unit) Hashtbl.t array;  (** per-node traffic-matrix views (Per_node) *)
+  bcast_seen : (int, int ref) Hashtbl.t;
+      (** receipt counters: flow idx * 2 for start, * 2 + 1 for finish *)
+  on_complete : (int, int -> unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable recomputes : int;
+  mutable rate_updates : (int * float) list;
+  mutable rate_update_count : int;
+  mutable loop_running : bool;
+  mutable reselections : int;
+  mutable flows_rerouted : int;
+  mutable reselect_running : bool;
+}
+
+let header = Wire.data_header_size
+
+let engine t = t.eng
+let metrics t = t.mtrcs
+let topology t = t.topo
+
+(* -- data plane: token-bucket pacing and source routing ------------------- *)
+
+let rec inject t st =
+  let wire = min t.cfg.mtu (st.remaining + header) in
+  let payload = wire - header in
+  st.remaining <- st.remaining - payload;
+  let last = st.remaining = 0 in
+  if last then st.done_sending <- true;
+  st.last_inject <- Engine.now t.eng;
+  Metrics.note_first_tx t.mtrcs ~id:st.idx ~now:(Engine.now t.eng);
+  let path = Routing.sample_path t.rctx t.rng st.proto ~src:st.src ~dst:st.dst in
+  Net.send t.net
+    { Net.kind = Net.Data { flow = st.idx; seq = st.seq; last }; bytes = wire; route = path; hop = 0 };
+  st.seq <- st.seq + 1;
+  if not st.done_sending then schedule_injection t st
+
+and schedule_injection t st =
+  st.inject_gen <- st.inject_gen + 1;
+  let gen = st.inject_gen in
+  let wire = min t.cfg.mtu (st.remaining + header) in
+  (* A host-limited flow never injects above its demand, whatever the
+     allocation says. *)
+  let pace = match st.demand with Some d -> Float.min st.rate d | None -> st.rate in
+  let gap = int_of_float (ceil (float_of_int wire /. pace)) in
+  let tnext = max (Engine.now t.eng) (st.last_inject + gap) in
+  Engine.at t.eng tnext (fun () ->
+      if st.inject_gen = gen && not st.done_sending then inject t st)
+
+(* -- control plane: broadcast and rate computation ------------------------ *)
+
+let send_flow_broadcast t st event =
+  let bcast_id = (2 * st.idx) + match event with Wire.Flow_start -> 0 | _ -> 1 in
+  if t.cfg.real_broadcast then begin
+    Hashtbl.replace t.bcast_seen bcast_id (ref 0);
+    let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:st.src in
+    Net.send_bcast t.net ~root:st.src ~tree ~bcast_id ~bytes:Wire.broadcast_size
+  end
+  else begin
+    match event with
+    | Wire.Flow_start ->
+        let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:st.src in
+        let depth = Broadcast.depth t.bcast ~src:st.src ~tree in
+        let tx = Net.tx_time_ns t.net Wire.broadcast_size in
+        Engine.after t.eng (depth * (t.cfg.hop_latency_ns + tx)) (fun () -> st.visible <- true)
+    | _ -> ()
+  end
+
+let apply_rate t st r =
+  let r = Float.max (0.001 *. t.cap_bytes_ns) r in
+  if abs_float (r -. st.rate) > 1e-12 then begin
+    st.rate <- r;
+    if not st.done_sending then schedule_injection t st
+  end;
+  if t.rate_update_count < 10_000 then begin
+    t.rate_update_count <- t.rate_update_count + 1;
+    t.rate_updates <- (Engine.now t.eng, r *. 8.0) :: t.rate_updates
+  end
+
+let wf_of st =
+  Congestion.Waterfill.flow ~weight:st.weight ~priority:st.priority ?demand:st.demand ~id:st.idx
+    st.wf_links
+
+(* Per-node control (§3.3, the paper's actual design): every sender runs
+   water-filling over its own broadcast-built view of the traffic matrix
+   and rate-limits only its own flows. Views differ transiently — that is
+   precisely what the headroom absorbs. *)
+let recompute_per_node t =
+  let senders : (int, fstate list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ st ->
+      if not st.done_sending then
+        Hashtbl.replace senders st.src
+          (st :: Option.value ~default:[] (Hashtbl.find_opt senders st.src)))
+    t.active;
+  Hashtbl.iter
+    (fun node own ->
+      (* The node's view, plus its own flows which it always knows. *)
+      let view : (int, fstate) Hashtbl.t = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun flow () ->
+          match Hashtbl.find_opt t.all_states flow with
+          | Some st -> Hashtbl.replace view flow st
+          | None -> ())
+        t.views.(node);
+      List.iter (fun st -> Hashtbl.replace view st.idx st) own;
+      let flows = Array.of_list (Hashtbl.fold (fun _ st acc -> st :: acc) view []) in
+      if Array.length flows > 0 then begin
+        t.recomputes <- t.recomputes + 1;
+        let wf = Array.map wf_of flows in
+        let rates =
+          Congestion.Waterfill.allocate ~headroom:t.cfg.headroom ~capacities:t.capacities wf
+        in
+        Array.iteri (fun i st -> if st.src = node then apply_rate t st rates.(i)) flows
+      end)
+    senders
+
+(* Global-epoch approximation: every node would run the same water-filling
+   over (nearly) the same visible flow set; run it once per epoch and apply
+   the rates at the senders. The `ablation` bench compares this against
+   Per_node. *)
+let recompute_global t =
+  let flows = ref [] in
+  Hashtbl.iter
+    (fun _ st -> if st.visible && not st.done_sending then flows := st :: !flows)
+    t.active;
+  let flows = Array.of_list !flows in
+  if Array.length flows > 0 then begin
+    t.recomputes <- t.recomputes + 1;
+    let wf = Array.map wf_of flows in
+    let rates =
+      Congestion.Waterfill.allocate ~headroom:t.cfg.headroom ~capacities:t.capacities wf
+    in
+    Array.iteri (fun i st -> apply_rate t st rates.(i)) flows
+  end
+
+let recompute t =
+  match t.cfg.control with
+  | Global_epoch -> recompute_global t
+  | Per_node -> recompute_per_node t
+
+(* §3.4: periodic per-flow routing-protocol reselection. Long flows (alive
+   for at least one reselection interval) are re-assigned RPS or VLB by the
+   GA maximizing aggregate throughput; changed assignments are advertised
+   in a single batched broadcast (up to 300 {flow, protocol} pairs per
+   1500-byte packet, §3.4). *)
+let reselect t interval =
+  let now = Engine.now t.eng in
+  let eligible = ref [] in
+  Hashtbl.iter
+    (fun _ st ->
+      if (not st.done_sending) && now - st.started_ns >= interval then eligible := st :: !eligible)
+    t.active;
+  let sts = Array.of_list !eligible in
+  if Array.length sts >= 2 then begin
+    t.reselections <- t.reselections + 1;
+    let selector =
+      Genetic.Selector.make ~headroom:t.cfg.headroom t.rctx ~link_gbps:t.cfg.link_gbps
+    in
+    let flows = Array.map (fun st -> (st.src, st.dst)) sts in
+    let init = Array.map (fun st -> st.proto) sts in
+    (* Flows currently on protocols outside {RPS, VLB} seed as RPS. *)
+    let init =
+      Array.map (fun p -> if p = Routing.Vlb then Routing.Vlb else Routing.Rps) init
+    in
+    let current = Genetic.Selector.utility_gbps selector ~flows init in
+    let assignment, best =
+      Genetic.Selector.select ~pop_size:24 ~generations:6 selector t.rng ~flows ~init
+    in
+    (* §3.4: re-route only "if a significant improvement is possible" —
+       near-ties would otherwise make flows flap between protocols. *)
+    let changed = ref 0 in
+    if best > current *. 1.01 then
+      Array.iteri
+        (fun i st ->
+          if assignment.(i) <> st.proto then begin
+            incr changed;
+            st.proto <- assignment.(i);
+            st.wf_links <- Routing.fractions t.rctx assignment.(i) ~src:st.src ~dst:st.dst
+          end)
+        sts;
+    t.flows_rerouted <- t.flows_rerouted + !changed;
+    if !changed > 0 && t.cfg.real_broadcast then begin
+      (* One batched route-change announcement: 16-byte header plus 5 bytes
+         per {flow, protocol} pair, capped at an MTU. *)
+      let bytes = min t.cfg.mtu (Wire.broadcast_size + (5 * !changed)) in
+      let root = sts.(0).src in
+      let bcast_id = -(t.reselections) in
+      let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:root in
+      Net.send_bcast t.net ~root ~tree ~bcast_id ~bytes
+    end
+  end
+
+let rec reselect_loop t interval () =
+  reselect t interval;
+  if Hashtbl.length t.active > 0 then Engine.after t.eng interval (reselect_loop t interval)
+  else t.reselect_running <- false
+
+(* The periodic loop must not keep the event queue alive once the rack is
+   idle; it stops when no flow remains and restarts when one starts. *)
+let rec recompute_loop t () =
+  recompute t;
+  if Hashtbl.length t.active > 0 then
+    Engine.after t.eng t.cfg.recompute_interval_ns (recompute_loop t)
+  else t.loop_running <- false
+
+let ensure_loop t =
+  if not t.loop_running then begin
+    t.loop_running <- true;
+    Engine.after t.eng t.cfg.recompute_interval_ns (recompute_loop t)
+  end;
+  match t.cfg.reselect_interval_ns with
+  | Some interval when not t.reselect_running ->
+      t.reselect_running <- true;
+      Engine.after t.eng interval (reselect_loop t interval)
+  | _ -> ()
+
+(* -- construction ---------------------------------------------------------- *)
+
+let create cfg topo =
+  if cfg.mtu <= header then invalid_arg "R2c2_sim: mtu must exceed the header size";
+  if cfg.control = Per_node && not cfg.real_broadcast then
+    invalid_arg "R2c2_sim: Per_node control builds its views from real broadcasts";
+  let eng = Engine.create () in
+  let net =
+    Net.create eng topo ~queue_capacity:cfg.queue_capacity ~link_gbps:cfg.link_gbps
+      ~hop_latency_ns:cfg.hop_latency_ns ()
+  in
+  let bcast = Broadcast.make ~trees_per_source:cfg.trees_per_source topo in
+  Net.set_broadcast net bcast;
+  let nverts = Topology.vertex_count topo in
+  let t =
+    {
+      cfg;
+      topo;
+      eng;
+      net;
+      bcast;
+      rctx = Routing.make topo;
+      rng = Util.Rng.create cfg.seed;
+      root_rng = Util.Rng.create (cfg.seed + 7);
+      mtrcs = Metrics.create ();
+      cap_bytes_ns = cfg.link_gbps /. 8.0;
+      capacities = Array.make (Topology.link_count topo) (cfg.link_gbps /. 8.0);
+      active = Hashtbl.create 256;
+      all_states = Hashtbl.create 256;
+      views =
+        (if cfg.control = Per_node then Array.init nverts (fun _ -> Hashtbl.create 32)
+         else [||]);
+      bcast_seen = Hashtbl.create 256;
+      on_complete = Hashtbl.create 16;
+      next_id = 0;
+      recomputes = 0;
+      rate_updates = [];
+      rate_update_count = 0;
+      loop_running = false;
+      reselections = 0;
+      flows_rerouted = 0;
+      reselect_running = false;
+    }
+  in
+  (* Broadcast copies arriving anywhere bump the receipt counter; once all
+     other vertices have a copy, the flow is globally visible. Per-node
+     views learn flow starts/finishes from the same deliveries. *)
+  Net.on_bcast_deliver net (fun pkt ~node ->
+      match pkt.Net.kind with
+      | Net.Bcast { bcast_id; _ } -> (
+          (* Negative ids are batched route-change announcements (§3.4);
+             only flow start/finish events update the views. *)
+          if cfg.control = Per_node && bcast_id >= 0 then begin
+            let flow = bcast_id / 2 in
+            if bcast_id land 1 = 0 then Hashtbl.replace t.views.(node) flow ()
+            else Hashtbl.remove t.views.(node) flow
+          end;
+          match Hashtbl.find_opt t.bcast_seen bcast_id with
+          | None -> ()
+          | Some count ->
+              incr count;
+              if !count = nverts - 1 && bcast_id land 1 = 0 then begin
+                match Hashtbl.find_opt t.active (bcast_id / 2) with
+                | Some st -> st.visible <- true
+                | None -> ()
+              end)
+      | Net.Data _ | Net.Ack _ -> ());
+  Net.on_deliver net (fun pkt ->
+      match pkt.Net.kind with
+      | Net.Data { flow; seq; _ } ->
+          let payload = pkt.Net.bytes - header in
+          let finished =
+            Metrics.record_delivery t.mtrcs ~id:flow ~seq ~payload ~now:(Engine.now eng)
+          in
+          if finished then begin
+            (match Hashtbl.find_opt t.active flow with
+            | Some st ->
+                Hashtbl.remove t.active flow;
+                (* The finish broadcast never reaches its own root, but the
+                   sender knows its flow ended. *)
+                if cfg.control = Per_node then Hashtbl.remove t.views.(st.src) flow;
+                send_flow_broadcast t st Wire.Flow_finish
+            | None -> ());
+            match Hashtbl.find_opt t.on_complete flow with
+            | Some k ->
+                Hashtbl.remove t.on_complete flow;
+                k flow
+            | None -> ()
+          end
+      | Net.Ack _ | Net.Bcast _ -> ());
+  t
+
+let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_gbps ?on_complete
+    t ~src ~dst ~size =
+  if src = dst then invalid_arg "R2c2_sim: flow with src = dst";
+  if size <= 0 then invalid_arg "R2c2_sim: non-positive flow size";
+  let idx = t.next_id in
+  t.next_id <- idx + 1;
+  Metrics.add_flow t.mtrcs ~id:idx ~src ~dst ~size ~arrival_ns:(Engine.now t.eng);
+  let st =
+    {
+      idx;
+      src;
+      dst;
+      proto = protocol;
+      weight = float_of_int (max 1 weight);
+      priority;
+      wf_links = Routing.fractions t.rctx protocol ~src ~dst;
+      (* Gbps from the caller, wire bytes/ns internally. *)
+      demand = Option.map (fun gbps -> gbps /. 8.0) demand_gbps;
+      started_ns = Engine.now t.eng;
+      remaining = size;
+      seq = 0;
+      (* New flows transmit immediately at line rate (§3.3.2): the headroom
+         left by the rate computation absorbs them until the next epoch
+         picks them up, and flows shorter than one epoch are never
+         rate-limited at all. *)
+      rate = t.cap_bytes_ns;
+      last_inject = Engine.now t.eng;
+      inject_gen = 0;
+      visible = false;
+      done_sending = false;
+    }
+  in
+  Hashtbl.replace t.active idx st;
+  Hashtbl.replace t.all_states idx st;
+  (match on_complete with Some k -> Hashtbl.replace t.on_complete idx k | None -> ());
+  if t.cfg.control = Per_node then Hashtbl.replace t.views.(src) idx ();
+  send_flow_broadcast t st Wire.Flow_start;
+  ensure_loop t;
+  inject t st;
+  idx
+
+let run_engine ?until_ns t = Engine.run ?until:until_ns t.eng
+
+let results t =
+  {
+    metrics = t.mtrcs;
+    max_queue = Net.max_queue_bytes t.net;
+    drops = Net.drops t.net;
+    data_wire_bytes = Net.data_bytes_on_wire t.net;
+    control_wire_bytes = Net.control_bytes_on_wire t.net;
+    recomputes = t.recomputes;
+    rate_updates = List.rev t.rate_updates;
+    reselections = t.reselections;
+    flows_rerouted = t.flows_rerouted;
+  }
+
+let run ?(protocol_of = fun _ _ -> Routing.Rps) ?(demand_of = fun _ _ -> None) ?until_ns cfg
+    topo specs =
+  let t = create cfg topo in
+  List.iteri
+    (fun i spec ->
+      let open Workload.Flowgen in
+      Engine.at t.eng spec.arrival_ns (fun () ->
+          let id =
+            start_flow ~weight:spec.weight ~priority:spec.priority
+              ~protocol:(protocol_of i spec)
+              ?demand_gbps:(demand_of i spec) t ~src:spec.src ~dst:spec.dst ~size:spec.size
+          in
+          (* Batch flow ids must equal list positions. *)
+          assert (id = i)))
+    specs;
+  run_engine ?until_ns t;
+  results t

@@ -1,0 +1,112 @@
+(** Packet-level simulation of the R2C2 stack (paper §3, §5.2).
+
+    Senders pace each flow with a token bucket at its allocated rate and
+    source route every packet. Flow start/finish events travel as real
+    16-byte broadcast packets over per-source spanning trees; once a flow's
+    start broadcast has reached every node it joins the global rate
+    computation, which runs periodically every [recompute_interval_ns]
+    (§3.3.2). Until then the flow sends into the bandwidth headroom.
+
+    Two entry points: {!run} simulates a pre-generated workload;
+    {!create}/{!start_flow}/{!run_engine} expose the simulator as a handle
+    so applications can start flows dynamically (e.g. an RPC server
+    answering requests mid-simulation). *)
+
+type control =
+  | Global_epoch
+      (** one rate computation per epoch over the globally-visible flow set,
+          applied at every sender — a fast, faithful approximation (views
+          diverge for less than a broadcast time, far below rho) *)
+  | Per_node
+      (** the paper's literal design: every sender maintains its own view of
+          the traffic matrix from the broadcast packets it receives and runs
+          its own water-filling for its own flows *)
+
+type config = {
+  link_gbps : float;
+  hop_latency_ns : int;
+  headroom : float;
+  recompute_interval_ns : int;
+  mtu : int;  (** wire bytes per data packet, header included *)
+  trees_per_source : int;
+  real_broadcast : bool;
+      (** if false, visibility is modeled as tree-depth latency and no
+          broadcast packets enter the fabric *)
+  queue_capacity : int;  (** bytes per output queue; [max_int] = unbounded *)
+  control : control;
+  reselect_interval_ns : int option;
+      (** §3.4: when set, flows alive for at least one interval are
+          periodically re-assigned RPS or VLB by the GA routing selector,
+          and the new assignment is advertised in one batched broadcast *)
+  seed : int;
+}
+
+val default_config : config
+(** 10 Gbps, 100 ns hops, 5% headroom, rho = 500 µs, 1500-byte MTU, real
+    broadcasts, unbounded queues, global-epoch control, seed 1. *)
+
+type result = {
+  metrics : Metrics.t;
+  max_queue : int array;  (** per-link peak occupancy, bytes *)
+  drops : int;
+  data_wire_bytes : float;
+  control_wire_bytes : float;
+  recomputes : int;  (** rate recomputation rounds executed *)
+  rate_updates : (int * float) list;  (** (time ns, allocated rate Gbps) samples *)
+  reselections : int;  (** §3.4 routing-reselection rounds executed *)
+  flows_rerouted : int;  (** flows whose protocol a reselection changed *)
+}
+
+(** {2 Handle API — dynamic workloads} *)
+
+type t
+
+val create : config -> Topology.t -> t
+(** A fresh rack simulation at time 0. *)
+
+val engine : t -> Engine.t
+(** The simulation clock; use [Engine.at]/[Engine.after] to script events
+    (e.g. future {!start_flow} calls). *)
+
+val metrics : t -> Metrics.t
+val topology : t -> Topology.t
+
+val start_flow :
+  ?weight:int ->
+  ?priority:int ->
+  ?protocol:Routing.protocol ->
+  ?demand_gbps:float ->
+  ?on_complete:(int -> unit) ->
+  t ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  int
+(** Open a flow {e at the current simulation time}: broadcasts the start
+    event and begins transmitting immediately (§3.3.2). [demand_gbps]
+    marks a host-limited flow; [on_complete] fires (with the flow id) when
+    the last byte is delivered. Returns the flow id. *)
+
+val run_engine : ?until_ns:int -> t -> unit
+(** Process events until the rack goes idle (or [until_ns]). Can be called
+    repeatedly as more flows are scripted. *)
+
+val results : t -> result
+(** Snapshot of the statistics so far. *)
+
+(** {2 Batch API — pre-generated workloads} *)
+
+val run :
+  ?protocol_of:(int -> Workload.Flowgen.spec -> Routing.protocol) ->
+  ?demand_of:(int -> Workload.Flowgen.spec -> float option) ->
+  ?until_ns:int ->
+  config ->
+  Topology.t ->
+  Workload.Flowgen.spec list ->
+  result
+(** Simulate the flow list (sorted by arrival) to completion (or
+    [until_ns]); flow ids equal list positions. [protocol_of] chooses each
+    flow's routing protocol from its index and spec (default RPS for
+    everything); [demand_of] marks host-limited flows with their maximum
+    rate in Gbps (§3.3.2) — such a flow never injects above its demand and
+    the rate computation hands its unused share to others. *)

@@ -1,0 +1,98 @@
+type config = {
+  packets : int;
+  rtx_timeout_ns : int;
+  max_retries : int;
+}
+
+type stats = {
+  delivered : int;
+  transmissions : int;
+  acks_sent : int;
+  completed : bool;
+  finish_ns : int;
+}
+
+type state = {
+  cfg : config;
+  eng : Engine.t;
+  acked : bool array;
+  received : bool array;
+  mutable outstanding : int;
+  mutable transmissions : int;
+  mutable acks_sent : int;
+  mutable aborted : bool;
+  mutable finished : bool;
+}
+
+let transfer eng cfg ~send_data ~send_ack ~ack_delay_ns ~data_delay_ns k =
+  if cfg.packets <= 0 then invalid_arg "Reliability.transfer: no packets";
+  let st =
+    {
+      cfg;
+      eng;
+      acked = Array.make cfg.packets false;
+      received = Array.make cfg.packets false;
+      outstanding = cfg.packets;
+      transmissions = 0;
+      acks_sent = 0;
+      aborted = false;
+      finished = false;
+    }
+  in
+  let finish () =
+    if not st.finished then begin
+      st.finished <- true;
+      k
+        {
+          delivered = Array.fold_left (fun n r -> if r then n + 1 else n) 0 st.received;
+          transmissions = st.transmissions;
+          acks_sent = st.acks_sent;
+          completed = not st.aborted && st.outstanding = 0;
+          finish_ns = (if st.aborted then -1 else Engine.now eng);
+        }
+    end
+  in
+  let on_ack seq =
+    if not st.acked.(seq) then begin
+      st.acked.(seq) <- true;
+      st.outstanding <- st.outstanding - 1;
+      if st.outstanding = 0 then finish ()
+    end
+  in
+  let deliver seq =
+    (* Receiver side: record and acknowledge (also re-ACK duplicates, since
+       the original ACK may have been lost). *)
+    st.received.(seq) <- true;
+    st.acks_sent <- st.acks_sent + 1;
+    if send_ack ~seq then Engine.after eng ack_delay_ns (fun () -> on_ack seq)
+  in
+  let rec attempt seq n =
+    if st.aborted || st.acked.(seq) then ()
+    else if n > st.cfg.max_retries then begin
+      st.aborted <- true;
+      finish ()
+    end
+    else begin
+      st.transmissions <- st.transmissions + 1;
+      if send_data ~seq ~attempt:n then Engine.after eng data_delay_ns (fun () -> deliver seq);
+      Engine.after eng st.cfg.rtx_timeout_ns (fun () -> attempt seq (n + 1))
+    end
+  in
+  for seq = 0 to cfg.packets - 1 do
+    attempt seq 0
+  done
+
+let run_over_lossy_channel ?(seed = 1) ~loss cfg ~rtt_ns =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Reliability: loss out of range";
+  let eng = Engine.create () in
+  let rng = Util.Rng.create seed in
+  let result = ref None in
+  transfer eng cfg
+    ~send_data:(fun ~seq:_ ~attempt:_ -> Util.Rng.float rng 1.0 >= loss)
+    ~send_ack:(fun ~seq:_ -> Util.Rng.float rng 1.0 >= loss)
+    ~ack_delay_ns:(rtt_ns / 2) ~data_delay_ns:(rtt_ns / 2)
+    (fun s -> result := Some s);
+  Engine.run eng;
+  match !result with
+  | Some s -> s
+  | None -> failwith "Reliability: transfer did not terminate"

@@ -1,0 +1,44 @@
+(** End-to-end reliability layer (paper §6, "Reliability").
+
+    R2C2 deliberately decouples congestion control from reliability:
+    acknowledgements exist solely to detect loss, never to clock the
+    sending rate. This module implements that layer as selective-repeat
+    ARQ over an abstract lossy channel, so it can run over the packet
+    simulator or any other datapath.
+
+    The transfer completes when every sequence number has been
+    acknowledged; lost data or ACK packets are recovered by per-packet
+    retransmission timers. *)
+
+type config = {
+  packets : int;  (** sequence numbers to deliver *)
+  rtx_timeout_ns : int;
+  max_retries : int;  (** per packet; exceeding it aborts the transfer *)
+}
+
+type stats = {
+  delivered : int;  (** distinct packets received *)
+  transmissions : int;  (** data packets sent, including retransmissions *)
+  acks_sent : int;
+  completed : bool;
+  finish_ns : int;  (** completion time; -1 if aborted *)
+}
+
+val transfer :
+  Engine.t ->
+  config ->
+  send_data:(seq:int -> attempt:int -> bool) ->
+  send_ack:(seq:int -> bool) ->
+  ack_delay_ns:int ->
+  data_delay_ns:int ->
+  (stats -> unit) ->
+  unit
+(** [transfer eng cfg ~send_data ~send_ack ~ack_delay_ns ~data_delay_ns k]
+    drives a transfer on the engine; [send_data]/[send_ack] return [false]
+    to drop the packet (the caller models the channel). [k] receives the
+    final statistics when the transfer completes or aborts. *)
+
+val run_over_lossy_channel :
+  ?seed:int -> loss:float -> config -> rtt_ns:int -> stats
+(** Convenience harness: both directions drop independently with
+    probability [loss]; one-way delay is [rtt_ns / 2]. *)

@@ -1,0 +1,262 @@
+type config = {
+  link_gbps : float;
+  hop_latency_ns : int;
+  mtu : int;
+  queue_capacity : int;
+  init_cwnd : float;
+  rto_min_ns : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    link_gbps = 10.0;
+    hop_latency_ns = 100;
+    mtu = 1500;
+    queue_capacity = 64 * 1024;
+    init_cwnd = 10.0;
+    rto_min_ns = 100_000;
+    seed = 1;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  max_queue : int array;
+  drops : int;
+  retransmits : int;
+  data_wire_bytes : float;
+}
+
+let header = Wire.data_header_size
+let ack_bytes = 40
+
+type fstate = {
+  idx : int;
+  path : int array;
+  rpath : int array;
+  size : int;
+  total : int;  (** packet count *)
+  full_payload : int;
+  mutable next_new : int;
+  mutable cum : int;
+  mutable dupacks : int;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable srtt : float;  (** ns; 0 until first sample *)
+  mutable rttvar : float;
+  mutable timed_seq : int;  (** segment being RTT-timed; -1 = none *)
+  mutable timed_at : int;
+  mutable rto : int;
+  mutable rto_gen : int;
+  mutable rto_armed : bool;
+  sent_ns : int array;
+  retx : bool array;
+  mutable finished : bool;
+}
+
+let run ?until_ns cfg topo specs =
+  if cfg.mtu <= header then invalid_arg "Tcp_sim: mtu must exceed the header size";
+  let eng = Engine.create () in
+  let net =
+    Net.create eng topo ~queue_capacity:cfg.queue_capacity ~link_gbps:cfg.link_gbps
+      ~hop_latency_ns:cfg.hop_latency_ns ()
+  in
+  let rctx = Routing.make topo in
+  let metrics = Metrics.create () in
+  let flows : (int, fstate) Hashtbl.t = Hashtbl.create 256 in
+  let retransmits = ref 0 in
+  let full_payload = cfg.mtu - header in
+
+  let payload_of st seq =
+    if seq = st.total - 1 then st.size - ((st.total - 1) * st.full_payload)
+    else st.full_payload
+  in
+
+  let send_packet st seq ~is_retx =
+    if is_retx then begin
+      incr retransmits;
+      st.retx.(seq) <- true
+    end
+    else begin
+      st.sent_ns.(seq) <- Engine.now eng;
+      (* Single-timer RTT measurement: time one untimed segment at a time
+         so cumulative-ACK jumps over long-buffered segments never yield
+         bogus samples. *)
+      if st.timed_seq < 0 then begin
+        st.timed_seq <- seq;
+        st.timed_at <- Engine.now eng
+      end
+    end;
+    Metrics.note_first_tx metrics ~id:st.idx ~now:(Engine.now eng);
+    let payload = payload_of st seq in
+    Net.send net
+      {
+        Net.kind = Net.Data { flow = st.idx; seq; last = seq = st.total - 1 };
+        bytes = payload + header;
+        route = Array.copy st.path;
+        hop = 0;
+      }
+  in
+
+  let flight st = st.next_new - st.cum in
+
+  let rec arm_rto st =
+    st.rto_gen <- st.rto_gen + 1;
+    st.rto_armed <- true;
+    let gen = st.rto_gen in
+    if st.rto < 0 then Printf.eprintf "NEG RTO %d srtt=%f rttvar=%f\n" st.rto st.srtt st.rttvar;
+    Engine.after eng st.rto (fun () ->
+        if gen = st.rto_gen && st.rto_armed && not st.finished then on_rto st)
+
+  and on_rto st =
+    if st.cum < st.total then begin
+      st.ssthresh <- Float.max (float_of_int (flight st) /. 2.0) 2.0;
+      st.cwnd <- 1.0;
+      st.dupacks <- 0;
+      (* Everything outstanding is presumed lost: recover the holes one per
+         partial ACK, exactly as in fast-retransmit recovery. *)
+      st.in_recovery <- st.cum < st.next_new - 1;
+      st.recover <- st.next_new;
+      st.timed_seq <- -1 (* Karn: retransmission ambiguity *);
+      st.rto <- min (2 * st.rto) 16_000_000;
+      send_packet st st.cum ~is_retx:true;
+      arm_rto st
+    end
+  in
+
+  let update_rtt st sample =
+    let s = float_of_int sample in
+    if st.srtt = 0.0 then begin
+      st.srtt <- s;
+      st.rttvar <- s /. 2.0
+    end
+    else begin
+      st.rttvar <- (0.75 *. st.rttvar) +. (0.25 *. abs_float (st.srtt -. s));
+      st.srtt <- (0.875 *. st.srtt) +. (0.125 *. s)
+    end;
+    st.rto <- max cfg.rto_min_ns (int_of_float (st.srtt +. (4.0 *. st.rttvar)))
+  in
+
+  let try_send st =
+    while st.next_new < st.total && flight st < int_of_float st.cwnd do
+      send_packet st st.next_new ~is_retx:false;
+      st.next_new <- st.next_new + 1
+    done;
+    if st.cum < st.total && not st.rto_armed then arm_rto st
+  in
+
+  let on_ack st ackno =
+    if st.finished then ()
+    else if ackno > st.cum then begin
+      let newly = ackno - st.cum in
+      (* RTT from the timed segment only (Karn's rule: skip if it was ever
+         retransmitted). *)
+      if st.timed_seq >= 0 && ackno > st.timed_seq then begin
+        if not st.retx.(st.timed_seq) then
+          update_rtt st (Engine.now eng - st.timed_at);
+        st.timed_seq <- -1
+      end;
+      st.cum <- ackno;
+      st.dupacks <- 0;
+      if st.in_recovery then begin
+        if ackno >= st.recover then begin
+          st.in_recovery <- false;
+          st.cwnd <- st.ssthresh
+        end
+        else
+          (* NewReno partial ACK: the next hole was also lost. *)
+          send_packet st st.cum ~is_retx:true
+      end
+      else if st.cwnd < st.ssthresh then st.cwnd <- st.cwnd +. float_of_int newly
+      else st.cwnd <- st.cwnd +. (float_of_int newly /. st.cwnd);
+      if st.cum >= st.total then begin
+        st.finished <- true;
+        st.rto_armed <- false
+      end
+      else arm_rto st;
+      try_send st
+    end
+    else begin
+      st.dupacks <- st.dupacks + 1;
+      if (not st.in_recovery) && st.dupacks = 3 then begin
+        st.ssthresh <- Float.max (float_of_int (flight st) /. 2.0) 2.0;
+        st.in_recovery <- true;
+        st.recover <- st.next_new;
+        st.cwnd <- st.ssthresh +. 3.0;
+        send_packet st st.cum ~is_retx:true
+      end
+      else if st.in_recovery then begin
+        st.cwnd <- st.cwnd +. 1.0;
+        try_send st
+      end
+    end
+  in
+
+  Net.on_deliver net (fun pkt ->
+      match pkt.Net.kind with
+      | Net.Data { flow; seq; _ } ->
+          let st = Hashtbl.find flows flow in
+          let payload = pkt.Net.bytes - header in
+          ignore (Metrics.record_delivery metrics ~id:flow ~seq ~payload ~now:(Engine.now eng));
+          let rcv_next = (Metrics.find metrics flow).Metrics.next_seq in
+          Net.send net
+            {
+              Net.kind = Net.Ack { flow; ackno = rcv_next };
+              bytes = ack_bytes;
+              route = Array.copy st.rpath;
+              hop = 0;
+            }
+      | Net.Ack { flow; ackno } -> on_ack (Hashtbl.find flows flow) ackno
+      | Net.Bcast _ -> ());
+
+  List.iteri
+    (fun idx spec ->
+      let open Workload.Flowgen in
+      if spec.src = spec.dst then invalid_arg "Tcp_sim: flow with src = dst";
+      Metrics.add_flow metrics ~id:idx ~src:spec.src ~dst:spec.dst ~size:spec.size
+        ~arrival_ns:spec.arrival_ns;
+      Engine.at eng spec.arrival_ns (fun () ->
+          let path = Routing.ecmp_path rctx ~flow_id:idx ~src:spec.src ~dst:spec.dst in
+          let rpath = Array.of_list (List.rev (Array.to_list path)) in
+          let total = (spec.size + full_payload - 1) / full_payload in
+          let st =
+            {
+              idx;
+              path;
+              rpath;
+              size = spec.size;
+              total;
+              full_payload;
+              next_new = 0;
+              cum = 0;
+              dupacks = 0;
+              cwnd = cfg.init_cwnd;
+              ssthresh = 1e9;
+              in_recovery = false;
+              recover = 0;
+              srtt = 0.0;
+              rttvar = 0.0;
+              timed_seq = -1;
+              timed_at = 0;
+              rto = 2 * cfg.rto_min_ns;
+              rto_gen = 0;
+              rto_armed = false;
+              sent_ns = Array.make total (-1);
+              retx = Array.make total false;
+              finished = false;
+            }
+          in
+          Hashtbl.replace flows idx st;
+          try_send st))
+    specs;
+
+  Engine.run ?until:until_ns eng;
+  {
+    metrics;
+    max_queue = Net.max_queue_bytes net;
+    drops = Net.drops net;
+    retransmits = !retransmits;
+    data_wire_bytes = Net.data_bytes_on_wire net;
+  }

@@ -1,0 +1,31 @@
+(** TCP baseline over ECMP single-path routing (paper §5.2).
+
+    A NewReno-style window protocol: slow start, congestion avoidance,
+    triple-duplicate-ACK fast retransmit with NewReno partial-ACK recovery,
+    and retransmission timeouts. Every flow uses one hash-chosen shortest
+    path; receivers send cumulative ACKs along the reverse path. Output
+    queues are finite and tail-drop, which is TCP's congestion signal. *)
+
+type config = {
+  link_gbps : float;
+  hop_latency_ns : int;
+  mtu : int;  (** wire bytes per data packet, header included *)
+  queue_capacity : int;  (** bytes per output queue *)
+  init_cwnd : float;  (** packets *)
+  rto_min_ns : int;
+  seed : int;
+}
+
+val default_config : config
+(** 10 Gbps, 100 ns hops, 1500-byte MTU, 64 KB queues, cwnd 10,
+    100 µs minimum RTO. *)
+
+type result = {
+  metrics : Metrics.t;
+  max_queue : int array;
+  drops : int;
+  retransmits : int;
+  data_wire_bytes : float;
+}
+
+val run : ?until_ns:int -> config -> Topology.t -> Workload.Flowgen.spec list -> result

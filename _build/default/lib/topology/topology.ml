@@ -1,0 +1,413 @@
+type node = int
+type link_id = int
+
+type kind =
+  | Torus of int array
+  | Mesh of int array
+  | Clos of { leaves : int; spines : int; servers_per_leaf : int }
+  | Flattened_butterfly of int
+  | Custom of string
+
+type t = {
+  kind : kind;
+  hosts : int;
+  nverts : int;
+  out : (node * link_id) array array;
+  lsrc : int array;
+  ldst : int array;
+  link_tbl : (int, link_id) Hashtbl.t;
+  dist_cache : (int, int array) Hashtbl.t;
+}
+
+(* -- construction ------------------------------------------------------- *)
+
+let build ~kind ~hosts ~nverts edges =
+  (* [edges] are undirected cables; materialize two directed links each. *)
+  let adj = Array.make nverts [] in
+  List.iter
+    (fun (u, v) ->
+      assert (u <> v && u >= 0 && v >= 0 && u < nverts && v < nverts);
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let link_tbl = Hashtbl.create (4 * List.length edges) in
+  let lsrc = ref [] and ldst = ref [] in
+  let next = ref 0 in
+  let out =
+    Array.init nverts (fun u ->
+        let neighbors = List.rev adj.(u) in
+        Array.of_list
+          (List.map
+             (fun v ->
+               let id = !next in
+               incr next;
+               Hashtbl.replace link_tbl ((u * nverts) + v) id;
+               lsrc := u :: !lsrc;
+               ldst := v :: !ldst;
+               (v, id))
+             neighbors))
+  in
+  {
+    kind;
+    hosts;
+    nverts;
+    out;
+    lsrc = Array.of_list (List.rev !lsrc);
+    ldst = Array.of_list (List.rev !ldst);
+    link_tbl;
+    dist_cache = Hashtbl.create 64;
+  }
+
+let effective_dims dims =
+  let dims = Array.of_list (List.filter (fun d -> d > 1) (Array.to_list dims)) in
+  if Array.length dims = 0 then invalid_arg "Topology: all dimensions are 1";
+  Array.iter (fun d -> if d < 2 then invalid_arg "Topology: dimension < 2") dims;
+  dims
+
+let product = Array.fold_left ( * ) 1
+
+let coords_of ~dims id =
+  let n = Array.length dims in
+  let c = Array.make n 0 in
+  let rem = ref id in
+  for i = 0 to n - 1 do
+    c.(i) <- !rem mod dims.(i);
+    rem := !rem / dims.(i)
+  done;
+  c
+
+let id_of ~dims c =
+  let id = ref 0 in
+  for i = Array.length dims - 1 downto 0 do
+    assert (c.(i) >= 0 && c.(i) < dims.(i));
+    id := (!id * dims.(i)) + c.(i)
+  done;
+  !id
+
+let grid_edges ~dims ~wrap =
+  let n = product dims in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    let c = coords_of ~dims u in
+    (* Only the +1 direction per dimension, so each cable appears once.
+       With wraparound and k = 2 the +1 and -1 neighbors coincide. *)
+    Array.iteri
+      (fun i k ->
+        let x = c.(i) in
+        if x + 1 < k then begin
+          let c' = Array.copy c in
+          c'.(i) <- x + 1;
+          edges := (u, id_of ~dims c') :: !edges
+        end
+        else if wrap && k > 2 && x = k - 1 then begin
+          let c' = Array.copy c in
+          c'.(i) <- 0;
+          edges := (u, id_of ~dims c') :: !edges
+        end)
+      dims
+  done;
+  List.rev !edges
+
+let torus dims =
+  let dims = effective_dims dims in
+  let n = product dims in
+  build ~kind:(Torus dims) ~hosts:n ~nverts:n (grid_edges ~dims ~wrap:true)
+
+let mesh dims =
+  let dims = effective_dims dims in
+  let n = product dims in
+  build ~kind:(Mesh dims) ~hosts:n ~nverts:n (grid_edges ~dims ~wrap:false)
+
+let clos ~leaves ~spines ~servers_per_leaf =
+  if leaves < 1 || spines < 1 || servers_per_leaf < 1 then invalid_arg "Topology.clos";
+  let servers = leaves * servers_per_leaf in
+  let leaf l = servers + l in
+  let spine s = servers + leaves + s in
+  let edges = ref [] in
+  for i = 0 to servers - 1 do
+    edges := (i, leaf (i / servers_per_leaf)) :: !edges
+  done;
+  for l = 0 to leaves - 1 do
+    for s = 0 to spines - 1 do
+      edges := (leaf l, spine s) :: !edges
+    done
+  done;
+  build
+    ~kind:(Clos { leaves; spines; servers_per_leaf })
+    ~hosts:servers
+    ~nverts:(servers + leaves + spines)
+    (List.rev !edges)
+
+let pp_kind ppf = function
+  | Torus dims ->
+      Format.fprintf ppf "torus %s"
+        (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+  | Mesh dims ->
+      Format.fprintf ppf "mesh %s"
+        (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+  | Clos _ -> Format.pp_print_string ppf "clos"
+  | Flattened_butterfly k -> Format.fprintf ppf "fb %d" k
+  | Custom name -> Format.pp_print_string ppf name
+
+let hypercube n =
+  if n < 1 then invalid_arg "Topology.hypercube: dimension < 1";
+  torus (Array.make n 2)
+
+let flattened_butterfly k =
+  if k < 2 then invalid_arg "Topology.flattened_butterfly: k < 2";
+  let dims = [| k; k |] in
+  let n = k * k in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    let c = coords_of ~dims u in
+    (* Full row and column connectivity; each cable counted once. *)
+    for x = c.(0) + 1 to k - 1 do
+      edges := (u, id_of ~dims [| x; c.(1) |]) :: !edges
+    done;
+    for y = c.(1) + 1 to k - 1 do
+      edges := (u, id_of ~dims [| c.(0); y |]) :: !edges
+    done
+  done;
+  build ~kind:(Flattened_butterfly k) ~hosts:n ~nverts:n (List.rev !edges)
+
+let edges_of t =
+  let acc = ref [] in
+  for u = 0 to t.nverts - 1 do
+    Array.iter (fun (v, _) -> if u < v then acc := (u, v) :: !acc) t.out.(u)
+  done;
+  List.rev !acc
+
+let bridge a b ~cables =
+  if cables = [] then invalid_arg "Topology.bridge: no cables";
+  let off = a.nverts in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= a.hosts || v < 0 || v >= b.hosts then
+        invalid_arg "Topology.bridge: cable endpoint out of host range")
+    cables;
+  let edges =
+    edges_of a
+    @ List.map (fun (u, v) -> (u + off, v + off)) (edges_of b)
+    @ List.map (fun (u, v) -> (u, v + off)) cables
+  in
+  let name =
+    Format.asprintf "bridge(%a | %a, %d cables)" pp_kind a.kind pp_kind b.kind
+      (List.length cables)
+  in
+  (* Switch vertices of either rack stay non-hosts: renumber b's hosts to
+     follow a's, then b's switches, then a's switches would interleave —
+     keep it simple by requiring pure-host racks for bridging. *)
+  if a.hosts <> a.nverts || b.hosts <> b.nverts then
+    invalid_arg "Topology.bridge: switched (Clos) racks cannot be bridged directly";
+  build ~kind:(Custom name) ~hosts:(a.nverts + b.nverts) ~nverts:(a.nverts + b.nverts) edges
+
+(* -- accessors ---------------------------------------------------------- *)
+
+let kind t = t.kind
+let vertex_count t = t.nverts
+let host_count t = t.hosts
+let link_count t = Array.length t.lsrc
+let link_src t l = t.lsrc.(l)
+let link_dst t l = t.ldst.(l)
+let out_links t u = t.out.(u)
+let degree t u = Array.length t.out.(u)
+let find_link t u v = Hashtbl.find_opt t.link_tbl ((u * t.nverts) + v)
+
+let coords t id =
+  match t.kind with
+  | Torus dims | Mesh dims -> coords_of ~dims id
+  | Flattened_butterfly k -> coords_of ~dims:[| k; k |] id
+  | Clos _ | Custom _ -> invalid_arg "Topology.coords: no coordinate system"
+
+let of_coords t c =
+  match t.kind with
+  | Torus dims | Mesh dims -> id_of ~dims c
+  | Flattened_butterfly k -> id_of ~dims:[| k; k |] c
+  | Clos _ | Custom _ -> invalid_arg "Topology.of_coords: no coordinate system"
+
+(* -- distances ---------------------------------------------------------- *)
+
+let bfs t src =
+  let dist = Array.make t.nverts max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    Array.iter
+      (fun (v, _) ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      t.out.(u)
+  done;
+  dist
+
+let dist_to t dst =
+  (* The graph is symmetric, so a forward BFS from [dst] yields distances
+     towards [dst]. *)
+  match Hashtbl.find_opt t.dist_cache dst with
+  | Some d -> d
+  | None ->
+      let d = bfs t dst in
+      Hashtbl.replace t.dist_cache dst d;
+      d
+
+let distance t u v = (dist_to t v).(u)
+
+let productive_hops t u ~dst =
+  if u = dst then [||]
+  else begin
+    let d = dist_to t dst in
+    let du = d.(u) in
+    let hops = Array.to_list t.out.(u) in
+    Array.of_list (List.filter (fun (v, _) -> d.(v) = du - 1) hops)
+  end
+
+let average_distance t =
+  let h = t.hosts in
+  let pairs = h * (h - 1) in
+  if pairs <= 4096 then begin
+    let total = ref 0 in
+    for u = 0 to h - 1 do
+      let d = dist_to t u in
+      for v = 0 to h - 1 do
+        if u <> v then total := !total + d.(v)
+      done
+    done;
+    float_of_int !total /. float_of_int pairs
+  end
+  else begin
+    let rng = Util.Rng.create 42 in
+    let total = ref 0 and count = ref 0 in
+    while !count < 4096 do
+      let u = Util.Rng.int rng h and v = Util.Rng.int rng h in
+      if u <> v then begin
+        total := !total + distance t u v;
+        incr count
+      end
+    done;
+    float_of_int !total /. 4096.0
+  end
+
+let diameter t =
+  match t.kind with
+  | Torus dims -> Array.fold_left (fun acc k -> acc + (k / 2)) 0 dims
+  | Mesh dims -> Array.fold_left (fun acc k -> acc + (k - 1)) 0 dims
+  | Flattened_butterfly _ -> 2
+  | Clos _ | Custom _ ->
+      let d = dist_to t 0 in
+      let m = ref 0 in
+      for v = 0 to t.hosts - 1 do
+        if d.(v) > !m then m := d.(v)
+      done;
+      (* All host pairs are symmetric in a Clos; distance from host 0 is the
+         worst case. *)
+      !m
+
+let bisection_links t =
+  match t.kind with
+  | Torus dims ->
+      let n = product dims in
+      let k = Array.fold_left max 0 dims in
+      if k > 2 then 4 * n / k else 2 * n / k
+  | Mesh dims ->
+      let n = product dims in
+      let k = Array.fold_left max 0 dims in
+      2 * n / k
+  | Clos { leaves; spines; _ } -> leaves * spines
+  | Flattened_butterfly k ->
+      (* Cut the columns in half: per row, (k/2)*(k - k/2) cables cross. *)
+      2 * k * (k / 2) * (k - (k / 2))
+  | Custom _ ->
+      (* The natural cut of a bridged fabric is the bridge itself; fall
+         back to a half-split BFS frontier count. *)
+      let half = t.hosts / 2 in
+      let crossing = ref 0 in
+      for u = 0 to t.nverts - 1 do
+        Array.iter (fun (v, _) -> if (u < half) <> (v < half) then incr crossing) t.out.(u)
+      done;
+      !crossing
+
+(* -- spanning trees ----------------------------------------------------- *)
+
+let shortest_path_tree t ~root ~variant =
+  let parent = Array.make t.nverts (-1) in
+  parent.(root) <- root;
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    let hops = t.out.(u) in
+    let deg = Array.length hops in
+    for i = 0 to deg - 1 do
+      (* Rotate exploration order so different variants attach vertices to
+         different shortest-path parents. *)
+      let v, _ = hops.((i + variant + u) mod deg) in
+      if parent.(v) < 0 then begin
+        parent.(v) <- u;
+        Queue.add v q
+      end
+    done
+  done;
+  parent
+
+let tree_children parent ~root =
+  let n = Array.length parent in
+  let children = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> root && parent.(v) >= 0 then children.(parent.(v)) <- v :: children.(parent.(v))
+  done;
+  children
+
+let tree_depth parent ~root =
+  let n = Array.length parent in
+  let depth = Array.make n (-1) in
+  depth.(root) <- 0;
+  let rec depth_of v =
+    if depth.(v) >= 0 then depth.(v)
+    else begin
+      let d = depth_of parent.(v) + 1 in
+      depth.(v) <- d;
+      d
+    end
+  in
+  let m = ref 0 in
+  for v = 0 to n - 1 do
+    if parent.(v) >= 0 then m := max !m (depth_of v)
+  done;
+  !m
+
+(* -- failures ----------------------------------------------------------- *)
+
+let remove_link t u v =
+  (match find_link t u v with
+  | None -> invalid_arg "Topology.remove_link: vertices not adjacent"
+  | Some _ -> ());
+  let edges = ref [] in
+  for x = 0 to t.nverts - 1 do
+    Array.iter
+      (fun (y, _) ->
+        (* Keep each cable once (x < y) and drop the failed one. *)
+        if x < y && not ((x = u && y = v) || (x = v && y = u)) then edges := (x, y) :: !edges)
+      t.out.(x)
+  done;
+  build ~kind:t.kind ~hosts:t.hosts ~nverts:t.nverts (List.rev !edges)
+
+let pp ppf t =
+  let pp_dims ppf dims =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "x")
+      Format.pp_print_int ppf (Array.to_list dims)
+  in
+  match t.kind with
+  | Torus dims -> Format.fprintf ppf "torus %a (%d nodes, %d links)" pp_dims dims t.hosts (link_count t)
+  | Mesh dims -> Format.fprintf ppf "mesh %a (%d nodes, %d links)" pp_dims dims t.hosts (link_count t)
+  | Clos { leaves; spines; servers_per_leaf } ->
+      Format.fprintf ppf "clos %d leaves x %d spines, %d servers/leaf (%d hosts)" leaves spines
+        servers_per_leaf (leaves * servers_per_leaf)
+  | Flattened_butterfly k ->
+      Format.fprintf ppf "flattened butterfly %dx%d (%d nodes, %d links)" k k t.hosts
+        (link_count t)
+  | Custom name -> Format.fprintf ppf "%s (%d nodes, %d links)" name t.hosts (link_count t)

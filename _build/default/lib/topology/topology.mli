@@ -1,0 +1,124 @@
+(** Direct-connect rack topologies.
+
+    A topology is a symmetric directed graph: every physical cable between
+    two nodes appears as two directed links, one per direction. Rack nodes
+    ("hosts") generate and sink traffic; a folded-Clos topology additionally
+    contains switch vertices that only forward.
+
+    Torus and mesh topologies are k-ary n-cube style: node identifiers are
+    mixed-radix encodings of coordinates, [id = x0 + d0*(x1 + d1*x2 ...)]. *)
+
+type node = int
+type link_id = int
+
+type kind =
+  | Torus of int array  (** wraparound per dimension; [Torus [|4;4;4|]] is a 4x4x4 3D torus *)
+  | Mesh of int array  (** no wraparound *)
+  | Clos of { leaves : int; spines : int; servers_per_leaf : int }
+      (** two-level folded Clos; servers attach to leaves, leaves to spines *)
+  | Flattened_butterfly of int
+      (** k x k grid with full connectivity inside every row and column *)
+  | Custom of string  (** composite fabrics, e.g. bridged racks (§6) *)
+
+type t
+
+val torus : int array -> t
+(** [torus dims] builds a k-ary n-cube. Each dimension must be >= 2 except
+    that a 1-sized dimension is ignored. *)
+
+val mesh : int array -> t
+
+val clos : leaves:int -> spines:int -> servers_per_leaf:int -> t
+(** Two-level folded Clos: every leaf connects to every spine with one cable
+    and to [servers_per_leaf] servers. Servers are vertices
+    [0 .. leaves*servers_per_leaf - 1]. *)
+
+val hypercube : int -> t
+(** [hypercube n] is the n-dimensional binary hypercube — the degenerate
+    k = 2 torus, provided as a convenience. *)
+
+val flattened_butterfly : int -> t
+(** [flattened_butterfly k] is the 2D flattened butterfly: a k x k node
+    grid where every node links directly to every other node in its row
+    and in its column (degree 2(k-1), diameter 2). Note that k > 5 exceeds
+    the 8-links-per-node budget of the {!Wire} source-route format. *)
+
+val kind : t -> kind
+
+val vertex_count : t -> int
+(** Total vertices, including Clos switches. *)
+
+val host_count : t -> int
+(** Number of traffic end-points; hosts are vertices [0 .. host_count-1]. *)
+
+val link_count : t -> int
+(** Number of directed links. *)
+
+val link_src : t -> link_id -> node
+val link_dst : t -> link_id -> node
+
+val out_links : t -> node -> (node * link_id) array
+(** Outgoing neighbors of a vertex with the link towards each, in a fixed
+    deterministic order. *)
+
+val degree : t -> node -> int
+
+val find_link : t -> node -> node -> link_id option
+(** Directed link from [src] to an adjacent [dst], if any. *)
+
+val coords : t -> node -> int array
+(** Coordinates of a torus/mesh node. Raises [Invalid_argument] for Clos. *)
+
+val of_coords : t -> int array -> node
+
+val distance : t -> node -> node -> int
+(** Hop count of a shortest path. *)
+
+val dist_to : t -> node -> int array
+(** [dist_to t dst] is the array of shortest-path distances from every
+    vertex to [dst]. Computed once per destination and cached. *)
+
+val productive_hops : t -> node -> dst:node -> (node * link_id) array
+(** Next hops of [node] lying on some shortest path to [dst]. Empty iff
+    [node = dst]. *)
+
+val average_distance : t -> float
+(** Mean shortest-path distance over distinct host pairs (exact for small
+    topologies, sampled above 4096 pairs with a fixed seed). *)
+
+val diameter : t -> int
+(** Maximum shortest-path distance between hosts. *)
+
+val bisection_links : t -> int
+(** Number of unidirectional links crossing a bisection of the hosts (cut
+    along the largest dimension for torus/mesh, the leaf-spine stage for
+    Clos). *)
+
+val shortest_path_tree : t -> root:node -> variant:int -> int array
+(** [shortest_path_tree t ~root ~variant] is a spanning tree of all vertices
+    given as a parent array ([parent.(root) = root]); every tree path from
+    the root is a shortest path. Different [variant] values rotate the
+    neighbor exploration order, producing (generally) different trees. *)
+
+val tree_children : int array -> root:node -> node list array
+(** Children adjacency of a parent array as produced by
+    {!shortest_path_tree}. *)
+
+val tree_depth : int array -> root:node -> int
+(** Maximum root-to-leaf hop count of a parent-array tree. *)
+
+val bridge : t -> t -> cables:(node * node) list -> t
+(** [bridge a b ~cables] composes two racks into one fabric by adding
+    direct cables — the switchless inter-rack interconnect sketched in the
+    paper's §6 ("directly connect multiple rack-scale computers without
+    using any switch"). Vertices of [b] are renumbered by
+    [Topology.vertex_count a]; [cables] pairs an [a]-vertex with a
+    [b]-vertex (pre-renumbering). The result is a [Custom] composite:
+    coordinate-based routing falls back to generic shortest paths. *)
+
+val remove_link : t -> node -> node -> t
+(** Topology with the (bidirectional) cable between two adjacent vertices
+    removed; used for failure experiments. Distances are recomputed by BFS.
+    Raises [Invalid_argument] if the vertices are not adjacent. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Mutable binary min-heap keyed by integer priority.
+
+    The simulator's event queue: priorities are times in nanoseconds.
+    Entries with equal priority are popped in insertion order, which makes
+    event processing deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push h priority v] inserts [v]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum-priority entry. *)
+
+val peek : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,254 @@
+let data_header_size = 35
+let broadcast_size = 16
+let max_route_hops = 42
+let max_links_per_node = 8
+
+type event = Flow_start | Flow_finish | Demand_update | Route_change
+
+type data_header = {
+  flow : int;
+  src : int;
+  dst : int;
+  seq : int;
+  plen : int;
+  route : int array;
+  ridx : int;
+}
+
+type broadcast = {
+  event : event;
+  bsrc : int;
+  bdst : int;
+  weight : int;
+  priority : int;
+  demand_kbps : int;
+  tree : int;
+  rp : Routing.protocol;
+}
+
+(* Packet type codes. 0 is a data packet; broadcast packets carry the event
+   kind directly in the type byte. *)
+let type_data = 0
+
+let type_of_event = function
+  | Flow_start -> 1
+  | Flow_finish -> 2
+  | Demand_update -> 3
+  | Route_change -> 4
+
+let event_of_type = function
+  | 1 -> Some Flow_start
+  | 2 -> Some Flow_finish
+  | 3 -> Some Demand_update
+  | 4 -> Some Route_change
+  | _ -> None
+
+(* -- field access ------------------------------------------------------- *)
+
+let check_width name v bits =
+  if v < 0 || v lsr bits <> 0 then
+    invalid_arg (Printf.sprintf "Wire: field %s = %d exceeds %d bits" name v bits)
+
+let put8 b off v = Bytes.set_uint8 b off v
+let put16 b off v = Bytes.set_uint16_be b off v
+
+let put32 b off v =
+  Bytes.set_uint16_be b off (v lsr 16);
+  Bytes.set_uint16_be b (off + 2) (v land 0xFFFF)
+
+let get8 = Bytes.get_uint8
+let get16 = Bytes.get_uint16_be
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+(* -- checksum ----------------------------------------------------------- *)
+
+let checksum b =
+  let n = Bytes.length b in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + get16 b !i;
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (get8 b (n - 1) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+(* -- data packets ------------------------------------------------------- *)
+
+(* Offsets in the data header. *)
+let off_type = 0
+let off_rlen = 1
+let off_ridx = 2
+let off_flow = 3
+let off_src = 7
+let off_dst = 9
+let off_seq = 11
+let off_cksum = 15
+let off_plen = 17
+let off_route = 19
+
+let encode_data h =
+  check_width "flow" h.flow 32;
+  check_width "src" h.src 16;
+  check_width "dst" h.dst 16;
+  check_width "seq" h.seq 32;
+  check_width "plen" h.plen 16;
+  let rlen = Array.length h.route in
+  if rlen > max_route_hops then invalid_arg "Wire.encode_data: route too long";
+  if h.ridx < 0 || h.ridx > rlen then invalid_arg "Wire.encode_data: bad ridx";
+  Array.iter (fun s -> check_width "route hop" s 3) h.route;
+  let b = Bytes.make data_header_size '\000' in
+  put8 b off_type type_data;
+  put8 b off_rlen rlen;
+  put8 b off_ridx h.ridx;
+  put32 b off_flow h.flow;
+  put16 b off_src h.src;
+  put16 b off_dst h.dst;
+  put32 b off_seq h.seq;
+  put16 b off_plen h.plen;
+  (* 3-bit hop selectors packed little-end first into the 128-bit field. *)
+  Array.iteri
+    (fun i s ->
+      let bit = 3 * i in
+      let byte = off_route + (bit / 8) and shift = bit mod 8 in
+      let cur = get8 b byte in
+      put8 b byte (cur lor ((s lsl shift) land 0xFF));
+      if shift > 5 then begin
+        let cur = get8 b (byte + 1) in
+        put8 b (byte + 1) (cur lor (s lsr (8 - shift)))
+      end)
+    h.route;
+  put16 b off_cksum (checksum b);
+  b
+
+let decode_data b =
+  if Bytes.length b < data_header_size then Error "short data header"
+  else if get8 b off_type <> type_data then Error "not a data packet"
+  else begin
+    let stored = get16 b off_cksum in
+    let zeroed = Bytes.copy b in
+    put16 zeroed off_cksum 0;
+    let computed = checksum (Bytes.sub zeroed 0 data_header_size) in
+    if stored <> computed then Error "data checksum mismatch"
+    else begin
+      let rlen = get8 b off_rlen in
+      if rlen > max_route_hops then Error "route length out of range"
+      else begin
+        let route =
+          Array.init rlen (fun i ->
+              let bit = 3 * i in
+              let byte = off_route + (bit / 8) and shift = bit mod 8 in
+              let lo = get8 b byte lsr shift in
+              let v =
+                if shift > 5 then lo lor (get8 b (byte + 1) lsl (8 - shift)) else lo
+              in
+              v land 0x7)
+        in
+        Ok
+          {
+            flow = get32 b off_flow;
+            src = get16 b off_src;
+            dst = get16 b off_dst;
+            seq = get32 b off_seq;
+            plen = get16 b off_plen;
+            route;
+            ridx = get8 b off_ridx;
+          }
+      end
+    end
+  end
+
+(* -- broadcast packets --------------------------------------------------- *)
+
+let boff_type = 0
+let boff_src = 1
+let boff_dst = 3
+let boff_weight = 5
+let boff_priority = 6
+let boff_demand = 7
+let boff_tree = 11
+let boff_rp = 12
+let boff_cksum = 14
+
+let encode_broadcast p =
+  check_width "src" p.bsrc 16;
+  check_width "dst" p.bdst 16;
+  check_width "weight" p.weight 8;
+  check_width "priority" p.priority 8;
+  check_width "demand" p.demand_kbps 32;
+  check_width "tree" p.tree 8;
+  let b = Bytes.make broadcast_size '\000' in
+  put8 b boff_type (type_of_event p.event);
+  put16 b boff_src p.bsrc;
+  put16 b boff_dst p.bdst;
+  put8 b boff_weight p.weight;
+  put8 b boff_priority p.priority;
+  put32 b boff_demand p.demand_kbps;
+  put8 b boff_tree p.tree;
+  put8 b boff_rp (Routing.protocol_to_int p.rp);
+  put16 b boff_cksum (checksum b);
+  b
+
+let decode_broadcast b =
+  if Bytes.length b <> broadcast_size then Error "broadcast packet must be 16 bytes"
+  else begin
+    let stored = get16 b boff_cksum in
+    let zeroed = Bytes.copy b in
+    put16 zeroed boff_cksum 0;
+    if stored <> checksum zeroed then Error "broadcast checksum mismatch"
+    else begin
+      match event_of_type (get8 b boff_type) with
+      | None -> Error "unknown broadcast type"
+      | Some event -> (
+          match Routing.protocol_of_int (get8 b boff_rp) with
+          | None -> Error "unknown routing protocol"
+          | Some rp ->
+              Ok
+                {
+                  event;
+                  bsrc = get16 b boff_src;
+                  bdst = get16 b boff_dst;
+                  weight = get8 b boff_weight;
+                  priority = get8 b boff_priority;
+                  demand_kbps = get32 b boff_demand;
+                  tree = get8 b boff_tree;
+                  rp;
+                })
+    end
+  end
+
+(* -- route selectors ----------------------------------------------------- *)
+
+let route_selectors ctx path =
+  let t = Routing.topo ctx in
+  let hops = Array.length path - 1 in
+  if hops > max_route_hops then invalid_arg "Wire.route_selectors: path too long";
+  Array.init hops (fun i ->
+      let u = path.(i) and v = path.(i + 1) in
+      let out = Topology.out_links t u in
+      if Array.length out > max_links_per_node then
+        invalid_arg "Wire.route_selectors: node degree exceeds 8";
+      let rec find j =
+        if j >= Array.length out then
+          invalid_arg "Wire.route_selectors: non-adjacent vertices"
+        else begin
+          let w, _ = out.(j) in
+          if w = v then j else find (j + 1)
+        end
+      in
+      find 0)
+
+let apply_selector topo node sel =
+  let out = Topology.out_links topo node in
+  if sel >= Array.length out then invalid_arg "Wire.apply_selector: selector out of range";
+  fst out.(sel)
+
+let corrupt rng b =
+  let b' = Bytes.copy b in
+  let bit = Util.Rng.int rng (8 * Bytes.length b') in
+  let byte = bit / 8 and off = bit mod 8 in
+  Bytes.set_uint8 b' byte (Bytes.get_uint8 b' byte lxor (1 lsl off));
+  b'

@@ -1,0 +1,73 @@
+(** On-the-wire packet formats (paper Fig. 6).
+
+    Data packets are variable sized with a 35-byte header:
+    type(1) rlen(1) ridx(1) flow(4) src(2) dst(2) seq(4) checksum(2) plen(2)
+    route(16). The route field holds up to 42 hops of 3 bits each, every hop
+    selecting one of at most eight outgoing links; [ridx] is the index of
+    the next hop and is incremented by every forwarder.
+
+    Broadcast packets are fixed 16 bytes:
+    type(1) src(2) dst(2) weight(1) priority(1) demand(4, Kbps) tree(1)
+    rp(1) pad(1) checksum(2). *)
+
+val data_header_size : int
+(** 35 bytes. *)
+
+val broadcast_size : int
+(** 16 bytes. *)
+
+val max_route_hops : int
+(** 42: the 128-bit route field at 3 bits per hop. *)
+
+val max_links_per_node : int
+(** 8: the widest link selector a 3-bit hop can express. *)
+
+type event = Flow_start | Flow_finish | Demand_update | Route_change
+
+type data_header = {
+  flow : int;  (** 32-bit flow identifier *)
+  src : int;  (** 16-bit source node *)
+  dst : int;  (** 16-bit destination node *)
+  seq : int;  (** 32-bit sequence number *)
+  plen : int;  (** 16-bit payload length *)
+  route : int array;  (** per-hop outgoing-link selectors, 0..7 each *)
+  ridx : int;  (** index of the next hop in [route] *)
+}
+
+type broadcast = {
+  event : event;
+  bsrc : int;  (** flow source *)
+  bdst : int;  (** flow destination *)
+  weight : int;  (** allocation weight, 1..255 *)
+  priority : int;  (** 0 is highest *)
+  demand_kbps : int;  (** current demand, up to ~4 Tbps *)
+  tree : int;  (** broadcast-tree identifier *)
+  rp : Routing.protocol;
+}
+
+val encode_data : data_header -> bytes
+(** Header bytes with a valid checksum. Raises [Invalid_argument] when a
+    field exceeds its width. *)
+
+val decode_data : bytes -> (data_header, string) result
+(** Fails on short input, bad type, or checksum mismatch. *)
+
+val encode_broadcast : broadcast -> bytes
+val decode_broadcast : bytes -> (broadcast, string) result
+
+val route_selectors : Routing.ctx -> int array -> int array
+(** [route_selectors ctx path] converts a vertex path to per-hop 3-bit link
+    selectors: at hop [i], the index of the link towards [path.(i+1)] within
+    [Topology.out_links] of [path.(i)]. Raises when a node has more than
+    {!max_links_per_node} links or the path is longer than
+    {!max_route_hops}. *)
+
+val apply_selector : Topology.t -> int -> int -> int
+(** [apply_selector topo node sel] is the neighbor reached from [node] via
+    outgoing-link index [sel]. *)
+
+val checksum : bytes -> int
+(** 16-bit ones'-complement checksum over a buffer. *)
+
+val corrupt : Util.Rng.t -> bytes -> bytes
+(** Flip one random bit; for loss/corruption tests. *)

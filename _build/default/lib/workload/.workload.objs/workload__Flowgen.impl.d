@@ -1,0 +1,1 @@
+lib/workload/flowgen.ml: Array Float List Topology Util

@@ -1,0 +1,1 @@
+lib/workload/flowgen.mli: Topology Util

@@ -1,0 +1,1 @@
+lib/workload/pattern.ml: Array Congestion List Routing Topology Util

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Flowgen Fun List Printf String

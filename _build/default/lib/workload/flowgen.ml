@@ -1,0 +1,92 @@
+type spec = {
+  arrival_ns : int;
+  src : int;
+  dst : int;
+  size : int;
+  weight : int;
+  priority : int;
+}
+
+let pareto_size rng ~shape ~mean ~max_size =
+  (* Pareto mean = shape * scale / (shape - 1); invert for the scale. *)
+  if shape <= 1.0 then invalid_arg "Flowgen.pareto_size: shape must exceed 1";
+  let scale = mean *. (shape -. 1.0) /. shape in
+  let x = Util.Rng.pareto rng ~shape ~scale in
+  let v = int_of_float (Float.round x) in
+  max 1 (min v max_size)
+
+let random_pair topo rng =
+  let h = Topology.host_count topo in
+  let src = Util.Rng.int rng h in
+  let rec pick () =
+    let d = Util.Rng.int rng h in
+    if d = src then pick () else d
+  in
+  (src, pick ())
+
+let poisson_arrivals rng ~flows ~mean_interarrival_ns =
+  let t = ref 0.0 in
+  List.init flows (fun _ ->
+      t := !t +. Util.Rng.exponential rng ~mean:mean_interarrival_ns;
+      int_of_float !t)
+
+let poisson_pareto ?(shape = 1.05) ?(mean_size = 100_000.0) ?(max_size = 50_000_000) topo rng
+    ~flows ~mean_interarrival_ns =
+  List.map
+    (fun arrival_ns ->
+      let src, dst = random_pair topo rng in
+      let size = pareto_size rng ~shape ~mean:mean_size ~max_size in
+      { arrival_ns; src; dst; size; weight = 1; priority = 0 })
+    (poisson_arrivals rng ~flows ~mean_interarrival_ns)
+
+let fixed_size topo rng ~flows ~size ~mean_interarrival_ns =
+  List.map
+    (fun arrival_ns ->
+      let src, dst = random_pair topo rng in
+      { arrival_ns; src; dst; size; weight = 1; priority = 0 })
+    (poisson_arrivals rng ~flows ~mean_interarrival_ns)
+
+let permutation_long_flows topo rng ~load =
+  if load < 0.0 || load > 1.0 then invalid_arg "Flowgen.permutation_long_flows: load";
+  let h = Topology.host_count topo in
+  let sources = Util.Rng.permutation rng h in
+  let dests = Util.Rng.permutation rng h in
+  let n = int_of_float (Float.round (load *. float_of_int h)) in
+  (* Repair self-pairs: swap the colliding destination with one that keeps
+     both positions valid. Always possible for h >= 3. *)
+  for i = 0 to n - 1 do
+    if dests.(i) = sources.(i) then begin
+      let j = ref (-1) in
+      for cand = 0 to h - 1 do
+        if !j < 0 && cand <> i && dests.(cand) <> sources.(i)
+           && (cand >= n || dests.(i) <> sources.(cand))
+        then j := cand
+      done;
+      assert (!j >= 0);
+      let tmp = dests.(i) in
+      dests.(i) <- dests.(!j);
+      dests.(!j) <- tmp
+    end
+  done;
+  List.init n (fun i ->
+      { arrival_ns = 0; src = sources.(i); dst = dests.(i); size = max_int / 2; weight = 1; priority = 0 })
+
+let short_fraction specs ~threshold =
+  let n = List.length specs in
+  if n = 0 then 0.0
+  else begin
+    let small = List.length (List.filter (fun s -> s.size < threshold) specs) in
+    float_of_int small /. float_of_int n
+  end
+
+let bytes_in_small specs ~threshold =
+  let total = List.fold_left (fun acc s -> acc +. float_of_int s.size) 0.0 specs in
+  if total = 0.0 then 0.0
+  else begin
+    let small =
+      List.fold_left
+        (fun acc s -> if s.size < threshold then acc +. float_of_int s.size else acc)
+        0.0 specs
+    in
+    small /. total
+  end

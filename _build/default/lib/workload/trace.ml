@@ -1,0 +1,63 @@
+type event = Arrive of Flowgen.spec | Depart of { time_ns : int; flow : int }
+
+type t = event list
+
+let of_specs specs = List.map (fun s -> Arrive s) specs
+
+let time = function Arrive s -> s.Flowgen.arrival_ns | Depart d -> d.time_ns
+
+let events_sorted t = List.stable_sort (fun a b -> compare (time a) (time b)) t
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun ev ->
+          match ev with
+          | Arrive s ->
+              Printf.fprintf oc "A %d %d %d %d %d %d\n" s.Flowgen.arrival_ns s.src s.dst s.size
+                s.weight s.priority
+          | Depart d -> Printf.fprintf oc "D %d %d\n" d.time_ns d.flow)
+        t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 0 then
+             acc :=
+               (match String.split_on_char ' ' line with
+               | [ "A"; a; s; d; sz; w; p ] ->
+                   Arrive
+                     {
+                       Flowgen.arrival_ns = int_of_string a;
+                       src = int_of_string s;
+                       dst = int_of_string d;
+                       size = int_of_string sz;
+                       weight = int_of_string w;
+                       priority = int_of_string p;
+                     }
+               | [ "D"; tm; f ] -> Depart { time_ns = int_of_string tm; flow = int_of_string f }
+               | _ -> failwith ("Trace.load: malformed line: " ^ line))
+               :: !acc
+         done
+       with
+      | End_of_file -> ()
+      | Failure _ as e -> raise e);
+      List.rev !acc)
+
+let active_at t at =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Arrive s when s.Flowgen.arrival_ns <= at -> acc + 1
+      | Depart d when d.time_ns <= at -> acc - 1
+      | Arrive _ | Depart _ -> acc)
+    0 t

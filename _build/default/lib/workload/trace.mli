@@ -1,0 +1,26 @@
+(** Flow-trace recording and replay.
+
+    Fig. 8 replays the flow arrival/departure events of a large simulation
+    into the rate-computation benchmark; traces also make workloads
+    portable across the simulator, the emulator and the benches. *)
+
+type event = Arrive of Flowgen.spec | Depart of { time_ns : int; flow : int }
+
+type t = event list
+(** Events sorted by time; [Arrive] specs are implicitly numbered 0.. in
+    arrival order, which is what [Depart.flow] refers to. *)
+
+val of_specs : Flowgen.spec list -> t
+(** Arrivals only. *)
+
+val save : string -> t -> unit
+(** Write to a file, one event per line. *)
+
+val load : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val events_sorted : t -> t
+(** Stable sort by timestamp. *)
+
+val active_at : t -> int -> int
+(** Number of flows arrived but not departed at the given time. *)

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array Broadcast Fun Lazy List Printf QCheck QCheck_alcotest Topology Util

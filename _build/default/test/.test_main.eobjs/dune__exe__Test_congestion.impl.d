@@ -1,0 +1,1 @@
+test/test_congestion.ml: Alcotest Array Congestion Hashtbl List Option Printf QCheck QCheck_alcotest Routing Topology Util Workload

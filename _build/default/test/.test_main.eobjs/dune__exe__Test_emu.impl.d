@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Array Emu Float Lazy List Printf Routing Sim Topology Util Workload

@@ -1,0 +1,1 @@
+test/test_genetic.ml: Alcotest Array Float Genetic Lazy List Printf Routing Topology Util Workload

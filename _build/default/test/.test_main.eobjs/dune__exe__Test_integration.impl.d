@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Broadcast Congestion List Printf QCheck QCheck_alcotest R2c2 Routing Sim Topology Util Wire Workload

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Hashtbl Lazy List Option Printf QCheck QCheck_alcotest Routing Topology Util

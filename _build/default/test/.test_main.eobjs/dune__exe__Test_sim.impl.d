@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Broadcast Float Fun List Printf Sim Topology Util Workload

@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Array List Printf R2c2 Routing Topology Util Wire Workload

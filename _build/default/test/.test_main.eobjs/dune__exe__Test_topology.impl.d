@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Lazy List QCheck QCheck_alcotest Routing Topology Util Wire

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Hashtbl List Option QCheck QCheck_alcotest Util

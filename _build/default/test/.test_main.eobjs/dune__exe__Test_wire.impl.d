@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Bytes Gen List Option QCheck QCheck_alcotest Routing Topology Util Wire

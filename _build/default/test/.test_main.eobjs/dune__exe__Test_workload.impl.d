@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Congestion Filename Float Fun Lazy List Printf Routing Sys Topology Util Workload

@@ -1,0 +1,147 @@
+(* Tests for lib/broadcast: spanning trees, FIB, overhead model. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let torus888 = lazy (Topology.torus [| 8; 8; 8 |])
+
+let tree_spans_everything () =
+  let topo = Lazy.force torus888 in
+  let b = Broadcast.make topo in
+  let reached = Array.make (Topology.vertex_count topo) false in
+  let rec walk v =
+    Alcotest.(check bool) "visited once" false reached.(v);
+    reached.(v) <- true;
+    List.iter walk (Broadcast.children b ~src:0 ~tree:0 v)
+  in
+  walk 0;
+  Alcotest.(check bool) "all vertices reached" true (Array.for_all Fun.id reached)
+
+let tree_edge_count () =
+  let topo = Lazy.force torus888 in
+  let b = Broadcast.make topo in
+  Alcotest.(check int) "n-1 edges" 511 (List.length (Broadcast.edges b ~src:3 ~tree:1))
+
+let tree_depth_is_eccentricity () =
+  let topo = Lazy.force torus888 in
+  let b = Broadcast.make topo in
+  (* Shortest-path tree depth = max distance from root = 12 on 8x8x8. *)
+  for tree = 0 to 3 do
+    Alcotest.(check int) "depth = diameter" 12 (Broadcast.depth b ~src:5 ~tree)
+  done
+
+let delivery_hops_are_shortest () =
+  let topo = Lazy.force torus888 in
+  let b = Broadcast.make topo in
+  let hops = Broadcast.delivery_hops b ~src:9 ~tree:2 in
+  for v = 0 to Topology.vertex_count topo - 1 do
+    Alcotest.(check int) "tree delivery = shortest distance" (Topology.distance topo 9 v) hops.(v)
+  done
+
+let parents_consistent_with_children () =
+  let topo = Topology.torus [| 4; 4 |] in
+  let b = Broadcast.make topo in
+  for v = 0 to 15 do
+    List.iter
+      (fun c -> Alcotest.(check int) "parent of child" v (Broadcast.parent b ~src:2 ~tree:0 c))
+      (Broadcast.children b ~src:2 ~tree:0 v)
+  done
+
+let choose_tree_spreads () =
+  let topo = Topology.torus [| 4; 4 |] in
+  let b = Broadcast.make ~trees_per_source:4 topo in
+  let rng = Util.Rng.create 3 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Broadcast.choose_tree b rng ~src:0) <- true
+  done;
+  Alcotest.(check bool) "all trees used" true (Array.for_all Fun.id seen)
+
+let bytes_per_broadcast_512 () =
+  (* §3.2: "with a 512-node rack, each broadcast results in ~8 KB". *)
+  let topo = Lazy.force torus888 in
+  Alcotest.(check int) "16 * 511" 8176 (Broadcast.bytes_per_broadcast topo)
+
+let relative_overhead_10kb () =
+  (* §3.2: a 10 KB flow's start+finish broadcasts cost ~26.66% of its wire
+     bytes on the 512-node 3D torus. *)
+  let topo = Lazy.force torus888 in
+  let ov = Broadcast.relative_flow_overhead topo ~flow_bytes:10_000 in
+  Alcotest.(check bool) (Printf.sprintf "~0.27 (got %.4f)" ov) true (abs_float (ov -. 0.27) < 0.02)
+
+let relative_overhead_10mb () =
+  (* §5.1: for 10 MB flows the overhead is ~0.026%. *)
+  let topo = Lazy.force torus888 in
+  let ov = Broadcast.relative_flow_overhead topo ~flow_bytes:10_000_000 in
+  Alcotest.(check bool) "~0.00027" true (abs_float (ov -. 0.00027) < 0.00005)
+
+let analytic_overhead_5pct () =
+  (* §3.2: "When 5% of the bytes are carried by small flows, the fraction of
+     the network capacity used for broadcasting flow information is only
+     1.3%." *)
+  let topo = Lazy.force torus888 in
+  let ov =
+    Broadcast.analytic_overhead topo ~frac_small_bytes:0.05 ~small_size:10_000
+      ~large_size:35_000_000
+  in
+  Alcotest.(check bool) (Printf.sprintf "~1.3%% (got %.2f%%)" (100. *. ov)) true
+    (abs_float (ov -. 0.013) < 0.002)
+
+let analytic_overhead_monotone () =
+  let topo = Lazy.force torus888 in
+  let prev = ref (-1.0) in
+  List.iter
+    (fun frac ->
+      let ov =
+        Broadcast.analytic_overhead topo ~frac_small_bytes:frac ~small_size:10_000
+          ~large_size:35_000_000
+      in
+      Alcotest.(check bool) "monotone in small-flow bytes" true (ov >= !prev);
+      prev := ov)
+    [ 0.0; 0.1; 0.2; 0.5; 1.0 ]
+
+let greater_diameter_lower_overhead () =
+  (* Fig. 9: topologies with greater diameter have lower broadcast overhead
+     because data travels more hops. *)
+  let ov topo =
+    Broadcast.analytic_overhead topo ~frac_small_bytes:0.2 ~small_size:10_000
+      ~large_size:35_000_000
+  in
+  let torus3d = ov (Lazy.force torus888) in
+  let mesh3d = ov (Topology.mesh [| 8; 8; 8 |]) in
+  let torus2d = ov (Topology.torus [| 32; 16 |]) in
+  Alcotest.(check bool) "mesh < torus3d" true (mesh3d < torus3d);
+  Alcotest.(check bool) "2D torus < 3D torus" true (torus2d < torus3d)
+
+let qcheck_tree_spans =
+  QCheck.Test.make ~name:"every (src, tree) FIB spans the rack" ~count:50
+    QCheck.(pair (int_bound 63) (int_bound 3))
+    (fun (src, tree) ->
+      let topo = Topology.torus [| 4; 4; 4 |] in
+      let b = Broadcast.make topo in
+      let count = ref 0 in
+      let rec walk v =
+        incr count;
+        List.iter walk (Broadcast.children b ~src ~tree v)
+      in
+      walk src;
+      !count = 64)
+
+let suites =
+  [
+    ( "broadcast",
+      [
+        tc "tree spans every vertex exactly once" tree_spans_everything;
+        tc "tree has n-1 edges" tree_edge_count;
+        tc "tree depth equals eccentricity" tree_depth_is_eccentricity;
+        tc "delivery hops are shortest distances" delivery_hops_are_shortest;
+        tc "parents consistent with children" parents_consistent_with_children;
+        tc "tree choice load balances" choose_tree_spreads;
+        tc "8 KB per 512-node broadcast (paper)" bytes_per_broadcast_512;
+        tc "26.66% overhead for 10 KB flows (paper)" relative_overhead_10kb;
+        tc "0.026% overhead for 10 MB flows (paper)" relative_overhead_10mb;
+        tc "1.3% capacity at 5% small bytes (paper)" analytic_overhead_5pct;
+        tc "overhead monotone in small-flow share" analytic_overhead_monotone;
+        tc "greater diameter, lower overhead (Fig 9)" greater_diameter_lower_overhead;
+        QCheck_alcotest.to_alcotest qcheck_tree_spans;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+(* Tests for lib/emu: fluid emulation, cross-validation against the packet
+   simulator (the Fig. 7 methodology), and rate-error analysis. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let torus44 = lazy (Topology.torus [| 4; 4 |])
+
+let fluid_completes_all () =
+  let topo = Lazy.force torus44 in
+  let rng = Util.Rng.create 3 in
+  let specs = Workload.Flowgen.poisson_pareto topo rng ~flows:150 ~mean_interarrival_ns:1_000.0 in
+  let r = Emu.Fluid.run Emu.Fluid.default_config topo specs in
+  Alcotest.(check int) "all complete" 150 (List.length r.Emu.Fluid.flows);
+  List.iter
+    (fun (f : Emu.Fluid.flow_result) ->
+      Alcotest.(check bool) "positive fct" true (f.fct_ns > 0);
+      Alcotest.(check bool) "sane rate" true (f.avg_rate_gbps > 0.0))
+    r.Emu.Fluid.flows
+
+let fluid_single_flow_rate () =
+  let topo = Lazy.force torus44 in
+  let specs =
+    [ { Workload.Flowgen.arrival_ns = 0; src = 0; dst = 1; size = 10_000_000; weight = 1; priority = 0 } ]
+  in
+  let r = Emu.Fluid.run Emu.Fluid.default_config topo specs in
+  match r.Emu.Fluid.flows with
+  | [ f ] ->
+      (* A lone flow runs at line rate (the first epoch schedules it at
+         95%, but it starts unthrottled). *)
+      Alcotest.(check bool) (Printf.sprintf "near line rate (%.2f)" f.avg_rate_gbps) true
+        (f.avg_rate_gbps > 8.5)
+  | _ -> Alcotest.fail "expected one flow"
+
+let fluid_fair_sharing () =
+  let topo = Lazy.force torus44 in
+  let mk src = { Workload.Flowgen.arrival_ns = 0; src; dst = 0; size = 20_000_000; weight = 1; priority = 0 } in
+  let r = Emu.Fluid.run Emu.Fluid.default_config topo [ mk 1; mk 2 ] in
+  match r.Emu.Fluid.flows with
+  | [ a; b ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fair (%.2f vs %.2f)" a.avg_rate_gbps b.avg_rate_gbps)
+        true
+        (abs_float (a.avg_rate_gbps -. b.avg_rate_gbps) < 1.5)
+  | _ -> Alcotest.fail "expected two flows"
+
+let fluid_deterministic () =
+  let topo = Lazy.force torus44 in
+  let rng = Util.Rng.create 5 in
+  let specs = Workload.Flowgen.poisson_pareto topo rng ~flows:80 ~mean_interarrival_ns:1_000.0 in
+  let r1 = Emu.Fluid.run Emu.Fluid.default_config topo specs in
+  let r2 = Emu.Fluid.run Emu.Fluid.default_config topo specs in
+  Alcotest.(check bool) "identical results" true (r1.Emu.Fluid.flows = r2.Emu.Fluid.flows)
+
+let fluid_cross_validates_simulator () =
+  (* The Fig. 7 claim: the two independent engines agree on the workload's
+     throughput distribution. *)
+  let topo = Lazy.force torus44 in
+  let rng = Util.Rng.create 7 in
+  let specs = Workload.Flowgen.fixed_size topo rng ~flows:100 ~size:1_000_000 ~mean_interarrival_ns:100_000.0 in
+  let sim = Sim.R2c2_sim.run Sim.R2c2_sim.default_config topo specs in
+  let emu = Emu.Fluid.run Emu.Fluid.default_config topo specs in
+  let sim_med = Util.Stats.median (Sim.Metrics.throughputs_gbps sim.Sim.R2c2_sim.metrics) in
+  let emu_med =
+    Util.Stats.median
+      (Array.of_list (List.map (fun (f : Emu.Fluid.flow_result) -> f.avg_rate_gbps) emu.Emu.Fluid.flows))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "medians within 15%% (sim %.2f, emu %.2f)" sim_med emu_med)
+    true
+    (abs_float (sim_med -. emu_med) /. Float.max sim_med emu_med < 0.15)
+
+let fluid_queue_estimate_grows_under_burst () =
+  let topo = Lazy.force torus44 in
+  (* Many simultaneous flows into one node: loads exceed capacity until the
+     first recompute, so the queue estimate must be positive. *)
+  let specs =
+    List.init 6 (fun i ->
+        { Workload.Flowgen.arrival_ns = 0; src = i + 1; dst = 0; size = 5_000_000; weight = 1; priority = 0 })
+  in
+  let r = Emu.Fluid.run Emu.Fluid.default_config topo specs in
+  let peak = Array.fold_left max 0.0 r.Emu.Fluid.max_queue_bytes in
+  Alcotest.(check bool) "queues grew" true (peak > 0.0)
+
+let fluid_until_cuts_off () =
+  let topo = Lazy.force torus44 in
+  let specs =
+    [ { Workload.Flowgen.arrival_ns = 0; src = 0; dst = 5; size = 100_000_000; weight = 1; priority = 0 } ]
+  in
+  let r = Emu.Fluid.run ~until_ns:1_000 Emu.Fluid.default_config topo specs in
+  Alcotest.(check int) "not done in 1 us" 0 (List.length r.Emu.Fluid.flows)
+
+let fluid_vlb_protocol () =
+  (* A custom protocol_of drives flows over VLB and still completes. *)
+  let topo = Lazy.force torus44 in
+  let rng = Util.Rng.create 13 in
+  let specs = Workload.Flowgen.poisson_pareto topo rng ~flows:60 ~mean_interarrival_ns:1_000.0 in
+  let r =
+    Emu.Fluid.run ~protocol_of:(fun _ _ -> Routing.Vlb) Emu.Fluid.default_config topo specs
+  in
+  Alcotest.(check int) "all complete on VLB" 60 (List.length r.Emu.Fluid.flows)
+
+let rate_error_zero_at_rho_zero () =
+  let topo = Lazy.force torus44 in
+  let rng = Util.Rng.create 9 in
+  let specs = Workload.Flowgen.poisson_pareto topo rng ~flows:60 ~mean_interarrival_ns:1_000.0 in
+  let errs = Emu.Fluid.rate_error Emu.Fluid.default_config topo specs ~rho_ns:0 in
+  Alcotest.(check bool) "no error against itself" true
+    (Array.for_all (fun e -> e < 1e-9) errs)
+
+let rate_error_grows_with_rho () =
+  (* Long-lived flows so both intervals schedule them (the batching filter
+     drops flows shorter than one interval). *)
+  let topo = Lazy.force torus44 in
+  let rng = Util.Rng.create 11 in
+  let specs =
+    Workload.Flowgen.fixed_size topo rng ~flows:40 ~size:3_000_000
+      ~mean_interarrival_ns:100_000.0
+  in
+  let med rho =
+    Util.Stats.median (Emu.Fluid.rate_error Emu.Fluid.default_config topo specs ~rho_ns:rho)
+  in
+  let small = med 100_000 and large = med 1_000_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "error grows with rho (%.4f -> %.4f)" small large)
+    true (small <= large +. 1e-6)
+
+let suites =
+  [
+    ( "emu.fluid",
+      [
+        tc "completes all flows" fluid_completes_all;
+        tc "single flow near line rate" fluid_single_flow_rate;
+        tc "fair sharing of a bottleneck" fluid_fair_sharing;
+        tc "deterministic" fluid_deterministic;
+        tc "cross-validates the packet simulator (Fig 7)" fluid_cross_validates_simulator;
+        tc "queue estimate grows under burst" fluid_queue_estimate_grows_under_burst;
+        tc "until_ns cuts off" fluid_until_cuts_off;
+        tc "VLB protocol end to end" fluid_vlb_protocol;
+      ] );
+    ( "emu.rate_error",
+      [
+        tc "zero against itself" rate_error_zero_at_rho_zero;
+        tc "grows with rho (Fig 15)" rate_error_grows_with_rho;
+      ] );
+  ]

@@ -1,0 +1,194 @@
+(* Tests for lib/genetic: GA machinery and routing-protocol selection. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* A simple separable fitness the GA must crack: maximize sum of genes
+   matching a hidden target. *)
+let onemax_problem target =
+  {
+    Genetic.Ga.genes = Array.length target;
+    choices = 4;
+    fitness =
+      (fun g ->
+        let score = ref 0 in
+        Array.iteri (fun i x -> if x = target.(i) then incr score) g;
+        float_of_int !score);
+  }
+
+let ga_solves_onemax () =
+  let rng = Util.Rng.create 3 in
+  let target = Array.init 24 (fun i -> i mod 4) in
+  let p = onemax_problem target in
+  let best, fit = Genetic.Ga.optimize ~generations:60 ~patience:60 rng p ~init:(Array.make 24 0) in
+  Alcotest.(check bool) (Printf.sprintf "near optimal (%.0f/24)" fit) true (fit >= 22.0);
+  Alcotest.(check int) "genotype length preserved" 24 (Array.length best)
+
+let ga_keeps_init_when_optimal () =
+  let rng = Util.Rng.create 5 in
+  let target = Array.init 10 (fun i -> i mod 4) in
+  let p = onemax_problem target in
+  let _, fit = Genetic.Ga.optimize ~generations:5 rng p ~init:(Array.copy target) in
+  Alcotest.(check (float 1e-9)) "elite preserves the optimum" 10.0 fit
+
+let ga_empty_genotype () =
+  let rng = Util.Rng.create 7 in
+  let p = { Genetic.Ga.genes = 0; choices = 2; fitness = (fun _ -> 1.0) } in
+  let best, fit = Genetic.Ga.optimize rng p ~init:[||] in
+  Alcotest.(check int) "empty" 0 (Array.length best);
+  Alcotest.(check (float 1e-9)) "fitness evaluated" 1.0 fit
+
+let hill_climb_improves () =
+  let rng = Util.Rng.create 9 in
+  let target = Array.init 16 (fun i -> (i * 3) mod 4) in
+  let p = onemax_problem target in
+  let init = Array.make 16 0 in
+  let _, fit = Genetic.Ga.hill_climb ~iterations:2000 rng p ~init in
+  Alcotest.(check bool) "reaches optimum on separable problem" true (fit >= 15.0)
+
+let annealing_improves () =
+  let rng = Util.Rng.create 11 in
+  let target = Array.init 16 (fun i -> (i * 7) mod 4) in
+  let p = onemax_problem target in
+  let _, fit = Genetic.Ga.simulated_annealing ~iterations:3000 rng p ~init:(Array.make 16 0) in
+  Alcotest.(check bool) (Printf.sprintf "improves (%.0f)" fit) true (fit >= 12.0)
+
+let random_search_bounded () =
+  let rng = Util.Rng.create 13 in
+  let p = { Genetic.Ga.genes = 8; choices = 2; fitness = (fun g -> float_of_int (Array.fold_left ( + ) 0 g)) } in
+  let _, fit = Genetic.Ga.random_search ~iterations:500 rng p in
+  Alcotest.(check bool) "finds a good genotype" true (fit >= 6.0)
+
+(* -- selector (Fig 18 mechanics) ------------------------------------------- *)
+
+let selector_ctx = lazy (Routing.make (Topology.torus [| 4; 4; 4 |]))
+
+let permutation_flows load seed =
+  let topo = Routing.topo (Lazy.force selector_ctx) in
+  let rng = Util.Rng.create seed in
+  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load in
+  Array.of_list (List.map (fun (s : Workload.Flowgen.spec) -> (s.src, s.dst)) specs)
+
+let selector_uniform_matches_manual () =
+  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  let flows = permutation_flows 0.5 3 in
+  let manual =
+    Genetic.Selector.aggregate_throughput_gbps sel ~flows
+      (Array.make (Array.length flows) Routing.Rps)
+  in
+  Alcotest.(check (float 1e-9)) "uniform = all-same assignment" manual
+    (Genetic.Selector.uniform sel ~flows Routing.Rps)
+
+let selector_beats_or_matches_baselines () =
+  (* The GA-selected assignment must never be worse than either uniform
+     baseline (the paper's Fig. 18 claim: ratio always >= 1). *)
+  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  List.iter
+    (fun load ->
+      let flows = permutation_flows load (17 + int_of_float (load *. 10.0)) in
+      let rng = Util.Rng.create 23 in
+      let init = Array.make (Array.length flows) Routing.Rps in
+      let rps = Genetic.Selector.uniform sel ~flows Routing.Rps in
+      let vlb = Genetic.Selector.uniform sel ~flows Routing.Vlb in
+      let _, adaptive = Genetic.Selector.select ~pop_size:30 ~generations:10 sel rng ~flows ~init in
+      Alcotest.(check bool)
+        (Printf.sprintf "load %.2f: adaptive %.1f >= max(rps %.1f, vlb %.1f)" load adaptive rps vlb)
+        true
+        (adaptive >= Float.max rps vlb -. 1e-6))
+    [ 0.25; 0.75 ]
+
+let selector_low_load_prefers_nonminimal_sometimes () =
+  (* At low load VLB's extra capacity helps; the adaptive assignment should
+     strictly beat all-RPS at least somewhere. *)
+  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  let flows = permutation_flows 0.125 29 in
+  let rng = Util.Rng.create 31 in
+  let init = Array.make (Array.length flows) Routing.Rps in
+  let rps = Genetic.Selector.uniform sel ~flows Routing.Rps in
+  let _, adaptive = Genetic.Selector.select ~pop_size:40 ~generations:12 sel rng ~flows ~init in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %.2f > rps %.2f" adaptive rps)
+    true (adaptive >= rps)
+
+let selector_tail_utility () =
+  (* Tail utility optimizes the worst flow; must also never fall below the
+     uniform baselines under the same metric. *)
+  let sel =
+    Genetic.Selector.make ~utility:Genetic.Selector.Tail_throughput (Lazy.force selector_ctx)
+      ~link_gbps:10.0
+  in
+  let flows = permutation_flows 0.5 41 in
+  let rng = Util.Rng.create 43 in
+  let init = Array.make (Array.length flows) Routing.Rps in
+  let rps = Genetic.Selector.uniform sel ~flows Routing.Rps in
+  let vlb = Genetic.Selector.uniform sel ~flows Routing.Vlb in
+  let _, best = Genetic.Selector.select ~pop_size:30 ~generations:8 sel rng ~flows ~init in
+  Alcotest.(check bool)
+    (Printf.sprintf "tail %.2f >= max(%.2f, %.2f)" best rps vlb)
+    true
+    (best >= Float.max rps vlb -. 1e-6);
+  (* Tail <= aggregate / flows for any assignment. *)
+  let agg = Genetic.Selector.aggregate_throughput_gbps sel ~flows init in
+  let tail = Genetic.Selector.utility_gbps sel ~flows init in
+  Alcotest.(check bool) "tail below mean" true
+    (tail <= (agg /. float_of_int (Array.length flows)) +. 1e-6)
+
+let selector_tenant_tail () =
+  let flows = permutation_flows 0.5 47 in
+  let n = Array.length flows in
+  let tenants = Array.init n (fun i -> i mod 2) in
+  let sel =
+    Genetic.Selector.make
+      ~utility:(Genetic.Selector.Tenant_tail tenants)
+      (Lazy.force selector_ctx) ~link_gbps:10.0
+  in
+  let assignment = Array.make n Routing.Rps in
+  let per_flow_sel =
+    Genetic.Selector.make ~utility:Genetic.Selector.Aggregate_throughput
+      (Lazy.force selector_ctx) ~link_gbps:10.0
+  in
+  let agg = Genetic.Selector.aggregate_throughput_gbps per_flow_sel ~flows assignment in
+  let tenant_tail = Genetic.Selector.utility_gbps sel ~flows assignment in
+  (* The worse tenant holds at most half the aggregate. *)
+  Alcotest.(check bool) "tenant tail <= aggregate/2" true (tenant_tail <= (agg /. 2.0) +. 1e-6);
+  Alcotest.(check bool) "positive" true (tenant_tail > 0.0)
+
+let selector_tenant_tail_validates () =
+  let flows = permutation_flows 0.25 53 in
+  let sel =
+    Genetic.Selector.make
+      ~utility:(Genetic.Selector.Tenant_tail [| 0 |])
+      (Lazy.force selector_ctx) ~link_gbps:10.0
+  in
+  Alcotest.check_raises "bad tenant map"
+    (Invalid_argument "Selector: tenant map length mismatch") (fun () ->
+      ignore (Genetic.Selector.utility_gbps sel ~flows (Array.make (Array.length flows) Routing.Rps)))
+
+let selector_rejects_bad_lengths () =
+  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  let flows = permutation_flows 0.25 37 in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Selector: assignment length mismatch") (fun () ->
+      ignore (Genetic.Selector.aggregate_throughput_gbps sel ~flows [| Routing.Rps |]))
+
+let suites =
+  [
+    ( "genetic.ga",
+      [
+        tc "solves onemax" ga_solves_onemax;
+        tc "elite keeps optimal init" ga_keeps_init_when_optimal;
+        tc "empty genotype" ga_empty_genotype;
+        tc "hill climbing improves" hill_climb_improves;
+        tc "simulated annealing improves" annealing_improves;
+        tc "random search bounded" random_search_bounded;
+      ] );
+    ( "genetic.selector",
+      [
+        tc "uniform equals manual assignment" selector_uniform_matches_manual;
+        tc "adaptive >= best uniform baseline (Fig 18)" selector_beats_or_matches_baselines;
+        tc "low load benefits from flexibility" selector_low_load_prefers_nonminimal_sometimes;
+        tc "rejects bad assignment lengths" selector_rejects_bad_lengths;
+        tc "tail-throughput utility (SS3.4)" selector_tail_utility;
+        tc "tenant-tail utility (SS3.4)" selector_tenant_tail;
+        tc "tenant map validated" selector_tenant_tail_validates;
+      ] );
+  ]

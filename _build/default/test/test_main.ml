@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "r2c2"
+    (List.concat
+       [
+         Test_util.suites;
+         Test_topology.suites;
+         Test_routing.suites;
+         Test_wire.suites;
+         Test_congestion.suites;
+         Test_broadcast.suites;
+         Test_workload.suites;
+         Test_sim.suites;
+         Test_emu.suites;
+         Test_genetic.suites;
+         Test_stack.suites;
+         Test_integration.suites;
+       ])

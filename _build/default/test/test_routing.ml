@@ -1,0 +1,238 @@
+(* Tests for lib/routing: path validity per protocol, link fractions,
+   conservation laws, caching. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let torus44 = lazy (Routing.make (Topology.torus [| 4; 4 |]))
+let torus444 = lazy (Routing.make (Topology.torus [| 4; 4; 4 |]))
+
+let check_path_valid ctx path ~src ~dst =
+  let t = Routing.topo ctx in
+  Alcotest.(check int) "starts at src" src path.(0);
+  Alcotest.(check int) "ends at dst" dst path.(Array.length path - 1);
+  for i = 0 to Array.length path - 2 do
+    Alcotest.(check bool) "consecutive vertices adjacent" true
+      (Topology.find_link t path.(i) path.(i + 1) <> None)
+  done
+
+let minimal_paths_have_min_length () =
+  let ctx = Lazy.force torus444 in
+  let t = Routing.topo ctx in
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 100 do
+    let src = Util.Rng.int rng 64 and dst = Util.Rng.int rng 64 in
+    if src <> dst then begin
+      List.iter
+        (fun proto ->
+          let p = Routing.sample_path ctx rng proto ~src ~dst in
+          check_path_valid ctx p ~src ~dst;
+          Alcotest.(check int) "minimal length"
+            (Topology.distance t src dst)
+            (Array.length p - 1))
+        [ Routing.Rps; Routing.Dor ]
+    end
+  done
+
+let vlb_paths_valid () =
+  let ctx = Lazy.force torus444 in
+  let rng = Util.Rng.create 5 in
+  for _ = 1 to 100 do
+    let src = Util.Rng.int rng 64 and dst = Util.Rng.int rng 64 in
+    if src <> dst then begin
+      let p = Routing.sample_path ctx rng Routing.Vlb ~src ~dst in
+      check_path_valid ctx p ~src ~dst
+    end
+  done
+
+let wlb_paths_valid_and_biased_short () =
+  let ctx = Lazy.force torus444 in
+  let t = Routing.topo ctx in
+  let rng = Util.Rng.create 7 in
+  let total_extra_wlb = ref 0 and total_extra_vlb = ref 0 in
+  for _ = 1 to 300 do
+    let src = 0 and dst = 1 in
+    let pw = Routing.sample_path ctx rng Routing.Wlb ~src ~dst in
+    let pv = Routing.sample_path ctx rng Routing.Vlb ~src ~dst in
+    check_path_valid ctx pw ~src ~dst;
+    let d = Topology.distance t src dst in
+    total_extra_wlb := !total_extra_wlb + (Array.length pw - 1 - d);
+    total_extra_vlb := !total_extra_vlb + (Array.length pv - 1 - d)
+  done;
+  Alcotest.(check bool) "WLB shorter than VLB on average" true
+    (!total_extra_wlb < !total_extra_vlb)
+
+let dor_path_deterministic_when_no_tie () =
+  let ctx = Lazy.force torus44 in
+  let rng1 = Util.Rng.create 1 and rng2 = Util.Rng.create 999 in
+  (* (0,0) -> (1,1): offsets 1,1 — no half-way tie on a 4-torus. *)
+  let t = Routing.topo ctx in
+  let src = Topology.of_coords t [| 0; 0 |] and dst = Topology.of_coords t [| 1; 1 |] in
+  let p1 = Routing.sample_path ctx rng1 Routing.Dor ~src ~dst in
+  let p2 = Routing.sample_path ctx rng2 Routing.Dor ~src ~dst in
+  Alcotest.(check (array int)) "same path regardless of rng" p1 p2
+
+let ecmp_deterministic_per_flow () =
+  let ctx = Lazy.force torus444 in
+  let p1 = Routing.ecmp_path ctx ~flow_id:7 ~src:0 ~dst:42 in
+  let p2 = Routing.ecmp_path ctx ~flow_id:7 ~src:0 ~dst:42 in
+  Alcotest.(check (array int)) "stable" p1 p2;
+  (* Different flows usually take different paths. *)
+  let distinct = ref false in
+  for fid = 0 to 20 do
+    if Routing.ecmp_path ctx ~flow_id:fid ~src:0 ~dst:42 <> p1 then distinct := true
+  done;
+  Alcotest.(check bool) "hashes spread flows" true !distinct
+
+let path_links_roundtrip () =
+  let ctx = Lazy.force torus444 in
+  let t = Routing.topo ctx in
+  let rng = Util.Rng.create 11 in
+  let p = Routing.sample_path ctx rng Routing.Rps ~src:0 ~dst:63 in
+  let links = Routing.path_links ctx p in
+  Alcotest.(check int) "one link per hop" (Array.length p - 1) (Array.length links);
+  Array.iteri
+    (fun i l ->
+      Alcotest.(check int) "src matches" p.(i) (Topology.link_src t l);
+      Alcotest.(check int) "dst matches" p.(i + 1) (Topology.link_dst t l))
+    links
+
+let sample_paths_distinct_unique () =
+  let ctx = Lazy.force torus444 in
+  let rng = Util.Rng.create 13 in
+  let paths = Routing.sample_paths_distinct ctx rng ~k:8 ~src:0 ~dst:21 in
+  Alcotest.(check bool) "found some" true (List.length paths >= 2);
+  let keys = List.map (fun p -> Array.to_list p) paths in
+  Alcotest.(check int) "all distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* Conservation: for a minimal protocol, the fractions leaving the source
+   sum to 1, and flow is conserved at every intermediate vertex. *)
+let fraction_conservation proto () =
+  let ctx = Lazy.force torus444 in
+  let t = Routing.topo ctx in
+  let rng = Util.Rng.create 17 in
+  for _ = 1 to 30 do
+    let src = Util.Rng.int rng 64 and dst = Util.Rng.int rng 64 in
+    if src <> dst then begin
+      let fr = Routing.fractions ctx proto ~src ~dst in
+      let inflow = Array.make (Topology.vertex_count t) 0.0 in
+      let outflow = Array.make (Topology.vertex_count t) 0.0 in
+      Array.iter
+        (fun (l, f) ->
+          Alcotest.(check bool) "positive fraction" true (f > 0.0);
+          outflow.(Topology.link_src t l) <- outflow.(Topology.link_src t l) +. f;
+          inflow.(Topology.link_dst t l) <- inflow.(Topology.link_dst t l) +. f)
+        fr;
+      Alcotest.(check (float 1e-6)) "unit outflow at src" 1.0 (outflow.(src) -. inflow.(src));
+      Alcotest.(check (float 1e-6)) "unit inflow at dst" 1.0 (inflow.(dst) -. outflow.(dst));
+      for v = 0 to Topology.vertex_count t - 1 do
+        if v <> src && v <> dst then
+          Alcotest.(check (float 1e-6)) "conservation" 0.0 (inflow.(v) -. outflow.(v))
+      done
+    end
+  done
+
+let rps_fractions_match_sampling () =
+  (* Empirical packet spraying frequencies converge to the DP fractions. *)
+  let ctx = Lazy.force torus44 in
+  let src = 0 and dst = 5 (* (1,1): two shortest paths *) in
+  let fr = Routing.fractions ctx Routing.Rps ~src ~dst in
+  let counts = Hashtbl.create 8 in
+  let rng = Util.Rng.create 19 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let p = Routing.sample_path ctx rng Routing.Rps ~src ~dst in
+    Array.iter
+      (fun l -> Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+      (Routing.path_links ctx p)
+  done;
+  Array.iter
+    (fun (l, f) ->
+      let emp = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts l)) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "link %d: %.3f vs %.3f" l f emp)
+        true
+        (abs_float (emp -. f) < 0.02))
+    fr
+
+let dor_fraction_single_path_no_tie () =
+  let ctx = Lazy.force torus44 in
+  let t = Routing.topo ctx in
+  let src = Topology.of_coords t [| 0; 0 |] and dst = Topology.of_coords t [| 1; 1 |] in
+  let fr = Routing.fractions ctx Routing.Dor ~src ~dst in
+  Alcotest.(check int) "exactly distance links" 2 (Array.length fr);
+  Array.iter (fun (_, f) -> Alcotest.(check (float 1e-9)) "full weight" 1.0 f) fr
+
+let dor_fraction_tie_split () =
+  let ctx = Lazy.force torus44 in
+  let t = Routing.topo ctx in
+  (* offset 2 on a 4-ring: exact half-way tie in dimension 0. *)
+  let src = Topology.of_coords t [| 0; 0 |] and dst = Topology.of_coords t [| 2; 0 |] in
+  let fr = Routing.fractions ctx Routing.Dor ~src ~dst in
+  Alcotest.(check int) "two 2-hop directions" 4 (Array.length fr);
+  Array.iter (fun (_, f) -> Alcotest.(check (float 1e-9)) "half each way" 0.5 f) fr
+
+let vlb_fractions_sum_to_expected_hops () =
+  let ctx = Lazy.force torus444 in
+  let t = Routing.topo ctx in
+  let src = 0 and dst = 63 in
+  let fr = Routing.fractions ctx Routing.Vlb ~src ~dst in
+  let total = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 fr in
+  (* Expected hops = E[d(s,w)] + E[d(w,d)] over uniform waypoints. *)
+  let h = Topology.host_count t in
+  let expected = ref 0.0 in
+  for w = 0 to h - 1 do
+    expected :=
+      !expected
+      +. float_of_int (Topology.distance t src w + Topology.distance t w dst) /. float_of_int h
+  done;
+  Alcotest.(check (float 1e-6)) "total fraction = expected hops" !expected total
+
+let fractions_cached () =
+  let ctx = Routing.make (Topology.torus [| 4; 4 |]) in
+  let a = Routing.fractions ctx Routing.Rps ~src:0 ~dst:5 in
+  let b = Routing.fractions ctx Routing.Rps ~src:0 ~dst:5 in
+  Alcotest.(check bool) "same physical array (cached)" true (a == b)
+
+let protocol_int_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (option bool)) "roundtrip" (Some true)
+        (Option.map (fun q -> q = p) (Routing.protocol_of_int (Routing.protocol_to_int p))))
+    Routing.all_protocols;
+  Alcotest.(check bool) "invalid int" true (Routing.protocol_of_int 9 = None)
+
+let qcheck_sampled_path_minimal =
+  QCheck.Test.make ~name:"RPS sampled path length = distance" ~count:300
+    QCheck.(pair (int_bound 63) (int_bound 63))
+    (fun (src, dst) ->
+      QCheck.assume (src <> dst);
+      let ctx = Lazy.force torus444 in
+      let rng = Util.Rng.create (src + (64 * dst)) in
+      let p = Routing.sample_path ctx rng Routing.Rps ~src ~dst in
+      Array.length p - 1 = Topology.distance (Routing.topo ctx) src dst)
+
+let suites =
+  [
+    ( "routing",
+      [
+        tc "minimal paths have minimal length" minimal_paths_have_min_length;
+        tc "VLB paths valid" vlb_paths_valid;
+        tc "WLB valid and shorter than VLB" wlb_paths_valid_and_biased_short;
+        tc "DOR deterministic without ties" dor_path_deterministic_when_no_tie;
+        tc "ECMP deterministic per flow" ecmp_deterministic_per_flow;
+        tc "path_links matches path" path_links_roundtrip;
+        tc "distinct path sampling" sample_paths_distinct_unique;
+        tc "RPS fraction conservation" (fraction_conservation Routing.Rps);
+        tc "DOR fraction conservation" (fraction_conservation Routing.Dor);
+        tc "WLB fraction conservation" (fraction_conservation Routing.Wlb);
+        tc "VLB fraction conservation" (fraction_conservation Routing.Vlb);
+        tc "RPS fractions match empirical spraying" rps_fractions_match_sampling;
+        tc "DOR single path without tie" dor_fraction_single_path_no_tie;
+        tc "DOR splits half-way ties" dor_fraction_tie_split;
+        tc "VLB fractions sum to expected hops" vlb_fractions_sum_to_expected_hops;
+        tc "fraction caching" fractions_cached;
+        tc "protocol int roundtrip" protocol_int_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_sampled_path_minimal;
+      ] );
+  ]

@@ -1,0 +1,235 @@
+(* Tests for lib/core: the Stack control-plane facade and the Fig. 19
+   control-traffic model. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let mk () = R2c2.Stack.create ~seed:3 (Topology.torus [| 4; 4 |])
+
+let open_close_lifecycle () =
+  let st = mk () in
+  let f = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  Alcotest.(check int) "one active flow" 1 (List.length (R2c2.Stack.active_flows st));
+  R2c2.Stack.close_flow st f;
+  Alcotest.(check int) "closed" 0 (List.length (R2c2.Stack.active_flows st));
+  Alcotest.check_raises "double close" (Invalid_argument "Stack: unknown flow id") (fun () ->
+      R2c2.Stack.close_flow st f)
+
+let open_flow_validation () =
+  let st = mk () in
+  Alcotest.check_raises "self flow" (Invalid_argument "Stack.open_flow: src = dst") (fun () ->
+      ignore (R2c2.Stack.open_flow st ~src:3 ~dst:3));
+  Alcotest.check_raises "out of range" (Invalid_argument "Stack.open_flow: host out of range")
+    (fun () -> ignore (R2c2.Stack.open_flow st ~src:0 ~dst:99))
+
+let broadcasts_observable () =
+  let st = mk () in
+  let events = ref [] in
+  R2c2.Stack.on_broadcast st (fun b -> events := b.Wire.event :: !events);
+  let f = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  R2c2.Stack.set_demand st f ~gbps:(Some 2.0);
+  R2c2.Stack.set_protocol st f Routing.Vlb;
+  R2c2.Stack.close_flow st f;
+  Alcotest.(check (list bool)) "event sequence" [ true; true; true; true ]
+    (List.map
+       (fun e ->
+         List.mem e [ Wire.Flow_start; Wire.Demand_update; Wire.Route_change; Wire.Flow_finish ])
+       !events);
+  Alcotest.(check int) "four events" 4 (List.length !events)
+
+let set_protocol_idempotent () =
+  let st = mk () in
+  let count = ref 0 in
+  R2c2.Stack.on_broadcast st (fun _ -> incr count);
+  let f = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  let before = !count in
+  R2c2.Stack.set_protocol st f Routing.Rps;
+  (* Same protocol: no broadcast. *)
+  Alcotest.(check int) "no event for no-op" before !count
+
+let control_bytes_accounting () =
+  let st = mk () in
+  let f = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  R2c2.Stack.close_flow st f;
+  (* 16 bytes x 15 edges x 2 events on a 16-node rack. *)
+  Alcotest.(check int) "control bytes" (2 * 16 * 15) (R2c2.Stack.control_bytes_sent st)
+
+let recompute_rates () =
+  let st = mk () in
+  let f1 = R2c2.Stack.open_flow st ~src:1 ~dst:0 in
+  let f2 = R2c2.Stack.open_flow st ~src:2 ~dst:0 in
+  Alcotest.(check (float 1e-9)) "zero before recompute" 0.0 (R2c2.Stack.rate_gbps st f1);
+  R2c2.Stack.recompute st;
+  let r1 = R2c2.Stack.rate_gbps st f1 and r2 = R2c2.Stack.rate_gbps st f2 in
+  Alcotest.(check bool) "positive" true (r1 > 0.0 && r2 > 0.0);
+  Alcotest.(check bool) "nearly fair" true (abs_float (r1 -. r2) < 0.5);
+  Alcotest.(check (float 1e-6)) "aggregate = sum" (r1 +. r2)
+    (R2c2.Stack.aggregate_throughput_gbps st)
+
+let weights_and_priorities () =
+  let st = mk () in
+  let hi = R2c2.Stack.open_flow ~priority:0 st ~src:1 ~dst:0 in
+  let lo = R2c2.Stack.open_flow ~priority:1 st ~src:1 ~dst:0 in
+  R2c2.Stack.recompute st;
+  Alcotest.(check bool) "strict priority" true
+    (R2c2.Stack.rate_gbps st hi > 8.0 && R2c2.Stack.rate_gbps st lo < 1.0)
+
+let demand_limits_allocation () =
+  let st = mk () in
+  let f1 = R2c2.Stack.open_flow st ~src:1 ~dst:0 in
+  let f2 = R2c2.Stack.open_flow st ~src:2 ~dst:0 in
+  R2c2.Stack.set_demand st f1 ~gbps:(Some 1.0);
+  R2c2.Stack.recompute st;
+  Alcotest.(check bool) "demand-capped" true (R2c2.Stack.rate_gbps st f1 <= 1.0 +. 1e-6);
+  Alcotest.(check bool) "spare goes to the other flow" true (R2c2.Stack.rate_gbps st f2 > 2.0)
+
+let observe_queue_triggers_demand_update () =
+  let st = mk () in
+  let f = R2c2.Stack.open_flow st ~src:1 ~dst:0 in
+  let other = R2c2.Stack.open_flow st ~src:2 ~dst:0 in
+  R2c2.Stack.recompute st;
+  (* Build estimator history while the flow's share is low... *)
+  R2c2.Stack.observe_sender_queue st f ~queued_bytes:0.0 ~period_ns:1_000_000;
+  (* ...then give it a much larger allocation: the smoothed demand estimate
+     now sits below the new share, i.e. the flow is host limited. *)
+  R2c2.Stack.close_flow st other;
+  R2c2.Stack.recompute st;
+  let saw_demand = ref false in
+  R2c2.Stack.on_broadcast st (fun b -> if b.Wire.event = Wire.Demand_update then saw_demand := true);
+  R2c2.Stack.observe_sender_queue st f ~queued_bytes:0.0 ~period_ns:1_000_000;
+  Alcotest.(check bool) "demand update broadcast" true !saw_demand
+
+let reselect_improves_throughput () =
+  let topo = Topology.torus [| 4; 4; 4 |] in
+  let st = R2c2.Stack.create ~seed:5 topo in
+  let rng = Util.Rng.create 7 in
+  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:0.25 in
+  List.iter
+    (fun (s : Workload.Flowgen.spec) -> ignore (R2c2.Stack.open_flow st ~src:s.src ~dst:s.dst))
+    specs;
+  R2c2.Stack.recompute st;
+  let before = R2c2.Stack.aggregate_throughput_gbps st in
+  let changed = R2c2.Stack.reselect_routing ~pop_size:30 ~generations:8 st (Util.Rng.create 9) in
+  R2c2.Stack.recompute st;
+  let after = R2c2.Stack.aggregate_throughput_gbps st in
+  Alcotest.(check bool)
+    (Printf.sprintf "no regression (%.1f -> %.1f, %d changed)" before after changed)
+    true
+    (after >= before -. 1e-6)
+
+let sample_packet_route_valid () =
+  let st = mk () in
+  let f = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  let rng = Util.Rng.create 11 in
+  let path, sels = R2c2.Stack.sample_packet_route st f rng in
+  Alcotest.(check int) "route selectors cover hops" (Array.length path - 1) (Array.length sels);
+  Alcotest.(check int) "starts at src" 0 path.(0);
+  Alcotest.(check int) "ends at dst" 5 path.(Array.length path - 1)
+
+let failure_reannounces_flows () =
+  let st = mk () in
+  let _ = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  let _ = R2c2.Stack.open_flow st ~src:1 ~dst:6 in
+  let count = ref 0 in
+  R2c2.Stack.on_broadcast st (fun b -> if b.Wire.event = Wire.Flow_start then incr count);
+  R2c2.Stack.handle_failure st;
+  Alcotest.(check int) "every open flow re-broadcast" 2 !count
+
+(* -- policy mapping (SS3.3.2) -------------------------------------------------- *)
+
+let policy_tenant_weights () =
+  let d = R2c2.Policy.tenant_share ~weight:3 in
+  Alcotest.(check int) "weight" 3 d.R2c2.Policy.weight;
+  Alcotest.(check int) "priority" 0 d.R2c2.Policy.priority;
+  Alcotest.check_raises "weight too large"
+    (Invalid_argument "Policy.tenant_share: weight must be in 1..255") (fun () ->
+      ignore (R2c2.Policy.tenant_share ~weight:256))
+
+let policy_deadline_bands () =
+  let link_gbps = 10.0 in
+  (* 1 MB in 1 ms needs 8 Gbps: most urgent band. *)
+  let urgent = R2c2.Policy.deadline ~size_bytes:1_000_000 ~deadline_ns:1_000_000 ~link_gbps in
+  Alcotest.(check int) "urgent band" 0 urgent.R2c2.Policy.priority;
+  (* 10 KB in 1 ms needs 0.08 Gbps: laxest band. *)
+  let lax = R2c2.Policy.deadline ~size_bytes:10_000 ~deadline_ns:1_000_000 ~link_gbps in
+  Alcotest.(check int) "lax band" (R2c2.Policy.deadline_bands - 1) lax.R2c2.Policy.priority;
+  Alcotest.(check bool) "background below all bands" true
+    (R2c2.Policy.background.R2c2.Policy.priority > lax.R2c2.Policy.priority)
+
+let policy_deadline_monotone () =
+  (* Tighter deadlines never get a lower-urgency band. *)
+  let link_gbps = 10.0 in
+  let prev = ref max_int in
+  List.iter
+    (fun dl ->
+      let d = R2c2.Policy.deadline ~size_bytes:1_000_000 ~deadline_ns:dl ~link_gbps in
+      Alcotest.(check bool) "priority non-increasing with urgency" true
+        (d.R2c2.Policy.priority <= !prev);
+      prev := d.R2c2.Policy.priority)
+    [ 100_000_000; 10_000_000; 2_000_000; 1_000_000; 500_000 ]
+
+let policy_end_to_end_deadline () =
+  (* An urgent flow mapped through the policy module preempts background
+     bulk on the same bottleneck and meets its deadline. *)
+  let st = mk () in
+  let link_gbps = (R2c2.Stack.config st).R2c2.Stack.link_gbps in
+  let urgent_d = R2c2.Policy.deadline ~size_bytes:1_000_000 ~deadline_ns:1_200_000 ~link_gbps in
+  let urgent =
+    R2c2.Stack.open_flow ~weight:urgent_d.R2c2.Policy.weight
+      ~priority:urgent_d.R2c2.Policy.priority st ~src:1 ~dst:0
+  in
+  let bulk =
+    R2c2.Stack.open_flow ~weight:R2c2.Policy.background.R2c2.Policy.weight
+      ~priority:R2c2.Policy.background.R2c2.Policy.priority st ~src:1 ~dst:0
+  in
+  R2c2.Stack.recompute st;
+  let r = R2c2.Stack.rate_gbps st urgent in
+  Alcotest.(check bool) "meets deadline" true
+    (R2c2.Policy.meets_deadline ~size_bytes:1_000_000 ~deadline_ns:1_200_000 ~rate_gbps:r);
+  Alcotest.(check bool) "bulk preempted" true (R2c2.Stack.rate_gbps st bulk < r)
+
+(* -- control traffic (Fig 19) ------------------------------------------------ *)
+
+let fig19_decentralized_constant () =
+  let topo = Topology.torus [| 8; 8; 8 |] in
+  Alcotest.(check (float 1e-9)) "16 x 511" 8176.0
+    (R2c2.Control_traffic.decentralized_event_bytes topo)
+
+let fig19_centralized_grows () =
+  let topo = Topology.torus [| 8; 8; 8 |] in
+  let r1 = R2c2.Control_traffic.ratio topo ~flows_per_server:1 in
+  let r10 = R2c2.Control_traffic.ratio topo ~flows_per_server:10 in
+  Alcotest.(check bool) (Printf.sprintf "~6x at 1 flow (got %.1f)" r1) true (r1 > 4.0 && r1 < 9.0);
+  Alcotest.(check bool) (Printf.sprintf "~20x at 10 flows (got %.1f)" r10) true
+    (r10 > 15.0 && r10 < 27.0);
+  Alcotest.(check bool) "monotone" true (r10 > r1)
+
+let suites =
+  [
+    ( "stack",
+      [
+        tc "open/close lifecycle" open_close_lifecycle;
+        tc "open_flow validation" open_flow_validation;
+        tc "broadcasts observable and well-formed" broadcasts_observable;
+        tc "set_protocol idempotent" set_protocol_idempotent;
+        tc "control bytes accounting" control_bytes_accounting;
+        tc "recompute produces fair rates" recompute_rates;
+        tc "priorities respected" weights_and_priorities;
+        tc "demand limits allocation" demand_limits_allocation;
+        tc "queue observation triggers demand update" observe_queue_triggers_demand_update;
+        tc "routing reselection never regresses" reselect_improves_throughput;
+        tc "sampled packet routes valid" sample_packet_route_valid;
+        tc "failure handling re-announces flows" failure_reannounces_flows;
+      ] );
+    ( "policy",
+      [
+        tc "tenant weights" policy_tenant_weights;
+        tc "deadline bands" policy_deadline_bands;
+        tc "deadline urgency monotone" policy_deadline_monotone;
+        tc "deadline end-to-end via the stack" policy_end_to_end_deadline;
+      ] );
+    ( "control_traffic",
+      [
+        tc "decentralized constant (paper: ~8 KB)" fig19_decentralized_constant;
+        tc "centralized grows with flows/server" fig19_centralized_grows;
+      ] );
+  ]

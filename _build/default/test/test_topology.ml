@@ -1,0 +1,253 @@
+(* Tests for lib/topology: grid construction, distances, trees, failures. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let torus333 = lazy (Topology.torus [| 3; 3; 3 |])
+let torus44 = lazy (Topology.torus [| 4; 4 |])
+let mesh44 = lazy (Topology.mesh [| 4; 4 |])
+let torus888 = lazy (Topology.torus [| 8; 8; 8 |])
+
+let torus_counts () =
+  let t = Lazy.force torus333 in
+  Alcotest.(check int) "27 nodes" 27 (Topology.host_count t);
+  Alcotest.(check int) "equal vertices" 27 (Topology.vertex_count t);
+  (* 3D torus with k=3: every node has 6 neighbors -> 27*6 directed links *)
+  Alcotest.(check int) "162 directed links" 162 (Topology.link_count t)
+
+let torus_degree_uniform () =
+  let t = Lazy.force torus333 in
+  for v = 0 to 26 do
+    Alcotest.(check int) "degree 6" 6 (Topology.degree t v)
+  done
+
+let mesh_corner_degree () =
+  let t = Lazy.force mesh44 in
+  Alcotest.(check int) "corner degree 2" 2 (Topology.degree t 0);
+  (* interior node (1,1) = 1 + 4 = 5 *)
+  Alcotest.(check int) "interior degree 4" 4 (Topology.degree t 5)
+
+let k2_dimension_no_double_link () =
+  let t = Topology.torus [| 2; 2 |] in
+  (* k=2 wraparound degenerates: each node has exactly 2 neighbors. *)
+  for v = 0 to 3 do
+    Alcotest.(check int) "degree 2" 2 (Topology.degree t v)
+  done
+
+let coords_roundtrip () =
+  let t = Lazy.force torus333 in
+  for v = 0 to 26 do
+    Alcotest.(check int) "roundtrip" v (Topology.of_coords t (Topology.coords t v))
+  done
+
+let torus_distance_analytic () =
+  let t = Lazy.force torus44 in
+  let d a b =
+    Topology.distance t (Topology.of_coords t [| fst a; snd a |])
+      (Topology.of_coords t [| fst b; snd b |])
+  in
+  Alcotest.(check int) "adjacent" 1 (d (0, 0) (1, 0));
+  Alcotest.(check int) "wraparound" 1 (d (0, 0) (3, 0));
+  Alcotest.(check int) "diagonal" 4 (d (0, 0) (2, 2));
+  Alcotest.(check int) "self" 0 (d (1, 1) (1, 1))
+
+let distance_symmetric () =
+  let t = Lazy.force torus333 in
+  for u = 0 to 26 do
+    for v = 0 to 26 do
+      Alcotest.(check int) "symmetric" (Topology.distance t u v) (Topology.distance t v u)
+    done
+  done
+
+let mesh_no_wrap () =
+  let t = Lazy.force mesh44 in
+  let a = Topology.of_coords t [| 0; 0 |] and b = Topology.of_coords t [| 3; 0 |] in
+  Alcotest.(check int) "no wrap: 3 hops" 3 (Topology.distance t a b)
+
+let diameter_torus () =
+  Alcotest.(check int) "4x4 torus diameter" 4 (Topology.diameter (Lazy.force torus44));
+  Alcotest.(check int) "8x8x8 torus diameter" 12 (Topology.diameter (Lazy.force torus888))
+
+let average_distance_512 () =
+  (* k-ary n-cube uniform average ~ n*k/4 = 6 for 8x8x8. *)
+  let avg = Topology.average_distance (Lazy.force torus888) in
+  Alcotest.(check bool) "near 6 hops" true (abs_float (avg -. 6.0) < 0.2)
+
+let bisection_values () =
+  Alcotest.(check int) "8x8x8 torus" 256 (Topology.bisection_links (Lazy.force torus888));
+  Alcotest.(check int) "4x4 torus" 16 (Topology.bisection_links (Lazy.force torus44));
+  Alcotest.(check int) "4x4 mesh" 8 (Topology.bisection_links (Lazy.force mesh44))
+
+let productive_hops_shrink_distance () =
+  let t = Lazy.force torus888 in
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 200 do
+    let u = Util.Rng.int rng 512 and d = Util.Rng.int rng 512 in
+    if u <> d then begin
+      let hops = Topology.productive_hops t u ~dst:d in
+      Alcotest.(check bool) "at least one productive hop" true (Array.length hops > 0);
+      Array.iter
+        (fun (v, l) ->
+          Alcotest.(check int) "distance decreases" (Topology.distance t u d - 1)
+            (Topology.distance t v d);
+          Alcotest.(check int) "link src" u (Topology.link_src t l);
+          Alcotest.(check int) "link dst" v (Topology.link_dst t l))
+        hops
+    end
+  done
+
+let find_link_consistent () =
+  let t = Lazy.force torus44 in
+  for v = 0 to 15 do
+    Array.iter
+      (fun (u, l) ->
+        Alcotest.(check (option int)) "find_link finds it" (Some l) (Topology.find_link t v u))
+      (Topology.out_links t v)
+  done;
+  Alcotest.(check (option int)) "non-adjacent" None (Topology.find_link t 0 10)
+
+let clos_structure () =
+  let t = Topology.clos ~leaves:4 ~spines:2 ~servers_per_leaf:4 in
+  Alcotest.(check int) "16 hosts" 16 (Topology.host_count t);
+  Alcotest.(check int) "22 vertices" 22 (Topology.vertex_count t);
+  (* server-server same leaf: 2 hops; across leaves: 4 hops *)
+  Alcotest.(check int) "same leaf" 2 (Topology.distance t 0 1);
+  Alcotest.(check int) "cross leaf" 4 (Topology.distance t 0 15);
+  Alcotest.(check int) "bisection" 8 (Topology.bisection_links t)
+
+let spanning_tree_is_shortest () =
+  let t = Lazy.force torus888 in
+  let root = 17 in
+  for variant = 0 to 3 do
+    let parent = Topology.shortest_path_tree t ~root ~variant in
+    Alcotest.(check int) "root is own parent" root parent.(root);
+    (* Every vertex reached, and tree depth equals BFS distance. *)
+    let rec depth v = if v = root then 0 else 1 + depth parent.(v) in
+    for v = 0 to Topology.vertex_count t - 1 do
+      Alcotest.(check bool) "reached" true (parent.(v) >= 0);
+      Alcotest.(check int) "tree path is shortest" (Topology.distance t root v) (depth v)
+    done
+  done
+
+let tree_variants_differ () =
+  let t = Lazy.force torus888 in
+  let p0 = Topology.shortest_path_tree t ~root:0 ~variant:0 in
+  let p1 = Topology.shortest_path_tree t ~root:0 ~variant:1 in
+  Alcotest.(check bool) "variants give different trees" true (p0 <> p1)
+
+let tree_children_sizes () =
+  let t = Lazy.force torus44 in
+  let parent = Topology.shortest_path_tree t ~root:0 ~variant:0 in
+  let children = Topology.tree_children parent ~root:0 in
+  let total = Array.fold_left (fun acc c -> acc + List.length c) 0 children in
+  Alcotest.(check int) "n-1 edges" 15 total
+
+let tree_depth_torus () =
+  let t = Lazy.force torus888 in
+  let parent = Topology.shortest_path_tree t ~root:0 ~variant:0 in
+  Alcotest.(check int) "depth = diameter" 12 (Topology.tree_depth parent ~root:0)
+
+let remove_link_reroutes () =
+  let t = Lazy.force torus44 in
+  let t' = Topology.remove_link t 0 1 in
+  Alcotest.(check (option int)) "link gone" None (Topology.find_link t' 0 1);
+  Alcotest.(check (option int)) "reverse gone" None (Topology.find_link t' 1 0);
+  (* Still connected: the shortest detour on a 2D torus is 3 hops (no
+     single vertex is adjacent to both endpoints). *)
+  Alcotest.(check int) "rerouted distance" 3 (Topology.distance t' 0 1);
+  Alcotest.(check int) "original untouched" 1 (Topology.distance t 0 1)
+
+let remove_link_rejects_non_adjacent () =
+  let t = Lazy.force torus44 in
+  Alcotest.check_raises "non-adjacent" (Invalid_argument "Topology.remove_link: vertices not adjacent")
+    (fun () -> ignore (Topology.remove_link t 0 10))
+
+let hypercube_structure () =
+  let t = Topology.hypercube 4 in
+  Alcotest.(check int) "16 nodes" 16 (Topology.host_count t);
+  for v = 0 to 15 do
+    Alcotest.(check int) "degree n" 4 (Topology.degree t v)
+  done;
+  Alcotest.(check int) "diameter n" 4 (Topology.diameter t);
+  (* Distance = Hamming distance of vertex labels. *)
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 100 do
+    let u = Util.Rng.int rng 16 and v = Util.Rng.int rng 16 in
+    let hamming = ref 0 in
+    for b = 0 to 3 do
+      if (u lsr b) land 1 <> (v lsr b) land 1 then incr hamming
+    done;
+    Alcotest.(check int) "hamming distance" !hamming (Topology.distance t u v)
+  done
+
+let flattened_butterfly_structure () =
+  let t = Topology.flattened_butterfly 4 in
+  Alcotest.(check int) "16 nodes" 16 (Topology.host_count t);
+  for v = 0 to 15 do
+    Alcotest.(check int) "degree 2(k-1)" 6 (Topology.degree t v)
+  done;
+  Alcotest.(check int) "diameter 2" 2 (Topology.diameter t);
+  (* Same row: 1 hop; different row and column: 2 hops. *)
+  let id x y = Topology.of_coords t [| x; y |] in
+  Alcotest.(check int) "same row" 1 (Topology.distance t (id 0 0) (id 3 0));
+  Alcotest.(check int) "same column" 1 (Topology.distance t (id 0 0) (id 0 3));
+  Alcotest.(check int) "diagonal" 2 (Topology.distance t (id 0 0) (id 2 3));
+  (* Bisection: per row (k/2)^2 cables cross -> 2 * 4 * 4 directed. *)
+  Alcotest.(check int) "bisection" 32 (Topology.bisection_links t)
+
+let flattened_butterfly_routing () =
+  let t = Topology.flattened_butterfly 4 in
+  let ctx = Routing.make t in
+  let rng = Util.Rng.create 5 in
+  for _ = 1 to 50 do
+    let src = Util.Rng.int rng 16 and dst = Util.Rng.int rng 16 in
+    if src <> dst then begin
+      let p = Routing.sample_path ctx rng Routing.Rps ~src ~dst in
+      Alcotest.(check int) "minimal" (Topology.distance t src dst) (Array.length p - 1);
+      (* Degree 6 fits the 3-bit wire selector. *)
+      ignore (Wire.route_selectors ctx p)
+    end
+  done
+
+let qcheck_bfs_matches_torus_formula =
+  QCheck.Test.make ~name:"BFS distance = torus manhattan-with-wrap" ~count:300
+    QCheck.(pair (int_bound 511) (int_bound 511))
+    (fun (u, v) ->
+      let t = Lazy.force torus888 in
+      let cu = Topology.coords t u and cv = Topology.coords t v in
+      let expected = ref 0 in
+      for i = 0 to 2 do
+        let d = abs (cu.(i) - cv.(i)) in
+        expected := !expected + min d (8 - d)
+      done;
+      Topology.distance t u v = !expected)
+
+let suites =
+  [
+    ( "topology",
+      [
+        tc "torus link/node counts" torus_counts;
+        tc "torus degree uniform" torus_degree_uniform;
+        tc "mesh corner degrees" mesh_corner_degree;
+        tc "k=2 dims avoid duplicate cables" k2_dimension_no_double_link;
+        tc "coords roundtrip" coords_roundtrip;
+        tc "torus distances" torus_distance_analytic;
+        tc "distance symmetric" distance_symmetric;
+        tc "mesh has no wraparound" mesh_no_wrap;
+        tc "diameters" diameter_torus;
+        tc "512-node average distance ~6" average_distance_512;
+        tc "bisection link counts" bisection_values;
+        tc "productive hops shrink distance" productive_hops_shrink_distance;
+        tc "find_link consistent with out_links" find_link_consistent;
+        tc "clos structure" clos_structure;
+        tc "spanning tree is shortest-path" spanning_tree_is_shortest;
+        tc "tree variants differ" tree_variants_differ;
+        tc "tree children count" tree_children_sizes;
+        tc "tree depth equals diameter" tree_depth_torus;
+        tc "remove_link reroutes" remove_link_reroutes;
+        tc "remove_link validates" remove_link_rejects_non_adjacent;
+        tc "hypercube structure" hypercube_structure;
+        tc "flattened butterfly structure" flattened_butterfly_structure;
+        tc "flattened butterfly routing + wire" flattened_butterfly_routing;
+        QCheck_alcotest.to_alcotest qcheck_bfs_matches_torus_formula;
+      ] );
+  ]

@@ -1,0 +1,255 @@
+(* Tests for lib/util: deterministic RNG, binary heap, statistics. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- rng ----------------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+  done
+
+let rng_seeds_differ () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Rng.bits64 a = Util.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let rng_int_range () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Util.Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let rng_int_covers_all () =
+  let rng = Util.Rng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Util.Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let rng_float_range () =
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Util.Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let rng_split_independent () =
+  let a = Util.Rng.create 11 in
+  let b = Util.Rng.split a in
+  let x = Util.Rng.bits64 a and y = Util.Rng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (x <> y)
+
+let rng_permutation_valid () =
+  let rng = Util.Rng.create 13 in
+  for _ = 1 to 50 do
+    let p = Util.Rng.permutation rng 20 in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+  done
+
+let rng_exponential_mean () =
+  let rng = Util.Rng.create 17 in
+  let n = 50_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Util.Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (abs_float (mean -. 5.0) < 0.15)
+
+let rng_pareto_support () =
+  let rng = Util.Rng.create 19 in
+  for _ = 1 to 10_000 do
+    let v = Util.Rng.pareto rng ~shape:1.05 ~scale:2.0 in
+    Alcotest.(check bool) "x >= scale" true (v >= 2.0)
+  done
+
+let rng_categorical_weights () =
+  let rng = Util.Rng.create 23 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Util.Rng.categorical rng [| 1.0; 2.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac1 = float_of_int counts.(1) /. 30_000.0 in
+  Alcotest.(check bool) "middle weight dominates" true (abs_float (frac1 -. 0.5) < 0.03)
+
+let rng_pick_uniform () =
+  let rng = Util.Rng.create 29 in
+  let counts = Hashtbl.create 4 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 9000 do
+    let v = Util.Rng.pick rng arr in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  Array.iter
+    (fun v ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts v) in
+      Alcotest.(check bool) "roughly uniform" true (c > 2500 && c < 3500))
+    arr
+
+(* -- heap ---------------------------------------------------------------- *)
+
+let heap_ordering () =
+  let h = Util.Heap.create () in
+  let rng = Util.Rng.create 31 in
+  for _ = 1 to 1000 do
+    Util.Heap.push h (Util.Rng.int rng 500) ()
+  done;
+  let last = ref min_int in
+  let count = ref 0 in
+  let rec drain () =
+    match Util.Heap.pop h with
+    | None -> ()
+    | Some (p, ()) ->
+        Alcotest.(check bool) "non-decreasing" true (p >= !last);
+        last := p;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" 1000 !count
+
+let heap_fifo_on_ties () =
+  let h = Util.Heap.create () in
+  Util.Heap.push h 5 "first";
+  Util.Heap.push h 5 "second";
+  Util.Heap.push h 5 "third";
+  let pop () = match Util.Heap.pop h with Some (_, v) -> v | None -> assert false in
+  Alcotest.(check string) "insertion order" "first" (pop ());
+  Alcotest.(check string) "insertion order" "second" (pop ());
+  Alcotest.(check string) "insertion order" "third" (pop ())
+
+let heap_peek_no_remove () =
+  let h = Util.Heap.create () in
+  Util.Heap.push h 1 "x";
+  Alcotest.(check (option (pair int string))) "peek" (Some (1, "x")) (Util.Heap.peek h);
+  Alcotest.(check int) "size unchanged" 1 (Util.Heap.size h)
+
+let heap_empty () =
+  let h : unit Util.Heap.t = Util.Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Util.Heap.is_empty h);
+  Alcotest.(check (option (pair int unit))) "pop empty" None (Util.Heap.pop h)
+
+let heap_interleaved () =
+  let h = Util.Heap.create () in
+  Util.Heap.push h 10 10;
+  Util.Heap.push h 5 5;
+  Alcotest.(check (option (pair int int))) "min first" (Some (5, 5)) (Util.Heap.pop h);
+  Util.Heap.push h 1 1;
+  Alcotest.(check (option (pair int int))) "new min" (Some (1, 1)) (Util.Heap.pop h);
+  Alcotest.(check (option (pair int int))) "remaining" (Some (10, 10)) (Util.Heap.pop h)
+
+(* -- stats --------------------------------------------------------------- *)
+
+let stats_percentile_exact () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "p0 = min" 1.0 (Util.Stats.percentile xs 0.0);
+  check_float "p100 = max" 5.0 (Util.Stats.percentile xs 100.0);
+  check_float "p50 = median" 3.0 (Util.Stats.percentile xs 50.0);
+  check_float "p25 interpolates" 2.0 (Util.Stats.percentile xs 25.0)
+
+let stats_percentile_unsorted () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "sorts internally" 3.0 (Util.Stats.percentile xs 50.0)
+
+let stats_mean_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (Util.Stats.mean xs);
+  Alcotest.(check bool) "stddev sample" true (abs_float (Util.Stats.stddev xs -. 2.138) < 0.01)
+
+let stats_cdf_monotone () =
+  let rng = Util.Rng.create 37 in
+  let xs = Array.init 500 (fun _ -> Util.Rng.float rng 10.0) in
+  let cdf = Util.Stats.cdf xs in
+  let rec check_mono = function
+    | (v1, f1) :: ((v2, f2) :: _ as rest) ->
+        Alcotest.(check bool) "values non-decreasing" true (v1 <= v2);
+        Alcotest.(check bool) "fractions non-decreasing" true (f1 <= f2);
+        check_mono rest
+    | _ -> ()
+  in
+  check_mono cdf;
+  (match List.rev cdf with
+  | (_, last) :: _ -> check_float "reaches 1" 1.0 last
+  | [] -> Alcotest.fail "empty cdf")
+
+let stats_ewma () =
+  let e = Util.Stats.ewma_create ~alpha:0.5 in
+  check_float "zero before update" 0.0 (Util.Stats.ewma_value e);
+  Util.Stats.ewma_update e 10.0;
+  check_float "first sample taken whole" 10.0 (Util.Stats.ewma_value e);
+  Util.Stats.ewma_update e 20.0;
+  check_float "smoothed" 15.0 (Util.Stats.ewma_value e)
+
+let stats_summary_empty () =
+  let s = Util.Stats.summarize [||] in
+  Alcotest.(check int) "count" 0 s.Util.Stats.count;
+  check_float "mean" 0.0 s.Util.Stats.mean
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:500
+    QCheck.(pair (array_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      QCheck.assume (Array.length xs > 0);
+      let v = Util.Stats.percentile xs p in
+      let mn = Array.fold_left min xs.(0) xs and mx = Array.fold_left max xs.(0) xs in
+      v >= mn -. 1e-9 && v <= mx +. 1e-9)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap pops = sorted input" ~count:300
+    QCheck.(list (int_bound 10_000))
+    (fun xs ->
+      let h = Util.Heap.create () in
+      List.iter (fun x -> Util.Heap.push h x x) xs;
+      let rec drain acc =
+        match Util.Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        tc "deterministic per seed" rng_deterministic;
+        tc "different seeds differ" rng_seeds_differ;
+        tc "int in range" rng_int_range;
+        tc "int covers all values" rng_int_covers_all;
+        tc "float in range" rng_float_range;
+        tc "split independent" rng_split_independent;
+        tc "permutation valid" rng_permutation_valid;
+        tc "exponential mean" rng_exponential_mean;
+        tc "pareto support" rng_pareto_support;
+        tc "categorical follows weights" rng_categorical_weights;
+        tc "pick roughly uniform" rng_pick_uniform;
+      ] );
+    ( "util.heap",
+      [
+        tc "pops in priority order" heap_ordering;
+        tc "fifo on equal priorities" heap_fifo_on_ties;
+        tc "peek does not remove" heap_peek_no_remove;
+        tc "empty heap" heap_empty;
+        tc "interleaved push/pop" heap_interleaved;
+        QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+      ] );
+    ( "util.stats",
+      [
+        tc "percentile exact points" stats_percentile_exact;
+        tc "percentile sorts input" stats_percentile_unsorted;
+        tc "mean and stddev" stats_mean_stddev;
+        tc "cdf monotone, reaches 1" stats_cdf_monotone;
+        tc "ewma smoothing" stats_ewma;
+        tc "summary of empty array" stats_summary_empty;
+        QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+      ] );
+  ]

@@ -1,0 +1,197 @@
+(* Tests for lib/wire: packet formats of Fig. 6, checksums, route
+   selectors. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let sample_header =
+  {
+    Wire.flow = 0xDEADBEE;
+    src = 17;
+    dst = 391;
+    seq = 123_456;
+    plen = 1465;
+    route = [| 0; 3; 5; 1; 2; 4; 0; 7 |];
+    ridx = 2;
+  }
+
+let data_roundtrip () =
+  let b = Wire.encode_data sample_header in
+  Alcotest.(check int) "header size" Wire.data_header_size (Bytes.length b);
+  match Wire.decode_data b with
+  | Error e -> Alcotest.fail e
+  | Ok h ->
+      Alcotest.(check int) "flow" sample_header.Wire.flow h.Wire.flow;
+      Alcotest.(check int) "src" sample_header.Wire.src h.Wire.src;
+      Alcotest.(check int) "dst" sample_header.Wire.dst h.Wire.dst;
+      Alcotest.(check int) "seq" sample_header.Wire.seq h.Wire.seq;
+      Alcotest.(check int) "plen" sample_header.Wire.plen h.Wire.plen;
+      Alcotest.(check int) "ridx" sample_header.Wire.ridx h.Wire.ridx;
+      Alcotest.(check (array int)) "route" sample_header.Wire.route h.Wire.route
+
+let data_max_route () =
+  let h = { sample_header with Wire.route = Array.init 42 (fun i -> i mod 8); ridx = 0 } in
+  match Wire.decode_data (Wire.encode_data h) with
+  | Ok h' -> Alcotest.(check (array int)) "42-hop route" h.Wire.route h'.Wire.route
+  | Error e -> Alcotest.fail e
+
+let data_rejects_oversized_route () =
+  Alcotest.check_raises "route too long"
+    (Invalid_argument "Wire.encode_data: route too long") (fun () ->
+      ignore (Wire.encode_data { sample_header with Wire.route = Array.make 43 0 }))
+
+let data_rejects_wide_fields () =
+  Alcotest.check_raises "selector too wide"
+    (Invalid_argument "Wire: field route hop = 8 exceeds 3 bits") (fun () ->
+      ignore (Wire.encode_data { sample_header with Wire.route = [| 8 |]; ridx = 0 }))
+
+let data_detects_corruption () =
+  let rng = Util.Rng.create 3 in
+  let b = Wire.encode_data sample_header in
+  let detected = ref 0 in
+  let n = 200 in
+  for _ = 1 to n do
+    match Wire.decode_data (Wire.corrupt rng b) with
+    | Error _ -> incr detected
+    | Ok h' -> if h' <> sample_header then () else incr detected
+    (* a flip that decodes to the identical header would be a real miss *)
+  done;
+  Alcotest.(check int) "every single-bit flip detected or harmless" n !detected
+
+let data_short_buffer () =
+  match Wire.decode_data (Bytes.create 10) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded short buffer"
+
+let sample_bcast =
+  {
+    Wire.event = Wire.Flow_start;
+    bsrc = 12;
+    bdst = 511;
+    weight = 3;
+    priority = 1;
+    demand_kbps = 1_000_000;
+    tree = 2;
+    rp = Routing.Vlb;
+  }
+
+let broadcast_roundtrip () =
+  let b = Wire.encode_broadcast sample_bcast in
+  Alcotest.(check int) "16 bytes" Wire.broadcast_size (Bytes.length b);
+  match Wire.decode_broadcast b with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Alcotest.(check bool) "roundtrip" true (p = sample_bcast)
+
+let broadcast_all_events () =
+  List.iter
+    (fun event ->
+      let p = { sample_bcast with Wire.event } in
+      match Wire.decode_broadcast (Wire.encode_broadcast p) with
+      | Ok p' -> Alcotest.(check bool) "event preserved" true (p'.Wire.event = event)
+      | Error e -> Alcotest.fail e)
+    [ Wire.Flow_start; Wire.Flow_finish; Wire.Demand_update; Wire.Route_change ]
+
+let broadcast_detects_corruption () =
+  let rng = Util.Rng.create 5 in
+  let b = Wire.encode_broadcast sample_bcast in
+  for _ = 1 to 200 do
+    match Wire.decode_broadcast (Wire.corrupt rng b) with
+    | Error _ -> ()
+    | Ok p -> Alcotest.(check bool) "if decoded, must equal original" true (p = sample_bcast)
+  done
+
+let broadcast_max_demand () =
+  (* 4 Tbps in Kbps fits 32 bits. *)
+  let p = { sample_bcast with Wire.demand_kbps = 4_000_000_000 } in
+  match Wire.decode_broadcast (Wire.encode_broadcast p) with
+  | Ok p' -> Alcotest.(check int) "4 Tbps demand" 4_000_000_000 p'.Wire.demand_kbps
+  | Error e -> Alcotest.fail e
+
+let broadcast_wrong_size () =
+  match Wire.decode_broadcast (Bytes.create 15) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded 15-byte broadcast"
+
+let checksum_zero_buffer () =
+  let b = Bytes.make 8 '\000' in
+  Alcotest.(check int) "ones-complement of 0" 0xFFFF (Wire.checksum b)
+
+let checksum_odd_length () =
+  let b = Bytes.of_string "abc" in
+  let c1 = Wire.checksum b in
+  Alcotest.(check bool) "in 16-bit range" true (c1 >= 0 && c1 <= 0xFFFF)
+
+let route_selectors_roundtrip () =
+  let topo = Topology.torus [| 4; 4; 4 |] in
+  let ctx = Routing.make topo in
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 50 do
+    let src = Util.Rng.int rng 64 and dst = Util.Rng.int rng 64 in
+    if src <> dst then begin
+      let path = Routing.sample_path ctx rng Routing.Rps ~src ~dst in
+      let sels = Wire.route_selectors ctx path in
+      (* Walking the selectors reproduces the path. *)
+      let v = ref src in
+      Array.iteri
+        (fun i s ->
+          v := Wire.apply_selector topo !v s;
+          Alcotest.(check int) "selector walks the path" path.(i + 1) !v)
+        sels
+    end
+  done
+
+let route_selectors_reject_high_degree () =
+  (* A k=6 flattened butterfly has degree 10 — beyond the 3-bit selector
+     budget of the Fig. 6 header. *)
+  let topo = Topology.flattened_butterfly 6 in
+  let ctx = Routing.make topo in
+  let rng = Util.Rng.create 11 in
+  let path = Routing.sample_path ctx rng Routing.Rps ~src:0 ~dst:35 in
+  Alcotest.check_raises "degree over 8"
+    (Invalid_argument "Wire.route_selectors: node degree exceeds 8") (fun () ->
+      ignore (Wire.route_selectors ctx path))
+
+let qcheck_data_roundtrip =
+  QCheck.Test.make ~name:"data header roundtrip" ~count:500
+    QCheck.(
+      quad (int_bound 0xFFFF) (int_bound 0xFFFF)
+        (pair (int_bound 1_000_000) (int_bound 1465))
+        (list_of_size Gen.(0 -- 42) (int_bound 7)))
+    (fun (src, dst, (seq, plen), route) ->
+      let h = { Wire.flow = src lxor (dst * 7); src; dst; seq; plen; route = Array.of_list route; ridx = 0 } in
+      match Wire.decode_data (Wire.encode_data h) with Ok h' -> h' = h | Error _ -> false)
+
+let qcheck_broadcast_roundtrip =
+  QCheck.Test.make ~name:"broadcast roundtrip" ~count:500
+    QCheck.(
+      quad (int_bound 0xFFFF) (int_bound 0xFFFF) (pair (int_bound 255) (int_bound 255))
+        (pair (int_bound 0xFFFFFFF) (int_bound 3)))
+    (fun (bsrc, bdst, (weight, priority), (demand_kbps, rpi)) ->
+      let rp = Option.get (Routing.protocol_of_int rpi) in
+      let p = { Wire.event = Wire.Flow_start; bsrc; bdst; weight; priority; demand_kbps; tree = 1; rp } in
+      match Wire.decode_broadcast (Wire.encode_broadcast p) with
+      | Ok p' -> p' = p
+      | Error _ -> false)
+
+let suites =
+  [
+    ( "wire",
+      [
+        tc "data header roundtrip" data_roundtrip;
+        tc "42-hop route fits" data_max_route;
+        tc "oversized route rejected" data_rejects_oversized_route;
+        tc "wide selector rejected" data_rejects_wide_fields;
+        tc "corruption detected" data_detects_corruption;
+        tc "short buffer rejected" data_short_buffer;
+        tc "broadcast roundtrip" broadcast_roundtrip;
+        tc "all broadcast events" broadcast_all_events;
+        tc "broadcast corruption detected" broadcast_detects_corruption;
+        tc "4 Tbps demand encodes" broadcast_max_demand;
+        tc "wrong-size broadcast rejected" broadcast_wrong_size;
+        tc "checksum of zeros" checksum_zero_buffer;
+        tc "checksum odd length" checksum_odd_length;
+        tc "route selectors walk the path" route_selectors_roundtrip;
+        tc "route selectors reject degree > 8" route_selectors_reject_high_degree;
+        QCheck_alcotest.to_alcotest qcheck_data_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_broadcast_roundtrip;
+      ] );
+  ]
