@@ -24,14 +24,16 @@ let all_experiments ~paper =
 let () =
   let usage () =
     print_endline
-      "usage: main.exe [exp-id] [--paper]\n\
+      "usage: main.exe [exp-id] [--paper] [--quick]\n\
        exp-ids: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
-      \         fig17 fig18 fig19 ablation micro all (default: all)";
+      \         fig17 fig18 fig19 ablation micro churn all (default: all)\n\
+       churn writes BENCH_waterfill.json; --quick runs a 1-trial smoke";
     exit 1
   in
   let args = List.tl (Array.to_list Sys.argv) in
   let paper = List.mem "--paper" args in
-  let args = List.filter (fun a -> a <> "--paper") args in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--paper" && a <> "--quick") args in
   let dims = [| 8; 8; 8 |] in
   let flows = 2000 in
   match args with
@@ -52,4 +54,5 @@ let () =
   | [ "fig19" ] -> Experiments.fig19 ()
   | [ "ablation" ] -> Experiments.ablations ()
   | [ "micro" ] -> Micro.run ()
+  | [ "churn" ] -> Micro.churn ~quick ()
   | _ -> usage ()

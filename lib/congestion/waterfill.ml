@@ -197,11 +197,19 @@ module Fheap = struct
     end
 end
 
-(* Operation counters for the performance ablation (bench `ablation`). *)
+(* Operation counters for the performance ablation (bench `ablation`).
+   Reset at the top of every allocation so each call reports only its own
+   work. *)
 let dbg_pops = ref 0
 let dbg_valid = ref 0
 let dbg_scan = ref 0
 let dbg_push = ref 0
+
+let reset_debug_counters () =
+  dbg_pops := 0;
+  dbg_valid := 0;
+  dbg_scan := 0;
+  dbg_push := 0
 
 type event = Link_sat of int (* link *) | Demand_met of int (* flow index *)
 
@@ -302,6 +310,7 @@ let fast_round ~remaining ~rates flows indices =
 let allocate ?(headroom = 0.0) ~capacities flows =
   if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";
   validate flows capacities;
+  reset_debug_counters ();
   let rates = Array.make (Array.length flows) 0.0 in
   let remaining = Array.map (fun c -> c *. (1.0 -. headroom)) capacities in
   List.iter (fun idx -> fast_round ~remaining ~rates flows idx) (by_priority flows);
@@ -313,6 +322,490 @@ let link_utilization ~capacities flows rates =
     (fun i f -> Array.iter (fun (l, frac) -> load.(l) <- load.(l) +. (rates.(i) *. frac)) f.links)
     flows;
   Array.mapi (fun l x -> if capacities.(l) > 0.0 then x /. capacities.(l) else 0.0) load
+
+(* -- incremental allocator (control-plane hot path) ---------------------- *)
+
+(* Epoch recomputation state that lives across calls. Flows are rows of a
+   CSR (compressed sparse row) layout: per-row metadata in flat arrays plus
+   one shared (link id, fraction) pool indexed by [foff]/[flen]. Flow
+   open/close/demand/reroute events patch rows and mark the state dirty; a
+   clean [allocate] is O(1) and a dirty one reuses every buffer, so the
+   steady-state recompute allocates nothing on the hot path. Link storage is
+   append-only with swap-removed rows leaving garbage; the pool is repacked
+   when more than half of it is dead. *)
+module Inc = struct
+  type t = {
+    capacities : float array;
+    headroom : float;
+    row_of : (int, int) Hashtbl.t;  (* flow id -> row *)
+    (* CSR rows: rows 0..nrows-1 are live, swap-remove keeps them dense. *)
+    mutable nrows : int;
+    mutable fid : int array;
+    mutable fweight : float array;
+    mutable fprio : int array;
+    mutable fdemand : float array;  (* nan = network-limited *)
+    mutable foff : int array;
+    mutable flen : int array;
+    (* shared link pool *)
+    mutable lnk_id : int array;
+    mutable lnk_frac : float array;
+    mutable lnk_used : int;  (* append watermark *)
+    mutable lnk_live : int;  (* sum of flen over live rows *)
+    (* arena: waterfill working buffers, reused across epochs *)
+    mutable rates : float array;  (* per row; survives swap-remove *)
+    mutable frozen : bool array;  (* per row *)
+    mutable order : int array;  (* rows sorted by (priority, insertion) *)
+    mutable round_of : int array;  (* per row: rank of its priority *)
+    remaining : float array;  (* per link *)
+    wsum : float array;
+    last_t : float array;
+    queued : bool array;
+    link_start : int array;  (* transpose row starts, nl + 1 *)
+    link_fill : int array;
+    mutable link_rows : int array;  (* link -> rows, rebuilt in place *)
+    (* min-heap with int payload: link l => l, demand of row r => -(r+1) *)
+    mutable hkeys : float array;
+    mutable hvals : int array;
+    mutable hlen : int;
+    mutable prio_counts : int array;  (* counting-sort buffer *)
+    mutable dirty : bool;
+    mutable computed : bool;
+  }
+
+  let create ?(headroom = 0.0) ~capacities () =
+    if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+    let nl = Array.length capacities in
+    let cap0 = 16 in
+    {
+      capacities = Array.copy capacities;
+      headroom;
+      row_of = Hashtbl.create 64;
+      nrows = 0;
+      fid = Array.make cap0 0;
+      fweight = Array.make cap0 0.0;
+      fprio = Array.make cap0 0;
+      fdemand = Array.make cap0 Float.nan;
+      foff = Array.make cap0 0;
+      flen = Array.make cap0 0;
+      lnk_id = Array.make 64 0;
+      lnk_frac = Array.make 64 0.0;
+      lnk_used = 0;
+      lnk_live = 0;
+      rates = Array.make cap0 0.0;
+      frozen = Array.make cap0 false;
+      order = Array.make cap0 0;
+      round_of = Array.make cap0 0;
+      remaining = Array.make nl 0.0;
+      wsum = Array.make nl 0.0;
+      last_t = Array.make nl 0.0;
+      queued = Array.make nl false;
+      link_start = Array.make (nl + 1) 0;
+      link_fill = Array.make (max nl 1) 0;
+      link_rows = Array.make 64 0;
+      hkeys = Array.make 64 0.0;
+      hvals = Array.make 64 0;
+      hlen = 0;
+      prio_counts = Array.make 8 0;
+      dirty = false;
+      computed = false;
+    }
+
+  let live_flows t = t.nrows
+  let is_dirty t = t.dirty || not t.computed
+  let mem t ~id = Hashtbl.mem t.row_of id
+
+  let row t id =
+    match Hashtbl.find_opt t.row_of id with
+    | Some r -> r
+    | None -> invalid_arg "Waterfill.Inc: unknown flow id"
+
+  let grow_rows t =
+    let n = Array.length t.fid in
+    let gi a = Array.append a (Array.make n 0) in
+    let gf a = Array.append a (Array.make n 0.0) in
+    t.fid <- gi t.fid;
+    t.fweight <- gf t.fweight;
+    t.fprio <- gi t.fprio;
+    t.fdemand <- Array.append t.fdemand (Array.make n Float.nan);
+    t.foff <- gi t.foff;
+    t.flen <- gi t.flen;
+    t.rates <- gf t.rates;
+    t.frozen <- Array.append t.frozen (Array.make n false);
+    t.order <- gi t.order;
+    t.round_of <- gi t.round_of
+
+  (* Make room for [n] more pool entries: repack live rows into fresh
+     arrays, dropping the garbage left by removed/relinked rows. Amortized
+     over churn; never reached by a steady-state epoch. *)
+  let ensure_links t n =
+    if t.lnk_used + n > Array.length t.lnk_id then begin
+      let cap = max (Array.length t.lnk_id) (max 64 (2 * (t.lnk_live + n))) in
+      let id' = Array.make cap 0 and frac' = Array.make cap 0.0 in
+      let pos = ref 0 in
+      for r = 0 to t.nrows - 1 do
+        let off = t.foff.(r) and len = t.flen.(r) in
+        (* rows emptied by set_links/add_flow may carry a stale offset *)
+        if len > 0 then begin
+          Array.blit t.lnk_id off id' !pos len;
+          Array.blit t.lnk_frac off frac' !pos len
+        end;
+        t.foff.(r) <- !pos;
+        pos := !pos + len
+      done;
+      t.lnk_id <- id';
+      t.lnk_frac <- frac';
+      t.lnk_used <- !pos
+    end
+
+  let validate_links t links =
+    let nl = Array.length t.capacities in
+    Array.iter
+      (fun (l, frac) ->
+        if frac <= 0.0 then invalid_arg "Waterfill: non-positive fraction";
+        if l < 0 || l >= nl then invalid_arg "Waterfill: link id out of range")
+      links
+
+  let write_links t r links =
+    let n = Array.length links in
+    ensure_links t n;
+    t.foff.(r) <- t.lnk_used;
+    Array.iteri
+      (fun j (l, frac) ->
+        t.lnk_id.(t.lnk_used + j) <- l;
+        t.lnk_frac.(t.lnk_used + j) <- frac)
+      links;
+    t.flen.(r) <- n;
+    t.lnk_used <- t.lnk_used + n;
+    t.lnk_live <- t.lnk_live + n
+
+  let add_flow ?(weight = 1.0) ?(priority = 0) ?demand t ~id links =
+    if weight <= 0.0 then invalid_arg "Waterfill: non-positive weight";
+    (match demand with
+    | Some d when d < 0.0 -> invalid_arg "Waterfill: negative demand"
+    | _ -> ());
+    validate_links t links;
+    if Hashtbl.mem t.row_of id then invalid_arg "Waterfill.Inc: duplicate flow id";
+    if t.nrows = Array.length t.fid then grow_rows t;
+    let r = t.nrows in
+    t.nrows <- r + 1;
+    t.fid.(r) <- id;
+    t.fweight.(r) <- weight;
+    t.fprio.(r) <- priority;
+    t.fdemand.(r) <- (match demand with Some d -> d | None -> Float.nan);
+    t.rates.(r) <- 0.0;
+    t.flen.(r) <- 0;
+    write_links t r links;
+    Hashtbl.replace t.row_of id r;
+    t.dirty <- true
+
+  let remove_flow t ~id =
+    let r = row t id in
+    t.lnk_live <- t.lnk_live - t.flen.(r);
+    let last = t.nrows - 1 in
+    if r <> last then begin
+      t.fid.(r) <- t.fid.(last);
+      t.fweight.(r) <- t.fweight.(last);
+      t.fprio.(r) <- t.fprio.(last);
+      t.fdemand.(r) <- t.fdemand.(last);
+      t.foff.(r) <- t.foff.(last);
+      t.flen.(r) <- t.flen.(last);
+      t.rates.(r) <- t.rates.(last);
+      Hashtbl.replace t.row_of t.fid.(r) r
+    end;
+    t.nrows <- last;
+    Hashtbl.remove t.row_of id;
+    t.dirty <- true
+
+  let set_demand t ~id demand =
+    let r = row t id in
+    let d = match demand with Some d -> d | None -> Float.nan in
+    (match demand with
+    | Some d when d < 0.0 -> invalid_arg "Waterfill: negative demand"
+    | _ -> ());
+    let cur = t.fdemand.(r) in
+    let unchanged = (Float.is_nan d && Float.is_nan cur) || d = cur in
+    if not unchanged then begin
+      t.fdemand.(r) <- d;
+      t.dirty <- true
+    end
+
+  let set_links t ~id links =
+    validate_links t links;
+    let r = row t id in
+    let n = Array.length links in
+    if n <= t.flen.(r) then begin
+      (* Fits in place; the tail of the old row becomes garbage. *)
+      let off = t.foff.(r) in
+      Array.iteri
+        (fun j (l, frac) ->
+          t.lnk_id.(off + j) <- l;
+          t.lnk_frac.(off + j) <- frac)
+        links;
+      t.lnk_live <- t.lnk_live - t.flen.(r) + n;
+      t.flen.(r) <- n
+    end
+    else begin
+      t.lnk_live <- t.lnk_live - t.flen.(r);
+      t.flen.(r) <- 0;
+      write_links t r links
+    end;
+    t.dirty <- true
+
+  (* -- heap: float keys, int payloads, buffers reused across epochs -- *)
+
+  let heap_push t key v =
+    if t.hlen = Array.length t.hkeys then begin
+      t.hkeys <- Array.append t.hkeys (Array.make t.hlen 0.0);
+      t.hvals <- Array.append t.hvals (Array.make t.hlen 0)
+    end;
+    t.hkeys.(t.hlen) <- key;
+    t.hvals.(t.hlen) <- v;
+    t.hlen <- t.hlen + 1;
+    let i = ref (t.hlen - 1) in
+    while !i > 0 && t.hkeys.((!i - 1) / 2) > t.hkeys.(!i) do
+      let p = (!i - 1) / 2 in
+      let k = t.hkeys.(p) and v' = t.hvals.(p) in
+      t.hkeys.(p) <- t.hkeys.(!i);
+      t.hvals.(p) <- t.hvals.(!i);
+      t.hkeys.(!i) <- k;
+      t.hvals.(!i) <- v';
+      i := p
+    done
+
+  (* Returns the payload, storing the key in [heap_key]; -max_int = empty. *)
+  let heap_key = ref 0.0
+
+  let heap_pop t =
+    if t.hlen = 0 then min_int
+    else begin
+      let key = t.hkeys.(0) and v = t.hvals.(0) in
+      t.hlen <- t.hlen - 1;
+      if t.hlen > 0 then begin
+        t.hkeys.(0) <- t.hkeys.(t.hlen);
+        t.hvals.(0) <- t.hvals.(t.hlen);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let s = ref !i in
+          if l < t.hlen && t.hkeys.(l) < t.hkeys.(!s) then s := l;
+          if r < t.hlen && t.hkeys.(r) < t.hkeys.(!s) then s := r;
+          if !s = !i then continue := false
+          else begin
+            let k = t.hkeys.(!s) and v' = t.hvals.(!s) in
+            t.hkeys.(!s) <- t.hkeys.(!i);
+            t.hvals.(!s) <- t.hvals.(!i);
+            t.hkeys.(!i) <- k;
+            t.hvals.(!i) <- v';
+            i := !s
+          end
+        done
+      end;
+      heap_key := key;
+      v
+    end
+
+  (* Stable counting sort of live rows by priority into [order]; also
+     assigns [round_of] (the rank of each row's priority). Falls back to a
+     comparison sort if the priority range is degenerate. *)
+  let sort_rounds t =
+    let nf = t.nrows in
+    let pmin = ref max_int and pmax = ref min_int in
+    for r = 0 to nf - 1 do
+      if t.fprio.(r) < !pmin then pmin := t.fprio.(r);
+      if t.fprio.(r) > !pmax then pmax := t.fprio.(r)
+    done;
+    let range = !pmax - !pmin + 1 in
+    if range <= 4096 then begin
+      if Array.length t.prio_counts < range + 1 then t.prio_counts <- Array.make (2 * range) 0;
+      Array.fill t.prio_counts 0 range 0;
+      for r = 0 to nf - 1 do
+        let p = t.fprio.(r) - !pmin in
+        t.prio_counts.(p) <- t.prio_counts.(p) + 1
+      done;
+      (* exclusive prefix sums = segment starts *)
+      let acc = ref 0 in
+      for p = 0 to range - 1 do
+        let c = t.prio_counts.(p) in
+        t.prio_counts.(p) <- !acc;
+        acc := !acc + c
+      done;
+      for r = 0 to nf - 1 do
+        let p = t.fprio.(r) - !pmin in
+        t.order.(t.prio_counts.(p)) <- r;
+        t.prio_counts.(p) <- t.prio_counts.(p) + 1
+      done
+    end
+    else begin
+      (* Pathological priority spread: pay one comparison sort. *)
+      let tmp = Array.sub t.order 0 nf in
+      Array.iteri (fun k _ -> tmp.(k) <- k) tmp;
+      Array.sort
+        (fun a b ->
+          let c = compare t.fprio.(a) t.fprio.(b) in
+          if c <> 0 then c else compare a b)
+        tmp;
+      Array.blit tmp 0 t.order 0 nf
+    end;
+    let round = ref (-1) in
+    let prev = ref min_int in
+    for k = 0 to nf - 1 do
+      let r = t.order.(k) in
+      if t.fprio.(r) <> !prev then begin
+        incr round;
+        prev := t.fprio.(r)
+      end;
+      t.round_of.(r) <- !round
+    done
+
+  (* Rebuild the link -> rows transpose in place (counting pass + fill). *)
+  let build_transpose t =
+    let nl = Array.length t.capacities in
+    Array.fill t.link_fill 0 nl 0;
+    for r = 0 to t.nrows - 1 do
+      for j = t.foff.(r) to t.foff.(r) + t.flen.(r) - 1 do
+        let l = t.lnk_id.(j) in
+        t.link_fill.(l) <- t.link_fill.(l) + 1
+      done
+    done;
+    let acc = ref 0 in
+    for l = 0 to nl - 1 do
+      t.link_start.(l) <- !acc;
+      acc := !acc + t.link_fill.(l)
+    done;
+    t.link_start.(nl) <- !acc;
+    if Array.length t.link_rows < !acc then t.link_rows <- Array.make (2 * !acc) 0;
+    Array.blit t.link_start 0 t.link_fill 0 nl;
+    for r = 0 to t.nrows - 1 do
+      for j = t.foff.(r) to t.foff.(r) + t.flen.(r) - 1 do
+        let l = t.lnk_id.(j) in
+        t.link_rows.(t.link_fill.(l)) <- r;
+        t.link_fill.(l) <- t.link_fill.(l) + 1
+      done
+    done
+
+  (* One priority round over order[lo..hi): the same event-driven algorithm
+     as [fast_round], on the CSR layout. The transpose spans all rounds, so
+     the saturation scan skips rows of other rounds ([round_of]); earlier
+     rounds are frozen, later ones not yet filling. *)
+  let round_inc t ~round lo hi =
+    let nl = Array.length t.capacities in
+    Array.fill t.wsum 0 nl 0.0;
+    Array.fill t.last_t 0 nl 0.0;
+    Array.fill t.queued 0 nl false;
+    t.hlen <- 0;
+    let settle l lvl =
+      if lvl > t.last_t.(l) then begin
+        t.remaining.(l) <-
+          Float.max 0.0 (t.remaining.(l) -. (t.wsum.(l) *. (lvl -. t.last_t.(l))));
+        t.last_t.(l) <- lvl
+      end
+    in
+    let sat_level l =
+      if t.wsum.(l) > eps then t.last_t.(l) +. (t.remaining.(l) /. t.wsum.(l)) else infinity
+    in
+    for k = lo to hi - 1 do
+      let r = t.order.(k) in
+      for j = t.foff.(r) to t.foff.(r) + t.flen.(r) - 1 do
+        let l = t.lnk_id.(j) in
+        t.wsum.(l) <- t.wsum.(l) +. (t.fweight.(r) *. t.lnk_frac.(j))
+      done
+    done;
+    for k = lo to hi - 1 do
+      let r = t.order.(k) in
+      for j = t.foff.(r) to t.foff.(r) + t.flen.(r) - 1 do
+        let l = t.lnk_id.(j) in
+        if not t.queued.(l) then begin
+          t.queued.(l) <- true;
+          incr dbg_push;
+          heap_push t (sat_level l) l
+        end
+      done;
+      if not (Float.is_nan t.fdemand.(r)) then
+        heap_push t (t.fdemand.(r) /. t.fweight.(r)) (-(r + 1))
+    done;
+    let active = ref (hi - lo) in
+    let freeze r lvl =
+      if not t.frozen.(r) then begin
+        t.frozen.(r) <- true;
+        t.rates.(r) <- t.fweight.(r) *. lvl;
+        decr active;
+        for j = t.foff.(r) to t.foff.(r) + t.flen.(r) - 1 do
+          let l = t.lnk_id.(j) in
+          settle l lvl;
+          t.wsum.(l) <- Float.max 0.0 (t.wsum.(l) -. (t.fweight.(r) *. t.lnk_frac.(j)))
+        done
+      end
+    in
+    while !active > 0 do
+      let v = heap_pop t in
+      if v = min_int then
+        (* No constraining event left: link-less flows get 0. *)
+        for k = lo to hi - 1 do
+          freeze t.order.(k) 0.0
+        done
+      else if v >= 0 then begin
+        let l = v and key = !heap_key in
+        incr dbg_pops;
+        let cur = sat_level l in
+        if cur = infinity then ()
+        else if cur > key +. (1e-12 *. (1.0 +. abs_float key)) then begin
+          incr dbg_push;
+          heap_push t cur l
+        end
+        else begin
+          incr dbg_valid;
+          settle l cur;
+          for p = t.link_start.(l) to t.link_start.(l + 1) - 1 do
+            let r = t.link_rows.(p) in
+            incr dbg_scan;
+            if t.round_of.(r) = round then freeze r cur
+          done
+        end
+      end
+      else freeze (-v - 1) !heap_key
+    done
+
+  let compute t =
+    let nl = Array.length t.capacities in
+    let nf = t.nrows in
+    for l = 0 to nl - 1 do
+      t.remaining.(l) <- t.capacities.(l) *. (1.0 -. t.headroom)
+    done;
+    if nf > 0 then begin
+      Array.fill t.rates 0 nf 0.0;
+      Array.fill t.frozen 0 nf false;
+      sort_rounds t;
+      build_transpose t;
+      let k0 = ref 0 in
+      let round = ref 0 in
+      while !k0 < nf do
+        let p = t.fprio.(t.order.(!k0)) in
+        let k1 = ref (!k0 + 1) in
+        while !k1 < nf && t.fprio.(t.order.(!k1)) = p do
+          incr k1
+        done;
+        round_inc t ~round:!round !k0 !k1;
+        incr round;
+        k0 := !k1
+      done
+    end
+
+  let allocate t =
+    if t.dirty || not t.computed then begin
+      reset_debug_counters ();
+      compute t;
+      t.dirty <- false;
+      t.computed <- true
+    end
+
+  let rate t ~id = t.rates.(row t id)
+
+  let iter_rates t f =
+    for r = 0 to t.nrows - 1 do
+      f ~id:t.fid.(r) ~rate:t.rates.(r)
+    done
+end
 
 let bottleneck_fill ~capacities flows =
   let nl = Array.length capacities in

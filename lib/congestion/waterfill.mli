@@ -48,9 +48,61 @@ val bottleneck_fill : capacities:float array -> flow array -> float
     together — the single-iteration core of progressive filling, exposed
     for the channel-load analysis. *)
 
+(** Incremental epoch recomputation (§3.3.4).
+
+    [Inc.t] keeps the allocator's inputs — flow rows in a flat CSR layout —
+    and all water-filling working buffers alive across epochs. Flow
+    open/close/demand/reroute events patch single rows and mark the state
+    dirty; {!Inc.allocate} on a clean state returns the cached rates in
+    O(1), and on a dirty state recomputes with every buffer reused, so a
+    steady-state recompute performs no per-epoch array or list allocation.
+    Results are bit-compatible with {!allocate} up to floating-point noise
+    and property-tested against {!allocate_reference}. *)
+module Inc : sig
+  type t
+
+  val create : ?headroom:float -> capacities:float array -> unit -> t
+  (** Same [headroom]/[capacities] contract as {!allocate}; capacities are
+      copied and fixed for the lifetime of the state. *)
+
+  val add_flow :
+    ?weight:float -> ?priority:int -> ?demand:float -> t -> id:int -> (int * float) array -> unit
+  (** Open a flow. [id] must be fresh; links are validated like {!allocate}
+      inputs. Raises [Invalid_argument] otherwise. *)
+
+  val remove_flow : t -> id:int -> unit
+  (** Close a flow; unknown ids raise. *)
+
+  val set_demand : t -> id:int -> float option -> unit
+  (** Update a flow's demand cap ([None] = network-limited). Setting the
+      value it already has keeps the state clean. *)
+
+  val set_links : t -> id:int -> (int * float) array -> unit
+  (** Replace a flow's link fractions after a routing change. *)
+
+  val allocate : t -> unit
+  (** Recompute rates if any event arrived since the last call; otherwise a
+      no-op (the O(1) clean-epoch path — it performs no heap operation, as
+      the debug counters can verify). *)
+
+  val rate : t -> id:int -> float
+  (** The flow's rate from the last {!allocate} (0 for flows added since). *)
+
+  val iter_rates : t -> (id:int -> rate:float -> unit) -> unit
+  (** Visit every live flow's last-computed rate, in unspecified order. *)
+
+  val live_flows : t -> int
+  val is_dirty : t -> bool
+  val mem : t -> id:int -> bool
+end
+
 (**/**)
 
 val dbg_pops : int ref
 val dbg_valid : int ref
 val dbg_scan : int ref
 val dbg_push : int ref
+
+val reset_debug_counters : unit -> unit
+(** Zero the four counters; {!allocate} and a dirty {!Inc.allocate} also
+    reset them on entry so each measurement reports one computation. *)

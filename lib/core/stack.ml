@@ -40,9 +40,13 @@ type t = {
   mutable observers : (Wire.broadcast -> unit) list;
   mutable control_bytes : int;
   capacities : float array;
+  alloc : Congestion.Waterfill.Inc.t;
+      (* incremental epoch state: patched on every flow event, so a
+         recompute with no intervening event is O(1) *)
 }
 
 let create ?(config = default_config) ?(seed = 1) topo =
+  let capacities = Array.make (Topology.link_count topo) (config.link_gbps /. 8.0) in
   {
     cfg = config;
     topo;
@@ -53,7 +57,8 @@ let create ?(config = default_config) ?(seed = 1) topo =
     next_id = 0;
     observers = [];
     control_bytes = 0;
-    capacities = Array.make (Topology.link_count topo) (config.link_gbps /. 8.0);
+    capacities;
+    alloc = Congestion.Waterfill.Inc.create ~headroom:config.headroom ~capacities ();
   }
 
 let topology t = t.topo
@@ -115,23 +120,29 @@ let open_flow ?(weight = 1) ?(priority = 0) ?protocol t ~src ~dst =
     }
   in
   Hashtbl.replace t.flows id f;
+  Congestion.Waterfill.Inc.add_flow ~weight:(float_of_int weight) ~priority t.alloc ~id
+    (Routing.fractions t.rctx f.protocol ~src ~dst);
   emit_broadcast t f Wire.Flow_start;
   id
 
 let close_flow t id =
   let f = find t id in
   Hashtbl.remove t.flows id;
+  Congestion.Waterfill.Inc.remove_flow t.alloc ~id;
   emit_broadcast t f Wire.Flow_finish
 
 let set_demand t id ~gbps =
   let f = find t id in
   f.demand_gbps <- gbps;
+  Congestion.Waterfill.Inc.set_demand t.alloc ~id (Option.map (fun g -> g /. 8.0) gbps);
   emit_broadcast t f Wire.Demand_update
 
 let set_protocol t id proto =
   let f = find t id in
   if f.protocol <> proto then begin
     f.protocol <- proto;
+    Congestion.Waterfill.Inc.set_links t.alloc ~id
+      (Routing.fractions t.rctx proto ~src:f.src ~dst:f.dst);
     emit_broadcast t f Wire.Route_change
   end
 
@@ -156,18 +167,15 @@ let flow_array t =
   Array.of_list (List.sort (fun a b -> compare a.id b.id) fl)
 
 let recompute t =
-  let fl = flow_array t in
-  let wf =
-    Array.map
-      (fun f ->
-        Congestion.Waterfill.flow ~weight:(float_of_int f.weight) ~priority:f.priority
-          ?demand:(Option.map (fun g -> g /. 8.0) f.demand_gbps)
-          ~id:f.id
-          (Routing.fractions t.rctx f.protocol ~src:f.src ~dst:f.dst))
-      fl
-  in
-  let rates = Congestion.Waterfill.allocate ~headroom:t.cfg.headroom ~capacities:t.capacities wf in
-  Array.iteri (fun i f -> f.rate_gbps <- rates.(i) *. 8.0) fl
+  (* Flow open/close/demand/reroute events have already patched [t.alloc];
+     an epoch with no event since the last one is a no-op. *)
+  if Congestion.Waterfill.Inc.is_dirty t.alloc then begin
+    Congestion.Waterfill.Inc.allocate t.alloc;
+    Congestion.Waterfill.Inc.iter_rates t.alloc (fun ~id ~rate ->
+        match Hashtbl.find_opt t.flows id with
+        | Some f -> f.rate_gbps <- rate *. 8.0
+        | None -> ())
+  end
 
 let rate_gbps t id = (find t id).rate_gbps
 
@@ -226,4 +234,13 @@ let control_bytes_sent t = t.control_bytes
 
 let handle_failure t =
   let fl = flow_array t in
-  Array.iter (fun f -> emit_broadcast t f Wire.Flow_start) fl
+  Array.iter (fun f -> emit_broadcast t f Wire.Flow_start) fl;
+  (* A bare re-announce would lose the demand side of the rack state: peers
+     rebuild the traffic matrix from these broadcasts, so every flow whose
+     demand is known — declared or estimated — re-emits it too, and the
+     post-failure view converges to the pre-failure one. *)
+  Array.iter
+    (fun f ->
+      if f.demand_gbps <> None || !(f.demand_estimator) <> None then
+        emit_broadcast t f Wire.Demand_update)
+    fl

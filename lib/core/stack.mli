@@ -60,7 +60,10 @@ val observe_sender_queue : t -> flow_id -> queued_bytes:float -> period_ns:int -
     updated (and broadcast) automatically. *)
 
 val recompute : t -> unit
-(** One rate-computation round over the current traffic matrix. *)
+(** One rate-computation round over the current traffic matrix. The epoch
+    state is maintained incrementally ({!Congestion.Waterfill.Inc}): flow
+    events patch it as they happen, so a recompute with no intervening
+    event is O(1) and a dirty one reuses all allocator buffers. *)
 
 val rate_gbps : t -> flow_id -> float
 (** Allocation from the last {!recompute}; 0 before any recompute. *)
@@ -92,4 +95,6 @@ val control_bytes_sent : t -> int
 val handle_failure : t -> unit
 (** §3.2 failure handling: after a topology-discovery event every node
     re-broadcasts its ongoing flows; this re-announces every open flow
-    (observable via {!on_broadcast}) so a rebuilt rack view converges. *)
+    (observable via {!on_broadcast}), then re-emits a demand update for
+    every flow with a declared demand or a live demand estimator, so a
+    rebuilt rack view converges to the pre-failure state. *)

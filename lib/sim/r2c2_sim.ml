@@ -88,6 +88,12 @@ type t = {
   mutable reselections : int;
   mutable flows_rerouted : int;
   mutable reselect_running : bool;
+  galloc : Congestion.Waterfill.Inc.t option;
+      (** Global_epoch: incremental allocator mirroring the visible,
+          still-sending flow set; clean epochs are skipped in O(1) *)
+  mutable epoch_dirty : bool;
+      (** Per_node: any view/flow event since the last epoch; a clean epoch
+          leaves every node's rates untouched and is skipped *)
 }
 
 let header = Wire.data_header_size
@@ -96,6 +102,32 @@ let engine t = t.eng
 let metrics t = t.mtrcs
 let topology t = t.topo
 
+(* -- epoch dirty tracking -------------------------------------------------- *)
+
+(* Every event that can change the next rate computation funnels through
+   these: the flow set (visibility, completion), demands and routes. *)
+
+let mark_visible t st =
+  if not st.visible then begin
+    st.visible <- true;
+    t.epoch_dirty <- true;
+    match t.galloc with
+    | Some inc when not st.done_sending ->
+        Congestion.Waterfill.Inc.add_flow ~weight:st.weight ~priority:st.priority
+          ?demand:st.demand inc ~id:st.idx st.wf_links
+    | _ -> ()
+  end
+
+let flow_done_sending t st =
+  if not st.done_sending then begin
+    st.done_sending <- true;
+    t.epoch_dirty <- true;
+    match t.galloc with
+    | Some inc when Congestion.Waterfill.Inc.mem inc ~id:st.idx ->
+        Congestion.Waterfill.Inc.remove_flow inc ~id:st.idx
+    | _ -> ()
+  end
+
 (* -- data plane: token-bucket pacing and source routing ------------------- *)
 
 let rec inject t st =
@@ -103,7 +135,7 @@ let rec inject t st =
   let payload = wire - header in
   st.remaining <- st.remaining - payload;
   let last = st.remaining = 0 in
-  if last then st.done_sending <- true;
+  if last then flow_done_sending t st;
   st.last_inject <- Engine.now t.eng;
   Metrics.note_first_tx t.mtrcs ~id:st.idx ~now:(Engine.now t.eng);
   let path = Routing.sample_path t.rctx t.rng st.proto ~src:st.src ~dst:st.dst in
@@ -139,7 +171,7 @@ let send_flow_broadcast t st event =
         let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:st.src in
         let depth = Broadcast.depth t.bcast ~src:st.src ~tree in
         let tx = Net.tx_time_ns t.net Wire.broadcast_size in
-        Engine.after t.eng (depth * (t.cfg.hop_latency_ns + tx)) (fun () -> st.visible <- true)
+        Engine.after t.eng (depth * (t.cfg.hop_latency_ns + tx)) (fun () -> mark_visible t st)
     | _ -> ()
   end
 
@@ -161,7 +193,9 @@ let wf_of st =
 (* Per-node control (§3.3, the paper's actual design): every sender runs
    water-filling over its own broadcast-built view of the traffic matrix
    and rate-limits only its own flows. Views differ transiently — that is
-   precisely what the headroom absorbs. *)
+   precisely what the headroom absorbs. Views only change when a broadcast
+   delivery, completion or reroute happened since the last epoch
+   ([epoch_dirty]); a quiet epoch is skipped outright. *)
 let recompute_per_node t =
   let senders : (int, fstate list) Hashtbl.t = Hashtbl.create 64 in
   Hashtbl.iter
@@ -195,26 +229,29 @@ let recompute_per_node t =
 (* Global-epoch approximation: every node would run the same water-filling
    over (nearly) the same visible flow set; run it once per epoch and apply
    the rates at the senders. The `ablation` bench compares this against
-   Per_node. *)
-let recompute_global t =
-  let flows = ref [] in
-  Hashtbl.iter
-    (fun _ st -> if st.visible && not st.done_sending then flows := st :: !flows)
-    t.active;
-  let flows = Array.of_list !flows in
-  if Array.length flows > 0 then begin
+   Per_node. The incremental allocator is kept in sync by the visibility /
+   completion / reroute events, so an epoch with no event returns the
+   cached rates in O(1) and applies nothing. *)
+let recompute_global t inc =
+  let open Congestion.Waterfill in
+  if Inc.live_flows inc > 0 && Inc.is_dirty inc then begin
     t.recomputes <- t.recomputes + 1;
-    let wf = Array.map wf_of flows in
-    let rates =
-      Congestion.Waterfill.allocate ~headroom:t.cfg.headroom ~capacities:t.capacities wf
-    in
-    Array.iteri (fun i st -> apply_rate t st rates.(i)) flows
+    Inc.allocate inc;
+    Inc.iter_rates inc (fun ~id ~rate ->
+        match Hashtbl.find_opt t.active id with
+        | Some st -> apply_rate t st rate
+        | None -> ())
   end
 
 let recompute t =
-  match t.cfg.control with
-  | Global_epoch -> recompute_global t
-  | Per_node -> recompute_per_node t
+  match (t.cfg.control, t.galloc) with
+  | Global_epoch, Some inc -> recompute_global t inc
+  | Global_epoch, None -> assert false
+  | Per_node, _ ->
+      if t.epoch_dirty then begin
+        t.epoch_dirty <- false;
+        recompute_per_node t
+      end
 
 (* §3.4: periodic per-flow routing-protocol reselection. Long flows (alive
    for at least one reselection interval) are re-assigned RPS or VLB by the
@@ -253,7 +290,12 @@ let reselect t interval =
           if assignment.(i) <> st.proto then begin
             incr changed;
             st.proto <- assignment.(i);
-            st.wf_links <- Routing.fractions t.rctx assignment.(i) ~src:st.src ~dst:st.dst
+            st.wf_links <- Routing.fractions t.rctx assignment.(i) ~src:st.src ~dst:st.dst;
+            t.epoch_dirty <- true;
+            match t.galloc with
+            | Some inc when Congestion.Waterfill.Inc.mem inc ~id:st.idx ->
+                Congestion.Waterfill.Inc.set_links inc ~id:st.idx st.wf_links
+            | _ -> ()
           end)
         sts;
     t.flows_rerouted <- t.flows_rerouted + !changed;
@@ -306,6 +348,7 @@ let create cfg topo =
   let bcast = Broadcast.make ~trees_per_source:cfg.trees_per_source topo in
   Net.set_broadcast net bcast;
   let nverts = Topology.vertex_count topo in
+  let capacities = Array.make (Topology.link_count topo) (cfg.link_gbps /. 8.0) in
   let t =
     {
       cfg;
@@ -318,7 +361,7 @@ let create cfg topo =
       root_rng = Util.Rng.create (cfg.seed + 7);
       mtrcs = Metrics.create ();
       cap_bytes_ns = cfg.link_gbps /. 8.0;
-      capacities = Array.make (Topology.link_count topo) (cfg.link_gbps /. 8.0);
+      capacities;
       active = Hashtbl.create 256;
       all_states = Hashtbl.create 256;
       views =
@@ -334,6 +377,11 @@ let create cfg topo =
       reselections = 0;
       flows_rerouted = 0;
       reselect_running = false;
+      galloc =
+        (if cfg.control = Global_epoch then
+           Some (Congestion.Waterfill.Inc.create ~headroom:cfg.headroom ~capacities ())
+         else None);
+      epoch_dirty = false;
     }
   in
   (* Broadcast copies arriving anywhere bump the receipt counter; once all
@@ -346,6 +394,7 @@ let create cfg topo =
              only flow start/finish events update the views. *)
           if cfg.control = Per_node && bcast_id >= 0 then begin
             let flow = bcast_id / 2 in
+            t.epoch_dirty <- true;
             if bcast_id land 1 = 0 then Hashtbl.replace t.views.(node) flow ()
             else Hashtbl.remove t.views.(node) flow
           end;
@@ -355,7 +404,7 @@ let create cfg topo =
               incr count;
               if !count = nverts - 1 && bcast_id land 1 = 0 then begin
                 match Hashtbl.find_opt t.active (bcast_id / 2) with
-                | Some st -> st.visible <- true
+                | Some st -> mark_visible t st
                 | None -> ()
               end)
       | Net.Data _ | Net.Ack _ -> ());
@@ -370,6 +419,7 @@ let create cfg topo =
             (match Hashtbl.find_opt t.active flow with
             | Some st ->
                 Hashtbl.remove t.active flow;
+                t.epoch_dirty <- true;
                 (* The finish broadcast never reaches its own root, but the
                    sender knows its flow ended. *)
                 if cfg.control = Per_node then Hashtbl.remove t.views.(st.src) flow;
@@ -418,6 +468,7 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
   in
   Hashtbl.replace t.active idx st;
   Hashtbl.replace t.all_states idx st;
+  t.epoch_dirty <- true;
   (match on_complete with Some k -> Hashtbl.replace t.on_complete idx k | None -> ());
   if t.cfg.control = Per_node then Hashtbl.replace t.views.(src) idx ();
   send_flow_broadcast t st Wire.Flow_start;

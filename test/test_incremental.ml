@@ -1,0 +1,193 @@
+(* Tests for the incremental allocator (Waterfill.Inc): differential
+   property tests against the reference progressive-filling oracle on
+   randomized churn sequences, clean-epoch O(1) behaviour via the debug
+   counters, and the per-call counter-reset contract. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* Mirror of the incremental state kept as plain lists, re-allocated from
+   scratch for the oracle on every epoch. *)
+type mirror = {
+  mutable next_id : int;
+  mutable live : (int * float * int * float option * (int * float) array) list;
+      (* id, weight, priority, demand, links *)
+}
+
+let protocols = [| Routing.Rps; Routing.Dor; Routing.Vlb; Routing.Wlb |]
+
+let random_links ctx rng =
+  let h = Topology.host_count (Routing.topo ctx) in
+  let src = Util.Rng.int rng h in
+  let dst = (src + 1 + Util.Rng.int rng (h - 1)) mod h in
+  Routing.fractions ctx (Util.Rng.pick rng protocols) ~src ~dst
+
+let random_demand rng = if Util.Rng.bool rng then Some (Util.Rng.float rng 2.0) else None
+
+let apply_random_op ctx rng inc m =
+  let n = List.length m.live in
+  match Util.Rng.int rng (if n = 0 then 1 else 4) with
+  | 0 ->
+      (* open *)
+      let id = m.next_id in
+      m.next_id <- id + 1;
+      let weight = 0.5 +. Util.Rng.float rng 2.5 in
+      let priority = Util.Rng.int rng 3 in
+      let demand = random_demand rng in
+      let links = random_links ctx rng in
+      Congestion.Waterfill.Inc.add_flow ~weight ~priority ?demand inc ~id links;
+      m.live <- (id, weight, priority, demand, links) :: m.live
+  | 1 ->
+      (* close *)
+      let id, _, _, _, _ = List.nth m.live (Util.Rng.int rng n) in
+      Congestion.Waterfill.Inc.remove_flow inc ~id;
+      m.live <- List.filter (fun (i, _, _, _, _) -> i <> id) m.live
+  | 2 ->
+      (* demand update *)
+      let id, w, p, _, links = List.nth m.live (Util.Rng.int rng n) in
+      let demand = random_demand rng in
+      Congestion.Waterfill.Inc.set_demand inc ~id demand;
+      m.live <-
+        List.map (fun ((i, _, _, _, _) as f) -> if i = id then (id, w, p, demand, links) else f) m.live
+  | _ ->
+      (* reroute *)
+      let id, w, p, d, _ = List.nth m.live (Util.Rng.int rng n) in
+      let links = random_links ctx rng in
+      Congestion.Waterfill.Inc.set_links inc ~id links;
+      m.live <-
+        List.map (fun ((i, _, _, _, _) as f) -> if i = id then (id, w, p, d, links) else f) m.live
+
+let check_against_reference ~headroom ~capacities inc m =
+  Congestion.Waterfill.Inc.allocate inc;
+  let flows =
+    Array.of_list
+      (List.map
+         (fun (id, weight, priority, demand, links) ->
+           Congestion.Waterfill.flow ~weight ~priority ?demand ~id links)
+         m.live)
+  in
+  let expected = Congestion.Waterfill.allocate_reference ~headroom ~capacities flows in
+  Array.iteri
+    (fun i f ->
+      let got = Congestion.Waterfill.Inc.rate inc ~id:f.Congestion.Waterfill.id in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "flow %d" f.Congestion.Waterfill.id)
+        expected.(i) got)
+    flows
+
+(* >= 200 random churn sequences on a 4x4 torus: after every burst of churn
+   the incremental rates must equal the reference oracle's. *)
+let inc_matches_reference_on_churn () =
+  let topo = Topology.torus [| 4; 4 |] in
+  let ctx = Routing.make topo in
+  let capacities = Array.make (Topology.link_count topo) 1.25 in
+  let headroom = 0.05 in
+  let rng = Util.Rng.create 42 in
+  for _seq = 1 to 200 do
+    let inc = Congestion.Waterfill.Inc.create ~headroom ~capacities () in
+    let m = { next_id = 0; live = [] } in
+    let epochs = 2 + Util.Rng.int rng 4 in
+    for _epoch = 1 to epochs do
+      let ops = 1 + Util.Rng.int rng 8 in
+      for _op = 1 to ops do
+        apply_random_op ctx rng inc m
+      done;
+      check_against_reference ~headroom ~capacities inc m
+    done
+  done
+
+(* A clean epoch must not touch the heap at all — the O(1) cached path. *)
+let clean_epoch_zero_heap_ops () =
+  let topo = Topology.torus [| 4; 4 |] in
+  let ctx = Routing.make topo in
+  let capacities = Array.make (Topology.link_count topo) 1.25 in
+  let inc = Congestion.Waterfill.Inc.create ~headroom:0.05 ~capacities () in
+  let rng = Util.Rng.create 7 in
+  for id = 0 to 49 do
+    Congestion.Waterfill.Inc.add_flow inc ~id (random_links ctx rng)
+  done;
+  Congestion.Waterfill.Inc.allocate inc;
+  Alcotest.(check bool) "dirty epoch pushed events" true (!Congestion.Waterfill.dbg_push > 0);
+  let before = Array.init 50 (fun id -> Congestion.Waterfill.Inc.rate inc ~id) in
+  (* Re-announcing the demand a flow already has keeps the epoch clean. *)
+  Congestion.Waterfill.Inc.set_demand inc ~id:3 None;
+  Alcotest.(check bool) "still clean" false (Congestion.Waterfill.Inc.is_dirty inc);
+  Congestion.Waterfill.reset_debug_counters ();
+  Congestion.Waterfill.Inc.allocate inc;
+  Alcotest.(check int) "zero heap pushes" 0 !Congestion.Waterfill.dbg_push;
+  Alcotest.(check int) "zero heap pops" 0 !Congestion.Waterfill.dbg_pops;
+  Array.iteri
+    (fun id r ->
+      Alcotest.(check (float 0.0)) (Printf.sprintf "rate %d unchanged" id) r
+        (Congestion.Waterfill.Inc.rate inc ~id))
+    before
+
+(* The ablation counters must report one computation per call, not a
+   running total across calls. *)
+let counters_reset_per_allocate () =
+  let capacities = [| 10.0; 4.0 |] in
+  let flows =
+    [|
+      Congestion.Waterfill.flow ~id:0 [| (0, 1.0); (1, 1.0) |];
+      Congestion.Waterfill.flow ~id:1 [| (1, 1.0) |];
+      Congestion.Waterfill.flow ~id:2 [| (0, 1.0) |];
+    |]
+  in
+  ignore (Congestion.Waterfill.allocate ~capacities flows);
+  let first = !Congestion.Waterfill.dbg_push in
+  Alcotest.(check bool) "pushes counted" true (first > 0);
+  ignore (Congestion.Waterfill.allocate ~capacities flows);
+  Alcotest.(check int) "identical second measurement" first !Congestion.Waterfill.dbg_push
+
+let dirty_tracking_lifecycle () =
+  let capacities = [| 1.0 |] in
+  let inc = Congestion.Waterfill.Inc.create ~capacities () in
+  Alcotest.(check bool) "dirty before first allocate" true
+    (Congestion.Waterfill.Inc.is_dirty inc);
+  Congestion.Waterfill.Inc.allocate inc;
+  Alcotest.(check bool) "clean after allocate" false (Congestion.Waterfill.Inc.is_dirty inc);
+  Congestion.Waterfill.Inc.add_flow inc ~id:5 [| (0, 1.0) |];
+  Alcotest.(check bool) "open marks dirty" true (Congestion.Waterfill.Inc.is_dirty inc);
+  Alcotest.(check (float 0.0)) "zero before allocate" 0.0
+    (Congestion.Waterfill.Inc.rate inc ~id:5);
+  Congestion.Waterfill.Inc.allocate inc;
+  Alcotest.(check (float 1e-9)) "full link" 1.0 (Congestion.Waterfill.Inc.rate inc ~id:5);
+  Congestion.Waterfill.Inc.add_flow inc ~id:9 [| (0, 1.0) |];
+  Congestion.Waterfill.Inc.allocate inc;
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Congestion.Waterfill.Inc.rate inc ~id:9);
+  Congestion.Waterfill.Inc.remove_flow inc ~id:5;
+  Alcotest.(check bool) "close marks dirty" true (Congestion.Waterfill.Inc.is_dirty inc);
+  (* Swap-removal must keep the surviving flow's cached rate addressable. *)
+  Alcotest.(check (float 1e-9)) "survivor rate intact" 0.5
+    (Congestion.Waterfill.Inc.rate inc ~id:9);
+  Congestion.Waterfill.Inc.allocate inc;
+  Alcotest.(check (float 1e-9)) "survivor takes the link" 1.0
+    (Congestion.Waterfill.Inc.rate inc ~id:9);
+  Alcotest.(check int) "one live flow" 1 (Congestion.Waterfill.Inc.live_flows inc);
+  Alcotest.check_raises "unknown id" (Invalid_argument "Waterfill.Inc: unknown flow id")
+    (fun () -> ignore (Congestion.Waterfill.Inc.rate inc ~id:5));
+  Alcotest.check_raises "duplicate id" (Invalid_argument "Waterfill.Inc: duplicate flow id")
+    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:9 [| (0, 1.0) |])
+
+let inc_input_validation () =
+  let inc = Congestion.Waterfill.Inc.create ~capacities:[| 1.0 |] () in
+  Alcotest.check_raises "bad weight" (Invalid_argument "Waterfill: non-positive weight")
+    (fun () -> Congestion.Waterfill.Inc.add_flow ~weight:0.0 inc ~id:0 [| (0, 1.0) |]);
+  Alcotest.check_raises "bad link" (Invalid_argument "Waterfill: link id out of range")
+    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:0 [| (3, 1.0) |]);
+  Alcotest.check_raises "bad fraction" (Invalid_argument "Waterfill: non-positive fraction")
+    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:0 [| (0, 0.0) |]);
+  Alcotest.check_raises "bad headroom" (Invalid_argument "Waterfill: headroom out of range")
+    (fun () ->
+      ignore (Congestion.Waterfill.Inc.create ~headroom:1.0 ~capacities:[| 1.0 |] ()))
+
+let suites =
+  [
+    ( "incremental",
+      [
+        tc "matches reference across 200 churn sequences" inc_matches_reference_on_churn;
+        tc "clean epoch performs zero heap operations" clean_epoch_zero_heap_ops;
+        tc "debug counters reset per allocate call" counters_reset_per_allocate;
+        tc "dirty tracking across open/close" dirty_tracking_lifecycle;
+        tc "input validation" inc_input_validation;
+      ] );
+  ]

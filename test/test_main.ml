@@ -7,6 +7,7 @@ let () =
          Test_routing.suites;
          Test_wire.suites;
          Test_congestion.suites;
+         Test_incremental.suites;
          Test_broadcast.suites;
          Test_workload.suites;
          Test_sim.suites;

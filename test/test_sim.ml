@@ -193,6 +193,28 @@ let r2c2_single_flow_line_rate () =
   (* Line rate 10G minus header overhead and pipeline latency. *)
   Alcotest.(check bool) (Printf.sprintf "near line rate (got %.2f)" gbps) true (gbps > 8.5)
 
+let r2c2_clean_epochs_skipped () =
+  (* One long flow spans many recompute intervals but generates exactly one
+     rate-changing event (its start broadcast completing); with dirty-flow
+     tracking every later epoch is clean and must be skipped, where the
+     full-rebuild path recomputed on all of them. *)
+  let topo = Topology.torus [| 4; 4 |] in
+  let specs =
+    [ { Workload.Flowgen.arrival_ns = 0; src = 0; dst = 3; size = 4_000_000; weight = 1; priority = 0 } ]
+  in
+  let cfg = { Sim.R2c2_sim.default_config with recompute_interval_ns = 100_000 } in
+  let res = Sim.R2c2_sim.run cfg topo specs in
+  let f = Sim.Metrics.find res.Sim.R2c2_sim.metrics 0 in
+  Alcotest.(check int) "flow completes" 4_000_000 f.Sim.Metrics.delivered;
+  (* ~30+ epochs elapse; only the dirty one after visibility computes. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state epochs skipped (%d recomputes)" res.Sim.R2c2_sim.recomputes)
+    true
+    (res.Sim.R2c2_sim.recomputes >= 1 && res.Sim.R2c2_sim.recomputes <= 3);
+  Alcotest.(check bool) "rate still applied"
+    true
+    (Sim.Metrics.throughput_gbps f > 5.0)
+
 let r2c2_deterministic () =
   let topo = Topology.torus [| 4; 4 |] in
   let specs = default_specs topo (Util.Rng.create 5) 80 1_000.0 in
@@ -599,6 +621,7 @@ let suites =
         tc "single flow near line rate" r2c2_single_flow_line_rate;
         tc "deterministic given seed" r2c2_deterministic;
         tc "fair split after recompute" r2c2_rate_limited_after_epoch;
+        tc "clean epochs skipped by dirty tracking" r2c2_clean_epochs_skipped;
         tc "broadcast bytes accounted" r2c2_broadcast_overhead_counted;
         tc "latency-model broadcast mode" r2c2_latency_model_broadcast;
         tc "weights respected end-to-end" r2c2_respects_weights;

@@ -134,6 +134,84 @@ let failure_reannounces_flows () =
   R2c2.Stack.handle_failure st;
   Alcotest.(check int) "every open flow re-broadcast" 2 !count
 
+(* Regression: a failure re-announce must also re-emit the demand state, or
+   the rebuilt rack view would silently treat host-limited flows as
+   network-limited until their next estimator period. *)
+let failure_reemits_demand () =
+  let st = mk () in
+  let limited = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  let unlimited = R2c2.Stack.open_flow st ~src:1 ~dst:6 in
+  let estimated = R2c2.Stack.open_flow st ~src:2 ~dst:7 in
+  R2c2.Stack.set_demand st limited ~gbps:(Some 2.0);
+  (* [estimated] has a live estimator but no declared demand. *)
+  R2c2.Stack.recompute st;
+  R2c2.Stack.observe_sender_queue st estimated ~queued_bytes:1e6 ~period_ns:1_000_000;
+  let demand_updates = ref [] in
+  let starts = ref 0 in
+  R2c2.Stack.on_broadcast st (fun b ->
+      match b.Wire.event with
+      | Wire.Demand_update -> demand_updates := (b.Wire.bsrc, b.Wire.demand_kbps) :: !demand_updates
+      | Wire.Flow_start -> incr starts
+      | _ -> ());
+  R2c2.Stack.handle_failure st;
+  Alcotest.(check int) "every open flow re-broadcast" 3 !starts;
+  Alcotest.(check int) "demand re-emitted for declared + estimated flows" 2
+    (List.length !demand_updates);
+  (* The declared 2 Gbps demand survives the failure verbatim. *)
+  Alcotest.(check bool) "declared demand value carried" true
+    (List.exists (fun (src, kbps) -> src = 0 && kbps = 2_000_000) !demand_updates);
+  ignore unlimited
+
+(* The incremental epoch state must converge to exactly what a fresh stack
+   computes from scratch for the same final traffic matrix. *)
+let incremental_matches_fresh_stack () =
+  let churned = mk () in
+  let rng = Util.Rng.create 21 in
+  let live = ref [] in
+  for _ = 1 to 60 do
+    (match Util.Rng.int rng 4 with
+    | 0 | 1 ->
+        let src = Util.Rng.int rng 16 in
+        let dst = (src + 1 + Util.Rng.int rng 15) mod 16 in
+        let weight = 1 + Util.Rng.int rng 3 in
+        let priority = Util.Rng.int rng 2 in
+        let id = R2c2.Stack.open_flow ~weight ~priority churned ~src ~dst in
+        live := (id, src, dst, weight, priority, ref None) :: !live
+    | 2 when !live <> [] ->
+        let n = List.length !live in
+        let id, _, _, _, _, _ = List.nth !live (Util.Rng.int rng n) in
+        R2c2.Stack.close_flow churned id;
+        live := List.filter (fun (i, _, _, _, _, _) -> i <> id) !live
+    | _ -> (
+        match !live with
+        | [] -> ()
+        | l ->
+            let id, _, _, _, _, demand = List.nth l (Util.Rng.int rng (List.length l)) in
+            let g = if Util.Rng.bool rng then Some (Util.Rng.float rng 4.0) else None in
+            demand := g;
+            R2c2.Stack.set_demand churned id ~gbps:g));
+    (* Interleave recomputes so the arena really is reused across epochs. *)
+    if Util.Rng.int rng 3 = 0 then R2c2.Stack.recompute churned
+  done;
+  R2c2.Stack.recompute churned;
+  let fresh = mk () in
+  let pairs =
+    List.rev_map
+      (fun (id, src, dst, weight, priority, demand) ->
+        let id' = R2c2.Stack.open_flow ~weight ~priority fresh ~src ~dst in
+        (match !demand with Some _ as g -> R2c2.Stack.set_demand fresh id' ~gbps:g | None -> ());
+        (id, id'))
+      !live
+  in
+  R2c2.Stack.recompute fresh;
+  Alcotest.(check bool) "nonempty scenario" true (List.length pairs > 3);
+  List.iter
+    (fun (id, id') ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "flow %d" id)
+        (R2c2.Stack.rate_gbps fresh id') (R2c2.Stack.rate_gbps churned id))
+    pairs
+
 (* -- policy mapping (SS3.3.2) -------------------------------------------------- *)
 
 let policy_tenant_weights () =
@@ -219,6 +297,8 @@ let suites =
         tc "routing reselection never regresses" reselect_improves_throughput;
         tc "sampled packet routes valid" sample_packet_route_valid;
         tc "failure handling re-announces flows" failure_reannounces_flows;
+        tc "failure handling re-emits demand state" failure_reemits_demand;
+        tc "incremental epochs match a fresh stack" incremental_matches_fresh_stack;
       ] );
     ( "policy",
       [
