@@ -26,8 +26,9 @@ let () =
     print_endline
       "usage: main.exe [exp-id] [--paper] [--quick]\n\
        exp-ids: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
-      \         fig17 fig18 fig19 ablation micro churn all (default: all)\n\
-       churn writes BENCH_waterfill.json; --quick runs a 1-trial smoke";
+      \         fig17 fig18 fig19 ablation micro churn chaos all (default: all)\n\
+       churn writes BENCH_waterfill.json; chaos writes BENCH_failure.json;\n\
+       --quick runs a smoke-sized variant";
     exit 1
   in
   let args = List.tl (Array.to_list Sys.argv) in
@@ -55,4 +56,5 @@ let () =
   | [ "ablation" ] -> Experiments.ablations ()
   | [ "micro" ] -> Micro.run ()
   | [ "churn" ] -> Micro.churn ~quick ()
+  | [ "chaos" ] -> Chaos.run ~quick ()
   | _ -> usage ()

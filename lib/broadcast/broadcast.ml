@@ -1,17 +1,27 @@
-type tree = { parent : int array; children : int list array; depth : int; hops : int array }
+type tree = {
+  parent : int array;
+  children : int list array;
+  depth : int;
+  hops : int array;
+  mutable version : int;  (* Topology.version the tree was last validated against *)
+}
 
 type t = {
   topo : Topology.t;
   trees_per_source : int;
   cache : (int, tree) Hashtbl.t;  (* key = src * trees_per_source + tree id *)
+  mutable repairs : int;
+  mutable repair_bytes : int;
 }
 
 let make ?(trees_per_source = 4) topo =
   if trees_per_source < 1 then invalid_arg "Broadcast.make: trees_per_source < 1";
-  { topo; trees_per_source; cache = Hashtbl.create 64 }
+  { topo; trees_per_source; cache = Hashtbl.create 64; repairs = 0; repair_bytes = 0 }
 
 let topo t = t.topo
 let trees_per_source t = t.trees_per_source
+let repairs t = t.repairs
+let repair_bytes t = t.repair_bytes
 
 let tree_hops parent ~root =
   let n = Array.length parent in
@@ -28,19 +38,89 @@ let tree_hops parent ~root =
   done;
   hops
 
+(* A tree is valid when every alive vertex reachable from the source is
+   covered by an alive tree edge. Checking edges locally suffices: a broken
+   chain higher up surfaces as a dead (or missing) edge at the first alive,
+   reachable vertex below the break. *)
+let check_tree t ~src parent =
+  let topo = t.topo in
+  if not (Topology.node_alive topo src) then false
+  else begin
+    let d = Topology.dist_to topo src in
+    let ok = ref true in
+    let n = Array.length parent in
+    for v = 0 to n - 1 do
+      if !ok && v <> src && Topology.node_alive topo v && d.(v) < max_int then begin
+        let p = parent.(v) in
+        if p < 0 then ok := false
+        else
+          match Topology.find_link topo p v with
+          | Some l -> if not (Topology.link_alive topo l) then ok := false
+          | None -> ok := false
+      end
+    done;
+    !ok
+  end
+
+let build_tree t ~src ~tree =
+  let parent = Topology.shortest_path_tree t.topo ~root:src ~variant:tree in
+  let children = Topology.tree_children parent ~root:src in
+  let depth = Topology.tree_depth parent ~root:src in
+  let hops = tree_hops parent ~root:src in
+  { parent; children; depth; hops; version = Topology.version t.topo }
+
+let tree_edge_count tr ~root =
+  let n = ref 0 in
+  Array.iteri (fun v p -> if v <> root && p >= 0 then incr n) tr.parent;
+  !n
+
 let get_tree t ~src ~tree =
   if tree < 0 || tree >= t.trees_per_source then invalid_arg "Broadcast: tree id out of range";
   let key = (src * t.trees_per_source) + tree in
+  let v = Topology.version t.topo in
   match Hashtbl.find_opt t.cache key with
-  | Some tr -> tr
-  | None ->
-      let parent = Topology.shortest_path_tree t.topo ~root:src ~variant:tree in
-      let children = Topology.tree_children parent ~root:src in
-      let depth = Topology.tree_depth parent ~root:src in
-      let hops = tree_hops parent ~root:src in
-      let tr = { parent; children; depth; hops } in
+  | Some tr when tr.version = v -> tr
+  | Some tr when check_tree t ~src tr.parent ->
+      (* Survived the failure untouched; just re-stamp. *)
+      tr.version <- v;
+      tr
+  | Some _ ->
+      (* Crosses a dead element: rebuild on the surviving graph and charge
+         the FIB re-announcement (one broadcast-sized update per edge). *)
+      let tr = build_tree t ~src ~tree in
+      t.repairs <- t.repairs + 1;
+      t.repair_bytes <- t.repair_bytes + (Wire.broadcast_size * tree_edge_count tr ~root:src);
       Hashtbl.replace t.cache key tr;
       tr
+  | None ->
+      let tr = build_tree t ~src ~tree in
+      Hashtbl.replace t.cache key tr;
+      tr
+
+let tree_valid t ~src ~tree =
+  if tree < 0 || tree >= t.trees_per_source then invalid_arg "Broadcast: tree id out of range";
+  let key = (src * t.trees_per_source) + tree in
+  match Hashtbl.find_opt t.cache key with
+  | Some tr -> tr.version = Topology.version t.topo || check_tree t ~src tr.parent
+  | None -> Topology.node_alive t.topo src
+
+let surviving_tree t ~src =
+  let rec go tree =
+    if tree >= t.trees_per_source then None
+    else if tree_valid t ~src ~tree then Some tree
+    else go (tree + 1)
+  in
+  go 0
+
+let repair_all t =
+  let before = t.repairs in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.cache [] in
+  List.iter
+    (fun key ->
+      let src = key / t.trees_per_source and tree = key mod t.trees_per_source in
+      ignore (get_tree t ~src ~tree))
+    (List.sort compare keys);
+  t.repairs - before
 
 let choose_tree t rng ~src:_ = Util.Rng.int rng t.trees_per_source
 

@@ -18,6 +18,35 @@ val trees_per_source : t -> int
 val choose_tree : t -> Util.Rng.t -> src:int -> int
 (** Tree id for the next broadcast, drawn uniformly to spread load. *)
 
+(** {2 Failure-aware tree repair}
+
+    Cached trees are stamped with {!Topology.version}. After a fail/restore,
+    the next access to a tree re-validates it: a tree crossing a dead link
+    or node (or missing a newly reachable vertex) is rebuilt on the
+    surviving graph and the FIB re-announcement traffic is accounted; trees
+    untouched by the failure are kept as-is. *)
+
+val tree_valid : t -> src:int -> tree:int -> bool
+(** Whether the (cached) tree still covers every alive reachable vertex over
+    alive links. An unbuilt tree is valid iff the source is alive (it would
+    be built on the surviving graph). *)
+
+val surviving_tree : t -> src:int -> int option
+(** Lowest tree id of [src] that is currently valid without a rebuild —
+    the "alternative tree" fallback of §3.2 — or [None] if every tree of
+    this source crosses a failure. *)
+
+val repair_all : t -> int
+(** Re-validate every cached tree, rebuilding the broken ones; returns how
+    many were rebuilt. *)
+
+val repairs : t -> int
+(** Cumulative number of tree rebuilds caused by failures. *)
+
+val repair_bytes : t -> int
+(** Cumulative control traffic charged for repairs: one broadcast-sized FIB
+    update per edge of each rebuilt tree. *)
+
 val children : t -> src:int -> tree:int -> int -> int list
 (** FIB lookup: nodes to which a vertex forwards a [(src, tree)] broadcast
     packet. *)

@@ -237,10 +237,37 @@ let handle_failure t =
   Array.iter (fun f -> emit_broadcast t f Wire.Flow_start) fl;
   (* A bare re-announce would lose the demand side of the rack state: peers
      rebuild the traffic matrix from these broadcasts, so every flow whose
-     demand is known — declared or estimated — re-emits it too, and the
-     post-failure view converges to the pre-failure one. *)
+     demand is known — declared or estimated — re-emits it too. This only
+     rebuilds the view of the flows still in the table; dropping flows with
+     a dead endpoint is [notify_failure]'s job. *)
   Array.iter
     (fun f ->
       if f.demand_gbps <> None || !(f.demand_estimator) <> None then
         emit_broadcast t f Wire.Demand_update)
     fl
+
+let notify_failure t =
+  (* Tree repair first: the drop and re-announce broadcasts below must ride
+     surviving trees. The FIB re-announcements count as control traffic. *)
+  let rb = Broadcast.repair_bytes t.bcast in
+  ignore (Broadcast.repair_all t.bcast);
+  t.control_bytes <- t.control_bytes + (Broadcast.repair_bytes t.bcast - rb);
+  let fl = flow_array t in
+  let dropped = ref [] in
+  Array.iter
+    (fun f ->
+      if not (Topology.reachable t.topo f.src f.dst) then begin
+        dropped := f.id :: !dropped;
+        Hashtbl.remove t.flows f.id;
+        Congestion.Waterfill.Inc.remove_flow t.alloc ~id:f.id;
+        emit_broadcast t f Wire.Flow_finish
+      end
+      else
+        (* Fractions are recomputed on the surviving graph (the routing
+           cache flushed itself on the topology version bump); patching the
+           allocator rows marks it dirty for the next recompute. *)
+        Congestion.Waterfill.Inc.set_links t.alloc ~id:f.id
+          (Routing.fractions t.rctx f.protocol ~src:f.src ~dst:f.dst))
+    fl;
+  handle_failure t;
+  List.rev !dropped

@@ -93,8 +93,21 @@ val control_bytes_sent : t -> int
     16 * (vertices - 1) per event. *)
 
 val handle_failure : t -> unit
-(** §3.2 failure handling: after a topology-discovery event every node
+(** §3.2 re-announcement: after a topology-discovery event every node
     re-broadcasts its ongoing flows; this re-announces every open flow
     (observable via {!on_broadcast}), then re-emits a demand update for
-    every flow with a declared demand or a live demand estimator, so a
-    rebuilt rack view converges to the pre-failure state. *)
+    every flow with a declared demand or a live demand estimator. It only
+    rebuilds the view of the flows still open — it does {e not} remove
+    flows whose endpoint died, so on an actual failure call
+    {!notify_failure} (which owns that case) rather than this directly. *)
+
+val notify_failure : t -> flow_id list
+(** Full failure response; call after the topology's down-state changed
+    ({!Topology.fail_link} / {!Topology.fail_node}). Repairs broken
+    broadcast trees (charging the FIB re-announcements to
+    {!control_bytes_sent}), closes every open flow whose endpoint is dead
+    or unreachable (announced as a flow-finish; their ids are returned in
+    ascending order), re-paths the surviving flows over the surviving
+    graph — marking the allocator dirty — and finally runs
+    {!handle_failure}. Call {!recompute} afterwards to reconverge the
+    allocations. *)

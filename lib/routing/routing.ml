@@ -23,6 +23,7 @@ type ctx = {
   vlb_a : (int, float array) Hashtbl.t;  (* per source: sum over waypoints of minimal fractions *)
   vlb_b : (int, float array) Hashtbl.t;  (* per destination *)
   wlb_dist : (int, float array) Hashtbl.t;  (* per (src,dst): waypoint prefix weights *)
+  mutable cache_version : int;  (* Topology.version the caches were built against *)
 }
 
 let make topo =
@@ -32,7 +33,20 @@ let make topo =
     vlb_a = Hashtbl.create 64;
     vlb_b = Hashtbl.create 64;
     wlb_dist = Hashtbl.create 256;
+    cache_version = Topology.version topo;
   }
+
+(* Every cached structure bakes in the down-state it was computed under;
+   flush wholesale when the topology's fail/restore version moved. *)
+let sync ctx =
+  let v = Topology.version ctx.topo in
+  if v <> ctx.cache_version then begin
+    Hashtbl.reset ctx.frac_cache;
+    Hashtbl.reset ctx.vlb_a;
+    Hashtbl.reset ctx.vlb_b;
+    Hashtbl.reset ctx.wlb_dist;
+    ctx.cache_version <- v
+  end
 
 let topo ctx = ctx.topo
 
@@ -49,11 +63,22 @@ let walk_minimal ctx rng ~src ~dst =
     if u = dst then List.rev (dst :: acc)
     else begin
       let hops = Topology.productive_hops ctx.topo u ~dst in
+      if Array.length hops = 0 then invalid_arg "Routing: destination unreachable";
       let v, _ = Util.Rng.pick rng hops in
       go (u :: acc) v
     end
   in
   Array.of_list (go [] src)
+
+let path_alive ctx path =
+  let t = ctx.topo in
+  let ok = ref true in
+  for i = 0 to Array.length path - 2 do
+    match Topology.find_link t path.(i) path.(i + 1) with
+    | Some l -> if not (Topology.link_alive t l) then ok := false
+    | None -> ok := false
+  done;
+  !ok
 
 (* Dimension-ordered paths. On a torus an exact half-way offset can be
    corrected in either wrap direction; destination-tag routing uses both
@@ -124,14 +149,20 @@ let deterministic_min_path ctx ~src ~dst =
           (fun best (v, _) -> match best with Some b when b <= v -> best | _ -> Some v)
           None hops
       in
-      match best with Some v -> go (u :: acc) v | None -> assert false
+      match best with
+      | Some v -> go (u :: acc) v
+      | None -> invalid_arg "Routing: destination unreachable"
     end
   in
   Array.of_list (go [] src)
 
 let dor_path ctx rng ~src ~dst =
   match Topology.kind ctx.topo with
-  | Topology.Torus _ | Topology.Mesh _ -> dor_torus_path ctx rng ~src ~dst
+  | Topology.Torus _ | Topology.Mesh _ ->
+      let p = dor_torus_path ctx rng ~src ~dst in
+      (* Dimension-order paths ignore down-state; detour on the surviving
+         shortest-path DAG when the coordinate path crosses a dead link. *)
+      if path_alive ctx p then p else walk_minimal ctx rng ~src ~dst
   | Topology.Clos _ | Topology.Flattened_butterfly _ | Topology.Custom _ ->
       deterministic_min_path ctx ~src ~dst
 
@@ -153,10 +184,13 @@ let wlb_waypoint_weights ctx ~src ~dst =
       let t = ctx.topo in
       let h = Topology.host_count t in
       let base = Topology.distance t src dst in
+      if base = max_int then invalid_arg "Routing: destination unreachable";
       let weights =
         Array.init h (fun w ->
-            let extra = Topology.distance t src w + Topology.distance t w dst - base in
-            wlb_beta ** float_of_int extra)
+            let dsw = Topology.distance t src w and dwd = Topology.distance t w dst in
+            (* Dead or cut-off waypoints get zero weight. *)
+            if dsw = max_int || dwd = max_int then 0.0
+            else wlb_beta ** float_of_int (dsw + dwd - base))
       in
       (* Prefix sums for O(log n) sampling. *)
       let prefix = Array.make h 0.0 in
@@ -186,18 +220,36 @@ let two_phase ctx rng ~src ~dst w =
 
 let sample_path ctx rng p ~src ~dst =
   if src = dst then invalid_arg "Routing.sample_path: src = dst";
+  sync ctx;
   match p with
   | Rps -> walk_minimal ctx rng ~src ~dst
   | Dor -> dor_path ctx rng ~src ~dst
   | Vlb ->
-      let w = Util.Rng.int rng (Topology.host_count ctx.topo) in
-      two_phase ctx rng ~src ~dst w
+      let t = ctx.topo in
+      let h = Topology.host_count t in
+      (* Resample until the waypoint is alive and connects both phases;
+         degenerate to a single minimal phase if none is found quickly. *)
+      let rec draw tries =
+        if tries = 0 then src
+        else begin
+          let w = Util.Rng.int rng h in
+          if w = src || w = dst then w
+          else if Topology.reachable t src w && Topology.reachable t w dst then w
+          else draw (tries - 1)
+        end
+      in
+      two_phase ctx rng ~src ~dst (draw 32)
   | Wlb ->
       let prefix = wlb_waypoint_weights ctx ~src ~dst in
       let w = sample_prefix rng prefix in
+      let marginal = if w = 0 then prefix.(0) else prefix.(w) -. prefix.(w - 1) in
+      (* A zero-weight (dead) waypoint can only surface on an exact
+         prefix-sum tie; degrade to the single minimal phase. *)
+      let w = if marginal > 0.0 then w else src in
       two_phase ctx rng ~src ~dst w
 
 let ecmp_path ctx ~flow_id ~src ~dst =
+  sync ctx;
   let seed = (flow_id * 1000003) lxor (src * 8191) lxor dst in
   let rng = Util.Rng.create seed in
   walk_minimal ctx rng ~src ~dst
@@ -211,6 +263,7 @@ let path_links ctx path =
       | None -> invalid_arg "Routing.path_links: non-adjacent vertices")
 
 let sample_paths_distinct ctx rng ~k ~src ~dst =
+  sync ctx;
   let seen = Hashtbl.create 16 in
   let paths = ref [] in
   let tries = ref 0 in
@@ -232,6 +285,7 @@ let min_fractions_uncached ctx ~src ~dst =
      productive hops at every vertex. *)
   let t = ctx.topo in
   let d = Topology.dist_to t dst in
+  if d.(src) = max_int then invalid_arg "Routing: destination unreachable";
   let layers = Array.make (d.(src) + 1) [] in
   layers.(d.(src)) <- [ src ];
   let prob = Hashtbl.create 32 in
@@ -260,14 +314,20 @@ let min_fractions_uncached ctx ~src ~dst =
 
 let dor_fractions ctx ~src ~dst =
   let acc = Hashtbl.create 16 in
+  let add l p =
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt acc l) in
+    Hashtbl.replace acc l (cur +. p)
+  in
+  (* Probability mass of coordinate paths crossing a dead link detours over
+     the surviving shortest-path DAG, mirroring the data plane's fallback. *)
+  let dead = ref 0.0 in
   List.iter
     (fun (path, p) ->
-      Array.iter
-        (fun l ->
-          let cur = Option.value ~default:0.0 (Hashtbl.find_opt acc l) in
-          Hashtbl.replace acc l (cur +. p))
-        (path_links ctx path))
+      if path_alive ctx path then Array.iter (fun l -> add l p) (path_links ctx path)
+      else dead := !dead +. p)
     (dor_paths_weighted ctx ~src ~dst);
+  if !dead > 0.0 then
+    Array.iter (fun (l, f) -> add l (!dead *. f)) (min_fractions_uncached ctx ~src ~dst);
   Array.of_list (List.sort compare (Hashtbl.fold (fun l f out -> (l, f) :: out) acc []))
 
 let accumulate_dense dense scale sparse =
@@ -280,7 +340,8 @@ let vlb_a ctx src =
       let t = ctx.topo in
       let dense = Array.make (Topology.link_count t) 0.0 in
       for w = 0 to Topology.host_count t - 1 do
-        if w <> src then accumulate_dense dense 1.0 (min_fractions_uncached ctx ~src ~dst:w)
+        if w <> src && Topology.reachable t src w then
+          accumulate_dense dense 1.0 (min_fractions_uncached ctx ~src ~dst:w)
       done;
       Hashtbl.replace ctx.vlb_a src dense;
       dense
@@ -292,7 +353,8 @@ let vlb_b ctx dst =
       let t = ctx.topo in
       let dense = Array.make (Topology.link_count t) 0.0 in
       for w = 0 to Topology.host_count t - 1 do
-        if w <> dst then accumulate_dense dense 1.0 (min_fractions_uncached ctx ~src:w ~dst)
+        if w <> dst && Topology.reachable t w dst then
+          accumulate_dense dense 1.0 (min_fractions_uncached ctx ~src:w ~dst)
       done;
       Hashtbl.replace ctx.vlb_b dst dense;
       dense
@@ -309,7 +371,19 @@ let vlb_fractions ctx ~src ~dst =
      minimal fractions. Waypoints equal to src or dst degenerate to a single
      minimal phase, which the sums already capture (the degenerate phase
      contributes nothing). *)
-  let h = float_of_int (Topology.host_count ctx.topo) in
+  let t = ctx.topo in
+  (* Waypoints are drawn from hosts that are up and connect both phases;
+     under no failures this is every host. *)
+  let valid = ref 0 in
+  for w = 0 to Topology.host_count t - 1 do
+    if
+      Topology.node_alive t w
+      && (w = src || Topology.reachable t src w)
+      && (w = dst || Topology.reachable t w dst)
+    then incr valid
+  done;
+  if !valid = 0 then invalid_arg "Routing: destination unreachable";
+  let h = float_of_int !valid in
   let a = vlb_a ctx src and b = vlb_b ctx dst in
   let dense = Array.make (Array.length a) 0.0 in
   Array.iteri (fun l x -> dense.(l) <- (x +. b.(l)) /. h) a;
@@ -335,6 +409,7 @@ let wlb_fractions ctx ~src ~dst =
 
 let fractions ctx p ~src ~dst =
   if src = dst then invalid_arg "Routing.fractions: src = dst";
+  sync ctx;
   let key = pack ctx p ~src ~dst in
   match Hashtbl.find_opt ctx.frac_cache key with
   | Some f -> f

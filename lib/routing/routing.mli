@@ -25,7 +25,14 @@ val protocol_name : protocol -> string
 val pp_protocol : Format.formatter -> protocol -> unit
 
 type ctx
-(** Per-topology routing context holding fraction caches. *)
+(** Per-topology routing context holding fraction caches. The caches are
+    stamped with {!Topology.version} and flushed automatically after any
+    fail/restore, so sampled paths never emit a dead link and fractions
+    reflect the surviving graph: DOR detours over the surviving
+    shortest-path DAG when its coordinate path crosses a dead link, VLB
+    resamples waypoints that died or were cut off, and WLB gives them zero
+    weight. Sampling a path or fractions towards an unreachable
+    destination raises [Invalid_argument]. *)
 
 val make : Topology.t -> ctx
 val topo : ctx -> Topology.t

@@ -12,9 +12,23 @@ type flow = {
   ooo : (int, int) Hashtbl.t;
 }
 
-type t = { flows : (int, flow) Hashtbl.t; mutable completed : int }
+type t = {
+  flows : (int, flow) Hashtbl.t;
+  mutable completed : int;
+  mutable bucket_ns : int;  (* goodput histogram bucket width; 0 = disabled *)
+  buckets : (int, int) Hashtbl.t;  (* bucket index -> accepted payload bytes *)
+}
 
-let create () = { flows = Hashtbl.create 256; completed = 0 }
+let create () =
+  { flows = Hashtbl.create 256; completed = 0; bucket_ns = 0; buckets = Hashtbl.create 64 }
+
+let set_goodput_bucket t ~bucket_ns =
+  if bucket_ns <= 0 then invalid_arg "Metrics.set_goodput_bucket";
+  t.bucket_ns <- bucket_ns
+
+let goodput_series t =
+  let xs = Hashtbl.fold (fun i b acc -> (i * t.bucket_ns, b) :: acc) t.buckets [] in
+  Array.of_list (List.sort compare xs)
 
 let add_flow t ~id ~src ~dst ~size ~arrival_ns =
   if Hashtbl.mem t.flows id then invalid_arg "Metrics.add_flow: duplicate id";
@@ -47,6 +61,12 @@ let record_delivery t ~id ~seq ~payload ~now =
   if f.finish_ns >= 0 then false
   else if seq < f.next_seq || Hashtbl.mem f.ooo seq then false (* duplicate *)
   else begin
+    if t.bucket_ns > 0 then begin
+      (* Goodput counts every newly accepted payload byte, in-order or not. *)
+      let i = now / t.bucket_ns in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt t.buckets i) in
+      Hashtbl.replace t.buckets i (cur + payload)
+    end;
     if seq = f.next_seq then begin
       f.delivered <- f.delivered + payload;
       f.next_seq <- f.next_seq + 1;

@@ -44,3 +44,12 @@ val throughputs_gbps : ?min_size:int -> ?max_size:int -> t -> float array
 
 val reorder_depths : t -> float array
 (** Peak reorder-buffer depth per completed flow, in packets. *)
+
+val set_goodput_bucket : t -> bucket_ns:int -> unit
+(** Enable the rack-wide goodput time series: every newly accepted payload
+    byte (duplicates excluded) is added to the bucket of its delivery time.
+    Used to measure the goodput dip around a failure. *)
+
+val goodput_series : t -> (int * int) array
+(** [(bucket_start_ns, payload_bytes)] pairs in time order; empty buckets
+    are omitted. Empty unless {!set_goodput_bucket} was called. *)

@@ -32,6 +32,15 @@ type t = {
   mutable drops : int;
   mutable data_wire : float;
   mutable control_wire : float;
+  (* Physical down-state, applied at the failure instant — distinct from
+     the control-plane view in [Topology]'s overlay, which the simulation
+     flips only after the detection delay. Packets meeting a dead element
+     are blackholed and counted. *)
+  link_up : bool array;
+  nodes_up : bool array;
+  mutable on_blackhole : packet -> unit;
+  mutable blackholes : int;
+  mutable blackholed_bytes : int;
 }
 
 let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link_gbps
@@ -54,6 +63,11 @@ let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link
     drops = 0;
     data_wire = 0.0;
     control_wire = 0.0;
+    link_up = Array.make (Topology.link_count topo) true;
+    nodes_up = Array.make (Topology.vertex_count topo) true;
+    on_blackhole = ignore;
+    blackholes = 0;
+    blackholed_bytes = 0;
   }
 
 let topo t = t.topo
@@ -72,6 +86,66 @@ let count_wire t pkt =
   | Bcast _ ->
       if t.count_control then t.control_wire <- t.control_wire +. float_of_int pkt.bytes
 
+(* -- physical failures --------------------------------------------------- *)
+
+let phys_link_up t l =
+  t.link_up.(l) && t.nodes_up.(Topology.link_src t.topo l) && t.nodes_up.(Topology.link_dst t.topo l)
+
+let blackhole t pkt =
+  t.blackholes <- t.blackholes + 1;
+  t.blackholed_bytes <- t.blackholed_bytes + pkt.bytes;
+  t.on_blackhole pkt
+
+let purge_link t link_id =
+  let ls = t.links.(link_id) in
+  if ls.busy then begin
+    (* The head packet is mid-serialization and owned by the pending
+       tx-completion callback, which blackholes it itself; everything
+       queued behind it dies now. *)
+    let head = Queue.pop ls.q in
+    while not (Queue.is_empty ls.q) do
+      let pkt = Queue.pop ls.q in
+      ls.qbytes <- ls.qbytes - pkt.bytes;
+      blackhole t pkt
+    done;
+    Queue.push head ls.q
+  end
+  else
+    while not (Queue.is_empty ls.q) do
+      let pkt = Queue.pop ls.q in
+      ls.qbytes <- ls.qbytes - pkt.bytes;
+      blackhole t pkt
+    done
+
+let cable_ids t u v =
+  match (Topology.find_link t.topo u v, Topology.find_link t.topo v u) with
+  | Some a, Some b -> (a, b)
+  | _ -> invalid_arg "Net: vertices not adjacent"
+
+let fail_link t u v =
+  let a, b = cable_ids t u v in
+  t.link_up.(a) <- false;
+  t.link_up.(b) <- false;
+  purge_link t a;
+  purge_link t b
+
+let restore_link t u v =
+  let a, b = cable_ids t u v in
+  t.link_up.(a) <- true;
+  t.link_up.(b) <- true
+
+let fail_node t u =
+  t.nodes_up.(u) <- false;
+  (* Output queues live at the dead node; packets queued towards it at the
+     neighbors die on arrival instead. *)
+  Array.iter (fun (_, l) -> purge_link t l) (Topology.out_links t.topo u)
+
+let restore_node t u = t.nodes_up.(u) <- true
+let node_up t u = t.nodes_up.(u)
+let on_blackhole t f = t.on_blackhole <- f
+let blackholes t = t.blackholes
+let blackholed_bytes t = t.blackholed_bytes
+
 (* Forwarding is mutually recursive with arrival: an arriving packet is
    re-enqueued towards its next hop. *)
 let rec start_tx t link_id =
@@ -86,37 +160,44 @@ let rec start_tx t link_id =
           ls.qbytes <- ls.qbytes - pkt.bytes;
           (* Serialization of the next packet overlaps propagation. *)
           start_tx t link_id;
-          Engine.after t.engine t.hop_latency_ns (fun () ->
-              arrive t (Topology.link_dst t.topo link_id) pkt))
+          if phys_link_up t link_id then
+            Engine.after t.engine t.hop_latency_ns (fun () ->
+                arrive t (Topology.link_dst t.topo link_id) pkt)
+          else blackhole t pkt)
 
 and enqueue_link t link_id pkt =
-  let ls = t.links.(link_id) in
-  if ls.qbytes + pkt.bytes > t.queue_capacity then begin
-    t.drops <- t.drops + 1;
-    t.drop pkt
-  end
+  if not (phys_link_up t link_id) then blackhole t pkt
   else begin
-    Queue.push pkt ls.q;
-    ls.qbytes <- ls.qbytes + pkt.bytes;
-    if ls.qbytes > ls.max_qbytes then ls.max_qbytes <- ls.qbytes;
-    if not ls.busy then start_tx t link_id
+    let ls = t.links.(link_id) in
+    if ls.qbytes + pkt.bytes > t.queue_capacity then begin
+      t.drops <- t.drops + 1;
+      t.drop pkt
+    end
+    else begin
+      Queue.push pkt ls.q;
+      ls.qbytes <- ls.qbytes + pkt.bytes;
+      if ls.qbytes > ls.max_qbytes then ls.max_qbytes <- ls.qbytes;
+      if not ls.busy then start_tx t link_id
+    end
   end
 
 and arrive t node pkt =
-  count_wire t pkt;
-  match pkt.kind with
-  | Bcast { root; tree; _ } ->
-      t.bcast_deliver pkt ~node;
-      forward_bcast t ~root ~tree ~from:node ~bytes:pkt.bytes ~kind:pkt.kind
-  | Data _ | Ack _ ->
-      pkt.hop <- pkt.hop + 1;
-      assert (pkt.route.(pkt.hop) = node);
-      if pkt.hop = Array.length pkt.route - 1 then t.deliver pkt
-      else begin
-        match Topology.find_link t.topo node pkt.route.(pkt.hop + 1) with
-        | Some l -> enqueue_link t l pkt
-        | None -> invalid_arg "Net: route crosses non-adjacent vertices"
-      end
+  if not t.nodes_up.(node) then blackhole t pkt
+  else begin
+    count_wire t pkt;
+    match pkt.kind with
+    | Bcast { root; tree; _ } ->
+        t.bcast_deliver pkt ~node;
+        forward_bcast t ~root ~tree ~from:node ~bytes:pkt.bytes ~kind:pkt.kind
+    | Data _ | Ack _ -> (
+        pkt.hop <- pkt.hop + 1;
+        assert (pkt.route.(pkt.hop) = node);
+        if pkt.hop = Array.length pkt.route - 1 then t.deliver pkt
+        else
+          match Topology.find_link t.topo node pkt.route.(pkt.hop + 1) with
+          | Some l -> enqueue_link t l pkt
+          | None -> invalid_arg "Net: route crosses non-adjacent vertices")
+  end
 
 and forward_bcast t ~root ~tree ~from ~bytes ~kind =
   let b =

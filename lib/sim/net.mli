@@ -60,6 +60,37 @@ val send_bcast : t -> root:int -> tree:int -> bcast_id:int -> bytes:int -> unit
 val tx_time_ns : t -> int -> int
 (** Serialization time of a packet of the given byte size. *)
 
+(** {2 Physical failures}
+
+    The fabric's down-state is the {e physical} truth, flipped at the
+    failure instant — unlike the control-plane overlay in {!Topology},
+    which the simulation updates only after the detection delay, so
+    senders keep routing onto a dead cable until discovery catches up.
+    A packet that meets a dead element — queued on a failed link, finishing
+    serialization onto one, or arriving at a dead node — is {e blackholed}:
+    silently destroyed, counted, and reported via {!on_blackhole}. A packet
+    already past serialization when the cable dies still arrives. *)
+
+val fail_link : t -> int -> int -> unit
+(** Kill the cable between two adjacent vertices (both directions). Queued
+    packets are blackholed. Raises [Invalid_argument] if not adjacent. *)
+
+val restore_link : t -> int -> int -> unit
+
+val fail_node : t -> int -> unit
+(** Kill a vertex: its output queues are purged and anything later arriving
+    at it is blackholed. *)
+
+val restore_node : t -> int -> unit
+val node_up : t -> int -> bool
+
+val on_blackhole : t -> (packet -> unit) -> unit
+(** Called for every blackholed packet (after counting). *)
+
+val blackholes : t -> int
+val blackholed_bytes : t -> int
+(** Wire bytes destroyed by failures, headers included. *)
+
 val max_queue_bytes : t -> int array
 (** Per-link maximum queue occupancy observed (bytes). *)
 

@@ -13,6 +13,14 @@ type config = {
   reselect_interval_ns : int option;
       (** §3.4: when set, long flows are periodically re-assigned a routing
           protocol (RPS vs VLB) by the GA selector *)
+  detection_delay_ns : int option;
+      (** failure -> topology-discovery latency; [None] = twice the
+          broadcast depth of the rack (2 * diameter hops of a 16-byte
+          packet) *)
+  rtx_timeout_ns : int;  (** initial per-packet retransmission timeout *)
+  rtx_backoff : float;  (** timeout multiplier per unacknowledged attempt *)
+  rtx_cap_ns : int;  (** backed-off timeout ceiling *)
+  rtx_max_retries : int;  (** per packet; exceeding it aborts the flow *)
   seed : int;
 }
 
@@ -28,8 +36,22 @@ let default_config =
     queue_capacity = max_int;
     control = Global_epoch;
     reselect_interval_ns = None;
+    detection_delay_ns = None;
+    rtx_timeout_ns = 50_000;
+    rtx_backoff = 2.0;
+    rtx_cap_ns = 1_000_000;
+    rtx_max_retries = 30;
     seed = 1;
   }
+
+type failure = {
+  kind : string;  (** "link" | "node" | "restore-link" | "restore-node" *)
+  fail_ns : int;
+  detect_ns : int;
+  mutable reconverge_ns : int;  (** -1 until the first post-detection rate epoch *)
+  mutable aborted : int;  (** flows dropped because an endpoint died *)
+  mutable repaired : int;  (** broadcast trees rebuilt at detection *)
+}
 
 type result = {
   metrics : Metrics.t;
@@ -41,6 +63,17 @@ type result = {
   rate_updates : (int * float) list;
   reselections : int;
   flows_rerouted : int;
+  blackholes : int;
+  blackholed_bytes : int;
+  injected_payload : int;
+  delivered_payload : int;
+  dropped_payload : int;
+  blackholed_payload : int;
+  retransmissions : int;
+  aborted_flows : int list;
+  failures : failure list;
+  tree_repairs : int;
+  tree_repair_bytes : int;
 }
 
 type fstate = {
@@ -60,6 +93,8 @@ type fstate = {
   mutable inject_gen : int;
   mutable visible : bool;  (** start broadcast reached every node *)
   mutable done_sending : bool;
+  rtx : (int, int) Hashtbl.t;  (** seq -> retransmission attempts so far *)
+  mutable failed : bool;  (** aborted: endpoint died or retries exhausted *)
 }
 
 type t = {
@@ -94,6 +129,15 @@ type t = {
   mutable epoch_dirty : bool;
       (** Per_node: any view/flow event since the last epoch; a clean epoch
           leaves every node's rates untouched and is skipped *)
+  mutable bcast_target : int;
+      (** copies needed for global visibility: alive vertices - 1 *)
+  mutable injected_payload : int;  (** payload bytes of every transmission *)
+  mutable delivered_payload : int;  (** payload arriving at destinations, pre-dedup *)
+  mutable dropped_payload : int;  (** payload lost to queue tail drops *)
+  mutable blackholed_payload : int;  (** payload destroyed by dead links/nodes *)
+  mutable retransmissions : int;
+  mutable aborted : int list;  (** newest first *)
+  mutable failures : failure list;  (** newest first *)
 }
 
 let header = Wire.data_header_size
@@ -131,18 +175,28 @@ let flow_done_sending t st =
 (* -- data plane: token-bucket pacing and source routing ------------------- *)
 
 let rec inject t st =
-  let wire = min t.cfg.mtu (st.remaining + header) in
-  let payload = wire - header in
-  st.remaining <- st.remaining - payload;
-  let last = st.remaining = 0 in
-  if last then flow_done_sending t st;
-  st.last_inject <- Engine.now t.eng;
-  Metrics.note_first_tx t.mtrcs ~id:st.idx ~now:(Engine.now t.eng);
-  let path = Routing.sample_path t.rctx t.rng st.proto ~src:st.src ~dst:st.dst in
-  Net.send t.net
-    { Net.kind = Net.Data { flow = st.idx; seq = st.seq; last }; bytes = wire; route = path; hop = 0 };
-  st.seq <- st.seq + 1;
-  if not st.done_sending then schedule_injection t st
+  (* A dead sender stops existing: no injections, no rescheduling. The flow
+     is aborted when the failure is detected. *)
+  if Net.node_up t.net st.src then begin
+    let wire = min t.cfg.mtu (st.remaining + header) in
+    let payload = wire - header in
+    st.remaining <- st.remaining - payload;
+    let last = st.remaining = 0 in
+    if last then flow_done_sending t st;
+    st.last_inject <- Engine.now t.eng;
+    t.injected_payload <- t.injected_payload + payload;
+    Metrics.note_first_tx t.mtrcs ~id:st.idx ~now:(Engine.now t.eng);
+    let path = Routing.sample_path t.rctx t.rng st.proto ~src:st.src ~dst:st.dst in
+    Net.send t.net
+      {
+        Net.kind = Net.Data { flow = st.idx; seq = st.seq; last };
+        bytes = wire;
+        route = path;
+        hop = 0;
+      };
+    st.seq <- st.seq + 1;
+    if not st.done_sending then schedule_injection t st
+  end
 
 and schedule_injection t st =
   st.inject_gen <- st.inject_gen + 1;
@@ -243,15 +297,25 @@ let recompute_global t inc =
         | None -> ())
   end
 
+(* After a rate epoch executes, every allocation reflects all events known
+   so far — including any detected failure: that is the reconvergence
+   instant the recovery metrics report. *)
+let stamp_reconvergence t =
+  let now = Engine.now t.eng in
+  List.iter
+    (fun fr -> if fr.reconverge_ns < 0 && fr.detect_ns <= now then fr.reconverge_ns <- now)
+    t.failures
+
 let recompute t =
-  match (t.cfg.control, t.galloc) with
+  (match (t.cfg.control, t.galloc) with
   | Global_epoch, Some inc -> recompute_global t inc
   | Global_epoch, None -> assert false
   | Per_node, _ ->
       if t.epoch_dirty then begin
         t.epoch_dirty <- false;
         recompute_per_node t
-      end
+      end);
+  stamp_reconvergence t
 
 (* §3.4: periodic per-flow routing-protocol reselection. Long flows (alive
    for at least one reselection interval) are re-assigned RPS or VLB by the
@@ -334,6 +398,149 @@ let ensure_loop t =
       Engine.after t.eng interval (reselect_loop t interval)
   | _ -> ()
 
+(* -- fault injection and recovery (§3.2) ----------------------------------- *)
+
+let rcfg cfg =
+  {
+    Reliability.packets = 1;
+    rtx_timeout_ns = cfg.rtx_timeout_ns;
+    max_retries = cfg.rtx_max_retries;
+    rtx_backoff = cfg.rtx_backoff;
+    rtx_cap_ns = cfg.rtx_cap_ns;
+  }
+
+let flow_complete t idx = Metrics.complete t.mtrcs (Metrics.find t.mtrcs idx)
+
+(* Dead-endpoint flows cannot recover; they are dropped from the rack state
+   entirely (active set, allocator, per-node views) and reported. *)
+let abort_flow t st =
+  if not st.failed then begin
+    st.failed <- true;
+    t.aborted <- st.idx :: t.aborted;
+    st.inject_gen <- st.inject_gen + 1;
+    flow_done_sending t st;
+    Hashtbl.remove t.active st.idx;
+    Hashtbl.remove t.on_complete st.idx;
+    Array.iter (fun view -> Hashtbl.remove view st.idx) t.views;
+    t.epoch_dirty <- true;
+    if Hashtbl.length t.active = 0 then stamp_reconvergence t
+  end
+
+(* The simulator plays the receiver's ARQ with global knowledge: a lost Data
+   packet re-arms a per-sequence retransmission timer under the
+   {!Reliability} backoff discipline and is re-sent — same sequence number,
+   freshly sampled path — once it fires. Until the failure is detected the
+   fresh path may cross the same dead cable; the backoff rides out exactly
+   that window. *)
+let rec arm_retransmit t st ~seq ~bytes ~last =
+  let n = Option.value ~default:0 (Hashtbl.find_opt st.rtx seq) in
+  if n >= t.cfg.rtx_max_retries then abort_flow t st
+  else begin
+    Hashtbl.replace st.rtx seq (n + 1);
+    Engine.after t.eng
+      (Reliability.timeout_ns (rcfg t.cfg) ~attempt:n)
+      (fun () -> retransmit t st ~seq ~bytes ~last)
+  end
+
+and retransmit t st ~seq ~bytes ~last =
+  if (not st.failed) && (not (flow_complete t st.idx)) && Net.node_up t.net st.src then begin
+    if Topology.reachable t.topo st.src st.dst then begin
+      t.retransmissions <- t.retransmissions + 1;
+      t.injected_payload <- t.injected_payload + (bytes - header);
+      let path = Routing.sample_path t.rctx t.rng st.proto ~src:st.src ~dst:st.dst in
+      Net.send t.net
+        { Net.kind = Net.Data { flow = st.idx; seq; last }; bytes; route = path; hop = 0 }
+    end
+    else
+      (* Partitioned for now: wait out another timeout (the detection
+         handler aborts the flow if the endpoint is truly gone). *)
+      arm_retransmit t st ~seq ~bytes ~last
+  end
+
+let handle_loss t pkt =
+  match pkt.Net.kind with
+  | Net.Data { flow; seq; last } -> (
+      match Hashtbl.find_opt t.all_states flow with
+      | Some st when (not st.failed) && not (flow_complete t flow) ->
+          arm_retransmit t st ~seq ~bytes:pkt.Net.bytes ~last
+      | _ -> ())
+  | Net.Ack _ | Net.Bcast _ -> ()
+
+let detection_delay t =
+  match t.cfg.detection_delay_ns with
+  | Some d -> d
+  | None ->
+      let tx = Net.tx_time_ns t.net Wire.broadcast_size in
+      2 * Topology.diameter t.topo * (t.cfg.hop_latency_ns + tx)
+
+(* Runs one detection delay after the physical event: flips the
+   control-plane overlay, repairs broadcast trees, drops flows whose
+   endpoint died, and re-paths + re-announces the survivors (§3.2: every
+   node re-broadcasts its ongoing flows after a discovery event). The next
+   rate epoch then stamps reconvergence. *)
+let detect t fr apply_overlay =
+  apply_overlay ();
+  fr.repaired <- Broadcast.repair_all t.bcast;
+  t.bcast_target <- Topology.alive_vertex_count t.topo - 1;
+  let sts =
+    Hashtbl.fold (fun _ st acc -> st :: acc) t.active []
+    |> List.sort (fun a b -> compare a.idx b.idx)
+  in
+  List.iter
+    (fun st ->
+      if not (Topology.reachable t.topo st.src st.dst) then begin
+        abort_flow t st;
+        fr.aborted <- fr.aborted + 1
+      end
+      else begin
+        st.wf_links <- Routing.fractions t.rctx st.proto ~src:st.src ~dst:st.dst;
+        t.epoch_dirty <- true;
+        (match t.galloc with
+        | Some inc when Congestion.Waterfill.Inc.mem inc ~id:st.idx ->
+            Congestion.Waterfill.Inc.set_links inc ~id:st.idx st.wf_links
+        | _ -> ());
+        if not st.done_sending then send_flow_broadcast t st Wire.Flow_start
+      end)
+    sts;
+  if Hashtbl.length t.active = 0 then fr.reconverge_ns <- Engine.now t.eng
+  else ensure_loop t
+
+let schedule_event t ~ns kind phys overlay =
+  Engine.at t.eng ns (fun () ->
+      phys ();
+      let fr =
+        {
+          kind;
+          fail_ns = ns;
+          detect_ns = ns + detection_delay t;
+          reconverge_ns = -1;
+          aborted = 0;
+          repaired = 0;
+        }
+      in
+      t.failures <- fr :: t.failures;
+      Engine.after t.eng (detection_delay t) (fun () -> detect t fr overlay))
+
+let fail_link_at t ~ns u v =
+  schedule_event t ~ns "link"
+    (fun () -> Net.fail_link t.net u v)
+    (fun () -> Topology.fail_link t.topo u v)
+
+let fail_node_at t ~ns u =
+  schedule_event t ~ns "node"
+    (fun () -> Net.fail_node t.net u)
+    (fun () -> Topology.fail_node t.topo u)
+
+let restore_link_at t ~ns u v =
+  schedule_event t ~ns "restore-link"
+    (fun () -> Net.restore_link t.net u v)
+    (fun () -> Topology.restore_link t.topo u v)
+
+let restore_node_at t ~ns u =
+  schedule_event t ~ns "restore-node"
+    (fun () -> Net.restore_node t.net u)
+    (fun () -> Topology.restore_node t.topo u)
+
 (* -- construction ---------------------------------------------------------- *)
 
 let create cfg topo =
@@ -382,6 +589,14 @@ let create cfg topo =
            Some (Congestion.Waterfill.Inc.create ~headroom:cfg.headroom ~capacities ())
          else None);
       epoch_dirty = false;
+      bcast_target = nverts - 1;
+      injected_payload = 0;
+      delivered_payload = 0;
+      dropped_payload = 0;
+      blackholed_payload = 0;
+      retransmissions = 0;
+      aborted = [];
+      failures = [];
     }
   in
   (* Broadcast copies arriving anywhere bump the receipt counter; once all
@@ -402,16 +617,32 @@ let create cfg topo =
           | None -> ()
           | Some count ->
               incr count;
-              if !count = nverts - 1 && bcast_id land 1 = 0 then begin
+              (* [>=]: after a node failure the target shrinks to the alive
+                 count, and stale pre-failure copies may still arrive. *)
+              if !count >= t.bcast_target && bcast_id land 1 = 0 then begin
                 match Hashtbl.find_opt t.active (bcast_id / 2) with
                 | Some st -> mark_visible t st
                 | None -> ()
               end)
       | Net.Data _ | Net.Ack _ -> ());
+  (* Lost Data packets — queue tail drops and failure blackholes alike —
+     feed the retransmission machinery; payload losses are bucketed for the
+     byte-conservation accounting. *)
+  Net.on_drop net (fun pkt ->
+      (match pkt.Net.kind with
+      | Net.Data _ -> t.dropped_payload <- t.dropped_payload + (pkt.Net.bytes - header)
+      | _ -> ());
+      handle_loss t pkt);
+  Net.on_blackhole net (fun pkt ->
+      (match pkt.Net.kind with
+      | Net.Data _ -> t.blackholed_payload <- t.blackholed_payload + (pkt.Net.bytes - header)
+      | _ -> ());
+      handle_loss t pkt);
   Net.on_deliver net (fun pkt ->
       match pkt.Net.kind with
       | Net.Data { flow; seq; _ } ->
           let payload = pkt.Net.bytes - header in
+          t.delivered_payload <- t.delivered_payload + payload;
           let finished =
             Metrics.record_delivery t.mtrcs ~id:flow ~seq ~payload ~now:(Engine.now eng)
           in
@@ -420,6 +651,10 @@ let create cfg topo =
             | Some st ->
                 Hashtbl.remove t.active flow;
                 t.epoch_dirty <- true;
+                (* With nothing left to allocate, a detected failure is
+                   trivially reconverged — the periodic loop is about to
+                   stop and would never stamp it. *)
+                if Hashtbl.length t.active = 0 then stamp_reconvergence t;
                 (* The finish broadcast never reaches its own root, but the
                    sender knows its flow ended. *)
                 if cfg.control = Per_node then Hashtbl.remove t.views.(st.src) flow;
@@ -464,6 +699,8 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
       inject_gen = 0;
       visible = false;
       done_sending = false;
+      rtx = Hashtbl.create 8;
+      failed = false;
     }
   in
   Hashtbl.replace t.active idx st;
@@ -489,6 +726,17 @@ let results t =
     rate_updates = List.rev t.rate_updates;
     reselections = t.reselections;
     flows_rerouted = t.flows_rerouted;
+    blackholes = Net.blackholes t.net;
+    blackholed_bytes = Net.blackholed_bytes t.net;
+    injected_payload = t.injected_payload;
+    delivered_payload = t.delivered_payload;
+    dropped_payload = t.dropped_payload;
+    blackholed_payload = t.blackholed_payload;
+    retransmissions = t.retransmissions;
+    aborted_flows = List.rev t.aborted;
+    failures = List.rev t.failures;
+    tree_repairs = Broadcast.repairs t.bcast;
+    tree_repair_bytes = Broadcast.repair_bytes t.bcast;
   }
 
 let run ?(protocol_of = fun _ _ -> Routing.Rps) ?(demand_of = fun _ _ -> None) ?until_ns cfg

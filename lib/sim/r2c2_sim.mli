@@ -38,12 +38,36 @@ type config = {
       (** §3.4: when set, flows alive for at least one interval are
           periodically re-assigned RPS or VLB by the GA routing selector,
           and the new assignment is advertised in one batched broadcast *)
+  detection_delay_ns : int option;
+      (** latency from a physical failure to every node's topology map
+          reflecting it (§3.2 topology discovery); [None] = twice the time
+          a broadcast packet needs to cross the rack diameter *)
+  rtx_timeout_ns : int;  (** initial per-packet retransmission timeout *)
+  rtx_backoff : float;
+      (** timeout multiplier per retransmission of the same packet;
+          [<= 1.0] keeps a fixed period *)
+  rtx_cap_ns : int;  (** ceiling on the backed-off timeout *)
+  rtx_max_retries : int;
+      (** retransmissions per packet before the flow is aborted *)
   seed : int;
 }
 
 val default_config : config
 (** 10 Gbps, 100 ns hops, 5% headroom, rho = 500 µs, 1500-byte MTU, real
-    broadcasts, unbounded queues, global-epoch control, seed 1. *)
+    broadcasts, unbounded queues, global-epoch control, auto detection
+    delay, 50 µs retransmission timeout doubling up to 1 ms, 30 retries,
+    seed 1. *)
+
+type failure = {
+  kind : string;  (** ["link"], ["node"], ["restore-link"], ["restore-node"] *)
+  fail_ns : int;  (** when the physical event happened *)
+  detect_ns : int;  (** when topology discovery surfaced it *)
+  mutable reconverge_ns : int;
+      (** first rate epoch at or after detection — every allocation reflects
+          the new topology from here on; -1 if the run ended before then *)
+  mutable aborted : int;  (** flows this event killed (dead endpoint) *)
+  mutable repaired : int;  (** broadcast trees rebuilt at detection *)
+}
 
 type result = {
   metrics : Metrics.t;
@@ -55,6 +79,22 @@ type result = {
   rate_updates : (int * float) list;  (** (time ns, allocated rate Gbps) samples *)
   reselections : int;  (** §3.4 routing-reselection rounds executed *)
   flows_rerouted : int;  (** flows whose protocol a reselection changed *)
+  blackholes : int;  (** packets of any kind destroyed by dead links/nodes *)
+  blackholed_bytes : int;  (** their wire bytes *)
+  injected_payload : int;
+      (** payload bytes of every Data transmission, retransmissions included *)
+  delivered_payload : int;
+      (** payload bytes reaching their destination, duplicates included —
+          [injected = delivered + dropped + blackholed] always holds *)
+  dropped_payload : int;  (** payload lost to queue tail drops *)
+  blackholed_payload : int;  (** payload destroyed by failures *)
+  retransmissions : int;  (** Data packets re-sent after a loss *)
+  aborted_flows : int list;
+      (** flows killed by failures (dead endpoint or retries exhausted),
+          ascending; they count as neither completed nor in-flight *)
+  failures : failure list;  (** chronological fault-injection records *)
+  tree_repairs : int;  (** broadcast trees rebuilt over the whole run *)
+  tree_repair_bytes : int;  (** control bytes those rebuilds cost *)
 }
 
 (** {2 Handle API — dynamic workloads} *)
@@ -90,6 +130,30 @@ val start_flow :
 val run_engine : ?until_ns:int -> t -> unit
 (** Process events until the rack goes idle (or [until_ns]). Can be called
     repeatedly as more flows are scripted. *)
+
+(** {2 Fault injection (§3.2)}
+
+    Each of these schedules a physical event at simulation time [ns]: the
+    fabric state flips immediately (in-flight packets on a dead cable are
+    blackholed, senders keep using stale paths), and one detection delay
+    later the control plane reacts — broadcast trees are repaired, flows
+    with a dead endpoint are aborted, survivors are re-pathed onto the
+    surviving graph and re-announced, and the next rate epoch reconverges
+    the allocations. Lost packets are recovered by per-packet
+    retransmission under the {!Reliability} backoff discipline. *)
+
+val fail_link_at : t -> ns:int -> int -> int -> unit
+(** [fail_link_at t ~ns u v]: the cable between adjacent vertices [u] and
+    [v] dies (both directions) at time [ns]. *)
+
+val fail_node_at : t -> ns:int -> int -> unit
+(** The node and all its cables die at time [ns]; flows to or from it are
+    aborted at detection and reported in [aborted_flows]. *)
+
+val restore_link_at : t -> ns:int -> int -> int -> unit
+val restore_node_at : t -> ns:int -> int -> unit
+(** Restores follow the same discovery path: the fabric heals immediately,
+    the control plane re-paths one detection delay later. *)
 
 val results : t -> result
 (** Snapshot of the statistics so far. *)

@@ -2,7 +2,16 @@ type config = {
   packets : int;
   rtx_timeout_ns : int;
   max_retries : int;
+  rtx_backoff : float;
+  rtx_cap_ns : int;
 }
+
+let timeout_ns cfg ~attempt =
+  if cfg.rtx_backoff <= 1.0 then cfg.rtx_timeout_ns
+  else begin
+    let t = float_of_int cfg.rtx_timeout_ns *. (cfg.rtx_backoff ** float_of_int attempt) in
+    min cfg.rtx_cap_ns (int_of_float (Float.min t 1e18))
+  end
 
 type stats = {
   delivered : int;
@@ -75,7 +84,7 @@ let transfer eng cfg ~send_data ~send_ack ~ack_delay_ns ~data_delay_ns k =
     else begin
       st.transmissions <- st.transmissions + 1;
       if send_data ~seq ~attempt:n then Engine.after eng data_delay_ns (fun () -> deliver seq);
-      Engine.after eng st.cfg.rtx_timeout_ns (fun () -> attempt seq (n + 1))
+      Engine.after eng (timeout_ns st.cfg ~attempt:n) (fun () -> attempt seq (n + 1))
     end
   in
   for seq = 0 to cfg.packets - 1 do

@@ -12,9 +12,17 @@
 
 type config = {
   packets : int;  (** sequence numbers to deliver *)
-  rtx_timeout_ns : int;
+  rtx_timeout_ns : int;  (** initial per-packet retransmission timeout *)
   max_retries : int;  (** per packet; exceeding it aborts the transfer *)
+  rtx_backoff : float;
+      (** multiplier applied to the timeout after every unacknowledged
+          attempt; values <= 1.0 keep the fixed-period behavior *)
+  rtx_cap_ns : int;  (** upper bound on the backed-off timeout *)
 }
+
+val timeout_ns : config -> attempt:int -> int
+(** Retransmission timeout armed after attempt number [attempt] (0-based):
+    [min rtx_cap_ns (rtx_timeout_ns * rtx_backoff^attempt)]. *)
 
 type stats = {
   delivered : int;  (** distinct packets received *)

@@ -17,6 +17,13 @@ type t = {
   ldst : int array;
   link_tbl : (int, link_id) Hashtbl.t;
   dist_cache : (int, int array) Hashtbl.t;
+  (* Live down-state overlay: links and nodes can be failed and restored
+     without rebuilding the graph. [link_failed] records explicitly failed
+     directed links; a link is alive only if it is not failed AND both its
+     endpoints are up, so node and link failures compose. *)
+  link_failed : bool array;
+  node_up : bool array;
+  mutable version : int;
 }
 
 (* -- construction ------------------------------------------------------- *)
@@ -47,15 +54,19 @@ let build ~kind ~hosts ~nverts edges =
                (v, id))
              neighbors))
   in
+  let lsrc = Array.of_list (List.rev !lsrc) in
   {
     kind;
     hosts;
     nverts;
     out;
-    lsrc = Array.of_list (List.rev !lsrc);
+    lsrc;
     ldst = Array.of_list (List.rev !ldst);
     link_tbl;
     dist_cache = Hashtbl.create 64;
+    link_failed = Array.make (Array.length lsrc) false;
+    node_up = Array.make nverts true;
+    version = 0;
   }
 
 let effective_dims dims =
@@ -213,6 +224,117 @@ let out_links t u = t.out.(u)
 let degree t u = Array.length t.out.(u)
 let find_link t u v = Hashtbl.find_opt t.link_tbl ((u * t.nverts) + v)
 
+(* -- live down-state ----------------------------------------------------- *)
+
+let node_alive t u = t.node_up.(u)
+let link_alive t l = (not t.link_failed.(l)) && t.node_up.(t.lsrc.(l)) && t.node_up.(t.ldst.(l))
+let version t = t.version
+
+let alive_vertex_count t =
+  let n = ref 0 in
+  Array.iter (fun up -> if up then incr n) t.node_up;
+  !n
+
+let failed_nodes t =
+  let acc = ref [] in
+  for u = t.nverts - 1 downto 0 do
+    if not t.node_up.(u) then acc := u :: !acc
+  done;
+  !acc
+
+let failed_links t =
+  (* Explicitly failed cables, each reported once as (u, v) with u < v. *)
+  let acc = ref [] in
+  for l = Array.length t.link_failed - 1 downto 0 do
+    if t.link_failed.(l) && t.lsrc.(l) < t.ldst.(l) then acc := (t.lsrc.(l), t.ldst.(l)) :: !acc
+  done;
+  !acc
+
+let cable_ids t u v =
+  match (find_link t u v, find_link t v u) with
+  | Some a, Some b -> (a, b)
+  | _ -> invalid_arg "Topology: vertices not adjacent"
+
+(* Cache invalidation is selective: a cached distance array towards [dst]
+   is dropped only when the changed element can lie on (failure) or create
+   (restore) a shortest path towards [dst] under the distances the cache
+   currently holds. *)
+
+let invalidate_link_failure t u v =
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun dst d ->
+      let du = d.(u) and dv = d.(v) in
+      if du < max_int && dv < max_int && abs (du - dv) = 1 then stale := dst :: !stale)
+    t.dist_cache;
+  List.iter (Hashtbl.remove t.dist_cache) !stale
+
+let invalidate_link_restore t u v =
+  let stale = ref [] in
+  Hashtbl.iter (fun dst d -> if d.(u) <> d.(v) then stale := dst :: !stale) t.dist_cache;
+  List.iter (Hashtbl.remove t.dist_cache) !stale
+
+let invalidate_node_failure t u =
+  let stale = ref [] in
+  Hashtbl.iter (fun dst d -> if d.(u) < max_int then stale := dst :: !stale) t.dist_cache;
+  List.iter (Hashtbl.remove t.dist_cache) !stale
+
+let fail_link t u v =
+  let a, b = cable_ids t u v in
+  if not (t.link_failed.(a) && t.link_failed.(b)) then begin
+    invalidate_link_failure t u v;
+    t.link_failed.(a) <- true;
+    t.link_failed.(b) <- true;
+    t.version <- t.version + 1
+  end
+
+let restore_link t u v =
+  let a, b = cable_ids t u v in
+  if t.link_failed.(a) || t.link_failed.(b) then begin
+    t.link_failed.(a) <- false;
+    t.link_failed.(b) <- false;
+    invalidate_link_restore t u v;
+    t.version <- t.version + 1
+  end
+
+let fail_node t u =
+  if u < 0 || u >= t.nverts then invalid_arg "Topology.fail_node";
+  if t.node_up.(u) then begin
+    invalidate_node_failure t u;
+    t.node_up.(u) <- false;
+    t.version <- t.version + 1
+  end
+
+let restore_node t u =
+  if u < 0 || u >= t.nverts then invalid_arg "Topology.restore_node";
+  if not t.node_up.(u) then begin
+    t.node_up.(u) <- true;
+    (* A node coming back can shorten arbitrary paths; flush everything. *)
+    Hashtbl.reset t.dist_cache;
+    t.version <- t.version + 1
+  end
+
+let restore_all t =
+  let changed = ref false in
+  Array.iteri
+    (fun l f ->
+      if f then begin
+        t.link_failed.(l) <- false;
+        changed := true
+      end)
+    t.link_failed;
+  Array.iteri
+    (fun u up ->
+      if not up then begin
+        t.node_up.(u) <- true;
+        changed := true
+      end)
+    t.node_up;
+  if !changed then begin
+    Hashtbl.reset t.dist_cache;
+    t.version <- t.version + 1
+  end
+
 let coords t id =
   match t.kind with
   | Torus dims | Mesh dims -> coords_of ~dims id
@@ -229,19 +351,21 @@ let of_coords t c =
 
 let bfs t src =
   let dist = Array.make t.nverts max_int in
-  dist.(src) <- 0;
-  let q = Queue.create () in
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.take q in
-    Array.iter
-      (fun (v, _) ->
-        if dist.(v) = max_int then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v q
-        end)
-      t.out.(u)
-  done;
+  if t.node_up.(src) then begin
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.take q in
+      Array.iter
+        (fun (v, l) ->
+          if dist.(v) = max_int && link_alive t l then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        t.out.(u)
+    done
+  end;
   dist
 
 let dist_to t dst =
@@ -261,9 +385,17 @@ let productive_hops t u ~dst =
   else begin
     let d = dist_to t dst in
     let du = d.(u) in
-    let hops = Array.to_list t.out.(u) in
-    Array.of_list (List.filter (fun (v, _) -> d.(v) = du - 1) hops)
+    if du = max_int then [||]
+    else begin
+      let hops = Array.to_list t.out.(u) in
+      (* The distance filter alone is not enough: a dead link between two
+         alive vertices still satisfies d.(v) = du - 1. *)
+      Array.of_list (List.filter (fun (v, l) -> d.(v) = du - 1 && link_alive t l) hops)
+    end
   end
+
+let reachable t u v =
+  t.node_up.(u) && t.node_up.(v) && (u = v || (dist_to t v).(u) < max_int)
 
 let average_distance t =
   let h = t.hosts in
@@ -334,23 +466,25 @@ let bisection_links t =
 
 let shortest_path_tree t ~root ~variant =
   let parent = Array.make t.nverts (-1) in
-  parent.(root) <- root;
-  let q = Queue.create () in
-  Queue.add root q;
-  while not (Queue.is_empty q) do
-    let u = Queue.take q in
-    let hops = t.out.(u) in
-    let deg = Array.length hops in
-    for i = 0 to deg - 1 do
-      (* Rotate exploration order so different variants attach vertices to
-         different shortest-path parents. *)
-      let v, _ = hops.((i + variant + u) mod deg) in
-      if parent.(v) < 0 then begin
-        parent.(v) <- u;
-        Queue.add v q
-      end
+  if t.node_up.(root) then begin
+    parent.(root) <- root;
+    let q = Queue.create () in
+    Queue.add root q;
+    while not (Queue.is_empty q) do
+      let u = Queue.take q in
+      let hops = t.out.(u) in
+      let deg = Array.length hops in
+      for i = 0 to deg - 1 do
+        (* Rotate exploration order so different variants attach vertices to
+           different shortest-path parents. *)
+        let v, l = hops.((i + variant + u) mod deg) in
+        if parent.(v) < 0 && link_alive t l then begin
+          parent.(v) <- u;
+          Queue.add v q
+        end
+      done
     done
-  done;
+  end;
   parent
 
 let tree_children parent ~root =

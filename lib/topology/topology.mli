@@ -66,6 +66,55 @@ val degree : t -> node -> int
 val find_link : t -> node -> node -> link_id option
 (** Directed link from [src] to an adjacent [dst], if any. *)
 
+(** {2 Live down-state}
+
+    Links and nodes can be failed at runtime without rebuilding the graph:
+    the overlay masks dead elements out of {!bfs}-derived distances,
+    {!productive_hops} and {!shortest_path_tree}, invalidating cached
+    distance arrays selectively (an entry towards [dst] is dropped only if
+    the changed element can sit on — or, for restores, create — a shortest
+    path towards [dst]). Multi-failure scenarios compose: a link is alive
+    iff it is not explicitly failed and both endpoints are up, so restoring
+    a node does not resurrect a cable that was failed on its own. *)
+
+val fail_link : t -> node -> node -> unit
+(** Fail the (bidirectional) cable between two adjacent vertices. Idempotent.
+    Raises [Invalid_argument] if the vertices are not adjacent. *)
+
+val restore_link : t -> node -> node -> unit
+(** Undo {!fail_link}. Idempotent. *)
+
+val fail_node : t -> node -> unit
+(** Take a vertex down; every incident link becomes dead. Idempotent. *)
+
+val restore_node : t -> node -> unit
+(** Undo {!fail_node}. Idempotent. *)
+
+val restore_all : t -> unit
+(** Clear every failed link and node. *)
+
+val link_alive : t -> link_id -> bool
+(** A directed link is alive iff it is not failed and both endpoints are up. *)
+
+val node_alive : t -> node -> bool
+
+val alive_vertex_count : t -> int
+(** Number of vertices currently up (switches included). *)
+
+val failed_links : t -> (node * node) list
+(** Explicitly failed cables, each once as [(u, v)] with [u < v] (cables
+    dead only because an endpoint is down are not listed). *)
+
+val failed_nodes : t -> node list
+
+val version : t -> int
+(** Monotonic counter bumped by every effective fail/restore; consumers
+    caching derived structures (routing DAGs, broadcast trees) compare it
+    to decide staleness. *)
+
+val reachable : t -> node -> node -> bool
+(** Both vertices up and connected by alive links. *)
+
 val coords : t -> node -> int array
 (** Coordinates of a torus/mesh node. Raises [Invalid_argument] for Clos. *)
 
@@ -76,11 +125,14 @@ val distance : t -> node -> node -> int
 
 val dist_to : t -> node -> int array
 (** [dist_to t dst] is the array of shortest-path distances from every
-    vertex to [dst]. Computed once per destination and cached. *)
+    vertex to [dst], over alive links and nodes only ([max_int] marks
+    unreachable). Computed once per destination and cached; fail/restore
+    invalidates affected entries. *)
 
 val productive_hops : t -> node -> dst:node -> (node * link_id) array
-(** Next hops of [node] lying on some shortest path to [dst]. Empty iff
-    [node = dst]. *)
+(** Next hops of [node] lying on some shortest path to [dst] over alive
+    links. Empty if [node = dst] or [dst] is unreachable; never contains a
+    failed link. *)
 
 val average_distance : t -> float
 (** Mean shortest-path distance over distinct host pairs (exact for small
@@ -95,10 +147,11 @@ val bisection_links : t -> int
     Clos). *)
 
 val shortest_path_tree : t -> root:node -> variant:int -> int array
-(** [shortest_path_tree t ~root ~variant] is a spanning tree of all vertices
-    given as a parent array ([parent.(root) = root]); every tree path from
-    the root is a shortest path. Different [variant] values rotate the
-    neighbor exploration order, producing (generally) different trees. *)
+(** [shortest_path_tree t ~root ~variant] is a spanning tree of all alive,
+    reachable vertices given as a parent array ([parent.(root) = root];
+    dead or unreachable vertices keep [-1]); every tree path from the root
+    is a shortest path. Different [variant] values rotate the neighbor
+    exploration order, producing (generally) different trees. *)
 
 val tree_children : int array -> root:node -> node list array
 (** Children adjacency of a parent array as produced by

@@ -1,0 +1,230 @@
+(* Fault injection and rack-wide recovery: the topology down-state overlay
+   under exhaustive single-link removal, the packet-level failure story
+   (blackholing, detection, tree repair, retransmission, reconvergence),
+   byte conservation under overload, and the Stack control-plane response. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* -- single-link survival across every builder ----------------------------- *)
+
+(* Every direct-connect builder we ship is 2-edge-connected: removing any
+   single cable must keep all hosts mutually reachable with finite
+   distances, and [productive_hops] must never emit a dead link. *)
+let builders =
+  [
+    ("torus 5x4", fun () -> Topology.torus [| 5; 4 |]);
+    ("torus 3x3x3", fun () -> Topology.torus [| 3; 3; 3 |]);
+    ("mesh 3x3", fun () -> Topology.mesh [| 3; 3 |]);
+    ("mesh 4x3x2", fun () -> Topology.mesh [| 4; 3; 2 |]);
+    ("fb 3", fun () -> Topology.flattened_butterfly 3);
+    ("fb 4", fun () -> Topology.flattened_butterfly 4);
+    ("hypercube 3", fun () -> Topology.hypercube 3);
+  ]
+
+let check_single_link_survival name build () =
+  let t = build () in
+  let nv = Topology.vertex_count t in
+  let nh = Topology.host_count t in
+  (* Undirected cables, each once. *)
+  let cables = ref [] in
+  for l = 0 to Topology.link_count t - 1 do
+    let u = Topology.link_src t l and v = Topology.link_dst t l in
+    if u < v then cables := (u, v) :: !cables
+  done;
+  List.iter
+    (fun (u, v) ->
+      Topology.fail_link t u v;
+      let ctx = Printf.sprintf "%s -%d-%d" name u v in
+      for w = 1 to nv - 1 do
+        if not (Topology.reachable t 0 w) then
+          Alcotest.failf "%s: vertex %d unreachable" ctx w
+      done;
+      for dst = 0 to nh - 1 do
+        let d = Topology.dist_to t dst in
+        for s = 0 to nh - 1 do
+          if d.(s) = max_int then Alcotest.failf "%s: no path %d->%d" ctx s dst;
+          if s <> dst then
+            Array.iter
+              (fun (_, l) ->
+                if not (Topology.link_alive t l) then
+                  Alcotest.failf "%s: dead productive hop %d->%d" ctx s dst)
+              (Topology.productive_hops t s ~dst)
+        done
+      done;
+      Topology.restore_link t u v)
+    !cables;
+  (* The overlay is clean again: distances match a fresh build. *)
+  let fresh = build () in
+  for dst = 0 to min 3 (nh - 1) do
+    Alcotest.(check (array int))
+      "restored distances" (Topology.dist_to fresh dst) (Topology.dist_to t dst)
+  done
+
+let single_link_cases =
+  List.map
+    (fun (name, build) ->
+      tc (Printf.sprintf "single-link survival: %s" name) (check_single_link_survival name build))
+    builders
+
+(* -- packet-level recovery -------------------------------------------------- *)
+
+let conservation r =
+  let open Sim.R2c2_sim in
+  Alcotest.(check int)
+    "injected = delivered + dropped + blackholed" r.injected_payload
+    (r.delivered_payload + r.dropped_payload + r.blackholed_payload)
+
+let permutation_sim ?(cfg = Sim.R2c2_sim.default_config) ?(size = 200_000) () =
+  let topo = Topology.torus [| 4; 4 |] in
+  let cfg = { cfg with Sim.R2c2_sim.seed = 11 } in
+  let t = Sim.R2c2_sim.create cfg topo in
+  for i = 0 to 15 do
+    ignore (Sim.R2c2_sim.start_flow t ~src:i ~dst:((i + 5) mod 16) ~size)
+  done;
+  t
+
+let link_kill_zero_lost_flows () =
+  let t = permutation_sim () in
+  Sim.R2c2_sim.fail_link_at t ~ns:50_000 0 1;
+  Sim.R2c2_sim.run_engine t;
+  let r = Sim.R2c2_sim.results t in
+  let open Sim.R2c2_sim in
+  Alcotest.(check int) "every flow completes" 16 (Sim.Metrics.completed_count r.metrics);
+  Alcotest.(check (list int)) "no flow aborted" [] r.aborted_flows;
+  Alcotest.(check bool) "traffic was blackholed" true (r.blackholed_payload > 0);
+  Alcotest.(check bool) "losses were retransmitted" true (r.retransmissions > 0);
+  conservation r;
+  (match r.failures with
+  | [ fr ] ->
+      Alcotest.(check string) "kind" "link" fr.kind;
+      Alcotest.(check int) "failed on time" 50_000 fr.fail_ns;
+      Alcotest.(check bool) "detected after the failure" true (fr.detect_ns > fr.fail_ns);
+      Alcotest.(check bool) "reconverged" true (fr.reconverge_ns >= fr.detect_ns);
+      Alcotest.(check bool) "within one recompute interval" true
+        (fr.reconverge_ns - fr.detect_ns <= default_config.recompute_interval_ns)
+  | l -> Alcotest.failf "expected one failure record, got %d" (List.length l));
+  Alcotest.(check bool) "broken trees were repaired" true (r.tree_repairs > 0)
+
+let node_kill_aborts_only_dead_endpoints () =
+  let t = permutation_sim () in
+  Sim.R2c2_sim.fail_node_at t ~ns:50_000 3;
+  Sim.R2c2_sim.run_engine t;
+  let r = Sim.R2c2_sim.results t in
+  let open Sim.R2c2_sim in
+  (* Flow i runs i -> (i+5) mod 16: only flow 3 (src) and 14 (dst) touch
+     node 3. *)
+  Alcotest.(check (list int)) "dead-endpoint flows aborted" [ 3; 14 ] r.aborted_flows;
+  Alcotest.(check int) "the rest complete" 14 (Sim.Metrics.completed_count r.metrics);
+  conservation r;
+  (match r.failures with
+  | [ fr ] ->
+      Alcotest.(check string) "kind" "node" fr.kind;
+      Alcotest.(check int) "two aborts charged to the event" 2 fr.aborted;
+      Alcotest.(check bool) "reconverged" true (fr.reconverge_ns >= fr.detect_ns)
+  | l -> Alcotest.failf "expected one failure record, got %d" (List.length l))
+
+let failure_run_deterministic () =
+  let run () =
+    let t = permutation_sim () in
+    Sim.R2c2_sim.fail_link_at t ~ns:50_000 0 1;
+    Sim.R2c2_sim.run_engine t;
+    let r = Sim.R2c2_sim.results t in
+    let open Sim.R2c2_sim in
+    ( Sim.Metrics.fcts_us r.metrics,
+      r.drops,
+      r.blackholes,
+      r.retransmissions,
+      List.map (fun fr -> fr.reconverge_ns) r.failures )
+  in
+  let fcts1, d1, b1, rtx1, rc1 = run () in
+  let fcts2, d2, b2, rtx2, rc2 = run () in
+  Alcotest.(check (array (float 0.0))) "same FCTs" fcts1 fcts2;
+  Alcotest.(check int) "same drops" d1 d2;
+  Alcotest.(check int) "same blackholes" b1 b2;
+  Alcotest.(check int) "same retransmissions" rtx1 rtx2;
+  Alcotest.(check (list int)) "same reconvergence" rc1 rc2
+
+let overload_conserves_bytes () =
+  (* Six senders incast 60 Gbps into a node with 40 Gbps of in-capacity
+     through 4-packet queues: tail drops are certain, yet retransmission
+     completes every flow and every payload byte is accounted for. *)
+  let topo = Topology.torus [| 3; 3 |] in
+  let cfg =
+    {
+      Sim.R2c2_sim.default_config with
+      queue_capacity = 6_000;
+      real_broadcast = false;
+      seed = 5;
+    }
+  in
+  let t = Sim.R2c2_sim.create cfg topo in
+  for i = 1 to 6 do
+    ignore (Sim.R2c2_sim.start_flow t ~src:i ~dst:0 ~size:60_000)
+  done;
+  Sim.R2c2_sim.run_engine t;
+  let r = Sim.R2c2_sim.results t in
+  let open Sim.R2c2_sim in
+  Alcotest.(check bool) "queues overflowed" true (r.drops > 0);
+  Alcotest.(check int) "every flow completes" 6 (Sim.Metrics.completed_count r.metrics);
+  Alcotest.(check (list int)) "no aborts" [] r.aborted_flows;
+  Alcotest.(check int) "nothing blackholed" 0 r.blackholed_payload;
+  conservation r
+
+let goodput_series_accounts_all_bytes () =
+  let t = permutation_sim ~size:50_000 () in
+  Sim.Metrics.set_goodput_bucket (Sim.R2c2_sim.metrics t) ~bucket_ns:10_000;
+  Sim.R2c2_sim.run_engine t;
+  let series = Sim.Metrics.goodput_series (Sim.R2c2_sim.metrics t) in
+  let total = Array.fold_left (fun acc (_, b) -> acc + b) 0 series in
+  Alcotest.(check int) "series sums to the delivered payload" (16 * 50_000) total;
+  let sorted = ref true in
+  for i = 1 to Array.length series - 1 do
+    if fst series.(i - 1) >= fst series.(i) then sorted := false
+  done;
+  Alcotest.(check bool) "buckets in time order" true !sorted
+
+(* -- Stack control-plane response ------------------------------------------- *)
+
+let stack_notify_drops_dead_endpoints () =
+  let st = R2c2.Stack.create ~seed:3 (Topology.torus [| 4; 4 |]) in
+  let a = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  let b = R2c2.Stack.open_flow st ~src:1 ~dst:2 in
+  let c = R2c2.Stack.open_flow st ~src:2 ~dst:9 in
+  Topology.fail_node (R2c2.Stack.topology st) 2;
+  let dropped = R2c2.Stack.notify_failure st in
+  Alcotest.(check (list int)) "dead-endpoint flows dropped, ascending" [ b; c ] dropped;
+  let survivors = List.map (fun (id, _, _, _) -> id) (R2c2.Stack.active_flows st) in
+  Alcotest.(check (list int)) "survivor remains" [ a ] survivors;
+  R2c2.Stack.recompute st;
+  Alcotest.(check bool) "survivor reallocated" true (R2c2.Stack.rate_gbps st a > 0.0)
+
+let stack_notify_survives_link_failure () =
+  let st = R2c2.Stack.create ~seed:3 (Topology.torus [| 4; 4 |]) in
+  let a = R2c2.Stack.open_flow st ~src:0 ~dst:1 in
+  R2c2.Stack.recompute st;
+  let before = R2c2.Stack.control_bytes_sent st in
+  Topology.fail_link (R2c2.Stack.topology st) 0 1;
+  let dropped = R2c2.Stack.notify_failure st in
+  Alcotest.(check (list int)) "nothing dropped" [] dropped;
+  Alcotest.(check bool) "repair + re-announce cost control bytes" true
+    (R2c2.Stack.control_bytes_sent st > before);
+  R2c2.Stack.recompute st;
+  Alcotest.(check bool) "flow re-pathed and reallocated" true (R2c2.Stack.rate_gbps st a > 0.0)
+
+let suites =
+  [
+    ("failure.topology", single_link_cases);
+    ( "failure.sim",
+      [
+        tc "link kill loses no flow" link_kill_zero_lost_flows;
+        tc "node kill aborts only dead endpoints" node_kill_aborts_only_dead_endpoints;
+        tc "failure runs are deterministic" failure_run_deterministic;
+        tc "overload conserves every byte" overload_conserves_bytes;
+        tc "goodput series accounts all bytes" goodput_series_accounts_all_bytes;
+      ] );
+    ( "failure.stack",
+      [
+        tc "notify_failure drops dead endpoints" stack_notify_drops_dead_endpoints;
+        tc "notify_failure re-paths around a dead link" stack_notify_survives_link_failure;
+      ] );
+  ]

@@ -216,7 +216,8 @@ let qcheck_reliability_completes =
     (fun (seed, loss) ->
       let s =
         Sim.Reliability.run_over_lossy_channel ~seed ~loss
-          { Sim.Reliability.packets = 50; rtx_timeout_ns = 5_000; max_retries = 60 }
+          { Sim.Reliability.packets = 50; rtx_timeout_ns = 5_000; max_retries = 60;
+            rtx_backoff = 1.0; rtx_cap_ns = max_int }
           ~rtt_ns:1_000
       in
       s.Sim.Reliability.completed && s.Sim.Reliability.delivered = 50)

@@ -14,5 +14,6 @@ let () =
          Test_emu.suites;
          Test_genetic.suites;
          Test_stack.suites;
+         Test_failure.suites;
          Test_integration.suites;
        ])

@@ -564,7 +564,8 @@ let pfq_until_cuts_off () =
 let reliability_lossless () =
   let s =
     Sim.Reliability.run_over_lossy_channel ~loss:0.0
-      { Sim.Reliability.packets = 50; rtx_timeout_ns = 10_000; max_retries = 5 }
+      { Sim.Reliability.packets = 50; rtx_timeout_ns = 10_000; max_retries = 5;
+        rtx_backoff = 1.0; rtx_cap_ns = max_int }
       ~rtt_ns:2_000
   in
   Alcotest.(check bool) "completed" true s.Sim.Reliability.completed;
@@ -573,7 +574,8 @@ let reliability_lossless () =
 let reliability_with_loss () =
   let s =
     Sim.Reliability.run_over_lossy_channel ~loss:0.3
-      { Sim.Reliability.packets = 200; rtx_timeout_ns = 10_000; max_retries = 50 }
+      { Sim.Reliability.packets = 200; rtx_timeout_ns = 10_000; max_retries = 50;
+        rtx_backoff = 1.0; rtx_cap_ns = max_int }
       ~rtt_ns:2_000
   in
   Alcotest.(check bool) "completed despite 30% loss" true s.Sim.Reliability.completed;
@@ -583,11 +585,45 @@ let reliability_with_loss () =
 let reliability_gives_up () =
   let s =
     Sim.Reliability.run_over_lossy_channel ~seed:3 ~loss:0.95
-      { Sim.Reliability.packets = 20; rtx_timeout_ns = 1_000; max_retries = 2 }
+      { Sim.Reliability.packets = 20; rtx_timeout_ns = 1_000; max_retries = 2;
+        rtx_backoff = 1.0; rtx_cap_ns = max_int }
       ~rtt_ns:2_000
   in
   Alcotest.(check bool) "aborts after max retries" false s.Sim.Reliability.completed;
   Alcotest.(check int) "abort marked" (-1) s.Sim.Reliability.finish_ns
+
+let reliability_backoff_spacing () =
+  (* Every data packet is lost; the per-packet timer must back off
+     exponentially (1000, 2000, 4000, 8000 ns ...) up to the cap. *)
+  let eng = Sim.Engine.create () in
+  let times = ref [] in
+  let result = ref None in
+  Sim.Reliability.transfer eng
+    { Sim.Reliability.packets = 1; rtx_timeout_ns = 1_000; max_retries = 6;
+      rtx_backoff = 2.0; rtx_cap_ns = 10_000 }
+    ~send_data:(fun ~seq:_ ~attempt:_ ->
+      times := Sim.Engine.now eng :: !times;
+      false)
+    ~send_ack:(fun ~seq:_ -> true)
+    ~ack_delay_ns:100 ~data_delay_ns:100
+    (fun s -> result := Some s);
+  Sim.Engine.run eng;
+  let times = Array.of_list (List.rev !times) in
+  Alcotest.(check int) "all attempts made" 7 (Array.length times);
+  let gaps = Array.init (Array.length times - 1) (fun i -> times.(i + 1) - times.(i)) in
+  Array.iteri
+    (fun i g ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "gap %d no smaller than gap %d" i (i - 1))
+          true
+          (g >= gaps.(i - 1)))
+    gaps;
+  Alcotest.(check bool) "spacing strictly grows before the cap" true (gaps.(1) > gaps.(0));
+  Alcotest.(check int) "spacing capped" 10_000 gaps.(Array.length gaps - 1);
+  match !result with
+  | Some s -> Alcotest.(check bool) "gave up in the end" false s.Sim.Reliability.completed
+  | None -> Alcotest.fail "transfer did not terminate"
 
 let suites =
   [
@@ -655,5 +691,6 @@ let suites =
         tc "lossless channel" reliability_lossless;
         tc "30% loss recovered" reliability_with_loss;
         tc "gives up after max retries" reliability_gives_up;
+        tc "retry spacing backs off exponentially" reliability_backoff_spacing;
       ] );
   ]
