@@ -154,7 +154,7 @@ let run ~quick () =
   if baseline.completed <> h || baseline.aborted <> [] then fail "baseline lost flows";
   if link.completed <> h || link.aborted <> [] then fail "link-kill lost flows";
   if soak.completed <> h || soak.aborted <> [] then fail "soak lost flows";
-  let node_expected = List.sort compare [ dead; (dead - shift + h) mod h ] in
+  let node_expected = List.sort Int.compare [ dead; (dead - shift + h) mod h ] in
   if node.aborted <> node_expected || node.completed <> h - 2 then
     fail "node-kill aborted %s, expected %s"
       (String.concat "," (List.map string_of_int node.aborted))
@@ -173,7 +173,7 @@ let run ~quick () =
     Array.of_list (List.filter (fun r -> r >= 0) (List.map (fun (_, (_, _, r)) -> r) all_recoveries))
   in
   let recs = if Array.length recs = 0 then [| -1 |] else recs in
-  Array.sort compare recs;
+  Array.sort Int.compare recs;
   let scenario_json o =
     Printf.sprintf
       "    { \"name\": \"%s\", \"completed\": %d, \"aborted\": [%s], \"drops\": %d,\n\

@@ -279,5 +279,5 @@ let run () =
           match Analyze.OLS.estimates ols with
           | Some (est :: _) -> Printf.printf "%-40s %16.0f\n" name est
           | _ -> Printf.printf "%-40s %16s\n" name "n/a")
-        (List.sort compare rows))
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
     results

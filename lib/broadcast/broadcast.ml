@@ -114,12 +114,11 @@ let surviving_tree t ~src =
 
 let repair_all t =
   let before = t.repairs in
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.cache [] in
-  List.iter
+  Array.iter
     (fun key ->
       let src = key / t.trees_per_source and tree = key mod t.trees_per_source in
       ignore (get_tree t ~src ~tree))
-    (List.sort compare keys);
+    (Util.Tbl.sorted_keys ~cmp:Int.compare t.cache);
   t.repairs - before
 
 let choose_tree t rng ~src:_ = Util.Rng.int rng t.trees_per_source

@@ -125,8 +125,8 @@ let by_priority flows =
       let cur = Option.value ~default:[] (Hashtbl.find_opt by_prio f.priority) in
       Hashtbl.replace by_prio f.priority (i :: cur))
     flows;
-  let prios = List.sort_uniq compare (Hashtbl.fold (fun p _ acc -> p :: acc) by_prio []) in
-  List.map (fun p -> List.rev (Hashtbl.find by_prio p)) prios
+  let prios = Util.Tbl.sorted_keys ~cmp:Int.compare by_prio in
+  List.map (fun p -> List.rev (Hashtbl.find by_prio p)) (Array.to_list prios)
 
 let allocate_reference ?(headroom = 0.0) ~capacities flows =
   if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";

@@ -162,9 +162,7 @@ let observe_sender_queue t id ~queued_bytes ~period_ns =
   if alloc > 0.0 && Congestion.Demand.is_host_limited est ~allocation:alloc then
     set_demand t id ~gbps:(Some (Congestion.Demand.estimate est *. 8.0))
 
-let flow_array t =
-  let fl = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows [] in
-  Array.of_list (List.sort (fun a b -> compare a.id b.id) fl)
+let flow_array t = Util.Tbl.sorted_values ~cmp:Int.compare t.flows
 
 let recompute t =
   (* Flow open/close/demand/reroute events have already patched [t.alloc];
@@ -180,15 +178,20 @@ let recompute t =
 let rate_gbps t id = (find t id).rate_gbps
 
 let allocations t =
-  Hashtbl.fold (fun id f acc -> (id, f.rate_gbps) :: acc) t.flows []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  List.rev
+    (Util.Tbl.fold_sorted ~cmp:Int.compare
+       (fun id f acc -> (id, f.rate_gbps) :: acc)
+       t.flows [])
 
 let active_flows t =
-  Hashtbl.fold (fun id f acc -> (id, f.src, f.dst, f.protocol) :: acc) t.flows []
-  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+  List.rev
+    (Util.Tbl.fold_sorted ~cmp:Int.compare
+       (fun id f acc -> (id, f.src, f.dst, f.protocol) :: acc)
+       t.flows [])
 
 let aggregate_throughput_gbps t =
-  Hashtbl.fold (fun _ f acc -> acc +. f.rate_gbps) t.flows 0.0
+  (* Summing in flow-id order keeps the float total identical on every node. *)
+  Util.Tbl.fold_sorted ~cmp:Int.compare (fun _ f acc -> acc +. f.rate_gbps) t.flows 0.0
 
 let reselect_routing ?pop_size ?mutation ?generations t rng =
   let fl = flow_array t in

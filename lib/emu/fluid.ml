@@ -197,8 +197,15 @@ let rate_error ?protocol_of ?min_lifetime_ns cfg topo specs ~rho_ns =
     tbl
   in
   let ideal = run_with 0 and measured = run_with rho_ns in
+  let cmp_key (a1, s1, d1) (a2, s2, d2) =
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c else Int.compare d1 d2
+  in
   let errs = ref [] in
-  Hashtbl.iter
+  Util.Tbl.iter_sorted ~cmp:cmp_key
     (fun key (r0, ideal_fct) ->
       match Hashtbl.find_opt measured key with
       | Some (r, _) when r0 > 0.0 && ideal_fct >= min_lifetime_ns ->

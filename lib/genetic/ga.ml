@@ -23,7 +23,7 @@ let tournament rng scored =
   let (ga, fa) = scored.(a) and (gb, fb) = scored.(b) in
   if fa >= fb then ga else gb
 
-let sort_desc scored = Array.sort (fun (_, a) (_, b) -> compare b a) scored
+let sort_desc scored = Array.sort (fun (_, a) (_, b) -> Float.compare b a) scored
 
 let optimize ?(pop_size = 100) ?(mutation = 0.01) ?(elite = 5) ?(generations = 30)
     ?(patience = 8) ?(seeds = []) rng p ~init =

@@ -47,7 +47,7 @@ let utility_gbps t ~flows assignment =
           let tnt = tenants.(i) in
           Hashtbl.replace totals tnt (r +. Option.value ~default:0.0 (Hashtbl.find_opt totals tnt)))
         rates;
-      let worst = Hashtbl.fold (fun _ v acc -> Float.min v acc) totals infinity in
+      let worst = Util.Tbl.fold_sorted ~cmp:Int.compare (fun _ v acc -> Float.min v acc) totals infinity in
       if worst = infinity then 0.0 else 8.0 *. worst
 
 let uniform t ~flows proto = utility_gbps t ~flows (Array.make (Array.length flows) proto)

@@ -90,7 +90,12 @@ let dor_torus_paths ctx ~src ~dst =
     | Topology.Torus d | Topology.Mesh d -> d
     | Topology.Clos _ | Topology.Flattened_butterfly _ | Topology.Custom _ -> assert false
   in
-  let wrap = match Topology.kind t with Topology.Torus _ -> true | _ -> false in
+  let wrap =
+    match Topology.kind t with
+    | Topology.Torus _ -> true
+    | Topology.Mesh _ | Topology.Clos _ | Topology.Flattened_butterfly _ | Topology.Custom _ ->
+        false
+  in
   let cd = Topology.coords t dst in
   (* steps_choices.(i): list of (step, probability) for dimension i. *)
   let c0 = Topology.coords t src in
@@ -309,8 +314,7 @@ let min_fractions_uncached ctx ~src ~dst =
           hops)
       layers.(layer)
   done;
-  let out = Hashtbl.fold (fun l f acc -> (l, f) :: acc) frac [] in
-  Array.of_list (List.sort compare out)
+  Util.Tbl.sorted_bindings ~cmp:Int.compare frac
 
 let dor_fractions ctx ~src ~dst =
   let acc = Hashtbl.create 16 in
@@ -328,7 +332,7 @@ let dor_fractions ctx ~src ~dst =
     (dor_paths_weighted ctx ~src ~dst);
   if !dead > 0.0 then
     Array.iter (fun (l, f) -> add l (!dead *. f)) (min_fractions_uncached ctx ~src ~dst);
-  Array.of_list (List.sort compare (Hashtbl.fold (fun l f out -> (l, f) :: out) acc []))
+  Util.Tbl.sorted_bindings ~cmp:Int.compare acc
 
 let accumulate_dense dense scale sparse =
   Array.iter (fun (l, f) -> dense.(l) <- dense.(l) +. (scale *. f)) sparse

@@ -27,8 +27,9 @@ let set_goodput_bucket t ~bucket_ns =
   t.bucket_ns <- bucket_ns
 
 let goodput_series t =
-  let xs = Hashtbl.fold (fun i b acc -> (i * t.bucket_ns, b) :: acc) t.buckets [] in
-  Array.of_list (List.sort compare xs)
+  Array.map
+    (fun (i, b) -> (i * t.bucket_ns, b))
+    (Util.Tbl.sorted_bindings ~cmp:Int.compare t.buckets)
 
 let add_flow t ~id ~src ~dst ~size ~arrival_ns =
   if Hashtbl.mem t.flows id then invalid_arg "Metrics.add_flow: duplicate id";
@@ -95,7 +96,9 @@ let record_delivery t ~id ~seq ~payload ~now =
 
 let complete _t f = f.finish_ns >= 0
 let completed_count t = t.completed
-let all t = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows []
+(* Sorted by flow id so every derived series (and any JSON report built
+   from it) is byte-stable across runs. *)
+let all t = Array.to_list (Util.Tbl.sorted_values ~cmp:Int.compare t.flows)
 
 let fct_ns f =
   if f.finish_ns < 0 then invalid_arg "Metrics.fct_ns: incomplete flow";

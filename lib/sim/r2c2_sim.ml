@@ -213,7 +213,13 @@ and schedule_injection t st =
 (* -- control plane: broadcast and rate computation ------------------------ *)
 
 let send_flow_broadcast t st event =
-  let bcast_id = (2 * st.idx) + match event with Wire.Flow_start -> 0 | _ -> 1 in
+  let bcast_id =
+    (2 * st.idx)
+    +
+    match event with
+    | Wire.Flow_start -> 0
+    | Wire.Flow_finish | Wire.Demand_update | Wire.Route_change -> 1
+  in
   if t.cfg.real_broadcast then begin
     Hashtbl.replace t.bcast_seen bcast_id (ref 0);
     let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:st.src in
@@ -226,7 +232,7 @@ let send_flow_broadcast t st event =
         let depth = Broadcast.depth t.bcast ~src:st.src ~tree in
         let tx = Net.tx_time_ns t.net Wire.broadcast_size in
         Engine.after t.eng (depth * (t.cfg.hop_latency_ns + tx)) (fun () -> mark_visible t st)
-    | _ -> ()
+    | Wire.Flow_finish | Wire.Demand_update | Wire.Route_change -> ()
   end
 
 let apply_rate t st r =
@@ -252,24 +258,24 @@ let wf_of st =
    ([epoch_dirty]); a quiet epoch is skipped outright. *)
 let recompute_per_node t =
   let senders : (int, fstate list) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.iter
+  Util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ st ->
       if not st.done_sending then
         Hashtbl.replace senders st.src
           (st :: Option.value ~default:[] (Hashtbl.find_opt senders st.src)))
     t.active;
-  Hashtbl.iter
+  Util.Tbl.iter_sorted ~cmp:Int.compare
     (fun node own ->
       (* The node's view, plus its own flows which it always knows. *)
       let view : (int, fstate) Hashtbl.t = Hashtbl.create 64 in
-      Hashtbl.iter
+      Util.Tbl.iter_sorted ~cmp:Int.compare
         (fun flow () ->
           match Hashtbl.find_opt t.all_states flow with
           | Some st -> Hashtbl.replace view flow st
           | None -> ())
         t.views.(node);
       List.iter (fun st -> Hashtbl.replace view st.idx st) own;
-      let flows = Array.of_list (Hashtbl.fold (fun _ st acc -> st :: acc) view []) in
+      let flows = Util.Tbl.sorted_values ~cmp:Int.compare view in
       if Array.length flows > 0 then begin
         t.recomputes <- t.recomputes + 1;
         let wf = Array.map wf_of flows in
@@ -325,7 +331,7 @@ let recompute t =
 let reselect t interval =
   let now = Engine.now t.eng in
   let eligible = ref [] in
-  Hashtbl.iter
+  Util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ st ->
       if (not st.done_sending) && now - st.started_ns >= interval then eligible := st :: !eligible)
     t.active;
@@ -482,10 +488,8 @@ let detect t fr apply_overlay =
   apply_overlay ();
   fr.repaired <- Broadcast.repair_all t.bcast;
   t.bcast_target <- Topology.alive_vertex_count t.topo - 1;
-  let sts =
-    Hashtbl.fold (fun _ st acc -> st :: acc) t.active []
-    |> List.sort (fun a b -> compare a.idx b.idx)
-  in
+  (* [t.active] is keyed by flow idx, so this is the old sort-by-idx. *)
+  let sts = Array.to_list (Util.Tbl.sorted_values ~cmp:Int.compare t.active) in
   List.iter
     (fun st ->
       if not (Topology.reachable t.topo st.src st.dst) then begin
@@ -631,12 +635,12 @@ let create cfg topo =
   Net.on_drop net (fun pkt ->
       (match pkt.Net.kind with
       | Net.Data _ -> t.dropped_payload <- t.dropped_payload + (pkt.Net.bytes - header)
-      | _ -> ());
+      | Net.Ack _ | Net.Bcast _ -> ());
       handle_loss t pkt);
   Net.on_blackhole net (fun pkt ->
       (match pkt.Net.kind with
       | Net.Data _ -> t.blackholed_payload <- t.blackholed_payload + (pkt.Net.bytes - header)
-      | _ -> ());
+      | Net.Ack _ | Net.Bcast _ -> ());
       handle_loss t pkt);
   Net.on_deliver net (fun pkt ->
       match pkt.Net.kind with

@@ -262,7 +262,7 @@ let cable_ids t u v =
 
 let invalidate_link_failure t u v =
   let stale = ref [] in
-  Hashtbl.iter
+  Util.Tbl.iter_sorted ~cmp:Int.compare
     (fun dst d ->
       let du = d.(u) and dv = d.(v) in
       if du < max_int && dv < max_int && abs (du - dv) = 1 then stale := dst :: !stale)
@@ -271,12 +271,16 @@ let invalidate_link_failure t u v =
 
 let invalidate_link_restore t u v =
   let stale = ref [] in
-  Hashtbl.iter (fun dst d -> if d.(u) <> d.(v) then stale := dst :: !stale) t.dist_cache;
+  Util.Tbl.iter_sorted ~cmp:Int.compare
+    (fun dst d -> if d.(u) <> d.(v) then stale := dst :: !stale)
+    t.dist_cache;
   List.iter (Hashtbl.remove t.dist_cache) !stale
 
 let invalidate_node_failure t u =
   let stale = ref [] in
-  Hashtbl.iter (fun dst d -> if d.(u) < max_int then stale := dst :: !stale) t.dist_cache;
+  Util.Tbl.iter_sorted ~cmp:Int.compare
+    (fun dst d -> if d.(u) < max_int then stale := dst :: !stale)
+    t.dist_cache;
   List.iter (Hashtbl.remove t.dist_cache) !stale
 
 let fail_link t u v =

@@ -4,7 +4,7 @@ let mean xs =
 
 let sorted_copy xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort Float.compare ys;
   ys
 
 let percentile_sorted ys p =

@@ -1,0 +1,231 @@
+(* Tests for tools/lint (r2c2-lint): every rule D1–D3 / S1–S2 on inline
+   good/bad fixture snippets, the `lint: allow` suppression path, and
+   fixtures that reproduce the pre-Util.Tbl code this repo was scrubbed
+   of — so reverting any one conversion demonstrably re-fails the lint
+   gate. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let lint ?(in_lib = true) src = Lint_core.lint_source ~file:"fixture.ml" ~in_lib src
+
+let rules_of r = List.map (fun v -> v.Lint_core.rule) r.Lint_core.violations
+
+let check_rules ?in_lib name expected src =
+  Alcotest.(check (list string)) name expected (rules_of (lint ?in_lib src))
+
+(* -- D1: ambient PRNG ----------------------------------------------------- *)
+
+let d1_random_banned () =
+  check_rules "Random.int flagged" [ "D1" ] "let x = Random.int 10";
+  check_rules "Random.self_init flagged" [ "D1" ] "let () = Random.self_init ()";
+  check_rules "Stdlib-qualified flagged" [ "D1" ] "let x = Stdlib.Random.bits ()";
+  check_rules "State submodule flagged" [ "D1" ] "let s = Random.State.make [| 1 |]";
+  check_rules "open Random flagged" [ "D1" ] "open Random\nlet x = int 10";
+  (* D1 holds in bench/ too: benches must be reproducible from their seed. *)
+  check_rules ~in_lib:false "banned in bench too" [ "D1" ] "let x = Random.int 10"
+
+let d1_util_rng_ok () =
+  check_rules "Util.Rng is the sanctioned PRNG" []
+    "let x rng = Util.Rng.int rng 10\nlet y rng = Util.Rng.shuffle rng [| 1; 2 |]";
+  (* A module merely *named* like the stdlib's entry points is fine. *)
+  check_rules "Rng.self_init-free module untouched" [] "let r = Util.Rng.create 42"
+
+(* -- D2: wall clock / environment ----------------------------------------- *)
+
+let d2_wall_clock_banned_in_lib () =
+  check_rules "gettimeofday flagged" [ "D2" ] "let t = Unix.gettimeofday ()";
+  check_rules "Sys.time flagged" [ "D2" ] "let t = Sys.time ()";
+  check_rules "Sys.getenv flagged" [ "D2" ] "let v = Sys.getenv \"SEED\"";
+  check_rules "Sys.getenv_opt flagged" [ "D2" ] "let v = Sys.getenv_opt \"SEED\""
+
+let d2_allowed_in_bench () =
+  check_rules ~in_lib:false "bench may time itself" []
+    "let t0 = Unix.gettimeofday ()\nlet t1 = Sys.time ()"
+
+(* -- D3: raw Hashtbl iteration -------------------------------------------- *)
+
+let d3_raw_iteration_banned_in_lib () =
+  check_rules "Hashtbl.fold flagged" [ "D3" ]
+    "let f tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []";
+  check_rules "Hashtbl.iter flagged" [ "D3" ] "let g tbl = Hashtbl.iter (fun _ _ -> ()) tbl";
+  check_rules "first-class reference flagged" [ "D3" ] "let h = Hashtbl.iter";
+  check_rules "open Hashtbl flagged" [ "D3" ] "open Hashtbl\nlet n t = length t"
+
+let d3_sorted_and_bench_ok () =
+  check_rules "Util.Tbl is the sanctioned iteration" []
+    (String.concat "\n"
+       [
+         "let f tbl = Util.Tbl.fold_sorted ~cmp:Int.compare (fun k v acc -> (k, v) :: acc) tbl []";
+         "let g tbl = Util.Tbl.iter_sorted ~cmp:Int.compare (fun _ _ -> ()) tbl";
+         "let h tbl = Util.Tbl.sorted_keys ~cmp:Int.compare tbl";
+       ]);
+  check_rules "point lookups untouched" []
+    "let f tbl k = Hashtbl.find_opt tbl k\nlet g tbl k v = Hashtbl.replace tbl k v";
+  check_rules ~in_lib:false "bench may iterate raw" []
+    "let f tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []"
+
+(* -- S1: Obj.magic and swallowed exceptions ------------------------------- *)
+
+let s1_flagged () =
+  check_rules "Obj.magic flagged" [ "S1" ] "let f (x : int) : float = Obj.magic x";
+  check_rules "catch-all try flagged" [ "S1" ] "let f () = try List.hd [] with _ -> 0";
+  check_rules "catch-all among cases flagged" [ "S1" ]
+    "let f () = try List.hd [] with Not_found -> 0 | _ -> 1"
+
+let s1_specific_handlers_ok () =
+  check_rules "named exception ok" [] "let f () = try List.hd [] with Not_found -> 0";
+  check_rules "binding the exn ok (can reraise)" []
+    "let f () = try List.hd [] with e -> raise e"
+
+(* -- S2: bare polymorphic compare ----------------------------------------- *)
+
+let s2_bare_compare_flagged () =
+  check_rules "List.sort compare flagged" [ "S2" ] "let f xs = List.sort compare xs";
+  check_rules "Array.sort compare flagged" [ "S2" ] "let f a = Array.sort compare a";
+  check_rules "List.sort_uniq compare flagged" [ "S2" ] "let f xs = List.sort_uniq compare xs";
+  check_rules "Stdlib.compare flagged" [ "S2" ] "let f xs = List.sort Stdlib.compare xs";
+  check_rules "flagged in bench too" ~in_lib:false [ "S2" ] "let f xs = List.sort compare xs"
+
+let s2_explicit_comparators_ok () =
+  check_rules "Int.compare ok" [] "let f xs = List.sort Int.compare xs";
+  check_rules "Float.compare ok" [] "let f xs = List.sort Float.compare xs";
+  check_rules "explicit key comparator ok" []
+    "let f xs = List.sort (fun (a, _) (b, _) -> Int.compare a b) xs";
+  (* Direct application `compare a b` is monomorphised by its arguments at
+     the call site; the syntactic rule targets first-class uses only. *)
+  check_rules "applied compare not flagged" [] "let f a b = compare a b"
+
+(* -- suppressions --------------------------------------------------------- *)
+
+let allow_same_line () =
+  let r =
+    lint
+      ("let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] "
+      ^ "(* lint: allow D3 — commutative fold, order irrelevant *)")
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rules_of r);
+  Alcotest.(check int) "counted" 1 r.Lint_core.suppressed
+
+let allow_previous_line () =
+  let r =
+    lint
+      (String.concat "\n"
+         [
+           "(* lint: allow D2 — feature-gated debug knob, not on a sim path *)";
+           "let debug = Sys.getenv_opt \"R2C2_DEBUG\"";
+         ])
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rules_of r);
+  Alcotest.(check int) "counted" 1 r.Lint_core.suppressed
+
+let allow_multiple_rules () =
+  let r =
+    lint
+      (String.concat "\n"
+         [
+           "(* lint: allow D3 S2 — scratch table in a test helper *)";
+           "let f tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])";
+         ])
+  in
+  Alcotest.(check (list string)) "both suppressed" [] (rules_of r);
+  Alcotest.(check int) "both counted" 2 r.Lint_core.suppressed
+
+let allow_wrong_rule_does_not_suppress () =
+  let r =
+    lint "let t = Unix.gettimeofday () (* lint: allow D3 — wrong rule named *)"
+  in
+  Alcotest.(check (list string)) "violation survives" [ "D2" ] (rules_of r);
+  Alcotest.(check int) "nothing suppressed" 0 r.Lint_core.suppressed;
+  Alcotest.(check int) "stale allow reported" 1 (List.length r.Lint_core.unused_allows)
+
+let allow_requires_reason () =
+  check_rules "reason-less allow is malformed" [ "D3"; "LINT" ]
+    "let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] (* lint: allow D3 *)";
+  check_rules "unknown rule name is malformed" [ "LINT"; "S1" ]
+    (String.concat "\n"
+       [ "(* lint: allow D9 — no such rule *)"; "let f (x : int) : float = Obj.magic x" ])
+
+(* -- revert guard: the exact code this PR scrubbed ------------------------ *)
+
+(* Pre-PR lib/core/stack.ml:166 — reverting the Util.Tbl conversion in any
+   swept file reintroduces exactly this shape, which must fail the gate. *)
+let revert_guard_stack () =
+  check_rules "old flow_array fails D3" [ "D3" ]
+    (String.concat "\n"
+       [
+         "let flow_array t =";
+         "  let fl = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows [] in";
+         "  Array.of_list (List.sort (fun a b -> compare a.id b.id) fl)";
+       ])
+
+(* Pre-PR lib/sim/metrics.ml:30 — fold in hash order, then a polymorphic
+   sort over (int * int) pairs. *)
+let revert_guard_metrics () =
+  check_rules "old goodput_series fails D3+S2" [ "D3"; "S2" ]
+    (String.concat "\n"
+       [
+         "let goodput_series t =";
+         "  let xs = Hashtbl.fold (fun i b acc -> (i * t.bucket_ns, b) :: acc) t.buckets [] in";
+         "  Array.of_list (List.sort compare xs)";
+       ])
+
+(* Pre-PR lib/congestion/waterfill.ml:128. *)
+let revert_guard_waterfill () =
+  check_rules "old by_priority fails D3+S2" [ "D3"; "S2" ]
+    "let prios t = List.sort_uniq compare (Hashtbl.fold (fun p _ acc -> p :: acc) t [])"
+
+(* Pre-PR lib/sim/r2c2_sim.ml:255 — control-plane epoch iterating the
+   active-flow table in hash order. *)
+let revert_guard_sim () =
+  check_rules "old recompute iteration fails D3" [ "D3"; "D3" ]
+    (String.concat "\n"
+       [
+         "let senders t tbl =";
+         "  Hashtbl.iter (fun _ st -> Hashtbl.replace tbl st.src st) t.active;";
+         "  Array.of_list (Hashtbl.fold (fun _ st acc -> st :: acc) tbl [])";
+       ])
+
+(* -- whole-tree gate ------------------------------------------------------ *)
+
+let repo_tree_is_clean () =
+  (* The real gate is `dune build @lint`; when the test sandbox carries the
+     sources (dune `deps`), re-check them here so `dune runtest` alone also
+     proves the tree clean. *)
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bench" ] in
+  if roots = [] then ()
+  else begin
+    let r = Lint_core.lint_roots roots in
+    List.iter
+      (fun (v : Lint_core.violation) ->
+        Printf.printf "%s:%d: [%s] %s\n" v.file v.line v.rule v.message)
+      r.Lint_core.violations;
+    Alcotest.(check int) "no violations in lib/ + bench/" 0
+      (List.length r.Lint_core.violations)
+  end
+
+let suites =
+  [
+    ( "lint",
+      [
+        tc "D1: Random banned everywhere" d1_random_banned;
+        tc "D1: Util.Rng sanctioned" d1_util_rng_ok;
+        tc "D2: wall clock banned in lib" d2_wall_clock_banned_in_lib;
+        tc "D2: bench may time itself" d2_allowed_in_bench;
+        tc "D3: raw Hashtbl iteration banned in lib" d3_raw_iteration_banned_in_lib;
+        tc "D3: Util.Tbl / lookups / bench ok" d3_sorted_and_bench_ok;
+        tc "S1: Obj.magic and catch-all try" s1_flagged;
+        tc "S1: specific handlers ok" s1_specific_handlers_ok;
+        tc "S2: bare compare flagged" s2_bare_compare_flagged;
+        tc "S2: explicit comparators ok" s2_explicit_comparators_ok;
+        tc "allow: same line" allow_same_line;
+        tc "allow: previous line" allow_previous_line;
+        tc "allow: several rules at once" allow_multiple_rules;
+        tc "allow: wrong rule does not suppress" allow_wrong_rule_does_not_suppress;
+        tc "allow: justification mandatory" allow_requires_reason;
+        tc "revert guard: stack.ml conversion" revert_guard_stack;
+        tc "revert guard: metrics.ml conversion" revert_guard_metrics;
+        tc "revert guard: waterfill.ml conversion" revert_guard_waterfill;
+        tc "revert guard: r2c2_sim.ml conversion" revert_guard_sim;
+        tc "repo tree is lint-clean" repo_tree_is_clean;
+      ] );
+  ]

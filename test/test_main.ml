@@ -16,4 +16,5 @@ let () =
          Test_stack.suites;
          Test_failure.suites;
          Test_integration.suites;
+         Test_lint.suites;
        ])

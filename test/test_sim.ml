@@ -227,6 +227,57 @@ let r2c2_deterministic () =
         (Sim.Metrics.fct_ns (Sim.Metrics.find r2.Sim.R2c2_sim.metrics i)))
     specs
 
+let r2c2_metrics_snapshot_deterministic () =
+  (* Stronger than [r2c2_deterministic]: two identically-seeded runs of a
+     4x4 torus must produce *byte-identical* metric snapshots — per-flow
+     records in [Metrics.all] order, the goodput time series, every
+     sampled rate update and all the accounting counters. Guards the
+     Util.Tbl sorted-iteration conversion: any hash-order dependence left
+     in the sim (or reintroduced later) shows up here as a diff. *)
+  let snapshot () =
+    let topo = Topology.torus [| 4; 4 |] in
+    let specs = default_specs topo (Util.Rng.create 11) 60 1_000.0 in
+    let cfg =
+      { Sim.R2c2_sim.default_config with
+        recompute_interval_ns = 100_000;
+        reselect_interval_ns = Some 200_000;
+      }
+    in
+    let t = Sim.R2c2_sim.create cfg topo in
+    Sim.Metrics.set_goodput_bucket (Sim.R2c2_sim.metrics t) ~bucket_ns:10_000;
+    List.iter
+      (fun (s : Workload.Flowgen.spec) ->
+        Sim.Engine.at (Sim.R2c2_sim.engine t) s.arrival_ns (fun () ->
+            ignore
+              (Sim.R2c2_sim.start_flow ~weight:s.weight ~priority:s.priority t ~src:s.src
+                 ~dst:s.dst ~size:s.size)))
+      specs;
+    Sim.R2c2_sim.run_engine t;
+    let r = Sim.R2c2_sim.results t in
+    let open Sim.R2c2_sim in
+    let buf = Buffer.create 8192 in
+    List.iter
+      (fun (f : Sim.Metrics.flow) ->
+        Buffer.add_string buf
+          (Printf.sprintf "flow %d %d->%d size=%d t0=%d tx=%d del=%d fin=%d ro=%d\n" f.id f.src
+             f.dst f.size f.arrival_ns f.start_tx_ns f.delivered f.finish_ns f.reorder_max))
+      (Sim.Metrics.all r.metrics);
+    Array.iter
+      (fun (ns, b) -> Buffer.add_string buf (Printf.sprintf "goodput %d %d\n" ns b))
+      (Sim.Metrics.goodput_series r.metrics);
+    List.iter
+      (fun (ns, gbps) -> Buffer.add_string buf (Printf.sprintf "rate %d %.17g\n" ns gbps))
+      r.rate_updates;
+    Buffer.add_string buf
+      (Printf.sprintf "drops=%d recomputes=%d reselections=%d rerouted=%d inj=%d del=%d\n"
+         r.drops r.recomputes r.reselections r.flows_rerouted r.injected_payload
+         r.delivered_payload);
+    Buffer.contents buf
+  in
+  let s1 = snapshot () and s2 = snapshot () in
+  Alcotest.(check bool) "snapshot is non-trivial" true (String.length s1 > 1000);
+  Alcotest.(check string) "identical snapshots" s1 s2
+
 let r2c2_rate_limited_after_epoch () =
   (* Two long flows from distinct sources to the same destination must
      converge to ~half the destination capacity each after recomputation. *)
@@ -656,6 +707,7 @@ let suites =
         tc "delivers every byte" r2c2_delivers_everything;
         tc "single flow near line rate" r2c2_single_flow_line_rate;
         tc "deterministic given seed" r2c2_deterministic;
+        tc "byte-identical metric snapshots" r2c2_metrics_snapshot_deterministic;
         tc "fair split after recompute" r2c2_rate_limited_after_epoch;
         tc "clean epochs skipped by dirty tracking" r2c2_clean_epochs_skipped;
         tc "broadcast bytes accounted" r2c2_broadcast_overhead_counted;

@@ -152,7 +152,7 @@ let failure_reemits_demand () =
       match b.Wire.event with
       | Wire.Demand_update -> demand_updates := (b.Wire.bsrc, b.Wire.demand_kbps) :: !demand_updates
       | Wire.Flow_start -> incr starts
-      | _ -> ());
+      | Wire.Flow_finish | Wire.Route_change -> ());
   R2c2.Stack.handle_failure st;
   Alcotest.(check int) "every open flow re-broadcast" 3 !starts;
   Alcotest.(check int) "demand re-emitted for declared + estimated flows" 2

@@ -1,0 +1,348 @@
+(* r2c2-lint: determinism & simulation-safety static analysis.
+
+   R2C2's congestion control (§3.2–3.3) requires every node to compute
+   the same max-min allocation from the same broadcast traffic matrix,
+   and the repro's tier-1 guarantee is bit-for-bit reproducible
+   simulations. This pass walks the parsetree of every `.ml` under
+   `lib/` and `bench/` (no typing — `Parse` + `Ast_iterator` from
+   compiler-libs only) and rejects constructs that break either:
+
+   D1  `Random.*` anywhere — the ambient PRNG is unseeded global state;
+       only the explicit, splittable `Util.Rng` is allowed.
+   D2  wall-clock / environment reads (`Unix.gettimeofday`, `Sys.time`,
+       `Sys.getenv`, …) under `lib/` — simulation results must be a
+       function of the seed, never of the host. `bench/` may time
+       itself.
+   D3  raw `Hashtbl.iter` / `Hashtbl.fold` under `lib/` — hash order
+       depends on insertion history, so two rack nodes holding the same
+       bindings can walk them differently; use `Util.Tbl`
+       (`sorted_keys` / `sorted_bindings` / `fold_sorted` / …), which
+       fixes the order by key.
+   S1  `Obj.magic`, and catch-all `try … with _ ->` handlers that
+       swallow exceptions (including assertion failures) silently.
+   S2  bare polymorphic `compare` passed as a value (e.g.
+       `List.sort compare`) — on pairs containing floats it orders NaN
+       inconsistently and ties break by structural accident; use
+       `Int.compare` / `Float.compare` / an explicit key comparator.
+       (Purely syntactic: without types we flag every first-class bare
+       `compare`; int-keyed sites should switch to `Int.compare`, which
+       is also faster.)
+
+   A violation can be suppressed with a justification comment on the
+   offending line or the line directly above it:
+
+       (* lint: allow D3 — order-independent: folding a commutative max *)
+
+   The rule list may name several rules (`allow D2 D3 — …`); the reason
+   after the dash is mandatory, and a malformed or reason-less allow is
+   itself reported (rule LINT) and cannot be suppressed. The summary
+   counts applied suppressions so reviewers can see how much of the
+   codebase is exempted. *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+type report = {
+  violations : violation list;  (* sorted by (file, line, rule) *)
+  files : int;
+  suppressed : int;  (* violations silenced by a valid allow *)
+  unused_allows : (string * int) list;  (* allow comments that silenced nothing *)
+}
+
+let rules = [ "D1"; "D2"; "D3"; "S1"; "S2" ]
+
+(* -- suppression comments ------------------------------------------------ *)
+
+type allow = { allow_rules : string list; mutable used : bool }
+
+let is_rule_char c = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Parses "lint: allow R1 R2 — reason" out of [line]. Returns
+   [`None] (no marker), [`Malformed] or [`Allow rules]. *)
+let parse_allow line =
+  match find_substring line "lint: allow" with
+  | None -> `None
+  | Some i ->
+      let rest = String.sub line (i + 11) (String.length line - i - 11) in
+      (* Tokenize rule names up to the dash separator. *)
+      let n = String.length rest in
+      let rec rules_of j acc =
+        if j >= n then (acc, n)
+        else if rest.[j] = ' ' || rest.[j] = ',' then rules_of (j + 1) acc
+        else if is_rule_char rest.[j] then begin
+          let k = ref j in
+          while !k < n && is_rule_char rest.[!k] do
+            incr k
+          done;
+          rules_of !k (String.sub rest j (!k - j) :: acc)
+        end
+        else (acc, j)
+      in
+      let named, j = rules_of 0 [] in
+      let named = List.rev named in
+      (* Accept "—" (em dash), "--" or "-" as the reason separator. *)
+      let rest = String.sub rest j (n - j) in
+      let reason =
+        let strip p s =
+          let np = String.length p in
+          if String.length s >= np && String.sub s 0 np = p then
+            Some (String.sub s np (String.length s - np))
+          else None
+        in
+        match (strip "\xe2\x80\x94" rest, strip "--" rest, strip "-" rest) with
+        | Some r, _, _ | _, Some r, _ | _, _, Some r -> Some r
+        | None, None, None -> None
+      in
+      let non_blank s = String.exists (fun c -> c <> ' ' && c <> '*' && c <> ')') s in
+      let valid_rules = named <> [] && List.for_all (fun r -> List.mem r rules) named in
+      (match reason with
+      | Some r when valid_rules && non_blank r -> `Allow named
+      | _ -> `Malformed)
+
+let split_lines src =
+  let out = ref [] and start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        out := String.sub src !start (i - !start) :: !out;
+        start := i + 1
+      end)
+    src;
+  out := String.sub src !start (String.length src - !start) :: !out;
+  List.rev !out
+
+(* -- AST checks ---------------------------------------------------------- *)
+
+let path_of lid = String.concat "." (Longident.flatten lid)
+
+let strip_stdlib p =
+  if String.length p > 7 && String.sub p 0 7 = "Stdlib." then
+    String.sub p 7 (String.length p - 7)
+  else p
+
+let has_root ~root p = p = root || String.length p > String.length root
+                                   && String.sub p 0 (String.length root + 1) = root ^ "."
+
+let clock_reads =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.gmtime";
+    "Unix.localtime";
+    "Sys.time";
+    "Sys.getenv";
+    "Sys.getenv_opt";
+    "Unix.getenv";
+    "Unix.environment";
+  ]
+
+let check_path ~in_lib add path loc =
+  let p = strip_stdlib path in
+  if has_root ~root:"Random" p then
+    add "D1" loc
+      (Printf.sprintf "'%s' is ambient nondeterministic state; use Util.Rng (seeded, splittable)"
+         path);
+  if in_lib && List.mem p clock_reads then
+    add "D2" loc
+      (Printf.sprintf
+         "'%s' reads the host clock/environment; lib/ results must be a function of the seed"
+         path);
+  if in_lib && (p = "Hashtbl.iter" || p = "Hashtbl.fold") then
+    add "D3" loc
+      (Printf.sprintf
+         "raw '%s' iterates in hash order (a rack-divergence hazard); use Util.Tbl.%s ~cmp:…"
+         path
+         (if p = "Hashtbl.iter" then "iter_sorted" else "fold_sorted"));
+  if p = "Obj.magic" then add "S1" loc "'Obj.magic' defeats the type system"
+
+let lint_structure ~in_lib ~add structure =
+  let open Parsetree in
+  let expr (iter : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_path ~in_lib add (path_of txt) loc
+    | Pexp_apply (_, args) ->
+        List.iter
+          (fun ((_, a) : Asttypes.arg_label * expression) ->
+            match a.pexp_desc with
+            | Pexp_ident { txt = Longident.Lident "compare"; loc }
+            | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Stdlib", "compare"); loc } ->
+                add "S2" loc
+                  "bare polymorphic 'compare' as a comparator (NaN/tie-break hazard); use \
+                   Int.compare, Float.compare or an explicit key comparator"
+            | _ -> ())
+          args
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_any ->
+                add "S1" c.pc_lhs.ppat_loc
+                  "catch-all 'try … with _ ->' swallows every exception (including \
+                   Assert_failure); match the specific exceptions instead"
+            | _ -> ())
+          cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr iter e
+  in
+  let check_open path loc =
+    let p = strip_stdlib path in
+    if has_root ~root:"Random" p then
+      add "D1" loc "'open Random' imports ambient nondeterministic state; use Util.Rng";
+    if in_lib && has_root ~root:"Hashtbl" p then
+      add "D3" loc "'open Hashtbl' hides raw iteration from this linter; qualify Hashtbl calls instead"
+  in
+  let open_description iter (od : open_description) =
+    check_open (path_of od.popen_expr.txt) od.popen_loc;
+    Ast_iterator.default_iterator.open_description iter od
+  in
+  (* `open M` in a structure (and `let open M in …`) carries a module
+     expression, not a bare path. *)
+  let open_declaration iter (od : open_declaration) =
+    (match od.popen_expr.pmod_desc with
+    | Pmod_ident { txt; _ } -> check_open (path_of txt) od.popen_loc
+    | _ -> ());
+    Ast_iterator.default_iterator.open_declaration iter od
+  in
+  let iterator =
+    { Ast_iterator.default_iterator with expr; open_description; open_declaration }
+  in
+  iterator.structure iterator structure
+
+(* -- per-file driver ----------------------------------------------------- *)
+
+let lint_source ~file ~in_lib src =
+  let allows = Hashtbl.create 8 in
+  let raw = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_allow line with
+      | `None -> ()
+      | `Allow rs -> Hashtbl.replace allows (i + 1) { allow_rules = rs; used = false }
+      | `Malformed ->
+          raw :=
+            {
+              file;
+              line = i + 1;
+              rule = "LINT";
+              message =
+                "malformed suppression; expected '(* lint: allow RULE — reason *)' with a \
+                 non-empty reason";
+            }
+            :: !raw)
+    (split_lines src);
+  let add rule (loc : Location.t) message =
+    let line = loc.loc_start.pos_lnum in
+    raw := { file; line; rule; message } :: !raw
+  in
+  (try
+     let lexbuf = Lexing.from_string src in
+     Location.init lexbuf file;
+     lint_structure ~in_lib ~add (Parse.implementation lexbuf)
+   with exn ->
+     let message =
+       match exn with
+       | Syntaxerr.Error _ -> "syntax error: file does not parse"
+       | _ -> Printf.sprintf "parse failure: %s" (Printexc.to_string exn)
+     in
+     raw := { file; line = 1; rule = "LINT"; message } :: !raw);
+  let suppressed = ref 0 in
+  let keep v =
+    if v.rule = "LINT" then true (* malformed allows are never suppressible *)
+    else begin
+      let covered line =
+        match Hashtbl.find_opt allows line with
+        | Some a when List.mem v.rule a.allow_rules ->
+            a.used <- true;
+            true
+        | _ -> false
+      in
+      (* The allow may sit on the offending line or directly above it. *)
+      if covered v.line || covered (v.line - 1) then begin
+        incr suppressed;
+        false
+      end
+      else true
+    end
+  in
+  let violations =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.line b.line in
+        if c <> 0 then c else String.compare a.rule b.rule)
+      (List.filter keep !raw)
+  in
+  let unused =
+    List.sort
+      (fun (_, a) (_, b) -> Int.compare a b)
+      (Hashtbl.fold (fun line a acc -> if a.used then acc else (file, line) :: acc) allows [])
+  in
+  { violations; files = 1; suppressed = !suppressed; unused_allows = unused }
+
+let lint_file ~in_lib file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  lint_source ~file ~in_lib src
+
+(* -- tree walking -------------------------------------------------------- *)
+
+let rec ml_files_under path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries (* Sys.readdir order is unspecified *);
+    Array.fold_left
+      (fun acc e -> acc @ ml_files_under (Filename.concat path e))
+      [] entries
+  end
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+(* A root named `lib` (or any file under a `lib` directory) gets the
+   lib-only rules D2/D3 as well. *)
+let root_is_lib root =
+  let base = Filename.basename (if Filename.check_suffix root "/" then Filename.chop_suffix root "/" else root) in
+  base = "lib"
+
+let merge a b =
+  {
+    violations = a.violations @ b.violations;
+    files = a.files + b.files;
+    suppressed = a.suppressed + b.suppressed;
+    unused_allows = a.unused_allows @ b.unused_allows;
+  }
+
+let empty = { violations = []; files = 0; suppressed = 0; unused_allows = [] }
+
+let lint_root root =
+  let in_lib = root_is_lib root in
+  List.fold_left (fun acc f -> merge acc (lint_file ~in_lib f)) empty (ml_files_under root)
+
+let lint_roots roots = List.fold_left (fun acc r -> merge acc (lint_root r)) empty roots
+
+(* -- reporting ----------------------------------------------------------- *)
+
+let pp_violation oc v =
+  Printf.fprintf oc "%s:%d: [%s] %s\n" v.file v.line v.rule v.message
+
+let report_and_exit_code oc r =
+  List.iter (pp_violation oc) r.violations;
+  List.iter
+    (fun (f, l) -> Printf.fprintf oc "%s:%d: warning: unused 'lint: allow' comment\n" f l)
+    r.unused_allows;
+  Printf.fprintf oc "r2c2-lint: %d file(s), %d violation(s), %d suppression(s) applied\n"
+    r.files (List.length r.violations) r.suppressed;
+  if r.violations = [] then 0 else 1

@@ -1,0 +1,21 @@
+(* CLI driver: `lint_main <root>…` lints every `.ml` under each root.
+   A root whose basename is `lib` additionally gets the lib-only rules
+   (D2 wall-clock, D3 raw Hashtbl iteration). Exits non-zero on any
+   violation, so `dune build @lint` is a CI gate. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ ->
+        prerr_endline "usage: lint_main <dir>…";
+        exit 2
+  in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "lint_main: no such path: %s\n" r;
+        exit 2
+      end)
+    roots;
+  exit (Lint_core.report_and_exit_code stdout (Lint_core.lint_roots roots))
