@@ -26,9 +26,11 @@ let () =
     print_endline
       "usage: main.exe [exp-id] [--paper] [--quick]\n\
        exp-ids: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
-      \         fig17 fig18 fig19 ablation micro churn chaos all (default: all)\n\
+      \         fig17 fig18 fig19 ablation micro churn chaos control-loss all\n\
+      \         (default: all)\n\
        churn writes BENCH_waterfill.json; chaos writes BENCH_failure.json;\n\
-       --quick runs a smoke-sized variant";
+       control-loss writes BENCH_controlloss.json; --quick runs a smoke-sized\n\
+       variant";
     exit 1
   in
   let args = List.tl (Array.to_list Sys.argv) in
@@ -57,4 +59,5 @@ let () =
   | [ "micro" ] -> Micro.run ()
   | [ "churn" ] -> Micro.churn ~quick ()
   | [ "chaos" ] -> Chaos.run ~quick ()
+  | [ "control-loss" ] -> Controlloss.run ~quick ()
   | _ -> usage ()

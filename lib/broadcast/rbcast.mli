@@ -1,0 +1,103 @@
+(** Reliable-broadcast bookkeeping for a lossy control plane.
+
+    The flow-event broadcasts of §3.2 are only a usable traffic-matrix feed
+    if every node can tell {e that} it missed a packet and recover it. This
+    module provides the deterministic machinery both ends need:
+
+    - the {e origin} stamps each broadcast with a per-(source, tree)
+      monotonic sequence number, keeps a bounded replay log for answering
+      NACKs, and maintains the authoritative live-flow set whose hash rides
+      in anti-entropy digests;
+    - the {e receive window} (one per (source, tree) at every node)
+      delivers packets exactly once in sequence order, buffers reordered
+      arrivals, surfaces gaps for NACK-based repair and absorbs duplicates.
+
+    Everything here is pure data structure: timers, packet transport and
+    topology stay with the caller, so the same code backs the packet
+    simulator ([Sim.R2c2_sim]) and the application-level control plane
+    ([R2c2.Stack]). Payloads are polymorphic — the simulator stores compact
+    event ids, the stack stores decoded {!Wire.broadcast} records. *)
+
+(** {2 Origin (sender) side} *)
+
+type 'a origin
+
+val origin : ?log_cap:int -> trees:int -> unit -> 'a origin
+(** Sender state for one source owning [trees] broadcast trees. The replay
+    log keeps the [log_cap] (default 65536) most recent packets per tree;
+    older sequence numbers can no longer be retransmitted and must be
+    recovered by a full-state sync. *)
+
+val send : 'a origin -> tree:int -> 'a -> int
+(** Assign the next sequence number on [tree], log the payload for
+    retransmission, and return the sequence number to put on the wire. *)
+
+val last_seq : 'a origin -> tree:int -> int
+(** Highest sequence number assigned on [tree]; -1 if none yet. *)
+
+val replay : 'a origin -> tree:int -> seq:int -> 'a option
+(** Look up a logged packet for NACK retransmission; [None] once evicted. *)
+
+val mark_live : 'a origin -> int -> unit
+(** Record a flow id as live at this origin (sent with its start event). *)
+
+val mark_dead : 'a origin -> int -> unit
+(** Remove a flow id (sent with its finish event). *)
+
+val live_ids : 'a origin -> int list
+(** The live-flow ids, ascending — the payload of a full-state sync. *)
+
+val live_count : 'a origin -> int
+val state_hash : 'a origin -> int64
+(** {!hash_ids} of {!live_ids} — what digests advertise. *)
+
+val bump_epoch : 'a origin -> int
+(** Advance and return the anti-entropy epoch counter. *)
+
+val epoch : 'a origin -> int
+
+(** {2 Receive window (per source, per tree)} *)
+
+type 'a rx
+
+type 'a verdict =
+  | Deliver of 'a list
+      (** the packet (and any buffered successors) is deliverable now, in
+          sequence order, each exactly once *)
+  | Duplicate  (** already delivered or already buffered; drop *)
+  | Buffered  (** arrived ahead of a gap; a repair should be scheduled *)
+
+val rx : unit -> 'a rx
+(** A fresh window expecting sequence number 0. *)
+
+val receive : 'a rx -> seq:int -> 'a -> 'a verdict
+
+val next_expected : 'a rx -> int
+val pending_count : 'a rx -> int
+(** Out-of-order packets currently buffered behind a gap. *)
+
+val duplicates : 'a rx -> int
+(** Packets absorbed as duplicates so far. *)
+
+val missing : 'a rx -> upto:int -> (int * int) list
+(** Inclusive gaps in [next_expected .. upto] not covered by buffered
+    packets — the ranges a NACK should request. Empty when caught up. *)
+
+val fast_forward : 'a rx -> next:int -> 'a list
+(** After a full-state sync covering everything below [next]: drop the
+    stale buffer entries, jump the window to [next], and return any
+    buffered in-order run starting there (strictly newer than the sync, so
+    the caller still applies it). No-op returning [[]] if the window is
+    already at or past [next]. *)
+
+val arm : 'a rx -> bool
+(** Latch the caller's repair timer: true exactly when it was not armed,
+    so only one timer per window is outstanding. *)
+
+val disarm : 'a rx -> unit
+
+(** {2 Deterministic state hash} *)
+
+val hash_ids : int list -> int64
+(** FNV-1a over the ids; callers feed them sorted ascending so every node
+    hashes identical sets to identical values. *)

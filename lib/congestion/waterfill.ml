@@ -336,7 +336,7 @@ let link_utilization ~capacities flows rates =
 module Inc = struct
   type t = {
     capacities : float array;
-    headroom : float;
+    mutable headroom : float;
     row_of : (int, int) Hashtbl.t;  (* flow id -> row *)
     (* CSR rows: rows 0..nrows-1 are live, swap-remove keeps them dense. *)
     mutable nrows : int;
@@ -412,6 +412,14 @@ module Inc = struct
 
   let live_flows t = t.nrows
   let is_dirty t = t.dirty || not t.computed
+  let headroom t = t.headroom
+
+  let set_headroom t h =
+    if h < 0.0 || h >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+    if h <> t.headroom then begin
+      t.headroom <- h;
+      t.dirty <- true
+    end
   let mem t ~id = Hashtbl.mem t.row_of id
 
   let row t id =

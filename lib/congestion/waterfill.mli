@@ -94,6 +94,13 @@ module Inc : sig
   val live_flows : t -> int
   val is_dirty : t -> bool
   val mem : t -> id:int -> bool
+
+  val headroom : t -> float
+
+  val set_headroom : t -> float -> unit
+  (** Retune the reserved capacity fraction — the graceful-degradation knob
+      under control-plane loss. Same range contract as {!create}; a changed
+      value marks the state dirty, an unchanged one keeps it clean. *)
 end
 
 (**/**)

@@ -4,6 +4,8 @@ type config = {
   trees_per_source : int;
   default_protocol : Routing.protocol;
   selection_choices : Routing.protocol array;
+  loss_headroom_gain : float;
+  max_headroom : float;
 }
 
 let default_config =
@@ -13,6 +15,8 @@ let default_config =
     trees_per_source = 4;
     default_protocol = Routing.Rps;
     selection_choices = [| Routing.Rps; Routing.Vlb |];
+    loss_headroom_gain = 2.0;
+    max_headroom = 0.30;
   }
 
 type flow_id = int
@@ -23,6 +27,9 @@ type flow = {
   dst : int;
   weight : int;
   priority : int;
+  tree : int;
+      (* every event of a flow rides one broadcast tree, so the per-tree
+         sequence window at each receiver orders finish after start *)
   mutable protocol : Routing.protocol;
   mutable demand_gbps : float option;
   mutable rate_gbps : float;
@@ -38,7 +45,16 @@ type t = {
   flows : (flow_id, flow) Hashtbl.t;
   mutable next_id : flow_id;
   mutable observers : (Wire.broadcast -> unit) list;
+  mutable seq_observers : (bytes -> unit) list;
   mutable control_bytes : int;
+  mutable reliability_bytes : int;
+      (* the loss-tolerance overhead on top of the paper's pinned 16-byte
+         broadcast model: sequencing extensions, digests, replays, syncs *)
+  origin : (Wire.broadcast * flow_id) Rbcast.origin;
+  mutable event_retransmits : int;
+  mutable syncs_sent : int;
+  mutable loss_ewma : float;
+  mutable eff_headroom : float;
   capacities : float array;
   alloc : Congestion.Waterfill.Inc.t;
       (* incremental epoch state: patched on every flow event, so a
@@ -46,6 +62,10 @@ type t = {
 }
 
 let create ?(config = default_config) ?(seed = 1) topo =
+  if config.loss_headroom_gain < 0.0 then
+    invalid_arg "Stack.create: loss_headroom_gain < 0";
+  if config.max_headroom < config.headroom || config.max_headroom >= 1.0 then
+    invalid_arg "Stack.create: max_headroom out of [headroom, 1)";
   let capacities = Array.make (Topology.link_count topo) (config.link_gbps /. 8.0) in
   {
     cfg = config;
@@ -56,7 +76,14 @@ let create ?(config = default_config) ?(seed = 1) topo =
     flows = Hashtbl.create 64;
     next_id = 0;
     observers = [];
+    seq_observers = [];
     control_bytes = 0;
+    reliability_bytes = 0;
+    origin = Rbcast.origin ~trees:config.trees_per_source ();
+    event_retransmits = 0;
+    syncs_sent = 0;
+    loss_ewma = 0.0;
+    eff_headroom = config.headroom;
     capacities;
     alloc = Congestion.Waterfill.Inc.create ~headroom:config.headroom ~capacities ();
   }
@@ -66,32 +93,50 @@ let routing t = t.rctx
 let broadcast t = t.bcast
 let config t = t.cfg
 let on_broadcast t f = t.observers <- f :: t.observers
+let on_broadcast_seq t f = t.seq_observers <- f :: t.seq_observers
 
-let emit_broadcast t f event =
+(* Broadcast replicas one event costs: one packet per non-root vertex. *)
+let fanout t = Broadcast.bytes_per_broadcast t.topo / Wire.broadcast_size
+
+let pkt_of_flow f event =
   let demand_kbps =
     match f.demand_gbps with
     | None -> 0
     | Some g -> min 0xFFFFFFFF (int_of_float (g *. 1_000_000.0))
   in
-  let pkt =
-    {
-      Wire.event;
-      bsrc = f.src;
-      bdst = f.dst;
-      weight = min 255 f.weight;
-      priority = min 255 f.priority;
-      demand_kbps;
-      tree = Broadcast.choose_tree t.bcast t.rng ~src:f.src;
-      rp = f.protocol;
-    }
-  in
+  {
+    Wire.event;
+    bsrc = f.src;
+    bdst = f.dst;
+    weight = min 255 f.weight;
+    priority = min 255 f.priority;
+    demand_kbps;
+    tree = f.tree;
+    rp = f.protocol;
+  }
+
+let emit_broadcast t f event =
+  let pkt = pkt_of_flow f event in
   (* The encoding must round-trip; this exercises the wire format on every
      control event. *)
   (match Wire.decode_broadcast (Wire.encode_broadcast pkt) with
   | Ok p -> assert (p = pkt)
   | Error e -> failwith ("Stack: broadcast encoding failed: " ^ e));
   t.control_bytes <- t.control_bytes + Broadcast.bytes_per_broadcast t.topo;
-  List.iter (fun obs -> obs pkt) t.observers
+  (match event with
+  | Wire.Flow_start -> Rbcast.mark_live t.origin f.id
+  | Wire.Flow_finish -> Rbcast.mark_dead t.origin f.id
+  | Wire.Demand_update | Wire.Route_change -> ());
+  let seq = Rbcast.send t.origin ~tree:f.tree (pkt, f.id) in
+  let wire = Wire.encode_seq_broadcast pkt ~flow:f.id ~seq in
+  (match Wire.decode_seq_broadcast wire with
+  | Ok (p, fl, sq) -> assert (p = pkt && fl = f.id && sq = seq)
+  | Error e -> failwith ("Stack: seq broadcast encoding failed: " ^ e));
+  t.reliability_bytes <-
+    t.reliability_bytes
+    + ((Wire.seq_broadcast_size - Wire.broadcast_size) * fanout t);
+  List.iter (fun obs -> obs pkt) t.observers;
+  List.iter (fun obs -> obs wire) t.seq_observers
 
 let find t id =
   match Hashtbl.find_opt t.flows id with
@@ -113,6 +158,7 @@ let open_flow ?(weight = 1) ?(priority = 0) ?protocol t ~src ~dst =
       dst;
       weight;
       priority;
+      tree = Broadcast.choose_tree t.bcast t.rng ~src;
       protocol = Option.value ~default:t.cfg.default_protocol protocol;
       demand_gbps = None;
       rate_gbps = 0.0;
@@ -234,6 +280,86 @@ let sample_packet_route t id rng =
   (path, Wire.route_selectors t.rctx path)
 
 let control_bytes_sent t = t.control_bytes
+let reliability_bytes_sent t = t.reliability_bytes
+let loss_ewma t = t.loss_ewma
+let effective_headroom t = t.eff_headroom
+let syncs_sent t = t.syncs_sent
+let event_retransmits t = t.event_retransmits
+let last_seq t ~tree = Rbcast.last_seq t.origin ~tree
+
+let matrix_hash t =
+  Rbcast.hash_ids (Array.to_list (Util.Tbl.sorted_keys ~cmp:Int.compare t.flows))
+
+let emit_digests ?(src = 0) t =
+  let epoch = Rbcast.bump_epoch t.origin in
+  let hash = Rbcast.state_hash t.origin in
+  let ds = ref [] in
+  for tree = t.cfg.trees_per_source - 1 downto 0 do
+    let last = Rbcast.last_seq t.origin ~tree in
+    (* A tree that never carried an event has nothing to anti-entropy. *)
+    if last >= 0 then begin
+      let d =
+        { Wire.dsrc = src; dtree = tree; epoch; last_seq = last; state_hash = hash }
+      in
+      (match Wire.decode_digest (Wire.encode_digest d) with
+      | Ok p -> assert (p = d)
+      | Error e -> failwith ("Stack: digest encoding failed: " ^ e));
+      t.reliability_bytes <- t.reliability_bytes + (Wire.digest_size * fanout t);
+      ds := d :: !ds
+    end
+  done;
+  !ds
+
+let replay t ~tree ~seq =
+  match Rbcast.replay t.origin ~tree ~seq with
+  | None -> None
+  | Some (pkt, flow) ->
+      t.event_retransmits <- t.event_retransmits + 1;
+      (* A repair travels the whole tree again: losers downstream of the
+         original loss need it too. *)
+      t.reliability_bytes <- t.reliability_bytes + (Wire.seq_broadcast_size * fanout t);
+      Some (Wire.encode_seq_broadcast pkt ~flow ~seq)
+
+let sync_view t view =
+  let fl = flow_array t in
+  let flows =
+    Array.to_list (Array.map (fun f -> (f.id, pkt_of_flow f Wire.Flow_start)) fl)
+  in
+  let last_seqs =
+    Array.init t.cfg.trees_per_source (fun tree -> Rbcast.last_seq t.origin ~tree)
+  in
+  View.sync view ~flows ~last_seqs;
+  t.syncs_sent <- t.syncs_sent + 1;
+  t.reliability_bytes <-
+    t.reliability_bytes
+    + Control_traffic.sync_bytes ~flows:(Array.length fl) ~trees:t.cfg.trees_per_source
+
+let watchdog t views =
+  let h = matrix_hash t in
+  let repaired = ref 0 in
+  List.iter
+    (fun v ->
+      if View.matrix_hash v <> h then begin
+        sync_view t v;
+        incr repaired
+      end)
+    views;
+  !repaired
+
+let note_control_loss t ~sent ~lost =
+  if sent < 0 || lost < 0 || lost > sent then invalid_arg "Stack.note_control_loss";
+  if sent > 0 then begin
+    let observed = float_of_int lost /. float_of_int sent in
+    t.loss_ewma <- (0.8 *. t.loss_ewma) +. (0.2 *. observed);
+    let eff =
+      Float.min t.cfg.max_headroom
+        (t.cfg.headroom +. (t.cfg.loss_headroom_gain *. t.loss_ewma))
+    in
+    if eff <> t.eff_headroom then begin
+      t.eff_headroom <- eff;
+      Congestion.Waterfill.Inc.set_headroom t.alloc eff
+    end
+  end
 
 let handle_failure t =
   let fl = flow_array t in

@@ -19,11 +19,18 @@ type config = {
   default_protocol : Routing.protocol;
   selection_choices : Routing.protocol array;
       (** protocols the routing re-selection may assign *)
+  loss_headroom_gain : float;
+      (** graceful degradation under control-packet loss: the waterfill
+          reserves [min max_headroom (headroom + gain * loss EWMA)] instead
+          of the static [headroom], so stale peer views overbook less while
+          repairs are in flight ({!note_control_loss}) *)
+  max_headroom : float;  (** ceiling on the loss-scaled reserve, < 1 *)
 }
 
 val default_config : config
 (** 10 Gbps links, 5% headroom, 4 broadcast trees per source, RPS default
-    routing, selection between RPS and VLB. *)
+    routing, selection between RPS and VLB, loss gain 2 capped at 30%
+    headroom. *)
 
 type t
 type flow_id = int
@@ -91,6 +98,74 @@ val sample_packet_route : t -> flow_id -> Util.Rng.t -> int array * int array
 val control_bytes_sent : t -> int
 (** Wire bytes of all broadcasts so far:
     16 * (vertices - 1) per event. *)
+
+(** {2 Loss-tolerant control plane}
+
+    Every flow-event broadcast also carries a per-(stack, tree) sequence
+    number in the 24-byte {!Wire.encode_seq_broadcast} format; a flow's
+    events all ride the tree pinned at {!open_flow}, so a peer's per-tree
+    receive window ({!View}) orders its finish after its start. Receivers
+    repair gaps by NACKing the origin, which answers from a bounded replay
+    log ({!replay}); periodic digests ({!emit_digests}) expose losses the
+    stream cannot (a dropped final packet), and a state-hash mismatch
+    while sequence-caught-up triggers a full-state {!sync_view}. The
+    overhead of all of this is accounted separately in
+    {!reliability_bytes_sent} — {!control_bytes_sent} keeps the paper's
+    pinned 16-byte model. *)
+
+val on_broadcast_seq : t -> (bytes -> unit) -> unit
+(** Observe the 24-byte sequenced wire encoding of every emitted
+    broadcast — what a lossy transport should carry to a {!View}. *)
+
+val last_seq : t -> tree:int -> int
+(** Last sequence number sent on a tree; -1 if none. *)
+
+val matrix_hash : t -> int64
+(** Hash of the open-flow id set ({!Rbcast.hash_ids}); equals
+    {!View.matrix_hash} of every consistent replica. *)
+
+val emit_digests : ?src:int -> t -> Wire.digest list
+(** One anti-entropy beacon round: bumps the epoch and returns a digest
+    per tree that has carried at least one event, each stamped with the
+    per-tree last sequence number and the live-set state hash. [src]
+    (default 0) fills the digest's source field. Charged to
+    {!reliability_bytes_sent}. *)
+
+val replay : t -> tree:int -> seq:int -> bytes option
+(** Answer a NACK: the stored event re-encoded with its original sequence
+    number, or [None] if it has been evicted from the replay log (the
+    requester then needs a full {!sync_view}). Charged to
+    {!reliability_bytes_sent} and counted in {!event_retransmits}. *)
+
+val sync_view : t -> View.t -> unit
+(** Full-state repair of a diverged replica: replaces its believed flow
+    set with the authoritative one and fast-forwards its windows. Charged
+    as {!Control_traffic.sync_bytes} to {!reliability_bytes_sent}. *)
+
+val watchdog : t -> View.t list -> int
+(** One divergence-watchdog round: compare each replica's
+    {!View.matrix_hash} against {!matrix_hash} and {!sync_view} the
+    diverged ones. Returns how many needed repair. *)
+
+val note_control_loss : t -> sent:int -> lost:int -> unit
+(** Feed one observation interval of control-transport statistics into the
+    loss EWMA (weight 0.2); updates {!effective_headroom} and the
+    allocator so the next {!recompute} reserves more under loss. Raises
+    [Invalid_argument] unless [0 <= lost <= sent]. *)
+
+val reliability_bytes_sent : t -> int
+(** Wire bytes of the loss-tolerance machinery: the 8-byte sequencing
+    extension per broadcast replica, digest beacons, NACK-answering
+    replays and full-state syncs. *)
+
+val loss_ewma : t -> float
+(** Current control-loss estimate in [\[0, 1\]]. *)
+
+val effective_headroom : t -> float
+(** The loss-scaled headroom the allocator is using now. *)
+
+val syncs_sent : t -> int
+val event_retransmits : t -> int
 
 val handle_failure : t -> unit
 (** §3.2 re-announcement: after a topology-discovery event every node

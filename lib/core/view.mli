@@ -1,0 +1,74 @@
+(** A peer's replica of one source's traffic-matrix slice, rebuilt from the
+    sequenced broadcast stream alone.
+
+    The authoritative state lives in a {!Stack}; a view is what another
+    node believes after the transport between them lost, reordered or
+    duplicated control packets. Per-tree receive windows deliver each event
+    exactly once in sequence order; {!observe_digest} turns the source's
+    anti-entropy beacons into repair decisions; {!sync} applies a
+    full-state repair. The view's {!matrix_hash} equals the source's
+    {!Stack.matrix_hash} exactly when the replica is consistent — the
+    property the divergence watchdog checks each epoch. *)
+
+type t
+
+val create : trees:int -> unit -> t
+(** A replica expecting the source's tree count. *)
+
+type verdict =
+  | Applied of int
+      (** the packet (plus any unblocked buffered successors) was folded
+          into the matrix — count of events applied *)
+  | Duplicate  (** absorbed; the matrix is unchanged *)
+  | Buffered  (** arrived ahead of a gap; repair should be requested *)
+  | Malformed of string  (** decode or checksum failure; dropped *)
+
+val apply : t -> bytes -> verdict
+(** Feed one 24-byte sequenced broadcast ({!Wire.encode_seq_broadcast})
+    as received off the wire. *)
+
+type digest_verdict =
+  | Synced  (** nothing missing as far as this digest can tell *)
+  | Gaps of (int * int) list
+      (** inclusive missing sequence ranges on the digest's tree — what a
+          NACK to the source should request (then replay via
+          {!Stack.replay}) *)
+  | Diverged
+      (** sequence-caught-up on every tree yet hashing differently from
+          the source's live set: genuine divergence, repair with
+          {!Stack.sync_view} *)
+
+val observe_digest : t -> Wire.digest -> digest_verdict
+(** Process one anti-entropy digest from the source. Detects losses the
+    stream cannot reveal — e.g. when the {e last} broadcast of a burst was
+    dropped and no later packet exposes the gap. *)
+
+val sync : t -> flows:(int * Wire.broadcast) list -> last_seqs:int array -> unit
+(** Full-state repair: replace the believed flow set and fast-forward
+    every window past [last_seqs]; events buffered beyond the sync still
+    apply. *)
+
+val matrix_hash : t -> int64
+(** Hash of the believed live-flow ids ({!Rbcast.hash_ids}). *)
+
+val flow_ids : t -> int list
+(** Believed-live flow ids, ascending. *)
+
+val flow : t -> int -> Wire.broadcast option
+(** The latest record applied for a flow, if believed live. *)
+
+val flow_count : t -> int
+
+val missing : t -> tree:int -> (int * int) list
+(** Known missing ranges on a tree (window gaps up to the highest sequence
+    heard of). *)
+
+val next_expected : t -> tree:int -> int
+val caught_up : t -> bool
+(** No known missing sequence on any tree. *)
+
+val applied : t -> int
+(** Events folded into the matrix so far. *)
+
+val duplicates : t -> int
+(** Packets absorbed as duplicates across all windows. *)

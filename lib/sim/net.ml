@@ -1,13 +1,30 @@
 type kind =
   | Data of { flow : int; seq : int; last : bool }
   | Ack of { flow : int; ackno : int }
-  | Bcast of { bcast_id : int; root : int; tree : int }
+  | Bcast of { bcast_id : int; root : int; tree : int; seq : int }
+  | Digest of { root : int; tree : int; epoch : int; last_seq : int; hash : int64 }
+  | Nack of { root : int; tree : int; from_seq : int; to_seq : int; requester : int }
+  | Sync of { root : int; entries : int list; last_seqs : int array }
 
 type packet = {
   kind : kind;
   bytes : int;
   route : int array;
   mutable hop : int;
+}
+
+(* Bcast and Digest fan out along a (root, tree) broadcast tree; Nack and
+   Sync are source-routed unicast like Data/Ack. All four are control
+   plane. *)
+let is_control = function
+  | Bcast _ | Digest _ | Nack _ | Sync _ -> true
+  | Data _ | Ack _ -> false
+
+type chaos = {
+  crng : Util.Rng.t;
+  mutable loss : float;
+  mutable reorder : float;
+  mutable dup : float;
 }
 
 type link_state = {
@@ -41,6 +58,17 @@ type t = {
   mutable on_blackhole : packet -> unit;
   mutable blackholes : int;
   mutable blackholed_bytes : int;
+  mutable blackholed_data_bytes : int;
+  mutable blackholed_ctrl_bytes : int;
+  (* Probabilistic control-plane chaos, independent of physical failures:
+     loss / reorder / duplication drawn per hop from a dedicated RNG so
+     runs are reproducible for a given seed whatever the data plane does. *)
+  mutable chaos : chaos option;
+  mutable ctrl_lost : int;
+  mutable ctrl_lost_bytes : int;
+  mutable ctrl_reordered : int;
+  mutable ctrl_dupped : int;
+  mutable ctrl_hops : int;  (* control hop transmissions, lost ones included *)
 }
 
 let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link_gbps
@@ -68,6 +96,14 @@ let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link
     on_blackhole = ignore;
     blackholes = 0;
     blackholed_bytes = 0;
+    blackholed_data_bytes = 0;
+    blackholed_ctrl_bytes = 0;
+    chaos = None;
+    ctrl_lost = 0;
+    ctrl_lost_bytes = 0;
+    ctrl_reordered = 0;
+    ctrl_dupped = 0;
+    ctrl_hops = 0;
   }
 
 let topo t = t.topo
@@ -83,8 +119,32 @@ let tx_time_ns t bytes =
 let count_wire t pkt =
   match pkt.kind with
   | Data _ | Ack _ -> t.data_wire <- t.data_wire +. float_of_int pkt.bytes
-  | Bcast _ ->
+  | Bcast _ | Digest _ | Nack _ | Sync _ ->
       if t.count_control then t.control_wire <- t.control_wire +. float_of_int pkt.bytes
+
+let check_rate name r =
+  if r < 0.0 || r >= 1.0 then invalid_arg ("Net.set_control_chaos: " ^ name)
+
+let set_control_chaos t ~seed ~loss ~reorder ~dup =
+  check_rate "loss" loss;
+  check_rate "reorder" reorder;
+  check_rate "dup" dup;
+  match t.chaos with
+  | Some ch ->
+      (* Retune mid-run without reseeding: the decision stream continues,
+         so flipping rates at a deterministic sim time stays deterministic. *)
+      ch.loss <- loss;
+      ch.reorder <- reorder;
+      ch.dup <- dup
+  | None ->
+      if loss > 0.0 || reorder > 0.0 || dup > 0.0 then
+        t.chaos <- Some { crng = Util.Rng.create seed; loss; reorder; dup }
+
+let ctrl_lost t = t.ctrl_lost
+let ctrl_lost_bytes t = t.ctrl_lost_bytes
+let ctrl_reordered t = t.ctrl_reordered
+let ctrl_dupped t = t.ctrl_dupped
+let ctrl_hops t = t.ctrl_hops
 
 (* -- physical failures --------------------------------------------------- *)
 
@@ -94,6 +154,9 @@ let phys_link_up t l =
 let blackhole t pkt =
   t.blackholes <- t.blackholes + 1;
   t.blackholed_bytes <- t.blackholed_bytes + pkt.bytes;
+  if is_control pkt.kind then
+    t.blackholed_ctrl_bytes <- t.blackholed_ctrl_bytes + pkt.bytes
+  else t.blackholed_data_bytes <- t.blackholed_data_bytes + pkt.bytes;
   t.on_blackhole pkt
 
 let purge_link t link_id =
@@ -145,6 +208,8 @@ let node_up t u = t.nodes_up.(u)
 let on_blackhole t f = t.on_blackhole <- f
 let blackholes t = t.blackholes
 let blackholed_bytes t = t.blackholed_bytes
+let blackholed_data_bytes t = t.blackholed_data_bytes
+let blackholed_ctrl_bytes t = t.blackholed_ctrl_bytes
 
 (* Forwarding is mutually recursive with arrival: an arriving packet is
    re-enqueued towards its next hop. *)
@@ -160,10 +225,45 @@ let rec start_tx t link_id =
           ls.qbytes <- ls.qbytes - pkt.bytes;
           (* Serialization of the next packet overlaps propagation. *)
           start_tx t link_id;
-          if phys_link_up t link_id then
-            Engine.after t.engine t.hop_latency_ns (fun () ->
-                arrive t (Topology.link_dst t.topo link_id) pkt)
+          if phys_link_up t link_id then propagate t link_id pkt
           else blackhole t pkt)
+
+(* One hop of propagation. Control packets pass through the chaos injector:
+   three independent draws per hop (loss, reorder, duplicate) keep the RNG
+   stream aligned across runs even when a rate is retuned mid-run. A
+   reordered packet is held back a few extra hop latencies; a duplicate is a
+   fresh record so the two copies advance their route cursors
+   independently. *)
+and propagate t link_id pkt =
+  let dst = Topology.link_dst t.topo link_id in
+  if is_control pkt.kind then t.ctrl_hops <- t.ctrl_hops + 1;
+  match t.chaos with
+  | Some ch when is_control pkt.kind ->
+      let u_loss = Util.Rng.float ch.crng 1.0 in
+      let u_reorder = Util.Rng.float ch.crng 1.0 in
+      let u_dup = Util.Rng.float ch.crng 1.0 in
+      if u_loss < ch.loss then begin
+        t.ctrl_lost <- t.ctrl_lost + 1;
+        t.ctrl_lost_bytes <- t.ctrl_lost_bytes + pkt.bytes
+      end
+      else begin
+        let delay =
+          if u_reorder < ch.reorder then begin
+            t.ctrl_reordered <- t.ctrl_reordered + 1;
+            t.hop_latency_ns * (2 + Util.Rng.int ch.crng 4)
+          end
+          else t.hop_latency_ns
+        in
+        Engine.after t.engine delay (fun () -> arrive t dst pkt);
+        if u_dup < ch.dup then begin
+          t.ctrl_dupped <- t.ctrl_dupped + 1;
+          let copy = { pkt with hop = pkt.hop } in
+          Engine.after t.engine (delay + t.hop_latency_ns) (fun () ->
+              arrive t dst copy)
+        end
+      end
+  | _ ->
+      Engine.after t.engine t.hop_latency_ns (fun () -> arrive t dst pkt)
 
 and enqueue_link t link_id pkt =
   if not (phys_link_up t link_id) then blackhole t pkt
@@ -186,10 +286,10 @@ and arrive t node pkt =
   else begin
     count_wire t pkt;
     match pkt.kind with
-    | Bcast { root; tree; _ } ->
+    | Bcast { root; tree; _ } | Digest { root; tree; _ } ->
         t.bcast_deliver pkt ~node;
         forward_bcast t ~root ~tree ~from:node ~bytes:pkt.bytes ~kind:pkt.kind
-    | Data _ | Ack _ -> (
+    | Data _ | Ack _ | Nack _ | Sync _ -> (
         pkt.hop <- pkt.hop + 1;
         assert (pkt.route.(pkt.hop) = node);
         if pkt.hop = Array.length pkt.route - 1 then t.deliver pkt
@@ -220,8 +320,16 @@ let send t pkt =
   | Some l -> enqueue_link t l pkt
   | None -> invalid_arg "Net.send: route crosses non-adjacent vertices"
 
-let send_bcast t ~root ~tree ~bcast_id ~bytes =
-  forward_bcast t ~root ~tree ~from:root ~bytes ~kind:(Bcast { bcast_id; root; tree })
+let send_bcast t ?(seq = 0) ~root ~tree ~bcast_id ~bytes () =
+  forward_bcast t ~root ~tree ~from:root ~bytes
+    ~kind:(Bcast { bcast_id; root; tree; seq })
+
+let send_tree t ~root ~tree ~kind ~bytes =
+  (match kind with
+  | Bcast _ | Digest _ -> ()
+  | Data _ | Ack _ | Nack _ | Sync _ ->
+      invalid_arg "Net.send_tree: kind is not tree-forwarded");
+  forward_bcast t ~root ~tree ~from:root ~bytes ~kind
 
 let max_queue_bytes t = Array.map (fun ls -> ls.max_qbytes) t.links
 let drops t = t.drops

@@ -11,7 +11,19 @@
 type kind =
   | Data of { flow : int; seq : int; last : bool }
   | Ack of { flow : int; ackno : int }
-  | Bcast of { bcast_id : int; root : int; tree : int }
+  | Bcast of { bcast_id : int; root : int; tree : int; seq : int }
+      (** a flow-event broadcast; [seq] is the per-(root, tree) reliable
+          sequence number ({!Broadcast.Rbcast}) *)
+  | Digest of { root : int; tree : int; epoch : int; last_seq : int; hash : int64 }
+      (** periodic anti-entropy beacon, tree-forwarded like [Bcast] *)
+  | Nack of { root : int; tree : int; from_seq : int; to_seq : int; requester : int }
+      (** source-routed retransmission request for an inclusive seq range *)
+  | Sync of { root : int; entries : int list; last_seqs : int array }
+      (** source-routed full-state repair: [root]'s live-flow ids plus its
+          per-tree last sequence numbers *)
+
+val is_control : kind -> bool
+(** All kinds except [Data]/[Ack]. *)
 
 type packet = {
   kind : kind;
@@ -54,8 +66,14 @@ val send : t -> packet -> unit
 (** Inject a source-routed packet at [route.(hop)]; [hop] must point at the
     current node (normally 0). *)
 
-val send_bcast : t -> root:int -> tree:int -> bcast_id:int -> bytes:int -> unit
-(** Inject a broadcast at its root; copies fan out along the tree. *)
+val send_bcast :
+  t -> ?seq:int -> root:int -> tree:int -> bcast_id:int -> bytes:int -> unit -> unit
+(** Inject a broadcast at its root; copies fan out along the tree. [seq]
+    (default 0) is the reliable-broadcast sequence number. *)
+
+val send_tree : t -> root:int -> tree:int -> kind:kind -> bytes:int -> unit
+(** Inject any tree-forwarded kind ([Bcast] or [Digest]) at its root.
+    Raises [Invalid_argument] for source-routed kinds. *)
 
 val tx_time_ns : t -> int -> int
 (** Serialization time of a packet of the given byte size. *)
@@ -90,6 +108,37 @@ val on_blackhole : t -> (packet -> unit) -> unit
 val blackholes : t -> int
 val blackholed_bytes : t -> int
 (** Wire bytes destroyed by failures, headers included. *)
+
+val blackholed_data_bytes : t -> int
+(** The [Data]/[Ack] share of {!blackholed_bytes}. *)
+
+val blackholed_ctrl_bytes : t -> int
+(** The control-plane ([Bcast]/[Digest]/[Nack]/[Sync]) share of
+    {!blackholed_bytes}. *)
+
+(** {2 Control-plane chaos}
+
+    Probabilistic loss, reordering and duplication applied per hop to
+    control packets only — independent of the physical failures above, and
+    deterministic for a given seed because the draws come from a dedicated
+    generator untouched by anything else. *)
+
+val set_control_chaos :
+  t -> seed:int -> loss:float -> reorder:float -> dup:float -> unit
+(** Install or retune the injector; rates are probabilities in [\[0, 1)]
+    applied independently at every hop. The RNG is created from [seed] on
+    first call and kept across retunes, so flipping rates mid-run (from an
+    engine event) does not restart the decision stream. Raises
+    [Invalid_argument] on an out-of-range rate. *)
+
+val ctrl_lost : t -> int
+val ctrl_lost_bytes : t -> int
+val ctrl_reordered : t -> int
+val ctrl_dupped : t -> int
+
+val ctrl_hops : t -> int
+(** Control-packet hop transmissions attempted, lost ones included — the
+    denominator for an observed control-loss rate. *)
 
 val max_queue_bytes : t -> int array
 (** Per-link maximum queue occupancy observed (bytes). *)

@@ -21,6 +21,19 @@ type config = {
   rtx_backoff : float;  (** timeout multiplier per unacknowledged attempt *)
   rtx_cap_ns : int;  (** backed-off timeout ceiling *)
   rtx_max_retries : int;  (** per packet; exceeding it aborts the flow *)
+  reliable_bcast : bool;
+      (** sequence every flow-event broadcast, run receive windows with
+          NACK repair and periodic anti-entropy digests *)
+  digest_interval_ns : int;  (** anti-entropy beacon period per source *)
+  nack_delay_ns : int;  (** gap detection -> NACK send delay (and retry) *)
+  bcast_log_cap : int;  (** origin replay-log depth per tree *)
+  control_loss : float;  (** per-hop control-packet loss probability *)
+  control_reorder : float;  (** per-hop extra-delay (reorder) probability *)
+  control_dup : float;  (** per-hop duplication probability *)
+  loss_headroom_gain : float;
+      (** graceful degradation: effective headroom =
+          min max_headroom (headroom + gain * loss EWMA) *)
+  max_headroom : float;
   seed : int;
 }
 
@@ -41,6 +54,15 @@ let default_config =
     rtx_backoff = 2.0;
     rtx_cap_ns = 1_000_000;
     rtx_max_retries = 30;
+    reliable_bcast = false;
+    digest_interval_ns = 100_000;
+    nack_delay_ns = 20_000;
+    bcast_log_cap = 65536;
+    control_loss = 0.0;
+    control_reorder = 0.0;
+    control_dup = 0.0;
+    loss_headroom_gain = 2.0;
+    max_headroom = 0.30;
     seed = 1;
   }
 
@@ -74,6 +96,25 @@ type result = {
   failures : failure list;
   tree_repairs : int;
   tree_repair_bytes : int;
+  (* control-plane reliability *)
+  ctrl_lost : int;
+  ctrl_lost_bytes : int;
+  ctrl_reordered : int;
+  ctrl_dupped : int;
+  blackholed_data_bytes : int;
+  blackholed_ctrl_bytes : int;
+  nacks_sent : int;
+  event_retransmits : int;  (** origin replays answering NACKs *)
+  sync_requests : int;
+  syncs_sent : int;
+  sync_bytes : int;  (** full-state repair traffic, wire bytes at origin *)
+  dup_events_absorbed : int;  (** deliveries deduped by receive windows *)
+  divergence_epochs : int;  (** rate epochs with >1 distinct node view *)
+  reconverge_samples : int list;
+      (** ns from first divergent epoch to the next all-identical one *)
+  terminal_diverged : int;  (** nodes still diverged when the run ended *)
+  loss_ewma : float;
+  effective_headroom : float;
 }
 
 type fstate = {
@@ -95,7 +136,16 @@ type fstate = {
   mutable done_sending : bool;
   rtx : (int, int) Hashtbl.t;  (** seq -> retransmission attempts so far *)
   mutable failed : bool;  (** aborted: endpoint died or retries exhausted *)
+  mutable btree : int;
+      (** reliable mode: the tree carrying every event of this flow, so the
+          per-(source, tree) window orders finish after start; -1 until the
+          start broadcast picks one *)
 }
+
+(* One receive window per (receiving node, source, tree): the Rbcast window
+   plus the highest sequence number this node has heard of on the tree
+   (from packets or digests) — the upper bound a NACK sweep covers. *)
+type win = { rx : (int * int) Rbcast.rx; mutable hi : int }
 
 type t = {
   cfg : config;
@@ -138,6 +188,27 @@ type t = {
   mutable retransmissions : int;
   mutable aborted : int list;  (** newest first *)
   mutable failures : failure list;  (** newest first *)
+  (* -- control-plane reliability (reliable_bcast) -- *)
+  origins : (int * int) Rbcast.origin array;
+      (** per source; payload = (bcast_id, wire bytes) for replay *)
+  wins : (int, win) Hashtbl.t array;
+      (** per node, keyed root * trees_per_source + tree *)
+  chaos_on : bool;
+  mutable digest_running : bool;
+  mutable nacks_sent : int;
+  mutable event_retransmits : int;
+  mutable sync_requests : int;
+  mutable syncs_sent : int;
+  mutable sync_bytes : int;
+  (* -- view-divergence watchdog bookkeeping -- *)
+  mutable divergence_epochs : int;
+  mutable diverged_since : int;  (** ns of first divergent epoch; -1 clean *)
+  mutable reconverge_samples : int list;  (** newest first *)
+  (* -- graceful degradation -- *)
+  mutable loss_ewma : float;
+  mutable eff_headroom : float;
+  mutable prev_ctrl_hops : int;
+  mutable prev_ctrl_lost : int;
 }
 
 let header = Wire.data_header_size
@@ -145,6 +216,10 @@ let header = Wire.data_header_size
 let engine t = t.eng
 let metrics t = t.mtrcs
 let topology t = t.topo
+
+(* The reliable machinery only exists when broadcasts are physically
+   simulated; [create] rejects the other combination. *)
+let reliable t = t.cfg.reliable_bcast && t.cfg.real_broadcast
 
 (* -- epoch dirty tracking -------------------------------------------------- *)
 
@@ -171,6 +246,156 @@ let flow_done_sending t st =
         Congestion.Waterfill.Inc.remove_flow inc ~id:st.idx
     | _ -> ()
   end
+
+(* -- reliable broadcast: windows, NACK repair, anti-entropy ---------------- *)
+
+let win_key t ~root ~tree = (root * t.cfg.trees_per_source) + tree
+
+let get_win t ~node ~root ~tree =
+  let key = win_key t ~root ~tree in
+  match Hashtbl.find_opt t.wins.(node) key with
+  | Some w -> w
+  | None ->
+      let w = { rx = Rbcast.rx (); hi = -1 } in
+      Hashtbl.replace t.wins.(node) key w;
+      w
+
+(* Apply one flow-event broadcast at a node: update the node's view of the
+   traffic matrix (Per_node) and the global visibility counter. In reliable
+   mode this runs only on window-accepted deliveries, so each node counts
+   each event exactly once whatever the duplication rate. *)
+let apply_bcast_event t ~node bcast_id =
+  (* Negative ids are batched route-change announcements (§3.4); only flow
+     start/finish events update the views. *)
+  if t.cfg.control = Per_node && bcast_id >= 0 then begin
+    let flow = bcast_id / 2 in
+    t.epoch_dirty <- true;
+    if bcast_id land 1 = 0 then Hashtbl.replace t.views.(node) flow ()
+    else Hashtbl.remove t.views.(node) flow
+  end;
+  match Hashtbl.find_opt t.bcast_seen bcast_id with
+  | None -> ()
+  | Some count ->
+      incr count;
+      (* [>=]: after a node failure the target shrinks to the alive count,
+         and stale pre-failure copies may still arrive. *)
+      if !count >= t.bcast_target && bcast_id land 1 = 0 then begin
+        match Hashtbl.find_opt t.active (bcast_id / 2) with
+        | Some st -> mark_visible t st
+        | None -> ()
+      end
+
+(* A NACK with an empty range ([to_seq < from_seq]) is a full-state sync
+   request — sent when a node is sequence-caught-up with an origin yet
+   hashes to a different live-flow set. *)
+let send_nack t ~node ~root ~tree ~from_seq ~to_seq =
+  if
+    Net.node_up t.net node && Net.node_up t.net root
+    && Topology.reachable t.topo node root
+  then begin
+    if to_seq < from_seq then t.sync_requests <- t.sync_requests + 1
+    else t.nacks_sent <- t.nacks_sent + 1;
+    let route =
+      Routing.ecmp_path t.rctx ~flow_id:(win_key t ~root ~tree) ~src:node ~dst:root
+    in
+    Net.send t.net
+      {
+        Net.kind = Net.Nack { root; tree; from_seq; to_seq; requester = node };
+        bytes = Wire.nack_size;
+        route;
+        hop = 0;
+      }
+  end
+
+(* The per-window repair timer: armed on the first sign of a gap (an
+   out-of-order arrival or a digest advertising unseen sequences), it NACKs
+   every open range after a short delay and re-arms until the window is
+   whole — so a lost repair is simply requested again. *)
+let rec schedule_nack t ~node ~root ~tree w =
+  if Rbcast.arm w.rx then
+    Engine.after t.eng t.cfg.nack_delay_ns (fun () -> fire_nack t ~node ~root ~tree w)
+
+and fire_nack t ~node ~root ~tree w =
+  Rbcast.disarm w.rx;
+  if
+    Net.node_up t.net node && Net.node_up t.net root
+    && Topology.reachable t.topo node root
+  then begin
+    match Rbcast.missing w.rx ~upto:w.hi with
+    | [] -> ()
+    | gaps ->
+        List.iteri
+          (fun i (a, b) ->
+            if i < 4 then send_nack t ~node ~root ~tree ~from_seq:a ~to_seq:b)
+          gaps;
+        schedule_nack t ~node ~root ~tree w
+  end
+
+(* Full-state repair (Per_node): the origin ships its live-flow ids and
+   per-tree last sequence numbers; the requester replaces its per-source
+   view slice and fast-forwards the windows. Counted as repair traffic. *)
+let sync_header_bytes = 16
+
+let send_sync t ~root ~requester =
+  if
+    t.cfg.control = Per_node && Net.node_up t.net root
+    && Net.node_up t.net requester
+    && Topology.reachable t.topo root requester
+  then begin
+    let o = t.origins.(root) in
+    let entries = Rbcast.live_ids o in
+    let last_seqs =
+      Array.init t.cfg.trees_per_source (fun tr -> Rbcast.last_seq o ~tree:tr)
+    in
+    let bytes =
+      min t.cfg.mtu
+        (sync_header_bytes + (4 * List.length entries) + (4 * t.cfg.trees_per_source))
+    in
+    t.syncs_sent <- t.syncs_sent + 1;
+    t.sync_bytes <- t.sync_bytes + bytes;
+    let route =
+      Routing.ecmp_path t.rctx ~flow_id:(root + (131 * requester)) ~src:root
+        ~dst:requester
+    in
+    Net.send t.net
+      { Net.kind = Net.Sync { root; entries; last_seqs }; bytes; route; hop = 0 }
+  end
+
+let apply_sync t ~node ~root ~entries ~last_seqs =
+  if t.cfg.control = Per_node && Net.node_up t.net node then begin
+    let view = t.views.(node) in
+    (* Replace the per-source slice of the view with the origin's truth. *)
+    Array.iter
+      (fun id ->
+        match Hashtbl.find_opt t.all_states id with
+        | Some st when st.src = root -> Hashtbl.remove view id
+        | _ -> ())
+      (Util.Tbl.sorted_keys ~cmp:Int.compare view);
+    List.iter (fun id -> Hashtbl.replace view id ()) entries;
+    t.epoch_dirty <- true;
+    (* Jump every window past what the sync covers; events buffered beyond
+       it are strictly newer and still apply. *)
+    Array.iteri
+      (fun tree last ->
+        let w = get_win t ~node ~root ~tree in
+        if last > w.hi then w.hi <- last;
+        List.iter
+          (fun (bid, _) -> apply_bcast_event t ~node bid)
+          (Rbcast.fast_forward w.rx ~next:(last + 1)))
+      last_seqs
+  end
+
+(* The node's believed live-flow set for one origin — what a digest's state
+   hash is checked against. *)
+let per_source_view_ids t ~node ~root =
+  let out = ref [] in
+  Array.iter
+    (fun id ->
+      match Hashtbl.find_opt t.all_states id with
+      | Some st when st.src = root -> out := id :: !out
+      | _ -> ())
+    (Util.Tbl.sorted_keys ~cmp:Int.compare t.views.(node));
+  List.rev !out
 
 (* -- data plane: token-bucket pacing and source routing ------------------- *)
 
@@ -222,8 +447,26 @@ let send_flow_broadcast t st event =
   in
   if t.cfg.real_broadcast then begin
     Hashtbl.replace t.bcast_seen bcast_id (ref 0);
-    let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:st.src in
-    Net.send_bcast t.net ~root:st.src ~tree ~bcast_id ~bytes:Wire.broadcast_size
+    if reliable t then begin
+      (* Every event of a flow rides the tree picked at its start, so the
+         per-(source, tree) window orders the finish after the start at
+         every receiver. *)
+      let o = t.origins.(st.src) in
+      (match event with
+      | Wire.Flow_start ->
+          if st.btree < 0 then
+            st.btree <- Broadcast.choose_tree t.bcast t.root_rng ~src:st.src;
+          Rbcast.mark_live o st.idx
+      | Wire.Flow_finish -> Rbcast.mark_dead o st.idx
+      | Wire.Demand_update | Wire.Route_change -> ());
+      let bytes = Wire.seq_broadcast_size in
+      let seq = Rbcast.send o ~tree:st.btree (bcast_id, bytes) in
+      Net.send_bcast t.net ~seq ~root:st.src ~tree:st.btree ~bcast_id ~bytes ()
+    end
+    else begin
+      let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:st.src in
+      Net.send_bcast t.net ~root:st.src ~tree ~bcast_id ~bytes:Wire.broadcast_size ()
+    end
   end
   else begin
     match event with
@@ -280,7 +523,7 @@ let recompute_per_node t =
         t.recomputes <- t.recomputes + 1;
         let wf = Array.map wf_of flows in
         let rates =
-          Congestion.Waterfill.allocate ~headroom:t.cfg.headroom ~capacities:t.capacities wf
+          Congestion.Waterfill.allocate ~headroom:t.eff_headroom ~capacities:t.capacities wf
         in
         Array.iteri (fun i st -> if st.src = node then apply_rate t st rates.(i)) flows
       end)
@@ -303,6 +546,73 @@ let recompute_global t inc =
         | None -> ())
   end
 
+(* Graceful degradation (§3.3): the headroom the waterfill reserves grows
+   with the observed control-loss rate, so transiently stale views overbook
+   less when the control plane is struggling. The estimate is an EWMA of
+   the per-hop loss fraction over each rate epoch. *)
+let update_loss_ewma t =
+  if t.cfg.reliable_bcast then begin
+    let hops = Net.ctrl_hops t.net and lost = Net.ctrl_lost t.net in
+    let dh = hops - t.prev_ctrl_hops and dl = lost - t.prev_ctrl_lost in
+    t.prev_ctrl_hops <- hops;
+    t.prev_ctrl_lost <- lost;
+    if dh > 0 then
+      t.loss_ewma <-
+        (0.8 *. t.loss_ewma) +. (0.2 *. (float_of_int dl /. float_of_int dh));
+    t.eff_headroom <-
+      Float.min t.cfg.max_headroom
+        (t.cfg.headroom +. (t.cfg.loss_headroom_gain *. t.loss_ewma));
+    match t.galloc with
+    | Some inc -> Congestion.Waterfill.Inc.set_headroom inc t.eff_headroom
+    | None -> ()
+  end
+
+(* -- view-divergence watchdog --------------------------------------------- *)
+
+let view_hash t node =
+  Rbcast.hash_ids
+    (Array.to_list (Util.Tbl.sorted_keys ~cmp:Int.compare t.views.(node)))
+
+(* Every rate epoch, compare the traffic-matrix hash across alive nodes.
+   Divergent epochs are counted and the span from first divergence to the
+   next all-identical epoch is a reconvergence sample. Pure observation —
+   repair itself is driven by NACKs and digests. *)
+let views_identical t =
+  let first = ref None and distinct = ref false in
+  Array.iteri
+    (fun node _ ->
+      if Net.node_up t.net node then begin
+        let h = view_hash t node in
+        match !first with
+        | None -> first := Some h
+        | Some h0 -> if h <> h0 then distinct := true
+      end)
+    t.views;
+  not !distinct
+
+let note_divergence t =
+  if t.cfg.control = Per_node && (t.cfg.reliable_bcast || t.chaos_on) then begin
+    let now = Engine.now t.eng in
+    if not (views_identical t) then begin
+      t.divergence_epochs <- t.divergence_epochs + 1;
+      if t.diverged_since < 0 then t.diverged_since <- now
+    end
+    else if t.diverged_since >= 0 then begin
+      t.reconverge_samples <- (now - t.diverged_since) :: t.reconverge_samples;
+      t.diverged_since <- -1
+    end
+  end
+
+(* The recompute loop stops with the last flow, so a divergence healed only
+   by the final finish events would never see its closing epoch there; the
+   digest loop keeps watching until the control plane converges. *)
+let close_reconvergence t =
+  if t.cfg.control = Per_node && t.diverged_since >= 0 && views_identical t then begin
+    t.reconverge_samples <-
+      (Engine.now t.eng - t.diverged_since) :: t.reconverge_samples;
+    t.diverged_since <- -1
+  end
+
 (* After a rate epoch executes, every allocation reflects all events known
    so far — including any detected failure: that is the reconvergence
    instant the recovery metrics report. *)
@@ -313,6 +623,7 @@ let stamp_reconvergence t =
     t.failures
 
 let recompute t =
+  update_loss_ewma t;
   (match (t.cfg.control, t.galloc) with
   | Global_epoch, Some inc -> recompute_global t inc
   | Global_epoch, None -> assert false
@@ -321,6 +632,7 @@ let recompute t =
         t.epoch_dirty <- false;
         recompute_per_node t
       end);
+  note_divergence t;
   stamp_reconvergence t
 
 (* §3.4: periodic per-flow routing-protocol reselection. Long flows (alive
@@ -374,9 +686,12 @@ let reselect t interval =
          per {flow, protocol} pair, capped at an MTU. *)
       let bytes = min t.cfg.mtu (Wire.broadcast_size + (5 * !changed)) in
       let root = sts.(0).src in
-      let bcast_id = -(t.reselections) in
+      let bcast_id = -t.reselections in
       let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:root in
-      Net.send_bcast t.net ~root ~tree ~bcast_id ~bytes
+      let seq =
+        if reliable t then Rbcast.send t.origins.(root) ~tree (bcast_id, bytes) else 0
+      in
+      Net.send_bcast t.net ~seq ~root ~tree ~bcast_id ~bytes ()
     end
   end
 
@@ -384,6 +699,68 @@ let rec reselect_loop t interval () =
   reselect t interval;
   if Hashtbl.length t.active > 0 then Engine.after t.eng interval (reselect_loop t interval)
   else t.reselect_running <- false
+
+(* -- anti-entropy digest loop --------------------------------------------- *)
+
+(* Every alive source beacons [(tree, epoch, last_seq, state hash)] on each
+   tree that has ever carried one of its events. A receiver missing the
+   tail of a burst — even its very last packet, which no gap could reveal —
+   sees [last_seq] ahead of its window and NACKs. *)
+let digest_round t =
+  Array.iteri
+    (fun src o ->
+      if Net.node_up t.net src then begin
+        let epoch = Rbcast.bump_epoch o in
+        let hash = Rbcast.state_hash o in
+        for tree = 0 to t.cfg.trees_per_source - 1 do
+          let last = Rbcast.last_seq o ~tree in
+          if last >= 0 then
+            Net.send_tree t.net ~root:src ~tree
+              ~kind:(Net.Digest { root = src; tree; epoch; last_seq = last; hash })
+              ~bytes:Wire.digest_size
+        done
+      end)
+    t.origins
+
+(* Global-knowledge convergence test, used only to decide when the digest
+   loop may stop (and by tests): every alive node is sequence-caught-up
+   with every reachable origin, and (Per_node) believes exactly the
+   origin's live-flow set. *)
+let control_converged t =
+  let ok = ref true in
+  Array.iteri
+    (fun node _ ->
+      if Net.node_up t.net node then
+        Array.iteri
+          (fun root o ->
+            if
+              root <> node && Net.node_up t.net root
+              && Topology.reachable t.topo root node
+            then begin
+              for tree = 0 to t.cfg.trees_per_source - 1 do
+                let last = Rbcast.last_seq o ~tree in
+                if last >= 0 then
+                  match Hashtbl.find_opt t.wins.(node) (win_key t ~root ~tree) with
+                  | Some w when Rbcast.next_expected w.rx > last -> ()
+                  | Some _ | None -> ok := false
+              done;
+              if
+                t.cfg.control = Per_node
+                && Rbcast.hash_ids (per_source_view_ids t ~node ~root)
+                   <> Rbcast.state_hash o
+              then ok := false
+            end)
+          t.origins)
+    t.wins;
+  !ok
+
+let rec digest_loop t () =
+  close_reconvergence t;
+  if Hashtbl.length t.active > 0 || not (control_converged t) then begin
+    digest_round t;
+    Engine.after t.eng t.cfg.digest_interval_ns (digest_loop t)
+  end
+  else t.digest_running <- false
 
 (* The periodic loop must not keep the event queue alive once the rack is
    idle; it stops when no flow remains and restarts when one starts. *)
@@ -397,6 +774,10 @@ let ensure_loop t =
   if not t.loop_running then begin
     t.loop_running <- true;
     Engine.after t.eng t.cfg.recompute_interval_ns (recompute_loop t)
+  end;
+  if reliable t && not t.digest_running then begin
+    t.digest_running <- true;
+    Engine.after t.eng t.cfg.digest_interval_ns (digest_loop t)
   end;
   match t.cfg.reselect_interval_ns with
   | Some interval when not t.reselect_running ->
@@ -428,6 +809,9 @@ let abort_flow t st =
     Hashtbl.remove t.active st.idx;
     Hashtbl.remove t.on_complete st.idx;
     Array.iter (fun view -> Hashtbl.remove view st.idx) t.views;
+    (* The origin's advertised live set must drop the flow too, or every
+       digest hash would disagree with the views forever. *)
+    if reliable t then Rbcast.mark_dead t.origins.(st.src) st.idx;
     t.epoch_dirty <- true;
     if Hashtbl.length t.active = 0 then stamp_reconvergence t
   end
@@ -470,7 +854,7 @@ let handle_loss t pkt =
       | Some st when (not st.failed) && not (flow_complete t flow) ->
           arm_retransmit t st ~seq ~bytes:pkt.Net.bytes ~last
       | _ -> ())
-  | Net.Ack _ | Net.Bcast _ -> ()
+  | Net.Ack _ | Net.Bcast _ | Net.Digest _ | Net.Nack _ | Net.Sync _ -> ()
 
 let detection_delay t =
   match t.cfg.detection_delay_ns with
@@ -547,15 +931,25 @@ let restore_node_at t ~ns u =
 
 (* -- construction ---------------------------------------------------------- *)
 
+let chaos_seed seed = seed + 101
+
 let create cfg topo =
   if cfg.mtu <= header then invalid_arg "R2c2_sim: mtu must exceed the header size";
   if cfg.control = Per_node && not cfg.real_broadcast then
     invalid_arg "R2c2_sim: Per_node control builds its views from real broadcasts";
+  if cfg.reliable_bcast && not cfg.real_broadcast then
+    invalid_arg "R2c2_sim: reliable_bcast needs real broadcasts to protect";
   let eng = Engine.create () in
   let net =
     Net.create eng topo ~queue_capacity:cfg.queue_capacity ~link_gbps:cfg.link_gbps
       ~hop_latency_ns:cfg.hop_latency_ns ()
   in
+  let chaos_on =
+    cfg.control_loss > 0.0 || cfg.control_reorder > 0.0 || cfg.control_dup > 0.0
+  in
+  if chaos_on then
+    Net.set_control_chaos net ~seed:(chaos_seed cfg.seed) ~loss:cfg.control_loss
+      ~reorder:cfg.control_reorder ~dup:cfg.control_dup;
   let bcast = Broadcast.make ~trees_per_source:cfg.trees_per_source topo in
   Net.set_broadcast net bcast;
   let nverts = Topology.vertex_count topo in
@@ -601,46 +995,87 @@ let create cfg topo =
       retransmissions = 0;
       aborted = [];
       failures = [];
+      origins =
+        (if cfg.reliable_bcast && cfg.real_broadcast then
+           Array.init nverts (fun _ ->
+               Rbcast.origin ~log_cap:cfg.bcast_log_cap ~trees:cfg.trees_per_source ())
+         else [||]);
+      wins =
+        (if cfg.reliable_bcast && cfg.real_broadcast then
+           Array.init nverts (fun _ -> Hashtbl.create 16)
+         else [||]);
+      chaos_on;
+      digest_running = false;
+      nacks_sent = 0;
+      event_retransmits = 0;
+      sync_requests = 0;
+      syncs_sent = 0;
+      sync_bytes = 0;
+      divergence_epochs = 0;
+      diverged_since = -1;
+      reconverge_samples = [];
+      loss_ewma = 0.0;
+      eff_headroom = cfg.headroom;
+      prev_ctrl_hops = 0;
+      prev_ctrl_lost = 0;
     }
   in
   (* Broadcast copies arriving anywhere bump the receipt counter; once all
      other vertices have a copy, the flow is globally visible. Per-node
-     views learn flow starts/finishes from the same deliveries. *)
+     views learn flow starts/finishes from the same deliveries. In reliable
+     mode every event first passes the (source, tree) receive window:
+     duplicates are absorbed, reordered arrivals buffered, and a gap arms
+     the NACK timer. *)
   Net.on_bcast_deliver net (fun pkt ~node ->
       match pkt.Net.kind with
-      | Net.Bcast { bcast_id; _ } -> (
-          (* Negative ids are batched route-change announcements (§3.4);
-             only flow start/finish events update the views. *)
-          if cfg.control = Per_node && bcast_id >= 0 then begin
-            let flow = bcast_id / 2 in
-            t.epoch_dirty <- true;
-            if bcast_id land 1 = 0 then Hashtbl.replace t.views.(node) flow ()
-            else Hashtbl.remove t.views.(node) flow
-          end;
-          match Hashtbl.find_opt t.bcast_seen bcast_id with
-          | None -> ()
-          | Some count ->
-              incr count;
-              (* [>=]: after a node failure the target shrinks to the alive
-                 count, and stale pre-failure copies may still arrive. *)
-              if !count >= t.bcast_target && bcast_id land 1 = 0 then begin
-                match Hashtbl.find_opt t.active (bcast_id / 2) with
-                | Some st -> mark_visible t st
-                | None -> ()
-              end)
-      | Net.Data _ | Net.Ack _ -> ());
+      | Net.Bcast { bcast_id; root; tree; seq } ->
+          if reliable t then begin
+            let w = get_win t ~node ~root ~tree in
+            if seq > w.hi then w.hi <- seq;
+            match Rbcast.receive w.rx ~seq (bcast_id, pkt.Net.bytes) with
+            | Rbcast.Deliver ps ->
+                List.iter (fun (bid, _) -> apply_bcast_event t ~node bid) ps
+            | Rbcast.Duplicate -> ()
+            | Rbcast.Buffered -> schedule_nack t ~node ~root ~tree w
+          end
+          else apply_bcast_event t ~node bcast_id
+      | Net.Digest { root; tree; last_seq; hash; _ } ->
+          if reliable t then begin
+            let w = get_win t ~node ~root ~tree in
+            if last_seq > w.hi then w.hi <- last_seq;
+            let next = Rbcast.next_expected w.rx in
+            if next <= last_seq then schedule_nack t ~node ~root ~tree w
+            else if cfg.control = Per_node && next = last_seq + 1 then begin
+              (* Sequence-caught-up on every tree of this origin, yet the
+                 believed live-flow set hashes differently: genuine
+                 divergence (e.g. a repair evicted from the replay log) —
+                 ask for a full-state sync. If some other tree still has a
+                 gap, its own digest will trigger the cheaper NACK path
+                 first. *)
+              let all_caught_up = ref true in
+              for tr = 0 to cfg.trees_per_source - 1 do
+                let wt = get_win t ~node ~root ~tree:tr in
+                if Rbcast.next_expected wt.rx <= wt.hi then all_caught_up := false
+              done;
+              if
+                !all_caught_up
+                && Rbcast.hash_ids (per_source_view_ids t ~node ~root) <> hash
+              then send_nack t ~node ~root ~tree ~from_seq:0 ~to_seq:(-1)
+            end
+          end
+      | Net.Data _ | Net.Ack _ | Net.Nack _ | Net.Sync _ -> ());
   (* Lost Data packets — queue tail drops and failure blackholes alike —
      feed the retransmission machinery; payload losses are bucketed for the
      byte-conservation accounting. *)
   Net.on_drop net (fun pkt ->
       (match pkt.Net.kind with
       | Net.Data _ -> t.dropped_payload <- t.dropped_payload + (pkt.Net.bytes - header)
-      | Net.Ack _ | Net.Bcast _ -> ());
+      | Net.Ack _ | Net.Bcast _ | Net.Digest _ | Net.Nack _ | Net.Sync _ -> ());
       handle_loss t pkt);
   Net.on_blackhole net (fun pkt ->
       (match pkt.Net.kind with
       | Net.Data _ -> t.blackholed_payload <- t.blackholed_payload + (pkt.Net.bytes - header)
-      | Net.Ack _ | Net.Bcast _ -> ());
+      | Net.Ack _ | Net.Bcast _ | Net.Digest _ | Net.Nack _ | Net.Sync _ -> ());
       handle_loss t pkt);
   Net.on_deliver net (fun pkt ->
       match pkt.Net.kind with
@@ -670,7 +1105,34 @@ let create cfg topo =
                 k flow
             | None -> ()
           end
-      | Net.Ack _ | Net.Bcast _ -> ());
+      | Net.Nack { root; tree; from_seq; to_seq; requester } ->
+          (* A NACK reached the origin: replay the logged packets onto the
+             same tree (duplicates at healthy nodes are absorbed by their
+             windows), or fall back to a full-state sync when the range is
+             empty (a sync request) or evicted from the log. *)
+          if reliable t then begin
+            if to_seq < from_seq then send_sync t ~root ~requester
+            else begin
+              let o = t.origins.(root) in
+              let evicted = ref false in
+              (* Bound the replay burst; the requester re-NACKs for the
+                 rest if the range was truly enormous. *)
+              for s = from_seq to min to_seq (from_seq + 255) do
+                match Rbcast.replay o ~tree ~seq:s with
+                | Some (bcast_id, bytes) ->
+                    t.event_retransmits <- t.event_retransmits + 1;
+                    Net.send_bcast t.net ~seq:s ~root ~tree ~bcast_id ~bytes ()
+                | None -> evicted := true
+              done;
+              if !evicted then send_sync t ~root ~requester
+            end
+          end
+      | Net.Sync { root; entries; last_seqs } ->
+          if reliable t then begin
+            let node = pkt.Net.route.(Array.length pkt.Net.route - 1) in
+            apply_sync t ~node ~root ~entries ~last_seqs
+          end
+      | Net.Ack _ | Net.Bcast _ | Net.Digest _ -> ());
   t
 
 let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_gbps ?on_complete
@@ -705,6 +1167,7 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
       done_sending = false;
       rtx = Hashtbl.create 8;
       failed = false;
+      btree = -1;
     }
   in
   Hashtbl.replace t.active idx st;
@@ -718,6 +1181,74 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
   idx
 
 let run_engine ?until_ns t = Engine.run ?until:until_ns t.eng
+
+(* -- reliability accessors (tests, benches) -------------------------------- *)
+
+let set_control_chaos_at t ~ns ~loss ~reorder ~dup =
+  Engine.at t.eng ns (fun () ->
+      Net.set_control_chaos t.net ~seed:(chaos_seed t.cfg.seed) ~loss ~reorder ~dup)
+
+let loss_ewma t = t.loss_ewma
+let effective_headroom t = t.eff_headroom
+
+let node_view_ids t ~node =
+  if t.cfg.control <> Per_node then
+    invalid_arg "R2c2_sim.node_view_ids: Per_node control only";
+  Array.to_list (Util.Tbl.sorted_keys ~cmp:Int.compare t.views.(node))
+
+(* The full rate vector a node would compute from its current view — every
+   flow it believes exists, not just its own. Two nodes with identical
+   views produce identical vectors (the waterfill is deterministic), which
+   is exactly what the reconvergence tests assert. *)
+let node_allocations t ~node =
+  if t.cfg.control <> Per_node then
+    invalid_arg "R2c2_sim.node_allocations: Per_node control only";
+  let view : (int, fstate) Hashtbl.t = Hashtbl.create 64 in
+  Util.Tbl.iter_sorted ~cmp:Int.compare
+    (fun flow () ->
+      match Hashtbl.find_opt t.all_states flow with
+      | Some st -> Hashtbl.replace view flow st
+      | None -> ())
+    t.views.(node);
+  let flows = Util.Tbl.sorted_values ~cmp:Int.compare view in
+  if Array.length flows = 0 then [||]
+  else begin
+    let wf = Array.map wf_of flows in
+    let rates =
+      Congestion.Waterfill.allocate ~headroom:t.eff_headroom ~capacities:t.capacities wf
+    in
+    Array.mapi (fun i st -> (st.idx, rates.(i))) flows
+  end
+
+let diverged_nodes t =
+  if t.cfg.control <> Per_node then 0
+  else begin
+    (* Nodes disagreeing with the modal view hash. *)
+    let counts : (int64, int) Hashtbl.t = Hashtbl.create 8 in
+    Array.iteri
+      (fun node _ ->
+        if Net.node_up t.net node then begin
+          let h = view_hash t node in
+          Hashtbl.replace counts h
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts h))
+        end)
+      t.views;
+    let modal = ref 0 and total = ref 0 in
+    Util.Tbl.iter_sorted ~cmp:Int64.compare
+      (fun _ n ->
+        total := !total + n;
+        if n > !modal then modal := n)
+      counts;
+    !total - !modal
+  end
+
+let dup_events_absorbed t =
+  Array.fold_left
+    (fun acc wt ->
+      Util.Tbl.fold_sorted ~cmp:Int.compare
+        (fun _ w acc -> acc + Rbcast.duplicates w.rx)
+        wt acc)
+    0 t.wins
 
 let results t =
   {
@@ -741,6 +1272,23 @@ let results t =
     failures = List.rev t.failures;
     tree_repairs = Broadcast.repairs t.bcast;
     tree_repair_bytes = Broadcast.repair_bytes t.bcast;
+    ctrl_lost = Net.ctrl_lost t.net;
+    ctrl_lost_bytes = Net.ctrl_lost_bytes t.net;
+    ctrl_reordered = Net.ctrl_reordered t.net;
+    ctrl_dupped = Net.ctrl_dupped t.net;
+    blackholed_data_bytes = Net.blackholed_data_bytes t.net;
+    blackholed_ctrl_bytes = Net.blackholed_ctrl_bytes t.net;
+    nacks_sent = t.nacks_sent;
+    event_retransmits = t.event_retransmits;
+    sync_requests = t.sync_requests;
+    syncs_sent = t.syncs_sent;
+    sync_bytes = t.sync_bytes;
+    dup_events_absorbed = dup_events_absorbed t;
+    divergence_epochs = t.divergence_epochs;
+    reconverge_samples = List.rev t.reconverge_samples;
+    terminal_diverged = diverged_nodes t;
+    loss_ewma = t.loss_ewma;
+    effective_headroom = t.eff_headroom;
   }
 
 let run ?(protocol_of = fun _ _ -> Routing.Rps) ?(demand_of = fun _ _ -> None) ?until_ns cfg

@@ -49,6 +49,26 @@ type config = {
   rtx_cap_ns : int;  (** ceiling on the backed-off timeout *)
   rtx_max_retries : int;
       (** retransmissions per packet before the flow is aborted *)
+  reliable_bcast : bool;
+      (** loss-tolerant control plane: every flow-event broadcast carries a
+          per-(source, tree) sequence number, receivers run windows with
+          NACK-based repair from the origin's replay log, and sources
+          beacon periodic anti-entropy digests whose state hash triggers a
+          full-state sync on genuine divergence. Requires
+          [real_broadcast] *)
+  digest_interval_ns : int;  (** anti-entropy beacon period per source *)
+  nack_delay_ns : int;
+      (** delay from gap detection to the NACK (and between retries) *)
+  bcast_log_cap : int;  (** origin replay-log depth per tree *)
+  control_loss : float;
+      (** chaos: per-hop control-packet loss probability, [0, 1) *)
+  control_reorder : float;  (** per-hop extra-delay (reorder) probability *)
+  control_dup : float;  (** per-hop duplication probability *)
+  loss_headroom_gain : float;
+      (** graceful degradation: the waterfill reserves
+          [min max_headroom (headroom + gain * loss EWMA)] instead of the
+          static [headroom], so stale views overbook less under loss *)
+  max_headroom : float;
   seed : int;
 }
 
@@ -56,7 +76,8 @@ val default_config : config
 (** 10 Gbps, 100 ns hops, 5% headroom, rho = 500 µs, 1500-byte MTU, real
     broadcasts, unbounded queues, global-epoch control, auto detection
     delay, 50 µs retransmission timeout doubling up to 1 ms, 30 retries,
-    seed 1. *)
+    seed 1. Reliable broadcast off, digests every 100 µs, 20 µs NACK
+    delay, 64 Ki replay log, no chaos, headroom gain 2 capped at 30%. *)
 
 type failure = {
   kind : string;  (** ["link"], ["node"], ["restore-link"], ["restore-node"] *)
@@ -95,6 +116,30 @@ type result = {
   failures : failure list;  (** chronological fault-injection records *)
   tree_repairs : int;  (** broadcast trees rebuilt over the whole run *)
   tree_repair_bytes : int;  (** control bytes those rebuilds cost *)
+  ctrl_lost : int;  (** control packets destroyed by chaos injection *)
+  ctrl_lost_bytes : int;
+  ctrl_reordered : int;  (** control packets given extra per-hop delay *)
+  ctrl_dupped : int;  (** control packets duplicated in flight *)
+  blackholed_data_bytes : int;  (** Data/Ack share of [blackholed_bytes] *)
+  blackholed_ctrl_bytes : int;  (** control share of [blackholed_bytes] *)
+  nacks_sent : int;  (** retransmission requests sent by receive windows *)
+  event_retransmits : int;  (** origin replays answering NACKs *)
+  sync_requests : int;  (** full-state syncs requested (hash divergence) *)
+  syncs_sent : int;
+  sync_bytes : int;  (** full-state repair traffic, wire bytes at origin *)
+  dup_events_absorbed : int;
+      (** broadcast deliveries absorbed as duplicates by receive windows *)
+  divergence_epochs : int;
+      (** rate epochs during which at least two alive nodes held different
+          traffic-matrix views (Per_node) *)
+  reconverge_samples : int list;
+      (** ns from each first divergent epoch to the next epoch where every
+          view was identical again *)
+  terminal_diverged : int;
+      (** nodes still disagreeing with the modal view when the run ended —
+          0 is the steady-state correctness criterion *)
+  loss_ewma : float;  (** final observed control-loss estimate *)
+  effective_headroom : float;  (** final loss-scaled waterfill headroom *)
 }
 
 (** {2 Handle API — dynamic workloads} *)
@@ -157,6 +202,40 @@ val restore_node_at : t -> ns:int -> int -> unit
 
 val results : t -> result
 (** Snapshot of the statistics so far. *)
+
+(** {2 Control-plane reliability introspection}
+
+    Accessors used by the loss-sweep bench and the reconvergence tests;
+    all of them are pure observers. *)
+
+val set_control_chaos_at :
+  t -> ns:int -> loss:float -> reorder:float -> dup:float -> unit
+(** Schedule a mid-run retune of the control-chaos rates at simulation time
+    [ns] (e.g. start lossless, degrade, recover). The chaos RNG continues
+    across retunes, so runs stay seed-deterministic. *)
+
+val control_converged : t -> bool
+(** Every alive node is sequence-caught-up with every reachable origin and
+    (Per_node) believes exactly the origin's live-flow set. *)
+
+val view_hash : t -> int -> int64
+(** The node's traffic-matrix hash (Per_node) — identical across nodes
+    exactly when their views agree. *)
+
+val diverged_nodes : t -> int
+(** Alive nodes currently disagreeing with the modal view hash; 0 when the
+    control plane is consistent (always 0 under [Global_epoch]). *)
+
+val node_view_ids : t -> node:int -> int list
+(** The flow ids in the node's view, ascending (Per_node only). *)
+
+val node_allocations : t -> node:int -> (int * float) array
+(** The full rate vector the node computes from its current view — every
+    flow it believes exists, in ascending id order. Nodes with identical
+    views return byte-identical vectors (Per_node only). *)
+
+val loss_ewma : t -> float
+val effective_headroom : t -> float
 
 (** {2 Batch API — pre-generated workloads} *)
 

@@ -209,7 +209,7 @@ let run ?until_ns cfg topo specs =
               hop = 0;
             }
       | Net.Ack { flow; ackno } -> on_ack (Hashtbl.find flows flow) ackno
-      | Net.Bcast _ -> ());
+      | Net.Bcast _ | Net.Digest _ | Net.Nack _ | Net.Sync _ -> ());
 
   List.iteri
     (fun idx spec ->

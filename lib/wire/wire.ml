@@ -1,5 +1,8 @@
 let data_header_size = 35
 let broadcast_size = 16
+let seq_broadcast_size = 24
+let digest_size = 22
+let nack_size = 16
 let max_route_hops = 42
 let max_links_per_node = 8
 
@@ -26,9 +29,27 @@ type broadcast = {
   rp : Routing.protocol;
 }
 
+type digest = {
+  dsrc : int;
+  dtree : int;
+  epoch : int;
+  last_seq : int;
+  state_hash : int64;
+}
+
+type nack = {
+  nsrc : int;
+  nrequester : int;
+  ntree : int;
+  nfrom : int;
+  nto : int;
+}
+
 (* Packet type codes. 0 is a data packet; broadcast packets carry the event
-   kind directly in the type byte. *)
+   kind directly in the type byte; digests and NACKs get their own codes. *)
 let type_data = 0
+let type_digest = 5
+let type_nack = 6
 
 let type_of_event = function
   | Flow_start -> 1
@@ -59,6 +80,8 @@ let put32 b off v =
 let get8 = Bytes.get_uint8
 let get16 = Bytes.get_uint16_be
 let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+let put64 b off v = Bytes.set_int64_be b off v
+let get64 b off = Bytes.get_int64_be b off
 
 (* -- checksum ----------------------------------------------------------- *)
 
@@ -217,6 +240,165 @@ let decode_broadcast b =
                   tree = get8 b boff_tree;
                   rp;
                 })
+    end
+  end
+
+(* -- sequenced broadcast (loss-tolerant control plane) -------------------- *)
+
+(* The 16-byte event format above has no room for ordering metadata, so the
+   reliable control plane extends it: the same layout through [rp], then a
+   32-bit flow id (correlating finish/demand/route events with the start),
+   a 32-bit per-(source, tree) sequence number, one pad byte and the
+   checksum — 24 bytes on the wire. The overhead model keeps quoting the
+   paper's 16-byte constant; simulations of the reliable plane charge
+   [seq_broadcast_size]. *)
+
+let sboff_flow = 13
+let sboff_seq = 17
+let sboff_cksum = 22
+
+let encode_seq_broadcast p ~flow ~seq =
+  check_width "src" p.bsrc 16;
+  check_width "dst" p.bdst 16;
+  check_width "weight" p.weight 8;
+  check_width "priority" p.priority 8;
+  check_width "demand" p.demand_kbps 32;
+  check_width "tree" p.tree 8;
+  check_width "flow" flow 32;
+  check_width "seq" seq 32;
+  let b = Bytes.make seq_broadcast_size '\000' in
+  put8 b boff_type (type_of_event p.event);
+  put16 b boff_src p.bsrc;
+  put16 b boff_dst p.bdst;
+  put8 b boff_weight p.weight;
+  put8 b boff_priority p.priority;
+  put32 b boff_demand p.demand_kbps;
+  put8 b boff_tree p.tree;
+  put8 b boff_rp (Routing.protocol_to_int p.rp);
+  put32 b sboff_flow flow;
+  put32 b sboff_seq seq;
+  put16 b sboff_cksum (checksum b);
+  b
+
+let decode_seq_broadcast b =
+  if Bytes.length b <> seq_broadcast_size then
+    Error "sequenced broadcast must be 24 bytes"
+  else begin
+    let stored = get16 b sboff_cksum in
+    let zeroed = Bytes.copy b in
+    put16 zeroed sboff_cksum 0;
+    if stored <> checksum zeroed then Error "sequenced broadcast checksum mismatch"
+    else begin
+      match event_of_type (get8 b boff_type) with
+      | None -> Error "unknown broadcast type"
+      | Some event -> (
+          match Routing.protocol_of_int (get8 b boff_rp) with
+          | None -> Error "unknown routing protocol"
+          | Some rp ->
+              Ok
+                ( {
+                    event;
+                    bsrc = get16 b boff_src;
+                    bdst = get16 b boff_dst;
+                    weight = get8 b boff_weight;
+                    priority = get8 b boff_priority;
+                    demand_kbps = get32 b boff_demand;
+                    tree = get8 b boff_tree;
+                    rp;
+                  },
+                  get32 b sboff_flow,
+                  get32 b sboff_seq ))
+    end
+  end
+
+(* -- anti-entropy digest --------------------------------------------------- *)
+
+let goff_src = 1
+let goff_tree = 3
+let goff_epoch = 4
+let goff_last = 8
+let goff_hash = 12
+let goff_cksum = 20
+
+let encode_digest d =
+  check_width "src" d.dsrc 16;
+  check_width "tree" d.dtree 8;
+  check_width "epoch" d.epoch 32;
+  check_width "last_seq" d.last_seq 32;
+  let b = Bytes.make digest_size '\000' in
+  put8 b boff_type type_digest;
+  put16 b goff_src d.dsrc;
+  put8 b goff_tree d.dtree;
+  put32 b goff_epoch d.epoch;
+  put32 b goff_last d.last_seq;
+  put64 b goff_hash d.state_hash;
+  put16 b goff_cksum (checksum b);
+  b
+
+let decode_digest b =
+  if Bytes.length b <> digest_size then Error "digest must be 22 bytes"
+  else if get8 b boff_type <> type_digest then Error "not a digest packet"
+  else begin
+    let stored = get16 b goff_cksum in
+    let zeroed = Bytes.copy b in
+    put16 zeroed goff_cksum 0;
+    if stored <> checksum zeroed then Error "digest checksum mismatch"
+    else
+      Ok
+        {
+          dsrc = get16 b goff_src;
+          dtree = get8 b goff_tree;
+          epoch = get32 b goff_epoch;
+          last_seq = get32 b goff_last;
+          state_hash = get64 b goff_hash;
+        }
+  end
+
+(* -- NACK ------------------------------------------------------------------ *)
+
+let noff_src = 1
+let noff_req = 3
+let noff_tree = 5
+let noff_from = 6
+let noff_to = 10
+let noff_cksum = 14
+
+let encode_nack n =
+  check_width "src" n.nsrc 16;
+  check_width "requester" n.nrequester 16;
+  check_width "tree" n.ntree 8;
+  check_width "from" n.nfrom 32;
+  check_width "to" n.nto 32;
+  if n.nto < n.nfrom then invalid_arg "Wire.encode_nack: empty range";
+  let b = Bytes.make nack_size '\000' in
+  put8 b boff_type type_nack;
+  put16 b noff_src n.nsrc;
+  put16 b noff_req n.nrequester;
+  put8 b noff_tree n.ntree;
+  put32 b noff_from n.nfrom;
+  put32 b noff_to n.nto;
+  put16 b noff_cksum (checksum b);
+  b
+
+let decode_nack b =
+  if Bytes.length b <> nack_size then Error "NACK must be 16 bytes"
+  else if get8 b boff_type <> type_nack then Error "not a NACK packet"
+  else begin
+    let stored = get16 b noff_cksum in
+    let zeroed = Bytes.copy b in
+    put16 zeroed noff_cksum 0;
+    if stored <> checksum zeroed then Error "NACK checksum mismatch"
+    else begin
+      let n =
+        {
+          nsrc = get16 b noff_src;
+          nrequester = get16 b noff_req;
+          ntree = get8 b noff_tree;
+          nfrom = get32 b noff_from;
+          nto = get32 b noff_to;
+        }
+      in
+      if n.nto < n.nfrom then Error "NACK range empty" else Ok n
     end
   end
 

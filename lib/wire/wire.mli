@@ -16,6 +16,18 @@ val data_header_size : int
 val broadcast_size : int
 (** 16 bytes. *)
 
+val seq_broadcast_size : int
+(** 24 bytes: the 16-byte broadcast layout extended with a 32-bit flow id, a
+    32-bit per-(source, tree) sequence number and one pad byte. The overhead
+    model ({!Broadcast.bytes_per_broadcast}) keeps the paper's 16-byte
+    constant; the loss-tolerant control plane charges this size. *)
+
+val digest_size : int
+(** 22 bytes: the periodic anti-entropy digest. *)
+
+val nack_size : int
+(** 16 bytes: a missing-range retransmission request. *)
+
 val max_route_hops : int
 (** 42: the 128-bit route field at 3 bits per hop. *)
 
@@ -54,6 +66,48 @@ val decode_data : bytes -> (data_header, string) result
 
 val encode_broadcast : broadcast -> bytes
 val decode_broadcast : bytes -> (broadcast, string) result
+
+(** {2 Loss-tolerant control plane (reliable broadcast)}
+
+    Three formats let the control plane survive packet loss: the sequenced
+    broadcast carries a per-(source, tree) monotonic sequence number (plus
+    the 32-bit flow id that the 16-byte format omits, so finish / demand /
+    route events can be correlated with their start); the digest is a
+    periodic anti-entropy beacon [(source, tree, epoch, last sequence,
+    state hash)] that exposes a loss even when the {e last} packet of a
+    burst was dropped; the NACK requests retransmission of an inclusive
+    missing range from the origin. *)
+
+type digest = {
+  dsrc : int;  (** origin node *)
+  dtree : int;  (** broadcast tree the digest covers *)
+  epoch : int;  (** anti-entropy round counter *)
+  last_seq : int;  (** highest sequence number sent on this tree *)
+  state_hash : int64;  (** hash of the origin's live-flow set *)
+}
+
+type nack = {
+  nsrc : int;  (** origin whose packets are missing *)
+  nrequester : int;  (** node asking for retransmission *)
+  ntree : int;
+  nfrom : int;  (** first missing sequence number *)
+  nto : int;  (** last missing sequence number, inclusive *)
+}
+
+val encode_seq_broadcast : broadcast -> flow:int -> seq:int -> bytes
+(** 24-byte sequenced event. Raises [Invalid_argument] when a field exceeds
+    its width (flow and seq are 32-bit). *)
+
+val decode_seq_broadcast : bytes -> (broadcast * int * int, string) result
+(** Returns [(packet, flow, seq)]. *)
+
+val encode_digest : digest -> bytes
+val decode_digest : bytes -> (digest, string) result
+
+val encode_nack : nack -> bytes
+(** Raises [Invalid_argument] on an empty range ([nto < nfrom]). *)
+
+val decode_nack : bytes -> (nack, string) result
 
 val route_selectors : Routing.ctx -> int array -> int array
 (** [route_selectors ctx path] converts a vertex path to per-hop 3-bit link

@@ -1,0 +1,355 @@
+(* The lossy control plane: reliable-broadcast windows (Rbcast), peer view
+   replicas (View), the Stack repair machinery (digests, NACK replay,
+   watchdog sync, loss-scaled headroom), and the packet-level simulation
+   under chaos injection — loss, reordering and duplication of control
+   packets must never leave the rack with diverged traffic-matrix views. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* -- Reliability (data plane) dedups on sequence number -------------------- *)
+
+(* A retransmission racing a lost ACK delivers the same packet twice; the
+   receiver's per-seq record must absorb it so the delivered count equals
+   the packet count exactly — never more. *)
+let reliability_dedup_under_loss () =
+  let cfg =
+    {
+      Sim.Reliability.packets = 200;
+      rtx_timeout_ns = 10_000;
+      max_retries = 50;
+      rtx_backoff = 2.0;
+      rtx_cap_ns = 200_000;
+    }
+  in
+  let s = Sim.Reliability.run_over_lossy_channel ~seed:3 ~loss:0.3 cfg ~rtt_ns:2_000 in
+  Alcotest.(check bool) "completed" true s.Sim.Reliability.completed;
+  Alcotest.(check int) "each packet delivered exactly once" cfg.Sim.Reliability.packets
+    s.Sim.Reliability.delivered;
+  Alcotest.(check bool) "retransmissions happened" true
+    (s.Sim.Reliability.transmissions > cfg.Sim.Reliability.packets)
+
+(* -- Rbcast: sequence windows ---------------------------------------------- *)
+
+let rbcast_window_orders_and_dedups () =
+  let o = Rbcast.origin ~trees:2 () in
+  let s0 = Rbcast.send o ~tree:0 "a" in
+  let s1 = Rbcast.send o ~tree:0 "b" in
+  let s2 = Rbcast.send o ~tree:0 "c" in
+  Alcotest.(check (list int)) "per-tree seqs are dense" [ 0; 1; 2 ] [ s0; s1; s2 ];
+  Alcotest.(check int) "other tree has its own space" 0 (Rbcast.send o ~tree:1 "x");
+  let r = Rbcast.rx () in
+  (match Rbcast.receive r ~seq:1 "b" with
+  | Rbcast.Buffered -> ()
+  | Rbcast.Deliver _ | Rbcast.Duplicate -> Alcotest.fail "seq 1 before 0 must buffer");
+  Alcotest.(check (list (pair int int))) "gap is visible" [ (0, 0) ] (Rbcast.missing r ~upto:1);
+  (match Rbcast.receive r ~seq:0 "a" with
+  | Rbcast.Deliver ps -> Alcotest.(check (list string)) "in order" [ "a"; "b" ] ps
+  | Rbcast.Buffered | Rbcast.Duplicate -> Alcotest.fail "seq 0 must release the window");
+  (match Rbcast.receive r ~seq:0 "a" with
+  | Rbcast.Duplicate -> ()
+  | Rbcast.Deliver _ | Rbcast.Buffered -> Alcotest.fail "replayed seq must dedup");
+  Alcotest.(check int) "duplicate counted" 1 (Rbcast.duplicates r);
+  (match Rbcast.receive r ~seq:2 "c" with
+  | Rbcast.Deliver ps -> Alcotest.(check (list string)) "tail" [ "c" ] ps
+  | Rbcast.Buffered | Rbcast.Duplicate -> Alcotest.fail "seq 2 must deliver");
+  Alcotest.(check (option string)) "origin replays" (Some "b") (Rbcast.replay o ~tree:0 ~seq:1)
+
+(* -- View: replica repair from the sequenced stream ------------------------ *)
+
+let mk_stack () =
+  let topo = Topology.torus [| 2; 2; 2 |] in
+  (R2c2.Stack.create ~seed:5 topo, topo)
+
+let feed view bytes =
+  match R2c2.View.apply view bytes with
+  | R2c2.View.Malformed e -> Alcotest.fail ("view rejected stack bytes: " ^ e)
+  | R2c2.View.Applied _ | R2c2.View.Duplicate | R2c2.View.Buffered -> ()
+
+(* Drop a third of the broadcasts on the way to the replica, then let the
+   digest + NACK + replay loop repair it: afterwards the replica's hash and
+   flow set must equal the authority's, even when the drop hit the last
+   packet of the stream (which no later packet could reveal). *)
+let view_nack_repair_heals_all_loss () =
+  let st, _ = mk_stack () in
+  let trees = (R2c2.Stack.config st).R2c2.Stack.trees_per_source in
+  let view = R2c2.View.create ~trees () in
+  let n = ref 0 in
+  R2c2.Stack.on_broadcast_seq st (fun b ->
+      incr n;
+      if !n mod 3 <> 0 then feed view b);
+  let ids = ref [] in
+  for i = 0 to 5 do
+    ids := R2c2.Stack.open_flow st ~src:(i mod 8) ~dst:((i + 3) mod 8) :: !ids
+  done;
+  (match !ids with
+  | last :: _ -> R2c2.Stack.close_flow st last
+  | [] -> assert false);
+  Alcotest.(check bool) "loss actually diverged the replica" true
+    (R2c2.View.matrix_hash view <> R2c2.Stack.matrix_hash st);
+  (* Anti-entropy: keep running digest rounds until the replica reports no
+     gaps; every gap is NACKed back as a replay of the original bytes. *)
+  let rounds = ref 0 in
+  let rec heal () =
+    incr rounds;
+    if !rounds > 10 then Alcotest.fail "view did not heal within 10 digest rounds";
+    let again = ref false in
+    List.iter
+      (fun d ->
+        match R2c2.View.observe_digest view d with
+        | R2c2.View.Gaps ranges ->
+            again := true;
+            List.iter
+              (fun (lo, hi) ->
+                for seq = lo to hi do
+                  match R2c2.Stack.replay st ~tree:d.Wire.dtree ~seq with
+                  | Some bytes -> feed view bytes
+                  | None -> Alcotest.fail "replay log evicted too early"
+                done)
+              ranges
+        | R2c2.View.Diverged -> Alcotest.fail "caught-up replica cannot hash differently"
+        | R2c2.View.Synced -> ())
+      (R2c2.Stack.emit_digests st);
+    if !again then heal ()
+  in
+  heal ();
+  Alcotest.(check bool) "hashes agree after repair" true
+    (R2c2.View.matrix_hash view = R2c2.Stack.matrix_hash st);
+  Alcotest.(check (list int)) "flow sets agree"
+    (List.map (fun (id, _) -> id) (R2c2.Stack.allocations st))
+    (R2c2.View.flow_ids view);
+  Alcotest.(check bool) "repairs were charged" true (R2c2.Stack.reliability_bytes_sent st > 0);
+  Alcotest.(check bool) "replays counted" true (R2c2.Stack.event_retransmits st > 0)
+
+let view_dedups_duplicates () =
+  let st, _ = mk_stack () in
+  let trees = (R2c2.Stack.config st).R2c2.Stack.trees_per_source in
+  let view = R2c2.View.create ~trees () in
+  (* Deliver everything twice: the replica must apply each event once. *)
+  R2c2.Stack.on_broadcast_seq st (fun b ->
+      feed view b;
+      match R2c2.View.apply view b with
+      | R2c2.View.Duplicate -> ()
+      | R2c2.View.Applied _ | R2c2.View.Buffered | R2c2.View.Malformed _ ->
+          Alcotest.fail "second copy must be absorbed as a duplicate");
+  let a = R2c2.Stack.open_flow st ~src:0 ~dst:1 in
+  let _b = R2c2.Stack.open_flow st ~src:2 ~dst:3 in
+  R2c2.Stack.close_flow st a;
+  Alcotest.(check int) "three events applied once each" 3 (R2c2.View.applied view);
+  Alcotest.(check int) "three duplicates absorbed" 3 (R2c2.View.duplicates view);
+  Alcotest.(check bool) "views agree" true
+    (R2c2.View.matrix_hash view = R2c2.Stack.matrix_hash st)
+
+(* -- Stack: watchdog full-state sync and loss-scaled headroom -------------- *)
+
+let watchdog_repairs_diverged_view () =
+  let st, _ = mk_stack () in
+  let trees = (R2c2.Stack.config st).R2c2.Stack.trees_per_source in
+  let connected = R2c2.View.create ~trees () in
+  let deaf = R2c2.View.create ~trees () in
+  R2c2.Stack.on_broadcast_seq st (fun b -> feed connected b);
+  for i = 0 to 3 do
+    ignore (R2c2.Stack.open_flow st ~src:i ~dst:(i + 4))
+  done;
+  Alcotest.(check int) "one replica needs repair" 1
+    (R2c2.Stack.watchdog st [ connected; deaf ]);
+  Alcotest.(check bool) "deaf replica synced" true
+    (R2c2.View.matrix_hash deaf = R2c2.Stack.matrix_hash st);
+  Alcotest.(check (list int)) "full flow set transferred"
+    (R2c2.View.flow_ids connected) (R2c2.View.flow_ids deaf);
+  Alcotest.(check int) "sync counted" 1 (R2c2.Stack.syncs_sent st);
+  Alcotest.(check int) "clean watchdog round" 0 (R2c2.Stack.watchdog st [ connected; deaf ]);
+  (* Events after the sync flow through the fast-forwarded windows. *)
+  R2c2.Stack.on_broadcast_seq st (fun b -> feed deaf b);
+  let f = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
+  R2c2.Stack.close_flow st f;
+  ignore (R2c2.Stack.open_flow st ~src:1 ~dst:6);
+  Alcotest.(check bool) "post-sync stream applies" true
+    (R2c2.View.matrix_hash deaf = R2c2.Stack.matrix_hash st)
+
+let loss_ewma_scales_headroom () =
+  let st, _ = mk_stack () in
+  let base = (R2c2.Stack.config st).R2c2.Stack.headroom in
+  Alcotest.(check (float 1e-9)) "starts at configured headroom" base
+    (R2c2.Stack.effective_headroom st);
+  R2c2.Stack.note_control_loss st ~sent:100 ~lost:10;
+  Alcotest.(check (float 1e-9)) "EWMA weights the sample by 0.2" 0.02
+    (R2c2.Stack.loss_ewma st);
+  Alcotest.(check (float 1e-9)) "headroom grows with observed loss" (base +. (2.0 *. 0.02))
+    (R2c2.Stack.effective_headroom st);
+  (* Persistent heavy loss saturates at the cap, never at an allocator-
+     breaking value. *)
+  for _ = 1 to 50 do
+    R2c2.Stack.note_control_loss st ~sent:10 ~lost:9
+  done;
+  Alcotest.(check (float 1e-9)) "capped at max_headroom"
+    (R2c2.Stack.config st).R2c2.Stack.max_headroom
+    (R2c2.Stack.effective_headroom st);
+  (* A clean interval decays the estimate and the reserve follows. *)
+  for _ = 1 to 50 do
+    R2c2.Stack.note_control_loss st ~sent:100 ~lost:0
+  done;
+  Alcotest.(check bool) "recovers toward the base" true
+    (R2c2.Stack.effective_headroom st < base +. 0.01);
+  Alcotest.check_raises "lost > sent rejected"
+    (Invalid_argument "Stack.note_control_loss") (fun () ->
+      R2c2.Stack.note_control_loss st ~sent:1 ~lost:2)
+
+(* -- packet-level simulation under chaos ----------------------------------- *)
+
+let interval = 100_000
+
+let sim_cfg ?(loss = 0.0) ?(reorder = 0.0) ?(dup = 0.0) ?(seed = 7) () =
+  {
+    Sim.R2c2_sim.default_config with
+    control = Sim.R2c2_sim.Per_node;
+    reliable_bcast = true;
+    recompute_interval_ns = interval;
+    digest_interval_ns = 50_000;
+    control_loss = loss;
+    control_reorder = reorder;
+    control_dup = dup;
+    seed;
+  }
+
+let permutation t topo ~size =
+  let h = Topology.host_count topo in
+  for i = 0 to h - 1 do
+    ignore (Sim.R2c2_sim.start_flow t ~src:i ~dst:((i + (h / 2) + 1) mod h) ~size)
+  done
+
+let run_chaos ~loss () =
+  let topo = Topology.torus [| 3; 3; 3 |] in
+  let t = Sim.R2c2_sim.create (sim_cfg ~loss ()) topo in
+  permutation t topo ~size:120_000;
+  Sim.R2c2_sim.run_engine t;
+  (t, Sim.R2c2_sim.results t, Topology.host_count topo)
+
+(* Same seed, same chaos rates: every counter of the run is reproducible. *)
+let chaos_is_deterministic () =
+  let _, a, _ = run_chaos ~loss:0.03 () in
+  let _, b, _ = run_chaos ~loss:0.03 () in
+  let open Sim.R2c2_sim in
+  let sig_of r =
+    ( r.ctrl_lost,
+      r.nacks_sent,
+      r.event_retransmits,
+      r.divergence_epochs,
+      r.reconverge_samples,
+      Sim.Metrics.completed_count r.metrics )
+  in
+  Alcotest.(check bool) "identical signatures" true (sig_of a = sig_of b);
+  Alcotest.(check bool) "chaos actually fired" true (a.ctrl_lost > 0)
+
+(* Loss at 5%: every flow still completes, the control plane reconverges,
+   and every divergence window closes within a bounded number of epochs. *)
+let reconverges_under_5pct_loss () =
+  let t, r, h = run_chaos ~loss:0.05 () in
+  let open Sim.R2c2_sim in
+  Alcotest.(check int) "all flows complete" h (Sim.Metrics.completed_count r.metrics);
+  Alcotest.(check (list int)) "no aborts" [] r.aborted_flows;
+  Alcotest.(check int) "zero terminal divergence" 0 r.terminal_diverged;
+  Alcotest.(check bool) "control plane converged" true (Sim.R2c2_sim.control_converged t);
+  List.iter
+    (fun s ->
+      if s > 20 * interval then
+        Alcotest.failf "reconvergence took %d ns > %d ns" s (20 * interval))
+    r.reconverge_samples;
+  Alcotest.(check bool) "repair machinery engaged" true (r.nacks_sent > 0)
+
+(* Duplication without loss: windows absorb every duplicate and the run is
+   indistinguishable from a clean one in its outcome. *)
+let duplicates_are_absorbed () =
+  let topo = Topology.torus [| 3; 3; 3 |] in
+  let t = Sim.R2c2_sim.create (sim_cfg ~dup:0.2 ()) topo in
+  permutation t topo ~size:120_000;
+  Sim.R2c2_sim.run_engine t;
+  let r = Sim.R2c2_sim.results t in
+  let open Sim.R2c2_sim in
+  Alcotest.(check int) "all flows complete" (Topology.host_count topo)
+    (Sim.Metrics.completed_count r.metrics);
+  Alcotest.(check bool) "duplicates injected" true (r.ctrl_dupped > 0);
+  Alcotest.(check bool) "duplicates absorbed" true (r.dup_events_absorbed > 0);
+  Alcotest.(check int) "zero terminal divergence" 0 r.terminal_diverged;
+  Alcotest.(check bool) "converged" true (Sim.R2c2_sim.control_converged t)
+
+(* The acceptance property: after a lossy period ends (rates flipped
+   mid-run through the engine), every alive node's view reconverges to a
+   byte-identical allocation vector. *)
+let identical_allocations_after_2pct_loss () =
+  let topo = Topology.torus [| 3; 3; 3 |] in
+  let t = Sim.R2c2_sim.create (sim_cfg ~loss:0.02 ()) topo in
+  (* Lossy for the first 600 us, clean afterwards. *)
+  Sim.R2c2_sim.set_control_chaos_at t ~ns:600_000 ~loss:0.0 ~reorder:0.0 ~dup:0.0;
+  permutation t topo ~size:3_000_000;
+  Sim.R2c2_sim.run_engine ~until_ns:1_500_000 t;
+  let h = Topology.host_count topo in
+  Alcotest.(check bool) "flows still active mid-run" true
+    (Sim.Metrics.completed_count (Sim.R2c2_sim.metrics t) < h);
+  Alcotest.(check int) "no diverged nodes" 0 (Sim.R2c2_sim.diverged_nodes t);
+  Alcotest.(check bool) "control plane converged" true (Sim.R2c2_sim.control_converged t);
+  let reference = Sim.R2c2_sim.node_allocations t ~node:0 in
+  Alcotest.(check bool) "views are non-trivial" true (Array.length reference > 0);
+  for node = 1 to h - 1 do
+    if Sim.R2c2_sim.node_allocations t ~node <> reference then
+      Alcotest.failf "node %d computes a different allocation vector" node
+  done;
+  (* The observed-loss EWMA reacted while packets were being dropped. *)
+  let r = Sim.R2c2_sim.results t in
+  Alcotest.(check bool) "chaos fired" true (r.Sim.R2c2_sim.ctrl_lost > 0);
+  Alcotest.(check bool) "headroom scaled up" true
+    (r.Sim.R2c2_sim.effective_headroom > Sim.R2c2_sim.default_config.Sim.R2c2_sim.headroom);
+  (* And the run still finishes cleanly. *)
+  Sim.R2c2_sim.run_engine t;
+  Alcotest.(check int) "all flows complete" h
+    (Sim.Metrics.completed_count (Sim.R2c2_sim.metrics t))
+
+(* With a replay log too small to answer NACKs, the origin must fall back
+   to full-state sync — and the rack still reconverges. *)
+let evicted_replay_falls_back_to_sync () =
+  let topo = Topology.torus [| 3; 3; 3 |] in
+  let cfg = { (sim_cfg ~loss:0.05 ()) with Sim.R2c2_sim.bcast_log_cap = 1 } in
+  let t = Sim.R2c2_sim.create cfg topo in
+  permutation t topo ~size:120_000;
+  Sim.R2c2_sim.run_engine t;
+  let r = Sim.R2c2_sim.results t in
+  let open Sim.R2c2_sim in
+  Alcotest.(check bool) "full-state syncs happened" true (r.syncs_sent > 0);
+  Alcotest.(check bool) "sync traffic accounted" true (r.sync_bytes > 0);
+  Alcotest.(check int) "zero terminal divergence" 0 r.terminal_diverged;
+  Alcotest.(check bool) "converged" true (Sim.R2c2_sim.control_converged t);
+  Alcotest.(check int) "all flows complete" (Topology.host_count topo)
+    (Sim.Metrics.completed_count r.metrics)
+
+(* A dead node blackholes broadcast copies and digests; the counters must
+   split the loss by plane and sum back to the total. *)
+let blackhole_splits_control_and_data () =
+  let topo = Topology.torus [| 3; 3; 3 |] in
+  let t = Sim.R2c2_sim.create (sim_cfg ()) topo in
+  permutation t topo ~size:200_000;
+  Sim.R2c2_sim.fail_node_at t ~ns:100_000 13;
+  Sim.R2c2_sim.run_engine t;
+  let r = Sim.R2c2_sim.results t in
+  let open Sim.R2c2_sim in
+  Alcotest.(check int) "split sums to total" r.blackholed_bytes
+    (r.blackholed_data_bytes + r.blackholed_ctrl_bytes);
+  Alcotest.(check bool) "control bytes were blackholed" true (r.blackholed_ctrl_bytes > 0);
+  Alcotest.(check int) "zero terminal divergence" 0 r.terminal_diverged
+
+let suites =
+  [
+    ( "control-loss",
+      [
+        tc "reliability dedups on seq under loss" reliability_dedup_under_loss;
+        tc "rbcast window orders and dedups" rbcast_window_orders_and_dedups;
+        tc "view NACK repair heals all loss" view_nack_repair_heals_all_loss;
+        tc "view dedups duplicates" view_dedups_duplicates;
+        tc "watchdog repairs diverged view" watchdog_repairs_diverged_view;
+        tc "loss EWMA scales headroom" loss_ewma_scales_headroom;
+        tc "chaos is seed-deterministic" chaos_is_deterministic;
+        tc "reconverges under 5% loss" reconverges_under_5pct_loss;
+        tc "duplicates are absorbed" duplicates_are_absorbed;
+        tc "identical allocations after 2% loss" identical_allocations_after_2pct_loss;
+        tc "evicted replay falls back to sync" evicted_replay_falls_back_to_sync;
+        tc "blackhole splits control and data" blackhole_splits_control_and_data;
+      ] );
+  ]

@@ -15,6 +15,7 @@ let () =
          Test_genetic.suites;
          Test_stack.suites;
          Test_failure.suites;
+         Test_controlloss.suites;
          Test_integration.suites;
          Test_lint.suites;
        ])

@@ -108,7 +108,7 @@ let net_broadcast_reaches_all () =
   Sim.Net.set_broadcast net b;
   let received = Array.make 16 false in
   Sim.Net.on_bcast_deliver net (fun _ ~node -> received.(node) <- true);
-  Sim.Net.send_bcast net ~root:0 ~tree:0 ~bcast_id:1 ~bytes:16;
+  Sim.Net.send_bcast net ~root:0 ~tree:0 ~bcast_id:1 ~bytes:16 ();
   Sim.Engine.run eng;
   received.(0) <- true;
   Alcotest.(check bool) "every node got a copy" true (Array.for_all Fun.id received);
@@ -126,7 +126,7 @@ let net_wire_counters () =
 let net_requires_fib_for_broadcast () =
   let _, _, net = mk_net () in
   Alcotest.check_raises "no FIB" (Invalid_argument "Net: broadcast FIB not configured")
-    (fun () -> Sim.Net.send_bcast net ~root:0 ~tree:0 ~bcast_id:1 ~bytes:16)
+    (fun () -> Sim.Net.send_bcast net ~root:0 ~tree:0 ~bcast_id:1 ~bytes:16 ())
 
 let net_rejects_bad_route () =
   let _, _, net = mk_net () in

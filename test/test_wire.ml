@@ -172,6 +172,96 @@ let qcheck_broadcast_roundtrip =
       | Ok p' -> p' = p
       | Error _ -> false)
 
+(* -- deterministic fuzz over every packet type ----------------------------- *)
+
+(* One seeded generator drives random instances of every control format —
+   all four broadcast events in both the 16-byte and the sequenced 24-byte
+   layout, digests and NACKs — through an encode/decode round trip, plus a
+   bit-flip corruption check per format. *)
+let fuzz_all_packet_types () =
+  let rng = Util.Rng.create 4099 in
+  let events = [| Wire.Flow_start; Wire.Flow_finish; Wire.Demand_update; Wire.Route_change |] in
+  let int64_of rng =
+    Int64.logxor
+      (Int64.of_int (Util.Rng.int rng 0x3FFFFFFF))
+      (Int64.shift_left (Int64.of_int (Util.Rng.int rng 0x3FFFFFFF)) 34)
+  in
+  for i = 0 to 499 do
+    let p =
+      {
+        Wire.event = events.(i mod 4);
+        bsrc = Util.Rng.int rng 0x10000;
+        bdst = Util.Rng.int rng 0x10000;
+        weight = Util.Rng.int rng 256;
+        priority = Util.Rng.int rng 256;
+        demand_kbps = Util.Rng.int rng 0x40000000;
+        tree = Util.Rng.int rng 256;
+        rp = Option.get (Routing.protocol_of_int (Util.Rng.int rng 4));
+      }
+    in
+    (match Wire.decode_broadcast (Wire.encode_broadcast p) with
+    | Ok p' -> if p' <> p then Alcotest.failf "broadcast roundtrip broke at %d" i
+    | Error e -> Alcotest.failf "broadcast decode failed at %d: %s" i e);
+    let flow = Util.Rng.int rng 0x40000000 and seq = Util.Rng.int rng 0x40000000 in
+    let sb = Wire.encode_seq_broadcast p ~flow ~seq in
+    (match Wire.decode_seq_broadcast sb with
+    | Ok (p', flow', seq') ->
+        if p' <> p || flow' <> flow || seq' <> seq then
+          Alcotest.failf "seq broadcast roundtrip broke at %d" i
+    | Error e -> Alcotest.failf "seq broadcast decode failed at %d: %s" i e);
+    (match Wire.decode_seq_broadcast (Wire.corrupt rng sb) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "seq broadcast corruption undetected at %d" i);
+    let d =
+      {
+        Wire.dsrc = Util.Rng.int rng 0x10000;
+        dtree = Util.Rng.int rng 256;
+        epoch = Util.Rng.int rng 0x40000000;
+        last_seq = Util.Rng.int rng 0x40000000;
+        state_hash = int64_of rng;
+      }
+    in
+    let db = Wire.encode_digest d in
+    (match Wire.decode_digest db with
+    | Ok d' -> if d' <> d then Alcotest.failf "digest roundtrip broke at %d" i
+    | Error e -> Alcotest.failf "digest decode failed at %d: %s" i e);
+    (match Wire.decode_digest (Wire.corrupt rng db) with
+    | Error _ -> ()
+    | Ok d' -> if d' <> d then () else Alcotest.failf "digest corruption undetected at %d" i);
+    let nfrom = Util.Rng.int rng 0x3FFFFFFF in
+    let n =
+      {
+        Wire.nsrc = Util.Rng.int rng 0x10000;
+        nrequester = Util.Rng.int rng 0x10000;
+        ntree = Util.Rng.int rng 256;
+        nfrom;
+        nto = nfrom + Util.Rng.int rng 1024;
+      }
+    in
+    let nb = Wire.encode_nack n in
+    (match Wire.decode_nack nb with
+    | Ok n' -> if n' <> n then Alcotest.failf "NACK roundtrip broke at %d" i
+    | Error e -> Alcotest.failf "NACK decode failed at %d: %s" i e);
+    match Wire.decode_nack (Wire.corrupt rng nb) with
+    | Error _ -> ()
+    | Ok n' -> if n' <> n then () else Alcotest.failf "NACK corruption undetected at %d" i
+  done
+
+let nack_rejects_empty_range () =
+  Alcotest.check_raises "to < from"
+    (Invalid_argument "Wire.encode_nack: empty range") (fun () ->
+      ignore
+        (Wire.encode_nack
+           { Wire.nsrc = 1; nrequester = 2; ntree = 0; nfrom = 5; nto = 4 }))
+
+let seq_broadcast_wrong_size_rejected () =
+  (match Wire.decode_seq_broadcast (Bytes.make Wire.broadcast_size '\000') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "16-byte buffer accepted as sequenced broadcast");
+  match Wire.decode_digest (Bytes.make Wire.nack_size '\000') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "16-byte buffer accepted as digest"
+
 let suites =
   [
     ( "wire",
@@ -191,6 +281,9 @@ let suites =
         tc "checksum odd length" checksum_odd_length;
         tc "route selectors walk the path" route_selectors_roundtrip;
         tc "route selectors reject degree > 8" route_selectors_reject_high_degree;
+        tc "fuzz all packet types" fuzz_all_packet_types;
+        tc "NACK rejects empty range" nack_rejects_empty_range;
+        tc "wrong-size reliability packets rejected" seq_broadcast_wrong_size_rejected;
         QCheck_alcotest.to_alcotest qcheck_data_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_broadcast_roundtrip;
       ] );
