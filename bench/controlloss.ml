@@ -38,6 +38,8 @@ type outcome = {
 
 let interval = 100_000
 
+let frac = Util.Units.fraction
+
 let run_scenario ~size ~name ~loss ~reorder ~dup ~flap () =
   let topo = Topology.torus dims in
   let h = Topology.host_count topo in
@@ -49,9 +51,9 @@ let run_scenario ~size ~name ~loss ~reorder ~dup ~flap () =
       reliable_bcast = true;
       recompute_interval_ns = interval;
       digest_interval_ns = 50_000;
-      control_loss = (if flap then 0.0 else loss);
-      control_reorder = (if flap then 0.0 else reorder);
-      control_dup = (if flap then 0.0 else dup);
+      control_loss = (if flap then frac 0.0 else loss);
+      control_reorder = (if flap then frac 0.0 else reorder);
+      control_dup = (if flap then frac 0.0 else dup);
       seed = 42;
     }
   in
@@ -60,7 +62,8 @@ let run_scenario ~size ~name ~loss ~reorder ~dup ~flap () =
     (* Clean start, a lossy middle, clean tail: the run must reconverge
        after each flip, not merely survive a constant rate. *)
     Sim.R2c2_sim.set_control_chaos_at t ~ns:60_000 ~loss ~reorder ~dup;
-    Sim.R2c2_sim.set_control_chaos_at t ~ns:400_000 ~loss:0.0 ~reorder:0.0 ~dup:0.0
+    Sim.R2c2_sim.set_control_chaos_at t ~ns:400_000 ~loss:(frac 0.0) ~reorder:(frac 0.0)
+      ~dup:(frac 0.0)
   end;
   for i = 0 to h - 1 do
     ignore (Sim.R2c2_sim.start_flow t ~src:i ~dst:((i + shift) mod h) ~size)
@@ -77,9 +80,9 @@ let run_scenario ~size ~name ~loss ~reorder ~dup ~flap () =
     r.ctrl_lost r.nacks_sent r.event_retransmits r.syncs_sent r.divergence_epochs wall;
   {
     oname = name;
-    loss;
-    reorder;
-    dup;
+    loss = Util.Units.to_float loss;
+    reorder = Util.Units.to_float reorder;
+    dup = Util.Units.to_float dup;
     completed = Sim.Metrics.completed_count r.metrics;
     aborted = List.length r.aborted_flows;
     ctrl_lost = r.ctrl_lost;
@@ -95,8 +98,8 @@ let run_scenario ~size ~name ~loss ~reorder ~dup ~flap () =
     reconverge_samples = r.reconverge_samples;
     terminal_diverged = r.terminal_diverged;
     converged = Sim.R2c2_sim.control_converged t;
-    final_loss_ewma = r.loss_ewma;
-    eff_headroom = r.effective_headroom;
+    final_loss_ewma = Util.Units.to_float r.loss_ewma;
+    eff_headroom = Util.Units.to_float r.effective_headroom;
   }
 
 let percentile sorted p =
@@ -112,11 +115,13 @@ let run ~quick () =
     List.map
       (fun loss ->
         let name = Printf.sprintf "loss-%g%%" (loss *. 100.0) in
-        run_scenario ~size ~name ~loss ~reorder:0.0 ~dup:0.0 ~flap:false ())
+        run_scenario ~size ~name ~loss:(frac loss) ~reorder:(frac 0.0) ~dup:(frac 0.0) ~flap:false ())
       sweep
     @ [
-        run_scenario ~size ~name:"mixed" ~loss:0.02 ~reorder:0.02 ~dup:0.01 ~flap:false ();
-        run_scenario ~size ~name:"flap" ~loss:0.08 ~reorder:0.0 ~dup:0.0 ~flap:true ();
+        run_scenario ~size ~name:"mixed" ~loss:(frac 0.02) ~reorder:(frac 0.02) ~dup:(frac 0.01)
+          ~flap:false ();
+        run_scenario ~size ~name:"flap" ~loss:(frac 0.08) ~reorder:(frac 0.0) ~dup:(frac 0.0)
+          ~flap:true ();
       ]
   in
   let failures = ref [] in

@@ -5,6 +5,8 @@
 
 let pr fmt = Printf.printf fmt
 
+module U = Util.Units
+
 let line () = pr "%s\n" (String.make 72 '-')
 
 let heading title =
@@ -29,7 +31,8 @@ let fig2 ?(tries = 40) ?(seed = 7) () =
   let row name flows =
     pr "%-18s" name;
     List.iter
-      (fun proto -> pr " %8.2f" (Congestion.Channel_load.capacity_fraction ctx proto flows))
+      (fun proto ->
+        pr " %8.2f" (U.to_float (Congestion.Channel_load.capacity_fraction ctx proto flows)))
       Routing.all_protocols;
     pr "\n"
   in
@@ -46,7 +49,7 @@ let fig2 ?(tries = 40) ?(seed = 7) () =
   List.iter
     (fun proto ->
       let _, v = Workload.Pattern.adversarial ctx proto ~tries ~seed in
-      pr " %8.2f" v)
+      pr " %8.2f" (U.to_float v))
     Routing.all_protocols;
   pr "\n"
 
@@ -70,18 +73,23 @@ let fig7 ?(flows = 300) ?(size = 2_000_000) ?(seed = 11) () =
   let topo = Topology.torus [| 4; 4 |] in
   let rng = Util.Rng.create seed in
   let specs = Workload.Flowgen.fixed_size topo rng ~flows ~size ~mean_interarrival_ns:1_000_000.0 in
-  let sim_cfg = { Sim.R2c2_sim.default_config with link_gbps = 5.0; seed } in
+  let sim_cfg = { Sim.R2c2_sim.default_config with link_gbps = U.gbps 5.0; seed } in
   let sim = Sim.R2c2_sim.run sim_cfg topo specs in
-  let emu_cfg = { Emu.Fluid.default_config with link_gbps = 5.0; seed } in
+  let emu_cfg = { Emu.Fluid.default_config with link_gbps = U.gbps 5.0; seed } in
   let emu = Emu.Fluid.run emu_cfg topo specs in
-  let sim_tput = Sim.Metrics.throughputs_gbps sim.Sim.R2c2_sim.metrics in
+  let sim_tput = U.floats_of (Sim.Metrics.throughputs_gbps sim.Sim.R2c2_sim.metrics) in
   let emu_tput =
-    Array.of_list (List.map (fun (f : Emu.Fluid.flow_result) -> f.avg_rate_gbps) emu.Emu.Fluid.flows)
+    Array.of_list
+      (List.map
+         (fun (f : Emu.Fluid.flow_result) -> U.to_float f.avg_rate_gbps)
+         emu.Emu.Fluid.flows)
   in
   pr "(a) per-flow average throughput CDF (Gbps)\n";
   pp_cdf_rows "simulator" sim_tput "emulator" emu_tput;
   let sim_q = Array.map (fun b -> float_of_int b /. 1024.0) sim.Sim.R2c2_sim.max_queue in
-  let emu_q = Array.map (fun b -> b /. 1024.0) emu.Emu.Fluid.max_queue_bytes in
+  let emu_q =
+    Array.map (fun b -> (b : U.bytes :> float) /. 1024.0) emu.Emu.Fluid.max_queue_bytes
+  in
   pr "(b) per-queue maximum occupancy CDF (KB)\n";
   pp_cdf_rows "simulator" sim_q "emulator" emu_q
 
@@ -114,7 +122,7 @@ let fig8 ?(flows = 10_000) ?(seed = 5) () =
     |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
   in
   let rctx = Routing.make topo in
-  let capacities = Array.make (Topology.link_count topo) (10.0 /. 8.0) in
+  let capacities = Array.make (Topology.link_count topo) (U.byte_rate (10.0 /. 8.0)) in
   (* Pre-warm the fraction cache: the paper precomputes link weights per
      {routing protocol, destination} pair (§4.2). *)
   List.iter
@@ -159,7 +167,8 @@ let fig8 ?(flows = 10_000) ?(seed = 5) () =
               let best = ref infinity in
               for _ = 1 to 3 do
                 let t0 = Unix.gettimeofday () in
-                ignore (Congestion.Waterfill.allocate ~headroom:0.05 ~capacities wf);
+                ignore
+                  (Congestion.Waterfill.allocate ~headroom:(U.fraction 0.05) ~capacities wf);
                 let dt = Unix.gettimeofday () -. t0 in
                 if dt < !best then best := dt
               done;
@@ -239,7 +248,7 @@ type transport_runs = {
 }
 
 let run_transports ?(dims = [| 6; 6; 6 |]) ?(flows = 600) ?(tau_ns = 1_000.0) ?(seed = 21)
-    ?(headroom = 0.05) () =
+    ?(headroom = U.fraction 0.05) () =
   let topo = Topology.torus dims in
   let rng = Util.Rng.create seed in
   let specs = Workload.Flowgen.poisson_pareto topo rng ~flows ~mean_interarrival_ns:tau_ns in
@@ -268,7 +277,7 @@ let pfq_tputs ?(min_size = 0) ?(max_size = max_int) pfq =
     (List.filter_map
        (fun (r : Sim.Pfq_sim.flow_result) ->
          let sz = r.spec.Workload.Flowgen.size in
-         if sz >= min_size && sz < max_size then Some r.throughput_gbps else None)
+         if sz >= min_size && sz < max_size then Some (U.to_float r.throughput_gbps) else None)
        pfq)
 
 let pp_cdf3 unit a b c =
@@ -289,8 +298,8 @@ let fig10_11 ?dims ?flows ?tau_ns ?seed () =
     (pfq_fcts_us ~max_size:short_max t.pfq);
   heading "Fig 11: average-throughput CDF, long flows (>1 MB), tau = 1 us";
   pp_cdf3 "Gbps"
-    (Sim.Metrics.throughputs_gbps ~min_size:long_min t.tcp_m)
-    (Sim.Metrics.throughputs_gbps ~min_size:long_min t.r2c2_m)
+    (U.floats_of (Sim.Metrics.throughputs_gbps ~min_size:long_min t.tcp_m))
+    (U.floats_of (Sim.Metrics.throughputs_gbps ~min_size:long_min t.r2c2_m))
     (pfq_tputs ~min_size:long_min t.pfq)
 
 (* ------------------------------------------------------- fig12/13/14 *)
@@ -319,11 +328,11 @@ let fig12_13_14 ?dims ?flows ?(taus = [ 100.0; 1_000.0; 10_000.0; 100_000.0 ]) ?
   pr "%-10s %10s %10s\n" "tau" "R2C2" "PFQ";
   List.iter
     (fun (tau, t) ->
-      let tcp = mean (Sim.Metrics.throughputs_gbps ~min_size:long_min t.tcp_m) in
+      let tcp = mean (U.floats_of (Sim.Metrics.throughputs_gbps ~min_size:long_min t.tcp_m)) in
       let f x = if tcp > 0.0 then x /. tcp else nan in
       pr "%-10s %10.2f %10.2f\n"
         (Printf.sprintf "%gus" (tau /. 1000.0))
-        (f (mean (Sim.Metrics.throughputs_gbps ~min_size:long_min t.r2c2_m)))
+        (f (mean (U.floats_of (Sim.Metrics.throughputs_gbps ~min_size:long_min t.r2c2_m))))
         (f (mean (pfq_tputs ~min_size:long_min t.pfq))))
     rows;
   heading "Fig 14: max queue occupancy across all queues (R2C2), KB";
@@ -390,10 +399,14 @@ let fig17 ?(dims = [| 6; 6; 6 |]) ?(flows = 2500) ?(seed = 41)
   pr "%-10s %14s %16s\n" "headroom" "p99 FCT (us)" "long tput (Gbps)";
   List.iter
     (fun h ->
-      let res = Sim.R2c2_sim.run { Sim.R2c2_sim.default_config with seed; headroom = h } topo specs in
+      let res =
+        Sim.R2c2_sim.run
+          { Sim.R2c2_sim.default_config with seed; headroom = U.fraction h }
+          topo specs
+      in
       let m = res.Sim.R2c2_sim.metrics in
       let fcts = Sim.Metrics.fcts_us ~max_size:short_max m in
-      let tput = Sim.Metrics.throughputs_gbps ~min_size:long_min m in
+      let tput = U.floats_of (Sim.Metrics.throughputs_gbps ~min_size:long_min m) in
       pr "%-10.3f %14.2f %16.2f\n" h
         (if Array.length fcts = 0 then nan else Util.Stats.percentile fcts 99.0)
         (Util.Stats.mean tput))
@@ -408,26 +421,29 @@ let fig18 ?(dims = [| 4; 4; 4 |]) ?(loads = [ 0.125; 0.25; 0.5; 0.75; 1.0 ]) ?(s
      normalized against all-RPS / all-VLB / random (permutation long flows)";
   let topo = Topology.torus dims in
   let ctx = Routing.make topo in
-  let selector = Genetic.Selector.make ctx ~link_gbps:10.0 in
+  let selector = Genetic.Selector.make ctx ~link_gbps:(U.gbps 10.0) in
   pr "%-8s %12s %12s %12s %14s\n" "load" "vs RPS" "vs VLB" "vs Random" "adaptive Gbps";
   List.iter
     (fun load ->
       let rng = Util.Rng.create seed in
-      let specs = Workload.Flowgen.permutation_long_flows topo rng ~load in
+      let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction load) in
       let flows =
         Array.of_list
           (List.map (fun (s : Workload.Flowgen.spec) -> (s.src, s.dst)) specs)
       in
       if Array.length flows = 0 then pr "%-8.3f (no flows)\n" load
       else begin
-        let rps = Genetic.Selector.uniform selector ~flows Routing.Rps in
-        let vlb = Genetic.Selector.uniform selector ~flows Routing.Vlb in
+        let rps = U.to_float (Genetic.Selector.uniform selector ~flows Routing.Rps) in
+        let vlb = U.to_float (Genetic.Selector.uniform selector ~flows Routing.Vlb) in
         let rnd_assignment = Genetic.Selector.random_assignment selector rng ~flows in
-        let rnd = Genetic.Selector.aggregate_throughput_gbps selector ~flows rnd_assignment in
+        let rnd =
+          U.to_float (Genetic.Selector.aggregate_throughput_gbps selector ~flows rnd_assignment)
+        in
         let init = Array.make (Array.length flows) Routing.Rps in
         let _, adaptive =
           Genetic.Selector.select ~pop_size ~generations selector rng ~flows ~init
         in
+        let adaptive = U.to_float adaptive in
         pr "%-8.3f %12.3f %12.3f %12.3f %14.1f\n" load (adaptive /. rps) (adaptive /. vlb)
           (adaptive /. rnd) adaptive
       end)
@@ -440,12 +456,12 @@ let fig19 ?(dims = [| 8; 8; 8 |]) () =
     "Fig 19: control traffic per flow event, decentralized vs centralized\n\
      512-node 3D torus";
   let topo = Topology.torus dims in
-  let dec = R2c2.Control_traffic.decentralized_event_bytes topo in
+  let dec = U.to_float (R2c2.Control_traffic.decentralized_event_bytes topo) in
   pr "decentralized: %.0f bytes/event (constant)\n" dec;
   pr "%-18s %14s %10s\n" "flows/server" "centralized B" "ratio";
   List.iter
     (fun n ->
-      let c = R2c2.Control_traffic.centralized_event_bytes topo ~flows_per_server:n in
+      let c = U.to_float (R2c2.Control_traffic.centralized_event_bytes topo ~flows_per_server:n) in
       pr "%-18d %14.0f %9.1fx\n" n c (c /. dec))
     [ 1; 2; 4; 6; 8; 10 ]
 
@@ -518,7 +534,8 @@ let ablation_broadcast_mode ?(dims = [| 6; 6; 6 |]) ?(flows = 600) ?(seed = 67) 
       in
       let fcts = Sim.Metrics.fcts_us res.Sim.R2c2_sim.metrics in
       pr "%-16s %12.2f %12.2f %16.0f\n" name (Util.Stats.percentile fcts 50.0)
-        (Util.Stats.percentile fcts 99.0) res.Sim.R2c2_sim.control_wire_bytes)
+        (Util.Stats.percentile fcts 99.0)
+        (U.to_float res.Sim.R2c2_sim.control_wire_bytes))
     [ ("real packets", true); ("latency model", false) ]
 
 let ablation_search ?(dims = [| 4; 4; 4 |]) ?(load = 0.5) ?(seed = 71) ?(budget = 1200) () =
@@ -530,9 +547,9 @@ let ablation_search ?(dims = [| 4; 4; 4 |]) ?(load = 0.5) ?(seed = 71) ?(budget 
        load budget);
   let topo = Topology.torus dims in
   let ctx = Routing.make topo in
-  let sel = Genetic.Selector.make ctx ~link_gbps:10.0 in
+  let sel = Genetic.Selector.make ctx ~link_gbps:(U.gbps 10.0) in
   let rng0 = Util.Rng.create seed in
-  let specs = Workload.Flowgen.permutation_long_flows topo rng0 ~load in
+  let specs = Workload.Flowgen.permutation_long_flows topo rng0 ~load:(U.fraction load) in
   let flows =
     Array.of_list (List.map (fun (s : Workload.Flowgen.spec) -> (s.src, s.dst)) specs)
   in
@@ -542,14 +559,15 @@ let ablation_search ?(dims = [| 4; 4; 4 |]) ?(load = 0.5) ?(seed = 71) ?(budget 
     {
       Genetic.Ga.genes = n;
       choices = 2;
-      fitness = (fun g -> Genetic.Selector.aggregate_throughput_gbps sel ~flows (decode g));
+      fitness =
+        (fun g -> U.to_float (Genetic.Selector.aggregate_throughput_gbps sel ~flows (decode g)));
     }
   in
   let init = Array.make n 0 in
   pr "%-22s %16s\n" "heuristic" "aggregate Gbps";
   let show name fit = pr "%-22s %16.1f\n" name fit in
-  show "all-RPS baseline" (Genetic.Selector.uniform sel ~flows Routing.Rps);
-  show "all-VLB baseline" (Genetic.Selector.uniform sel ~flows Routing.Vlb);
+  show "all-RPS baseline" (U.to_float (Genetic.Selector.uniform sel ~flows Routing.Rps));
+  show "all-VLB baseline" (U.to_float (Genetic.Selector.uniform sel ~flows Routing.Vlb));
   let pop = 40 in
   let _, ga =
     Genetic.Ga.optimize ~pop_size:pop ~generations:(budget / pop) ~patience:max_int
@@ -571,7 +589,7 @@ let ablation_search ?(dims = [| 4; 4; 4 |]) ?(load = 0.5) ?(seed = 71) ?(budget 
     Genetic.Selector.select ~pop_size:40 ~generations:(budget / 40) sel
       (Util.Rng.create (seed + 5)) ~flows ~init:init_p
   in
-  show "GA + uniform seeding" prod
+  show "GA + uniform seeding" (U.to_float prod)
 
 let ablation_waterfill ?(flows = 800) ?(seed = 73) () =
   heading
@@ -588,7 +606,7 @@ let ablation_waterfill ?(flows = 800) ?(seed = 73) () =
         let dst = (src + 1 + Util.Rng.int rng (h - 1)) mod h in
         Congestion.Waterfill.flow ~id:i (Routing.fractions ctx Routing.Rps ~src ~dst))
   in
-  let capacities = Array.make (Topology.link_count topo) 1.25 in
+  let capacities = Array.make (Topology.link_count topo) (U.byte_rate 1.25) in
   let time f =
     let best = ref infinity in
     for _ = 1 to 5 do
@@ -599,9 +617,13 @@ let ablation_waterfill ?(flows = 800) ?(seed = 73) () =
     done;
     !best *. 1000.0
   in
-  let fast = time (fun () -> Congestion.Waterfill.allocate ~headroom:0.05 ~capacities wf) in
+  let fast =
+    time (fun () ->
+        Congestion.Waterfill.allocate ~headroom:(U.fraction 0.05) ~capacities wf)
+  in
   let slow =
-    time (fun () -> Congestion.Waterfill.allocate_reference ~headroom:0.05 ~capacities wf)
+    time (fun () ->
+        Congestion.Waterfill.allocate_reference ~headroom:(U.fraction 0.05) ~capacities wf)
   in
   pr "%d flows on the 512-node torus:\n" flows;
   pr "  efficient variant: %8.3f ms\n" fast;
@@ -636,7 +658,7 @@ let ablation_live_reselection ?(dims = [| 4; 4; 4 |]) ?(load = 0.5) ?(seed = 83)
   let specs =
     List.map
       (fun (s : Workload.Flowgen.spec) -> { s with Workload.Flowgen.size = 4_000_000 })
-      (Workload.Flowgen.permutation_long_flows topo rng ~load)
+      (Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction load))
   in
   pr "%-22s %12s %14s %12s
 " "mode" "mean FCT us" "mean tput Gbps" "reroutes";
@@ -648,7 +670,7 @@ let ablation_live_reselection ?(dims = [| 4; 4; 4 |]) ?(load = 0.5) ?(seed = 83)
       pr "%-22s %12.1f %14.2f %12d
 " name
         (Util.Stats.mean (Sim.Metrics.fcts_us m))
-        (Util.Stats.mean (Sim.Metrics.throughputs_gbps m))
+        (Util.Stats.mean (U.floats_of (Sim.Metrics.throughputs_gbps m)))
         res.Sim.R2c2_sim.flows_rerouted)
     [ ("static all-RPS", None); ("adaptive (GA, 300us)", Some 300_000) ]
 
@@ -664,7 +686,9 @@ let ablation_link_speed ?(dims = [| 6; 6; 6 |]) ?(flows = 600) ?(seed = 89) () =
   List.iter
     (fun gbps ->
       let res =
-        Sim.R2c2_sim.run { Sim.R2c2_sim.default_config with seed; link_gbps = gbps } topo specs
+        Sim.R2c2_sim.run
+          { Sim.R2c2_sim.default_config with seed; link_gbps = U.gbps gbps }
+          topo specs
       in
       let m = res.Sim.R2c2_sim.metrics in
       let fcts = Sim.Metrics.fcts_us ~max_size:short_max m in
@@ -673,7 +697,7 @@ let ablation_link_speed ?(dims = [| 6; 6; 6 |]) ?(flows = 600) ?(seed = 89) () =
 "
         (Printf.sprintf "%.0fG" gbps)
         (Util.Stats.percentile fcts 99.0)
-        (Util.Stats.mean (Sim.Metrics.throughputs_gbps ~min_size:long_min m))
+        (Util.Stats.mean (U.floats_of (Sim.Metrics.throughputs_gbps ~min_size:long_min m)))
         (Util.Stats.percentile q 99.0))
     [ 10.0; 40.0; 100.0 ]
 

@@ -19,7 +19,7 @@ let waterfill_inputs n =
         let dst = (src + 1 + Util.Rng.int rng (h - 1)) mod h in
         Congestion.Waterfill.flow ~id:i (Routing.fractions ctx Routing.Rps ~src ~dst))
   in
-  let capacities = Array.make (Topology.link_count topo) 1.25 in
+  let capacities = Array.make (Topology.link_count topo) (Util.Units.byte_rate 1.25) in
   (capacities, flows)
 
 let test_waterfill n =
@@ -27,7 +27,10 @@ let test_waterfill n =
     ~name:(Printf.sprintf "waterfill-%d-flows" n)
     (Staged.stage
        (let capacities, flows = waterfill_inputs n in
-        fun () -> ignore (Congestion.Waterfill.allocate ~headroom:0.05 ~capacities flows)))
+        fun () ->
+          ignore
+            (Congestion.Waterfill.allocate ~headroom:(Util.Units.fraction 0.05) ~capacities
+               flows)))
 
 let test_fractions proto =
   Test.make
@@ -77,9 +80,9 @@ let test_ga_generation =
     (Staged.stage
        (let topo = Topology.torus [| 4; 4; 4 |] in
         let ctx = Routing.make topo in
-        let selector = Genetic.Selector.make ctx ~link_gbps:10.0 in
+        let selector = Genetic.Selector.make ctx ~link_gbps:(Util.Units.gbps 10.0) in
         let rng = Util.Rng.create 9 in
-        let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:0.5 in
+        let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:(Util.Units.fraction 0.5) in
         let flows =
           Array.of_list (List.map (fun (s : Workload.Flowgen.spec) -> (s.src, s.dst)) specs)
         in
@@ -120,8 +123,8 @@ let churn ?(flows = 512) ?(churn_pct = 10) ~quick () =
   let topo = Lazy.force topo in
   let ctx = Routing.make topo in
   let h = Topology.host_count topo in
-  let capacities = Array.make (Topology.link_count topo) 1.25 in
-  let headroom = 0.05 in
+  let capacities = Array.make (Topology.link_count topo) (Util.Units.byte_rate 1.25) in
+  let headroom = Util.Units.fraction 0.05 in
   let rng = Util.Rng.create 11 in
   let next_id = ref 0 in
   let fresh_flow () =
@@ -221,7 +224,11 @@ let churn ?(flows = 512) ?(churn_pct = 10) ~quick () =
     let fl, rates = seed_epoch world in
     List.iteri
       (fun i (id, _, _) ->
-        let d = abs_float (rates.(i) -. Congestion.Waterfill.Inc.rate inc ~id) in
+        let d =
+          abs_float
+            ((rates.(i) : Util.Units.byte_rate :> float)
+            -. (Congestion.Waterfill.Inc.rate inc ~id : Util.Units.byte_rate :> float))
+        in
         if d > !max_delta then max_delta := d)
       fl
   done;

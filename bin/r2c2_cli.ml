@@ -104,7 +104,7 @@ let analyze_cmd =
       (fun proto ->
         Format.printf "  %-4s %.3f@."
           (Routing.protocol_name proto)
-          (Congestion.Channel_load.capacity_fraction ctx proto flows))
+          (Util.Units.to_float (Congestion.Channel_load.capacity_fraction ctx proto flows)))
       Routing.all_protocols
   in
   let pattern_arg =
@@ -135,8 +135,8 @@ let pp_band name fcts tputs =
 let report_metrics total (m : Sim.Metrics.t) =
   Format.printf "  completed        : %d / %d flows@." (Sim.Metrics.completed_count m) total;
   pp_band "short" (Sim.Metrics.fcts_us ~max_size:100_000 m) [||];
-  pp_band "long " [||] (Sim.Metrics.throughputs_gbps ~min_size:1_000_000 m);
-  pp_band "all  " (Sim.Metrics.fcts_us m) (Sim.Metrics.throughputs_gbps m)
+  pp_band "long " [||] (Util.Units.floats_of (Sim.Metrics.throughputs_gbps ~min_size:1_000_000 m));
+  pp_band "all  " (Sim.Metrics.fcts_us m) (Util.Units.floats_of (Sim.Metrics.throughputs_gbps m))
 
 let report_queues q =
   let kb = Array.map (fun b -> float_of_int b /. 1024.0) q in
@@ -179,11 +179,10 @@ let simulate_cmd =
         let res = Sim.R2c2_sim.run cfg t specs in
         report_metrics total res.Sim.R2c2_sim.metrics;
         report_queues res.Sim.R2c2_sim.max_queue;
-        Format.printf "  control traffic  : %.0f bytes on wire (%.2f%% of total)@."
-          res.Sim.R2c2_sim.control_wire_bytes
-          (100.0
-          *. res.Sim.R2c2_sim.control_wire_bytes
-          /. Float.max 1.0 (res.Sim.R2c2_sim.control_wire_bytes +. res.Sim.R2c2_sim.data_wire_bytes));
+        let ctrl = Util.Units.to_float res.Sim.R2c2_sim.control_wire_bytes in
+        let data = Util.Units.to_float res.Sim.R2c2_sim.data_wire_bytes in
+        Format.printf "  control traffic  : %.0f bytes on wire (%.2f%% of total)@." ctrl
+          (100.0 *. ctrl /. Float.max 1.0 (ctrl +. data));
         Format.printf "  rate recomputes  : %d@." res.Sim.R2c2_sim.recomputes;
         if res.Sim.R2c2_sim.reselections > 0 then
           Format.printf "  reselections     : %d rounds, %d flows rerouted@."
@@ -202,7 +201,10 @@ let simulate_cmd =
             (List.map (fun (r : Sim.Pfq_sim.flow_result) -> float_of_int r.fct_ns /. 1000.0) results)
         in
         pp_band "all  " fcts
-          (Array.of_list (List.map (fun (r : Sim.Pfq_sim.flow_result) -> r.throughput_gbps) results))
+          (Array.of_list
+             (List.map
+                (fun (r : Sim.Pfq_sim.flow_result) -> Util.Units.to_float r.throughput_gbps)
+                results))
     | Fluid ->
         let cfg =
           {
@@ -223,7 +225,9 @@ let simulate_cmd =
         in
         pp_band "all  " fcts
           (Array.of_list
-             (List.map (fun (r : Emu.Fluid.flow_result) -> r.avg_rate_gbps) res.Emu.Fluid.flows)))
+             (List.map
+                (fun (r : Emu.Fluid.flow_result) -> Util.Units.to_float r.avg_rate_gbps)
+                res.Emu.Fluid.flows)))
   in
   let transport_arg =
     Arg.(value & opt transport_conv R2c2 & info [ "transport" ] ~docv:"T" ~doc:"r2c2, tcp, pfq or fluid.")
@@ -253,7 +257,9 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run a workload through a transport.")
     Term.(
       const run $ dims_arg $ mesh_arg $ fb_arg $ clos_arg $ transport_arg $ flows_arg $ tau_arg
-      $ size_arg $ seed_arg $ headroom_arg $ rho_arg $ per_node_arg $ reselect_arg $ trace_arg)
+      $ size_arg $ seed_arg
+      $ (const Util.Units.fraction $ headroom_arg)
+      $ rho_arg $ per_node_arg $ reselect_arg $ trace_arg)
 
 (* -- broadcast -------------------------------------------------------------- *)
 
@@ -282,18 +288,19 @@ let select_cmd =
   let run dims mesh fb clos load seed generations =
     let t = make_topo dims mesh fb clos in
     let ctx = Routing.make t in
-    let sel = Genetic.Selector.make ctx ~link_gbps:10.0 in
+    let sel = Genetic.Selector.make ctx ~link_gbps:(Util.Units.gbps 10.0) in
     let rng = Util.Rng.create seed in
-    let specs = Workload.Flowgen.permutation_long_flows t rng ~load in
+    let specs = Workload.Flowgen.permutation_long_flows t rng ~load:(Util.Units.fraction load) in
     let flows =
       Array.of_list (List.map (fun (s : Workload.Flowgen.spec) -> (s.src, s.dst)) specs)
     in
     if Array.length flows = 0 then Format.printf "no flows at load %.2f@." load
     else begin
       let init = Array.make (Array.length flows) Routing.Rps in
-      let rps = Genetic.Selector.uniform sel ~flows Routing.Rps in
-      let vlb = Genetic.Selector.uniform sel ~flows Routing.Vlb in
-      let assignment, adaptive = Genetic.Selector.select ~generations sel rng ~flows ~init in
+      let rps = Util.Units.to_float (Genetic.Selector.uniform sel ~flows Routing.Rps) in
+      let vlb = Util.Units.to_float (Genetic.Selector.uniform sel ~flows Routing.Vlb) in
+      let assignment, adaptive_q = Genetic.Selector.select ~generations sel rng ~flows ~init in
+      let adaptive = Util.Units.to_float adaptive_q in
       Format.printf "%d long flows at load %.2f on %a@." (Array.length flows) load Topology.pp t;
       Format.printf "  all-RPS : %8.1f Gbps@." rps;
       Format.printf "  all-VLB : %8.1f Gbps@." vlb;

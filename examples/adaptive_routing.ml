@@ -12,7 +12,9 @@ let () =
   (* A permutation of long-running flows at moderate load: enough spare
      capacity that detouring some flows (VLB) pays off. *)
   let rng = Util.Rng.create 3 in
-  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:0.25 in
+  let specs =
+    Workload.Flowgen.permutation_long_flows topo rng ~load:(Util.Units.fraction 0.25)
+  in
   List.iter
     (fun (s : Workload.Flowgen.spec) -> ignore (R2c2.Stack.open_flow stack ~src:s.src ~dst:s.dst))
     specs;
@@ -20,7 +22,7 @@ let () =
     (List.length specs);
 
   R2c2.Stack.recompute stack;
-  let before = R2c2.Stack.aggregate_throughput_gbps stack in
+  let before = Util.Units.to_float (R2c2.Stack.aggregate_throughput_gbps stack) in
   Format.printf "aggregate throughput, all-RPS: %.1f Gbps@." before;
 
   let changes = ref [] in
@@ -30,7 +32,7 @@ let () =
 
   let changed = R2c2.Stack.reselect_routing ~generations:20 stack (Util.Rng.create 11) in
   R2c2.Stack.recompute stack;
-  let after = R2c2.Stack.aggregate_throughput_gbps stack in
+  let after = Util.Units.to_float (R2c2.Stack.aggregate_throughput_gbps stack) in
 
   Format.printf "GA reselection moved %d flows to a different protocol:@." changed;
   List.iter
@@ -45,11 +47,11 @@ let () =
   let ctx = R2c2.Stack.routing stack in
   let sel =
     Genetic.Selector.make ~headroom:(R2c2.Stack.config stack).R2c2.Stack.headroom ctx
-      ~link_gbps:10.0
+      ~link_gbps:(Util.Units.gbps 10.0)
   in
   let flows =
     Array.of_list (List.map (fun (s : Workload.Flowgen.spec) -> (s.src, s.dst)) specs)
   in
   Format.printf "baselines: all-RPS %.1f Gbps, all-VLB %.1f Gbps@."
-    (Genetic.Selector.uniform sel ~flows Routing.Rps)
-    (Genetic.Selector.uniform sel ~flows Routing.Vlb)
+    (Util.Units.to_float (Genetic.Selector.uniform sel ~flows Routing.Rps))
+    (Util.Units.to_float (Genetic.Selector.uniform sel ~flows Routing.Vlb))

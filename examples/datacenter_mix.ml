@@ -10,10 +10,10 @@ let () =
   (* Pareto(1.05, mean 100 KB) sizes, Poisson arrivals every 1 us: ~95% of
      flows are mice, most bytes ride in elephants. *)
   let specs = Workload.Flowgen.poisson_pareto topo rng ~flows ~mean_interarrival_ns:1_000.0 in
+  let short = Util.Units.to_float (Workload.Flowgen.short_fraction specs ~threshold:100_000) in
+  let small = Util.Units.to_float (Workload.Flowgen.bytes_in_small specs ~threshold:100_000) in
   Format.printf "workload: %d flows, %.0f%% short (<100 KB), %.0f%% of bytes in short flows@."
-    flows
-    (100.0 *. Workload.Flowgen.short_fraction specs ~threshold:100_000)
-    (100.0 *. Workload.Flowgen.bytes_in_small specs ~threshold:100_000);
+    flows (100.0 *. short) (100.0 *. small);
 
   Format.printf "simulating R2C2 (rate-based, packet spraying)...@.";
   let r2c2 = Sim.R2c2_sim.run Sim.R2c2_sim.default_config topo specs in
@@ -22,7 +22,7 @@ let () =
 
   let report name (metrics : Sim.Metrics.t) max_queue drops =
     let short = Sim.Metrics.fcts_us ~max_size:100_000 metrics in
-    let long = Sim.Metrics.throughputs_gbps ~min_size:1_000_000 metrics in
+    let long = Util.Units.floats_of (Sim.Metrics.throughputs_gbps ~min_size:1_000_000 metrics) in
     Format.printf "%s:@." name;
     Format.printf "  completed %d/%d flows, %d drops@." (Sim.Metrics.completed_count metrics)
       flows drops;
@@ -37,7 +37,7 @@ let () =
   in
   report "R2C2" r2c2.Sim.R2c2_sim.metrics r2c2.Sim.R2c2_sim.max_queue r2c2.Sim.R2c2_sim.drops;
   report "TCP" tcp.Sim.Tcp_sim.metrics tcp.Sim.Tcp_sim.max_queue tcp.Sim.Tcp_sim.drops;
+  let ctrl = Util.Units.to_float r2c2.Sim.R2c2_sim.control_wire_bytes in
+  let data = Util.Units.to_float r2c2.Sim.R2c2_sim.data_wire_bytes in
   Format.printf "R2C2 broadcast overhead: %.2f%% of wire traffic@."
-    (100.0
-    *. r2c2.Sim.R2c2_sim.control_wire_bytes
-    /. (r2c2.Sim.R2c2_sim.control_wire_bytes +. r2c2.Sim.R2c2_sim.data_wire_bytes))
+    (100.0 *. ctrl /. (ctrl +. data))

@@ -11,7 +11,9 @@ let () =
   let f2 = R2c2.Stack.open_flow stack ~src:1 ~dst:2 in
   R2c2.Stack.recompute stack;
   Format.printf "before failure: flow %d at %.2f Gbps, flow %d at %.2f Gbps@." f1
-    (R2c2.Stack.rate_gbps stack f1) f2 (R2c2.Stack.rate_gbps stack f2);
+    (Util.Units.to_float (R2c2.Stack.rate_gbps stack f1))
+    f2
+    (Util.Units.to_float (R2c2.Stack.rate_gbps stack f2));
   let rng = Util.Rng.create 3 in
   let path, _ = R2c2.Stack.sample_packet_route stack f1 rng in
   Format.printf "flow %d path before: [%s]@." f1
@@ -34,7 +36,9 @@ let () =
 
   R2c2.Stack.recompute stack';
   Format.printf "after failure: flow %d at %.2f Gbps, flow %d at %.2f Gbps@." g1
-    (R2c2.Stack.rate_gbps stack' g1) g2 (R2c2.Stack.rate_gbps stack' g2);
+    (Util.Units.to_float (R2c2.Stack.rate_gbps stack' g1))
+    g2
+    (Util.Units.to_float (R2c2.Stack.rate_gbps stack' g2));
   let path', _ = R2c2.Stack.sample_packet_route stack' g2 rng in
   Format.printf "flow %d path after: [%s] (avoids the dead cable)@." g2
     (String.concat " -> " (Array.to_list (Array.map string_of_int path')));

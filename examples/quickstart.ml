@@ -34,10 +34,10 @@ let () =
   R2c2.Stack.recompute stack;
   Format.printf "allocations after one rate computation:@.";
   List.iter
-    (fun (id, gbps) -> Format.printf "  flow %d: %6.2f Gbps@." id gbps)
+    (fun (id, gbps) -> Format.printf "  flow %d: %6.2f Gbps@." id (Util.Units.to_float gbps))
     (R2c2.Stack.allocations stack);
   Format.printf "aggregate: %.2f Gbps, control traffic so far: %d bytes@."
-    (R2c2.Stack.aggregate_throughput_gbps stack)
+    (Util.Units.to_float (R2c2.Stack.aggregate_throughput_gbps stack))
     (R2c2.Stack.control_bytes_sent stack);
 
   (* The data plane is source routing: sample a packet path for flow 1 and
@@ -61,11 +61,11 @@ let () =
   Format.printf "encoded header: %d bytes, checksum-protected@." (Bytes.length bytes);
 
   (* A host-limited flow announces its demand so others can use the slack. *)
-  R2c2.Stack.set_demand stack f1 ~gbps:(Some 1.0);
+  R2c2.Stack.set_demand stack f1 ~gbps:(Some (Util.Units.gbps 1.0));
   R2c2.Stack.recompute stack;
   Format.printf "after flow %d declares a 1 Gbps demand:@." f1;
   List.iter
-    (fun (id, gbps) -> Format.printf "  flow %d: %6.2f Gbps@." id gbps)
+    (fun (id, gbps) -> Format.printf "  flow %d: %6.2f Gbps@." id (Util.Units.to_float gbps))
     (R2c2.Stack.allocations stack);
 
   R2c2.Stack.close_flow stack f1;

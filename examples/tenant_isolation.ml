@@ -24,14 +24,20 @@ let () =
   let b2 = open_with b ~src:6 ~dst:0 in
   R2c2.Stack.recompute stack;
 
-  let show name id = Format.printf "  %s: %5.2f Gbps@." name (R2c2.Stack.rate_gbps stack id) in
+  let show name id =
+    Format.printf "  %s: %5.2f Gbps@." name (Util.Units.to_float (R2c2.Stack.rate_gbps stack id))
+  in
   Format.printf "weighted sharing (tenant A weight 3, tenant B weight 1):@.";
   show "A flow 1" a1;
   show "A flow 2" a2;
   show "B flow 1" b1;
   show "B flow 2" b2;
-  let ta = R2c2.Stack.rate_gbps stack a1 +. R2c2.Stack.rate_gbps stack a2 in
-  let tb = R2c2.Stack.rate_gbps stack b1 +. R2c2.Stack.rate_gbps stack b2 in
+  let ta =
+    Util.Units.to_float (Util.Units.add (R2c2.Stack.rate_gbps stack a1) (R2c2.Stack.rate_gbps stack a2))
+  in
+  let tb =
+    Util.Units.to_float (Util.Units.add (R2c2.Stack.rate_gbps stack b1) (R2c2.Stack.rate_gbps stack b2))
+  in
   Format.printf "tenant totals: A %.2f Gbps vs B %.2f Gbps (ratio %.2f)@." ta tb (ta /. tb);
 
   (* A deadline-critical RPC burst: 1 MB due within 1.5 ms maps to an
@@ -51,7 +57,7 @@ let () =
 
   (* When the RPC flow declares a small demand, the bulk flow soaks up the
      leftover capacity on the same path. *)
-  R2c2.Stack.set_demand stack rpc ~gbps:(Some 2.0);
+  R2c2.Stack.set_demand stack rpc ~gbps:(Some (Util.Units.gbps 2.0));
   R2c2.Stack.recompute stack;
   Format.printf "@.after the RPC flow declares a 2 Gbps demand:@.";
   show "RPC (deadline)" rpc;

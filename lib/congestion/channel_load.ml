@@ -6,7 +6,7 @@ let channel_loads ctx p flows =
       if src <> dst && demand > 0.0 then
         Array.iter
           (fun (l, frac) -> load.(l) <- load.(l) +. (demand *. frac))
-          (Routing.fractions ctx p ~src ~dst))
+          (Util.Units.pairs_to_floats (Routing.fractions ctx p ~src ~dst)))
     flows;
   load
 
@@ -20,4 +20,4 @@ let capacity_fraction ctx p flows =
   let capacity =
     2.0 *. float_of_int (Topology.bisection_links t) /. float_of_int (Topology.host_count t)
   in
-  saturation_injection ctx p flows /. capacity
+  Util.Units.fraction (saturation_injection ctx p flows /. capacity)

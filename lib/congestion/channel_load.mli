@@ -18,6 +18,7 @@ val saturation_injection : Routing.ctx -> Routing.protocol -> (int * int * float
 (** Per-node injection rate (in link-capacity units) at which the most
     loaded link saturates. *)
 
-val capacity_fraction : Routing.ctx -> Routing.protocol -> (int * int * float) list -> float
+val capacity_fraction :
+  Routing.ctx -> Routing.protocol -> (int * int * float) list -> Util.Units.fraction
 (** Saturation throughput as a fraction of bisection capacity — directly
     comparable to the Fig. 2 table entries. *)

@@ -1,13 +1,15 @@
-type t = { period_ns : float; ewma : Util.Stats.ewma }
+module U = Util.Units
+
+type t = { period_ns : U.ns; ewma : Util.Stats.ewma }
 
 let create ?(alpha = 0.5) ~period_ns () =
   if period_ns <= 0 then invalid_arg "Demand.create: period must be positive";
-  { period_ns = float_of_int period_ns; ewma = Util.Stats.ewma_create ~alpha }
+  { period_ns = U.ns_of_int period_ns; ewma = Util.Stats.ewma_create ~alpha }
 
 let observe t ~rate ~queued_bytes =
-  let d = rate +. (queued_bytes /. t.period_ns) in
-  Util.Stats.ewma_update t.ewma d
+  let d = U.add rate (U.rate_of ~amount:queued_bytes ~dt:t.period_ns) in
+  Util.Stats.ewma_update t.ewma (U.to_float d)
 
-let estimate t = Util.Stats.ewma_value t.ewma
+let estimate t = U.byte_rate (Util.Stats.ewma_value t.ewma)
 
-let is_host_limited t ~allocation = estimate t < allocation
+let is_host_limited t ~allocation = U.compare_q (estimate t) allocation < 0

@@ -3,7 +3,9 @@
     A flow sending faster than its allocation queues at the sender; the
     demand for the next period is estimated as
     [d(i+1) = r(i) + q(i)/T] — current rate plus observed sender-side
-    queuing drained over one period — smoothed by an EWMA. *)
+    queuing drained over one period — smoothed by an EWMA. Rates are
+    {!Util.Units.byte_rate} (bytes/ns), queue depths {!Util.Units.bytes}
+    — the canonical data-plane units (DESIGN.md §10). *)
 
 type t
 
@@ -11,13 +13,12 @@ val create : ?alpha:float -> period_ns:int -> unit -> t
 (** [alpha] is the EWMA smoothing factor (default 0.5); [period_ns] the
     estimation period T. *)
 
-val observe : t -> rate:float -> queued_bytes:float -> unit
-(** Feed one period's allocated rate (bytes/ns) and sender-queue depth. *)
+val observe : t -> rate:Util.Units.byte_rate -> queued_bytes:Util.Units.bytes -> unit
+(** Feed one period's allocated rate and sender-queue depth. *)
 
-val estimate : t -> float
-(** Current smoothed demand estimate in bytes/ns; 0 before the first
-    observation. *)
+val estimate : t -> Util.Units.byte_rate
+(** Current smoothed demand estimate; 0 before the first observation. *)
 
-val is_host_limited : t -> allocation:float -> bool
+val is_host_limited : t -> allocation:Util.Units.byte_rate -> bool
 (** True when the estimated demand falls below the current allocation, i.e.
     the flow cannot use its share and the spare should be re-broadcast. *)

@@ -1,9 +1,15 @@
+(* Boundary types are Units-dimensioned (byte_rate / fraction, see the
+   mli); the algorithms below unwrap once per use with the free [:> float]
+   coercion and run on raw floats — identical code to the pre-Units
+   version, bit for bit. *)
+module U = Util.Units
+
 type flow = {
   id : int;
   weight : float;
   priority : int;
-  demand : float option;
-  links : (int * float) array;
+  demand : U.byte_rate option;
+  links : (int * U.fraction) array;
 }
 
 let flow ?(weight = 1.0) ?(priority = 0) ?demand ~id links =
@@ -16,11 +22,11 @@ let validate flows capacities =
     (fun f ->
       if f.weight <= 0.0 then invalid_arg "Waterfill: non-positive weight";
       (match f.demand with
-      | Some d when d < 0.0 -> invalid_arg "Waterfill: negative demand"
+      | Some d when (d : U.byte_rate :> float) < 0.0 -> invalid_arg "Waterfill: negative demand"
       | _ -> ());
       Array.iter
         (fun (l, frac) ->
-          if frac <= 0.0 then invalid_arg "Waterfill: non-positive fraction";
+          if (frac : U.fraction :> float) <= 0.0 then invalid_arg "Waterfill: non-positive fraction";
           if l < 0 || l >= Array.length capacities then
             invalid_arg "Waterfill: link id out of range")
         f.links)
@@ -39,7 +45,7 @@ let fill_round ~remaining ~rates flows indices =
       let f = flows.(i) in
       Array.iter
         (fun (l, frac) ->
-          wsum.(l) <- wsum.(l) +. (f.weight *. frac);
+          wsum.(l) <- wsum.(l) +. (f.weight *. (frac : U.fraction :> float));
           on_link.(l) <- i :: on_link.(l))
         f.links)
     indices;
@@ -47,7 +53,9 @@ let fill_round ~remaining ~rates flows indices =
   let t = ref 0.0 in
   (* Demand-limited flows freeze at fill level demand/weight. *)
   let demand_level i =
-    match flows.(i).demand with Some d -> Some (d /. flows.(i).weight) | None -> None
+    match flows.(i).demand with
+    | Some d -> Some ((d : U.byte_rate :> float) /. flows.(i).weight)
+    | None -> None
   in
   while !active > 0 do
     (* Smallest fill increment that saturates a link or meets a demand. *)
@@ -93,7 +101,8 @@ let fill_round ~remaining ~rates flows indices =
                 rates.(i) <- flows.(i).weight *. !t;
                 decr active;
                 Array.iter
-                  (fun (l', frac) -> wsum.(l') <- wsum.(l') -. (flows.(i).weight *. frac))
+                  (fun (l', frac) ->
+                    wsum.(l') <- wsum.(l') -. (flows.(i).weight *. (frac : U.fraction :> float)))
                   flows.(i).links
               end)
             on_link.(l);
@@ -110,7 +119,8 @@ let fill_round ~remaining ~rates flows indices =
                 rates.(i) <- flows.(i).weight *. lvl;
                 decr active;
                 Array.iter
-                  (fun (l', frac) -> wsum.(l') <- wsum.(l') -. (flows.(i).weight *. frac))
+                  (fun (l', frac) ->
+                    wsum.(l') <- wsum.(l') -. (flows.(i).weight *. (frac : U.fraction :> float)))
                   flows.(i).links
               end
             | _ -> ())
@@ -128,13 +138,21 @@ let by_priority flows =
   let prios = Util.Tbl.sorted_keys ~cmp:Int.compare by_prio in
   List.map (fun p -> List.rev (Hashtbl.find by_prio p)) (Array.to_list prios)
 
-let allocate_reference ?(headroom = 0.0) ~capacities flows =
-  if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+let headroom_raw = function
+  | Some h ->
+      let h = (h : U.fraction :> float) in
+      if h < 0.0 || h >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+      h
+  | None -> 0.0
+
+let allocate_reference ?headroom ~capacities flows =
+  let headroom = headroom_raw headroom in
+  let capacities = U.floats_of capacities in
   validate flows capacities;
   let rates = Array.make (Array.length flows) 0.0 in
   let remaining = Array.map (fun c -> c *. (1.0 -. headroom)) capacities in
   List.iter (fun idx -> fill_round ~remaining ~rates flows idx) (by_priority flows);
-  rates
+  U.of_floats rates
 
 (* -- efficient variant (§4.2) ------------------------------------------- *)
 
@@ -243,7 +261,7 @@ let fast_round ~remaining ~rates flows indices =
       let f = flows.(i) in
       Array.iter
         (fun (l, frac) ->
-          wsum.(l) <- wsum.(l) +. (f.weight *. frac);
+          wsum.(l) <- wsum.(l) +. (f.weight *. (frac : U.fraction :> float));
           on_link.(l) <- i :: on_link.(l))
         f.links)
     indices;
@@ -259,7 +277,7 @@ let fast_round ~remaining ~rates flows indices =
           end)
         f.links;
       match f.demand with
-      | Some d -> Fheap.push heap (d /. f.weight) (Demand_met i)
+      | Some d -> Fheap.push heap ((d : U.byte_rate :> float) /. f.weight) (Demand_met i)
       | None -> ())
     indices;
   let active = ref (List.length indices) in
@@ -271,7 +289,7 @@ let fast_round ~remaining ~rates flows indices =
       Array.iter
         (fun (l, frac) ->
           settle l level;
-          wsum.(l) <- Float.max 0.0 (wsum.(l) -. (flows.(i).weight *. frac)))
+          wsum.(l) <- Float.max 0.0 (wsum.(l) -. (flows.(i).weight *. (frac : U.fraction :> float))))
         flows.(i).links
     end
   in
@@ -307,21 +325,28 @@ let fast_round ~remaining ~rates flows indices =
   in
   drain ()
 
-let allocate ?(headroom = 0.0) ~capacities flows =
-  if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+let allocate ?headroom ~capacities flows =
+  let headroom = headroom_raw headroom in
+  let capacities = U.floats_of capacities in
   validate flows capacities;
   reset_debug_counters ();
   let rates = Array.make (Array.length flows) 0.0 in
   let remaining = Array.map (fun c -> c *. (1.0 -. headroom)) capacities in
   List.iter (fun idx -> fast_round ~remaining ~rates flows idx) (by_priority flows);
-  rates
+  U.of_floats rates
 
 let link_utilization ~capacities flows rates =
+  let capacities = U.floats_of capacities in
+  let rates = U.floats_of rates in
   let load = Array.make (Array.length capacities) 0.0 in
   Array.iteri
-    (fun i f -> Array.iter (fun (l, frac) -> load.(l) <- load.(l) +. (rates.(i) *. frac)) f.links)
+    (fun i f ->
+      Array.iter
+        (fun (l, frac) -> load.(l) <- load.(l) +. (rates.(i) *. (frac : U.fraction :> float)))
+        f.links)
     flows;
-  Array.mapi (fun l x -> if capacities.(l) > 0.0 then x /. capacities.(l) else 0.0) load
+  U.of_floats
+    (Array.mapi (fun l x -> if capacities.(l) > 0.0 then x /. capacities.(l) else 0.0) load)
 
 (* -- incremental allocator (control-plane hot path) ---------------------- *)
 
@@ -372,8 +397,9 @@ module Inc = struct
     mutable computed : bool;
   }
 
-  let create ?(headroom = 0.0) ~capacities () =
-    if headroom < 0.0 || headroom >= 1.0 then invalid_arg "Waterfill: headroom out of range";
+  let create ?headroom ~capacities () =
+    let headroom = headroom_raw headroom in
+    let capacities = U.floats_of capacities in
     let nl = Array.length capacities in
     let cap0 = 16 in
     {
@@ -412,9 +438,10 @@ module Inc = struct
 
   let live_flows t = t.nrows
   let is_dirty t = t.dirty || not t.computed
-  let headroom t = t.headroom
+  let headroom t = U.fraction t.headroom
 
   let set_headroom t h =
+    let h = (h : U.fraction :> float) in
     if h < 0.0 || h >= 1.0 then invalid_arg "Waterfill: headroom out of range";
     if h <> t.headroom then begin
       t.headroom <- h;
@@ -469,7 +496,8 @@ module Inc = struct
     let nl = Array.length t.capacities in
     Array.iter
       (fun (l, frac) ->
-        if frac <= 0.0 then invalid_arg "Waterfill: non-positive fraction";
+        if (frac : U.fraction :> float) <= 0.0 then
+          invalid_arg "Waterfill: non-positive fraction";
         if l < 0 || l >= nl then invalid_arg "Waterfill: link id out of range")
       links
 
@@ -480,7 +508,7 @@ module Inc = struct
     Array.iteri
       (fun j (l, frac) ->
         t.lnk_id.(t.lnk_used + j) <- l;
-        t.lnk_frac.(t.lnk_used + j) <- frac)
+        t.lnk_frac.(t.lnk_used + j) <- (frac : U.fraction :> float))
       links;
     t.flen.(r) <- n;
     t.lnk_used <- t.lnk_used + n;
@@ -489,7 +517,8 @@ module Inc = struct
   let add_flow ?(weight = 1.0) ?(priority = 0) ?demand t ~id links =
     if weight <= 0.0 then invalid_arg "Waterfill: non-positive weight";
     (match demand with
-    | Some d when d < 0.0 -> invalid_arg "Waterfill: negative demand"
+    | Some d when (d : U.byte_rate :> float) < 0.0 ->
+        invalid_arg "Waterfill: negative demand"
     | _ -> ());
     validate_links t links;
     if Hashtbl.mem t.row_of id then invalid_arg "Waterfill.Inc: duplicate flow id";
@@ -499,7 +528,7 @@ module Inc = struct
     t.fid.(r) <- id;
     t.fweight.(r) <- weight;
     t.fprio.(r) <- priority;
-    t.fdemand.(r) <- (match demand with Some d -> d | None -> Float.nan);
+    t.fdemand.(r) <- (match demand with Some d -> (d : U.byte_rate :> float) | None -> Float.nan);
     t.rates.(r) <- 0.0;
     t.flen.(r) <- 0;
     write_links t r links;
@@ -526,9 +555,9 @@ module Inc = struct
 
   let set_demand t ~id demand =
     let r = row t id in
-    let d = match demand with Some d -> d | None -> Float.nan in
+    let d = match demand with Some d -> (d : U.byte_rate :> float) | None -> Float.nan in
     (match demand with
-    | Some d when d < 0.0 -> invalid_arg "Waterfill: negative demand"
+    | Some d when (d : U.byte_rate :> float) < 0.0 -> invalid_arg "Waterfill: negative demand"
     | _ -> ());
     let cur = t.fdemand.(r) in
     let unchanged = (Float.is_nan d && Float.is_nan cur) || d = cur in
@@ -547,7 +576,7 @@ module Inc = struct
       Array.iteri
         (fun j (l, frac) ->
           t.lnk_id.(off + j) <- l;
-          t.lnk_frac.(off + j) <- frac)
+          t.lnk_frac.(off + j) <- (frac : U.fraction :> float))
         links;
       t.lnk_live <- t.lnk_live - t.flen.(r) + n;
       t.flen.(r) <- n
@@ -807,20 +836,23 @@ module Inc = struct
       t.computed <- true
     end
 
-  let rate t ~id = t.rates.(row t id)
+  let rate t ~id = U.byte_rate t.rates.(row t id)
 
   let iter_rates t f =
     for r = 0 to t.nrows - 1 do
-      f ~id:t.fid.(r) ~rate:t.rates.(r)
+      f ~id:t.fid.(r) ~rate:(U.byte_rate t.rates.(r))
     done
 end
 
 let bottleneck_fill ~capacities flows =
+  let capacities = U.floats_of capacities in
   let nl = Array.length capacities in
   let wsum = Array.make nl 0.0 in
   Array.iter
     (fun f ->
-      Array.iter (fun (l, frac) -> wsum.(l) <- wsum.(l) +. (f.weight *. frac)) f.links)
+      Array.iter
+        (fun (l, frac) -> wsum.(l) <- wsum.(l) +. (f.weight *. (frac : U.fraction :> float)))
+        f.links)
     flows;
   let fill = ref infinity in
   for l = 0 to nl - 1 do
@@ -829,4 +861,4 @@ let bottleneck_fill ~capacities flows =
       if step < !fill then fill := step
     end
   done;
-  !fill
+  U.byte_rate !fill

@@ -8,23 +8,37 @@
     with the leftover capacity (§3.3.2, "Beyond per-flow fairness").
 
     A [headroom] fraction of every link's capacity is set aside to absorb
-    flows that have started but are not yet globally visible (§3.3.2). *)
+    flows that have started but are not yet globally visible (§3.3.2).
+
+    All rates carried across this interface are {!Util.Units.byte_rate}
+    (bytes/ns) — the allocator's canonical unit (DESIGN.md §10); link
+    fractions and headroom are {!Util.Units.fraction}. *)
 
 type flow = {
   id : int;  (** opaque; echoed back in results *)
   weight : float;  (** allocation weight, > 0 *)
   priority : int;  (** 0 is served first *)
-  demand : float option;  (** rate cap for host-limited flows *)
-  links : (int * float) array;  (** (link id, fraction), fractions > 0 *)
+  demand : Util.Units.byte_rate option;  (** rate cap for host-limited flows *)
+  links : (int * Util.Units.fraction) array;
+      (** (link id, fraction), fractions > 0 *)
 }
 
 val flow :
-  ?weight:float -> ?priority:int -> ?demand:float -> id:int -> (int * float) array -> flow
+  ?weight:float ->
+  ?priority:int ->
+  ?demand:Util.Units.byte_rate ->
+  id:int ->
+  (int * Util.Units.fraction) array ->
+  flow
 (** Convenience constructor; weight defaults to 1, priority to 0. *)
 
-val allocate : ?headroom:float -> capacities:float array -> flow array -> float array
+val allocate :
+  ?headroom:Util.Units.fraction ->
+  capacities:Util.Units.byte_rate array ->
+  flow array ->
+  Util.Units.byte_rate array
 (** [allocate ~capacities flows] returns the rate of each flow, indexed as
-    the input array. [capacities.(l)] is link [l]'s capacity in rate units.
+    the input array. [capacities.(l)] is link [l]'s capacity in bytes/ns.
     [headroom] (default 0) is the capacity fraction left unallocated.
     Raises [Invalid_argument] on non-positive weights or fractions.
 
@@ -33,17 +47,26 @@ val allocate : ?headroom:float -> capacities:float array -> flow array -> float 
     settlement, so the cost is near-linear in the total number of
     (flow, link) incidences rather than iterations times links. *)
 
-val allocate_reference : ?headroom:float -> capacities:float array -> flow array -> float array
+val allocate_reference :
+  ?headroom:Util.Units.fraction ->
+  capacities:Util.Units.byte_rate array ->
+  flow array ->
+  Util.Units.byte_rate array
 (** Textbook progressive filling [12]: raise all rates at equal weighted
     pace, scan every link for the next saturation, repeat. Quadratic but
     obviously correct — the oracle that {!allocate} is property-tested
     against. *)
 
-val link_utilization : capacities:float array -> flow array -> float array -> float array
+val link_utilization :
+  capacities:Util.Units.byte_rate array ->
+  flow array ->
+  Util.Units.byte_rate array ->
+  Util.Units.fraction array
 (** [link_utilization ~capacities flows rates] is each link's load divided
     by its capacity; for checking feasibility in tests. *)
 
-val bottleneck_fill : capacities:float array -> flow array -> float
+val bottleneck_fill :
+  capacities:Util.Units.byte_rate array -> flow array -> Util.Units.byte_rate
 (** Fill level at which the first link saturates when all flows rise
     together — the single-iteration core of progressive filling, exposed
     for the channel-load analysis. *)
@@ -61,23 +84,33 @@ val bottleneck_fill : capacities:float array -> flow array -> float
 module Inc : sig
   type t
 
-  val create : ?headroom:float -> capacities:float array -> unit -> t
+  val create :
+    ?headroom:Util.Units.fraction ->
+    capacities:Util.Units.byte_rate array ->
+    unit ->
+    t
   (** Same [headroom]/[capacities] contract as {!allocate}; capacities are
       copied and fixed for the lifetime of the state. *)
 
   val add_flow :
-    ?weight:float -> ?priority:int -> ?demand:float -> t -> id:int -> (int * float) array -> unit
+    ?weight:float ->
+    ?priority:int ->
+    ?demand:Util.Units.byte_rate ->
+    t ->
+    id:int ->
+    (int * Util.Units.fraction) array ->
+    unit
   (** Open a flow. [id] must be fresh; links are validated like {!allocate}
       inputs. Raises [Invalid_argument] otherwise. *)
 
   val remove_flow : t -> id:int -> unit
   (** Close a flow; unknown ids raise. *)
 
-  val set_demand : t -> id:int -> float option -> unit
+  val set_demand : t -> id:int -> Util.Units.byte_rate option -> unit
   (** Update a flow's demand cap ([None] = network-limited). Setting the
       value it already has keeps the state clean. *)
 
-  val set_links : t -> id:int -> (int * float) array -> unit
+  val set_links : t -> id:int -> (int * Util.Units.fraction) array -> unit
   (** Replace a flow's link fractions after a routing change. *)
 
   val allocate : t -> unit
@@ -85,19 +118,19 @@ module Inc : sig
       no-op (the O(1) clean-epoch path — it performs no heap operation, as
       the debug counters can verify). *)
 
-  val rate : t -> id:int -> float
+  val rate : t -> id:int -> Util.Units.byte_rate
   (** The flow's rate from the last {!allocate} (0 for flows added since). *)
 
-  val iter_rates : t -> (id:int -> rate:float -> unit) -> unit
+  val iter_rates : t -> (id:int -> rate:Util.Units.byte_rate -> unit) -> unit
   (** Visit every live flow's last-computed rate, in unspecified order. *)
 
   val live_flows : t -> int
   val is_dirty : t -> bool
   val mem : t -> id:int -> bool
 
-  val headroom : t -> float
+  val headroom : t -> Util.Units.fraction
 
-  val set_headroom : t -> float -> unit
+  val set_headroom : t -> Util.Units.fraction -> unit
   (** Retune the reserved capacity fraction — the graceful-degradation knob
       under control-plane loss. Same range contract as {!create}; a changed
       value marks the state dirty, an unchanged one keeps it clean. *)

@@ -1,5 +1,7 @@
+module U = Util.Units
+
 let decentralized_event_bytes topo =
-  float_of_int (Wire.broadcast_size * (Topology.vertex_count topo - 1))
+  U.bytes (float_of_int (Wire.broadcast_size * (Topology.vertex_count topo - 1)))
 
 (* Rate-update unicast: a compact header plus a 4-byte rate per flow
    (flows are implicitly ordered at the source, mirroring the 4-byte
@@ -29,10 +31,12 @@ let centralized_event_bytes ?(controller = 0) topo ~flows_per_server =
     done;
     !total
   in
-  notify +. updates
+  U.bytes (notify +. updates)
 
 let ratio topo ~flows_per_server =
-  centralized_event_bytes topo ~flows_per_server /. decentralized_event_bytes topo
+  let c = U.to_float (centralized_event_bytes topo ~flows_per_server) in
+  let d = U.to_float (decentralized_event_bytes topo) in
+  c /. d
 
 (* Full-state sync answering a divergence: same shape as a rate update —
    compact header, one entry per live flow — plus a 4-byte last-sequence

@@ -11,10 +11,11 @@
     (16-byte header + 4 bytes per flow). Wire bytes therefore grow with
     the number of concurrent flows per server. *)
 
-val decentralized_event_bytes : Topology.t -> float
+val decentralized_event_bytes : Topology.t -> Util.Units.bytes
 (** Wire bytes per flow event under broadcast. *)
 
-val centralized_event_bytes : ?controller:int -> Topology.t -> flows_per_server:int -> float
+val centralized_event_bytes :
+  ?controller:int -> Topology.t -> flows_per_server:int -> Util.Units.bytes
 (** Wire bytes per flow event with a controller node (default host 0):
     event unicast to the controller plus per-source rate-update unicasts,
     each weighted by its hop distance. *)

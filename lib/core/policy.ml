@@ -1,3 +1,5 @@
+module U = Util.Units
+
 type directive = { weight : int; priority : int }
 
 let per_flow_fair = { weight = 1; priority = 0 }
@@ -12,11 +14,14 @@ let deadline_bands = 4
 let required_gbps ~size_bytes ~deadline_ns =
   if size_bytes <= 0 then invalid_arg "Policy: non-positive size";
   if deadline_ns <= 0 then invalid_arg "Policy: non-positive deadline";
-  float_of_int (8 * size_bytes) /. float_of_int deadline_ns
+  U.gbps (float_of_int (8 * size_bytes) /. float_of_int deadline_ns)
 
 let deadline ~size_bytes ~deadline_ns ~link_gbps =
-  if link_gbps <= 0.0 then invalid_arg "Policy.deadline: non-positive link rate";
-  let urgency = required_gbps ~size_bytes ~deadline_ns /. link_gbps in
+  if (link_gbps : U.gbps :> float) <= 0.0 then
+    invalid_arg "Policy.deadline: non-positive link rate";
+  let urgency =
+    (U.frac_of ~num:(required_gbps ~size_bytes ~deadline_ns) ~den:link_gbps :> float)
+  in
   (* Band 0: needs more than half the link; band 3: under an eighth. *)
   let priority =
     if urgency > 0.5 then 0
@@ -29,4 +34,4 @@ let deadline ~size_bytes ~deadline_ns ~link_gbps =
 let background = { weight = 1; priority = deadline_bands }
 
 let meets_deadline ~size_bytes ~deadline_ns ~rate_gbps =
-  rate_gbps >= required_gbps ~size_bytes ~deadline_ns -. 1e-9
+  (rate_gbps : U.gbps :> float) >= (required_gbps ~size_bytes ~deadline_ns :> float) -. 1e-9

@@ -17,7 +17,8 @@ val tenant_share : weight:int -> directive
     the network has each of its flows carry that weight. Raises on
     weights outside 1..255 (the broadcast packet's 8-bit field). *)
 
-val deadline : size_bytes:int -> deadline_ns:int -> link_gbps:float -> directive
+val deadline :
+  size_bytes:int -> deadline_ns:int -> link_gbps:Util.Units.gbps -> directive
 (** Deadline-based allocation [28, 46]: flows whose required rate
     (size/deadline) is a larger share of the link rate get a higher
     priority band (pFabric-style most-critical-first), so urgent flows
@@ -30,7 +31,8 @@ val deadline_bands : int
 (** Number of priority bands used by {!deadline}; {!background} sits
     below them. *)
 
-val required_gbps : size_bytes:int -> deadline_ns:int -> float
+val required_gbps : size_bytes:int -> deadline_ns:int -> Util.Units.gbps
 (** The rate a flow needs to meet its deadline. *)
 
-val meets_deadline : size_bytes:int -> deadline_ns:int -> rate_gbps:float -> bool
+val meets_deadline :
+  size_bytes:int -> deadline_ns:int -> rate_gbps:Util.Units.gbps -> bool

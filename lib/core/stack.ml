@@ -1,22 +1,24 @@
+module U = Util.Units
+
 type config = {
-  link_gbps : float;
-  headroom : float;
+  link_gbps : U.gbps;
+  headroom : U.fraction;
   trees_per_source : int;
   default_protocol : Routing.protocol;
   selection_choices : Routing.protocol array;
   loss_headroom_gain : float;
-  max_headroom : float;
+  max_headroom : U.fraction;
 }
 
 let default_config =
   {
-    link_gbps = 10.0;
-    headroom = 0.05;
+    link_gbps = U.gbps 10.0;
+    headroom = U.fraction 0.05;
     trees_per_source = 4;
     default_protocol = Routing.Rps;
     selection_choices = [| Routing.Rps; Routing.Vlb |];
     loss_headroom_gain = 2.0;
-    max_headroom = 0.30;
+    max_headroom = U.fraction 0.30;
   }
 
 type flow_id = int
@@ -31,8 +33,8 @@ type flow = {
       (* every event of a flow rides one broadcast tree, so the per-tree
          sequence window at each receiver orders finish after start *)
   mutable protocol : Routing.protocol;
-  mutable demand_gbps : float option;
-  mutable rate_gbps : float;
+  mutable demand_gbps : U.gbps option;
+  mutable rate_gbps : U.gbps;
   demand_estimator : Congestion.Demand.t option ref;
 }
 
@@ -53,9 +55,9 @@ type t = {
   origin : (Wire.broadcast * flow_id) Rbcast.origin;
   mutable event_retransmits : int;
   mutable syncs_sent : int;
-  mutable loss_ewma : float;
-  mutable eff_headroom : float;
-  capacities : float array;
+  mutable loss_ewma : float;  (* raw EWMA state; exposed as a fraction *)
+  mutable eff_headroom : float;  (* raw; exposed/applied as a fraction *)
+  capacities : U.byte_rate array;
   alloc : Congestion.Waterfill.Inc.t;
       (* incremental epoch state: patched on every flow event, so a
          recompute with no intervening event is O(1) *)
@@ -64,9 +66,13 @@ type t = {
 let create ?(config = default_config) ?(seed = 1) topo =
   if config.loss_headroom_gain < 0.0 then
     invalid_arg "Stack.create: loss_headroom_gain < 0";
-  if config.max_headroom < config.headroom || config.max_headroom >= 1.0 then
-    invalid_arg "Stack.create: max_headroom out of [headroom, 1)";
-  let capacities = Array.make (Topology.link_count topo) (config.link_gbps /. 8.0) in
+  if
+    U.compare_q config.max_headroom config.headroom < 0
+    || (config.max_headroom :> float) >= 1.0
+  then invalid_arg "Stack.create: max_headroom out of [headroom, 1)";
+  let capacities =
+    Array.make (Topology.link_count topo) (U.byte_rate_of_gbps config.link_gbps)
+  in
   {
     cfg = config;
     topo;
@@ -83,7 +89,7 @@ let create ?(config = default_config) ?(seed = 1) topo =
     event_retransmits = 0;
     syncs_sent = 0;
     loss_ewma = 0.0;
-    eff_headroom = config.headroom;
+    eff_headroom = (config.headroom :> float);
     capacities;
     alloc = Congestion.Waterfill.Inc.create ~headroom:config.headroom ~capacities ();
   }
@@ -102,7 +108,7 @@ let pkt_of_flow f event =
   let demand_kbps =
     match f.demand_gbps with
     | None -> 0
-    | Some g -> min 0xFFFFFFFF (int_of_float (g *. 1_000_000.0))
+    | Some g -> min 0xFFFFFFFF (int_of_float ((g : U.gbps :> float) *. 1_000_000.0))
   in
   {
     Wire.event;
@@ -161,7 +167,7 @@ let open_flow ?(weight = 1) ?(priority = 0) ?protocol t ~src ~dst =
       tree = Broadcast.choose_tree t.bcast t.rng ~src;
       protocol = Option.value ~default:t.cfg.default_protocol protocol;
       demand_gbps = None;
-      rate_gbps = 0.0;
+      rate_gbps = U.gbps 0.0;
       demand_estimator = ref None;
     }
   in
@@ -180,7 +186,7 @@ let close_flow t id =
 let set_demand t id ~gbps =
   let f = find t id in
   f.demand_gbps <- gbps;
-  Congestion.Waterfill.Inc.set_demand t.alloc ~id (Option.map (fun g -> g /. 8.0) gbps);
+  Congestion.Waterfill.Inc.set_demand t.alloc ~id (Option.map U.byte_rate_of_gbps gbps);
   emit_broadcast t f Wire.Demand_update
 
 let set_protocol t id proto =
@@ -203,10 +209,10 @@ let observe_sender_queue t id ~queued_bytes ~period_ns =
         e
   in
   (* Rates are tracked in Gbps; the estimator works in bytes/ns. *)
-  Congestion.Demand.observe est ~rate:(f.rate_gbps /. 8.0) ~queued_bytes;
-  let alloc = f.rate_gbps /. 8.0 in
-  if alloc > 0.0 && Congestion.Demand.is_host_limited est ~allocation:alloc then
-    set_demand t id ~gbps:(Some (Congestion.Demand.estimate est *. 8.0))
+  Congestion.Demand.observe est ~rate:(U.byte_rate_of_gbps f.rate_gbps) ~queued_bytes;
+  let alloc = U.byte_rate_of_gbps f.rate_gbps in
+  if U.compare_q alloc U.zero > 0 && Congestion.Demand.is_host_limited est ~allocation:alloc
+  then set_demand t id ~gbps:(Some (U.gbps_of_byte_rate (Congestion.Demand.estimate est)))
 
 let flow_array t = Util.Tbl.sorted_values ~cmp:Int.compare t.flows
 
@@ -217,7 +223,7 @@ let recompute t =
     Congestion.Waterfill.Inc.allocate t.alloc;
     Congestion.Waterfill.Inc.iter_rates t.alloc (fun ~id ~rate ->
         match Hashtbl.find_opt t.flows id with
-        | Some f -> f.rate_gbps <- rate *. 8.0
+        | Some f -> f.rate_gbps <- U.gbps_of_byte_rate rate
         | None -> ())
   end
 
@@ -237,7 +243,10 @@ let active_flows t =
 
 let aggregate_throughput_gbps t =
   (* Summing in flow-id order keeps the float total identical on every node. *)
-  Util.Tbl.fold_sorted ~cmp:Int.compare (fun _ f acc -> acc +. f.rate_gbps) t.flows 0.0
+  U.gbps
+    (Util.Tbl.fold_sorted ~cmp:Int.compare
+       (fun _ f acc -> acc +. (f.rate_gbps :> float))
+       t.flows 0.0)
 
 let reselect_routing ?pop_size ?mutation ?generations t rng =
   let fl = flow_array t in
@@ -260,6 +269,7 @@ let reselect_routing ?pop_size ?mutation ?generations t rng =
     let best, fit =
       Genetic.Selector.select ?pop_size ?mutation ?generations selector rng ~flows ~init
     in
+    let fit = U.to_float fit and current = U.to_float current in
     if fit > current +. 1e-9 then begin
       let changed = ref 0 in
       Array.iteri
@@ -281,8 +291,8 @@ let sample_packet_route t id rng =
 
 let control_bytes_sent t = t.control_bytes
 let reliability_bytes_sent t = t.reliability_bytes
-let loss_ewma t = t.loss_ewma
-let effective_headroom t = t.eff_headroom
+let loss_ewma t = U.fraction t.loss_ewma
+let effective_headroom t = U.fraction t.eff_headroom
 let syncs_sent t = t.syncs_sent
 let event_retransmits t = t.event_retransmits
 let last_seq t ~tree = Rbcast.last_seq t.origin ~tree
@@ -352,12 +362,13 @@ let note_control_loss t ~sent ~lost =
     let observed = float_of_int lost /. float_of_int sent in
     t.loss_ewma <- (0.8 *. t.loss_ewma) +. (0.2 *. observed);
     let eff =
-      Float.min t.cfg.max_headroom
-        (t.cfg.headroom +. (t.cfg.loss_headroom_gain *. t.loss_ewma))
+      Float.min
+        (t.cfg.max_headroom :> float)
+        ((t.cfg.headroom :> float) +. (t.cfg.loss_headroom_gain *. t.loss_ewma))
     in
     if eff <> t.eff_headroom then begin
       t.eff_headroom <- eff;
-      Congestion.Waterfill.Inc.set_headroom t.alloc eff
+      Congestion.Waterfill.Inc.set_headroom t.alloc (U.fraction eff)
     end
   end
 

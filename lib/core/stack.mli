@@ -13,8 +13,8 @@
     the control plane usable directly by applications and tests. *)
 
 type config = {
-  link_gbps : float;
-  headroom : float;
+  link_gbps : Util.Units.gbps;
+  headroom : Util.Units.fraction;
   trees_per_source : int;
   default_protocol : Routing.protocol;
   selection_choices : Routing.protocol array;
@@ -24,7 +24,8 @@ type config = {
           reserves [min max_headroom (headroom + gain * loss EWMA)] instead
           of the static [headroom], so stale peer views overbook less while
           repairs are in flight ({!note_control_loss}) *)
-  max_headroom : float;  (** ceiling on the loss-scaled reserve, < 1 *)
+  max_headroom : Util.Units.fraction;
+      (** ceiling on the loss-scaled reserve, < 1 *)
 }
 
 val default_config : config
@@ -54,14 +55,15 @@ val open_flow :
 val close_flow : t -> flow_id -> unit
 (** Announce flow termination; unknown ids raise. *)
 
-val set_demand : t -> flow_id -> gbps:float option -> unit
+val set_demand : t -> flow_id -> gbps:Util.Units.gbps option -> unit
 (** Declare a host-limited flow's demand ([None] = network-limited);
     broadcast as a demand update. *)
 
 val set_protocol : t -> flow_id -> Routing.protocol -> unit
 (** Re-route a flow; broadcast as a route change. *)
 
-val observe_sender_queue : t -> flow_id -> queued_bytes:float -> period_ns:int -> unit
+val observe_sender_queue :
+  t -> flow_id -> queued_bytes:Util.Units.bytes -> period_ns:int -> unit
 (** Feed sender-side queuing into the §3.3.2 demand estimator; when the
     estimate drops below the current allocation the flow's demand is
     updated (and broadcast) automatically. *)
@@ -72,16 +74,16 @@ val recompute : t -> unit
     events patch it as they happen, so a recompute with no intervening
     event is O(1) and a dirty one reuses all allocator buffers. *)
 
-val rate_gbps : t -> flow_id -> float
+val rate_gbps : t -> flow_id -> Util.Units.gbps
 (** Allocation from the last {!recompute}; 0 before any recompute. *)
 
-val allocations : t -> (flow_id * float) list
+val allocations : t -> (flow_id * Util.Units.gbps) list
 (** All current allocations, in Gbps. *)
 
 val active_flows : t -> (flow_id * int * int * Routing.protocol) list
 (** (id, src, dst, protocol) of open flows. *)
 
-val aggregate_throughput_gbps : t -> float
+val aggregate_throughput_gbps : t -> Util.Units.gbps
 (** Sum of current allocations. *)
 
 val reselect_routing :
@@ -158,10 +160,10 @@ val reliability_bytes_sent : t -> int
     extension per broadcast replica, digest beacons, NACK-answering
     replays and full-state syncs. *)
 
-val loss_ewma : t -> float
+val loss_ewma : t -> Util.Units.fraction
 (** Current control-loss estimate in [\[0, 1\]]. *)
 
-val effective_headroom : t -> float
+val effective_headroom : t -> Util.Units.fraction
 (** The loss-scaled headroom the allocator is using now. *)
 
 val syncs_sent : t -> int

@@ -1,18 +1,20 @@
+module U = Util.Units
+
 type config = {
-  link_gbps : float;
+  link_gbps : U.gbps;
   hop_latency_ns : int;
   mtu : int;
-  headroom : float;
+  headroom : U.fraction;
   recompute_interval_ns : int;
   seed : int;
 }
 
 let default_config =
   {
-    link_gbps = 10.0;
+    link_gbps = U.gbps 10.0;
     hop_latency_ns = 100;
     mtu = 1500;
-    headroom = 0.05;
+    headroom = U.fraction 0.05;
     recompute_interval_ns = 500_000;
     seed = 1;
   }
@@ -20,12 +22,12 @@ let default_config =
 type flow_result = {
   spec : Workload.Flowgen.spec;
   fct_ns : int;
-  avg_rate_gbps : float;
+  avg_rate_gbps : U.gbps;
 }
 
 type result = {
   flows : flow_result list;
-  max_queue_bytes : float array;
+  max_queue_bytes : U.bytes array;
   recomputes : int;
 }
 
@@ -41,9 +43,10 @@ type fstate = {
 
 let run ?(protocol_of = fun _ _ -> Routing.Rps) ?until_ns cfg topo specs =
   let rctx = Routing.make topo in
-  let cap = cfg.link_gbps /. 8.0 in
+  let cap = U.to_float (U.byte_rate_of_gbps cfg.link_gbps) in
+  let link_gbps_f = U.to_float cfg.link_gbps in
   let nl = Topology.link_count topo in
-  let capacities = Array.make nl cap in
+  let capacities : U.byte_rate array = U.of_floats (Array.make nl cap) in
   let arrivals =
     ref
       (List.mapi (fun i s -> (i, s)) specs
@@ -68,7 +71,7 @@ let run ?(protocol_of = fun _ _ -> Routing.Rps) ?until_ns cfg topo specs =
       (fun st ->
         Array.iter
           (fun (l, frac) -> load.(l) <- load.(l) +. (st.rate *. frac))
-          st.wf.Congestion.Waterfill.links)
+          (U.pairs_to_floats st.wf.Congestion.Waterfill.links))
       !active
   in
 
@@ -80,7 +83,9 @@ let run ?(protocol_of = fun _ _ -> Routing.Rps) ?until_ns cfg topo specs =
     | _ ->
         let arr = Array.of_list eligible in
         let wf = Array.map (fun st -> st.wf) arr in
-        let rates = Congestion.Waterfill.allocate ~headroom:cfg.headroom ~capacities wf in
+        let rates =
+          U.floats_of (Congestion.Waterfill.allocate ~headroom:cfg.headroom ~capacities wf)
+        in
         Array.iteri (fun i st -> st.rate <- Float.max 1e-9 rates.(i)) arr);
     refresh_load ()
   in
@@ -95,7 +100,7 @@ let run ?(protocol_of = fun _ _ -> Routing.Rps) ?until_ns cfg topo specs =
         ~priority:spec.priority ~id:idx links
     in
     let hops = Topology.distance topo spec.src spec.dst in
-    let tx = int_of_float (ceil (float_of_int (8 * cfg.mtu) /. cfg.link_gbps)) in
+    let tx = int_of_float (ceil (float_of_int (8 * cfg.mtu) /. link_gbps_f)) in
     let st =
       {
         idx;
@@ -144,7 +149,8 @@ let run ?(protocol_of = fun _ _ -> Routing.Rps) ?until_ns cfg topo specs =
             {
               spec = st.spec;
               fct_ns = fct;
-              avg_rate_gbps = float_of_int (8 * st.spec.Workload.Flowgen.size) /. float_of_int fct;
+              avg_rate_gbps =
+                U.gbps (float_of_int (8 * st.spec.Workload.Flowgen.size) /. float_of_int fct);
             }
             :: !finished)
         done_;
@@ -181,7 +187,7 @@ let run ?(protocol_of = fun _ _ -> Routing.Rps) ?until_ns cfg topo specs =
       end
     end
   done;
-  { flows = List.rev !finished; max_queue_bytes = max_queue; recomputes = !recomputes }
+  { flows = List.rev !finished; max_queue_bytes = U.of_floats max_queue; recomputes = !recomputes }
 
 let rate_error ?protocol_of ?min_lifetime_ns cfg topo specs ~rho_ns =
   let min_lifetime_ns = Option.value ~default:rho_ns min_lifetime_ns in
@@ -192,7 +198,7 @@ let rate_error ?protocol_of ?min_lifetime_ns cfg topo specs ~rho_ns =
       (fun (fr : flow_result) ->
         Hashtbl.replace tbl
           (fr.spec.Workload.Flowgen.arrival_ns, fr.spec.src, fr.spec.dst)
-          (fr.avg_rate_gbps, fr.fct_ns))
+          (U.to_float fr.avg_rate_gbps, fr.fct_ns))
       r.flows;
     tbl
   in

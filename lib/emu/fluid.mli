@@ -13,10 +13,10 @@
     the difference, and drains at the spare capacity otherwise. *)
 
 type config = {
-  link_gbps : float;
+  link_gbps : Util.Units.gbps;
   hop_latency_ns : int;
   mtu : int;
-  headroom : float;
+  headroom : Util.Units.fraction;
   recompute_interval_ns : int;  (** 0 = recompute on every flow event (the ideal) *)
   seed : int;
 }
@@ -28,12 +28,13 @@ val default_config : config
 type flow_result = {
   spec : Workload.Flowgen.spec;
   fct_ns : int;
-  avg_rate_gbps : float;  (** size / (completion - arrival), header-less *)
+  avg_rate_gbps : Util.Units.gbps;
+      (** size / (completion - arrival), header-less *)
 }
 
 type result = {
   flows : flow_result list;
-  max_queue_bytes : float array;  (** per-link peak of the queue estimate *)
+  max_queue_bytes : Util.Units.bytes array;  (** per-link peak of the queue estimate *)
   recomputes : int;
 }
 

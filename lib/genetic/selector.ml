@@ -3,19 +3,27 @@ type utility =
   | Tail_throughput
   | Tenant_tail of int array
 
+module U = Util.Units
+
 type t = {
   ctx : Routing.ctx;
-  headroom : float;
+  headroom : U.fraction;
   choices : Routing.protocol array;
   utility : utility;
-  capacities : float array;
+  capacities : U.byte_rate array;
 }
 
-let make ?(headroom = 0.0) ?(choices = [| Routing.Rps; Routing.Vlb |])
+let make ?(headroom = U.fraction 0.0) ?(choices = [| Routing.Rps; Routing.Vlb |])
     ?(utility = Aggregate_throughput) ctx ~link_gbps =
   if Array.length choices = 0 then invalid_arg "Selector.make: no protocol choices";
   let nl = Topology.link_count (Routing.topo ctx) in
-  { ctx; headroom; choices; utility; capacities = Array.make nl (link_gbps /. 8.0) }
+  {
+    ctx;
+    headroom;
+    choices;
+    utility;
+    capacities = Array.make nl (U.byte_rate_of_gbps link_gbps);
+  }
 
 let rates_of t ~flows assignment =
   if Array.length assignment <> Array.length flows then
@@ -26,18 +34,18 @@ let rates_of t ~flows assignment =
         Congestion.Waterfill.flow ~id:i (Routing.fractions t.ctx assignment.(i) ~src ~dst))
       flows
   in
-  Congestion.Waterfill.allocate ~headroom:t.headroom ~capacities:t.capacities wf
+  U.floats_of (Congestion.Waterfill.allocate ~headroom:t.headroom ~capacities:t.capacities wf)
 
 let aggregate_throughput_gbps t ~flows assignment =
-  8.0 *. Array.fold_left ( +. ) 0.0 (rates_of t ~flows assignment)
+  U.gbps (8.0 *. Array.fold_left ( +. ) 0.0 (rates_of t ~flows assignment))
 
 let utility_gbps t ~flows assignment =
   let rates = rates_of t ~flows assignment in
   match t.utility with
-  | Aggregate_throughput -> 8.0 *. Array.fold_left ( +. ) 0.0 rates
+  | Aggregate_throughput -> U.gbps (8.0 *. Array.fold_left ( +. ) 0.0 rates)
   | Tail_throughput ->
-      if Array.length rates = 0 then 0.0
-      else 8.0 *. Array.fold_left Float.min rates.(0) rates
+      if Array.length rates = 0 then U.gbps 0.0
+      else U.gbps (8.0 *. Array.fold_left Float.min rates.(0) rates)
   | Tenant_tail tenants ->
       if Array.length tenants <> Array.length flows then
         invalid_arg "Selector: tenant map length mismatch";
@@ -48,7 +56,7 @@ let utility_gbps t ~flows assignment =
           Hashtbl.replace totals tnt (r +. Option.value ~default:0.0 (Hashtbl.find_opt totals tnt)))
         rates;
       let worst = Util.Tbl.fold_sorted ~cmp:Int.compare (fun _ v acc -> Float.min v acc) totals infinity in
-      if worst = infinity then 0.0 else 8.0 *. worst
+      if worst = infinity then U.gbps 0.0 else U.gbps (8.0 *. worst)
 
 let uniform t ~flows proto = utility_gbps t ~flows (Array.make (Array.length flows) proto)
 
@@ -73,7 +81,7 @@ let select ?(pop_size = 100) ?(mutation = 0.01) ?(generations = 30) t rng ~flows
     {
       Ga.genes = Array.length flows;
       choices = Array.length t.choices;
-      fitness = (fun genes -> utility_gbps t ~flows (decode genes));
+      fitness = (fun genes -> U.to_float (utility_gbps t ~flows (decode genes)));
     }
   in
   (* Seed the uniform single-protocol assignments so the search can never
@@ -84,4 +92,4 @@ let select ?(pop_size = 100) ?(mutation = 0.01) ?(generations = 30) t rng ~flows
   let best, fit =
     Ga.optimize ~pop_size ~mutation ~generations ~seeds rng problem ~init:(encode init)
   in
-  (decode best, fit)
+  (decode best, U.gbps fit)

@@ -18,26 +18,28 @@ type utility =
 type t
 
 val make :
-  ?headroom:float ->
+  ?headroom:Util.Units.fraction ->
   ?choices:Routing.protocol array ->
   ?utility:utility ->
   Routing.ctx ->
-  link_gbps:float ->
+  link_gbps:Util.Units.gbps ->
   t
 (** [choices] defaults to [RPS; VLB] — the two protocols the paper's Fig. 18
     experiment selects between; [utility] defaults to
     [Aggregate_throughput]. *)
 
-val aggregate_throughput_gbps : t -> flows:(int * int) array -> Routing.protocol array -> float
+val aggregate_throughput_gbps :
+  t -> flows:(int * int) array -> Routing.protocol array -> Util.Units.gbps
 (** Sum of allocated rates under one assignment, regardless of the
     configured utility. *)
 
-val utility_gbps : t -> flows:(int * int) array -> Routing.protocol array -> float
+val utility_gbps :
+  t -> flows:(int * int) array -> Routing.protocol array -> Util.Units.gbps
 (** The configured utility of one assignment for the given (src, dst)
     flows. Raises [Invalid_argument] if a [Tenant_tail] map has the wrong
     length. *)
 
-val uniform : t -> flows:(int * int) array -> Routing.protocol -> float
+val uniform : t -> flows:(int * int) array -> Routing.protocol -> Util.Units.gbps
 (** Utility when every flow uses the same protocol (the RPS/VLB
     baselines). *)
 
@@ -51,7 +53,7 @@ val select :
   Util.Rng.t ->
   flows:(int * int) array ->
   init:Routing.protocol array ->
-  Routing.protocol array * float
+  Routing.protocol array * Util.Units.gbps
 (** GA search (population 100, mutation 0.01 by default) seeded with the
     current assignment and the uniform assignments; returns the best
     assignment and its utility. *)

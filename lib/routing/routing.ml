@@ -411,7 +411,7 @@ let wlb_fractions ctx ~src ~dst =
   done;
   sparse_of_dense dense
 
-let fractions ctx p ~src ~dst =
+let fractions_raw ctx p ~src ~dst =
   if src = dst then invalid_arg "Routing.fractions: src = dst";
   sync ctx;
   let key = pack ctx p ~src ~dst in
@@ -427,5 +427,8 @@ let fractions ctx p ~src ~dst =
       in
       Hashtbl.replace ctx.frac_cache key f;
       f
+
+let fractions ctx p ~src ~dst =
+  Util.Units.pairs_of_floats (fractions_raw ctx p ~src ~dst)
 
 let min_path_fractions ctx ~src ~dst = fractions ctx Rps ~src ~dst

@@ -58,14 +58,16 @@ val sample_paths_distinct : ctx -> Util.Rng.t -> k:int -> src:int -> dst:int -> 
 
 (** {2 Control plane: link fractions} *)
 
-val fractions : ctx -> protocol -> src:int -> dst:int -> (int * float) array
+val fractions :
+  ctx -> protocol -> src:int -> dst:int -> (int * Util.Units.fraction) array
 (** [fractions ctx p ~src ~dst] lists [(link_id, f)] with [f] the expected
     rate fraction of a [src]->[dst] flow under protocol [p] on that link;
     entries with zero fraction are omitted. For minimal protocols the
     fractions out of [src] sum to 1; for VLB/WLB a link can carry both
     phases so per-link fractions may exceed shortest-path values. *)
 
-val min_path_fractions : ctx -> src:int -> dst:int -> (int * float) array
+val min_path_fractions :
+  ctx -> src:int -> dst:int -> (int * Util.Units.fraction) array
 (** Fractions of uniform packet spraying over shortest paths (the RPS data
     plane); exposed for analysis and tests. *)
 

@@ -107,7 +107,7 @@ let fct_ns f =
 let throughput_gbps f =
   let fct = fct_ns f in
   if fct <= 0 then invalid_arg "Metrics.throughput_gbps: zero-duration flow";
-  float_of_int (8 * f.size) /. float_of_int fct
+  Util.Units.gbps (float_of_int (8 * f.size) /. float_of_int fct)
 
 let in_band ?(min_size = 0) ?(max_size = max_int) f = f.size >= min_size && f.size < max_size
 

@@ -34,13 +34,13 @@ val all : t -> flow list
 val fct_ns : flow -> int
 (** Completion minus arrival; raises if incomplete. *)
 
-val throughput_gbps : flow -> float
-(** size / fct in Gbit/s; raises if incomplete. *)
+val throughput_gbps : flow -> Util.Units.gbps
+(** size / fct; raises if incomplete. *)
 
 val fcts_us : ?min_size:int -> ?max_size:int -> t -> float array
 (** Completion times (µs) of completed flows within the size band. *)
 
-val throughputs_gbps : ?min_size:int -> ?max_size:int -> t -> float array
+val throughputs_gbps : ?min_size:int -> ?max_size:int -> t -> Util.Units.gbps array
 
 val reorder_depths : t -> float array
 (** Peak reorder-buffer depth per completed flow, in packets. *)

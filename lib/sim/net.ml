@@ -20,6 +20,8 @@ let is_control = function
   | Bcast _ | Digest _ | Nack _ | Sync _ -> true
   | Data _ | Ack _ -> false
 
+module U = Util.Units
+
 type chaos = {
   crng : Util.Rng.t;
   mutable loss : float;
@@ -73,6 +75,7 @@ type t = {
 
 let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link_gbps
     ~hop_latency_ns () =
+  let link_gbps = (link_gbps : U.gbps :> float) in
   if link_gbps <= 0.0 then invalid_arg "Net.create: link_gbps";
   {
     engine;
@@ -126,6 +129,9 @@ let check_rate name r =
   if r < 0.0 || r >= 1.0 then invalid_arg ("Net.set_control_chaos: " ^ name)
 
 let set_control_chaos t ~seed ~loss ~reorder ~dup =
+  let loss = (loss : U.fraction :> float)
+  and reorder = (reorder : U.fraction :> float)
+  and dup = (dup : U.fraction :> float) in
   check_rate "loss" loss;
   check_rate "reorder" reorder;
   check_rate "dup" dup;
@@ -333,8 +339,8 @@ let send_tree t ~root ~tree ~kind ~bytes =
 
 let max_queue_bytes t = Array.map (fun ls -> ls.max_qbytes) t.links
 let drops t = t.drops
-let data_bytes_on_wire t = t.data_wire
-let control_bytes_on_wire t = t.control_wire
+let data_bytes_on_wire t = U.bytes t.data_wire
+let control_bytes_on_wire t = U.bytes t.control_wire
 
 let reset_wire_counters t =
   t.data_wire <- 0.0;

@@ -39,7 +39,7 @@ val create :
   Topology.t ->
   ?queue_capacity:int ->
   ?count_control:bool ->
-  link_gbps:float ->
+  link_gbps:Util.Units.gbps ->
   hop_latency_ns:int ->
   unit ->
   t
@@ -124,7 +124,12 @@ val blackholed_ctrl_bytes : t -> int
     generator untouched by anything else. *)
 
 val set_control_chaos :
-  t -> seed:int -> loss:float -> reorder:float -> dup:float -> unit
+  t ->
+  seed:int ->
+  loss:Util.Units.fraction ->
+  reorder:Util.Units.fraction ->
+  dup:Util.Units.fraction ->
+  unit
 (** Install or retune the injector; rates are probabilities in [\[0, 1)]
     applied independently at every hop. The RNG is created from [seed] on
     first call and kept across retunes, so flipping rates mid-run (from an
@@ -144,10 +149,10 @@ val max_queue_bytes : t -> int array
 (** Per-link maximum queue occupancy observed (bytes). *)
 
 val drops : t -> int
-val data_bytes_on_wire : t -> float
+val data_bytes_on_wire : t -> Util.Units.bytes
 (** Total bytes * hops carried for Data/Ack packets. *)
 
-val control_bytes_on_wire : t -> float
+val control_bytes_on_wire : t -> Util.Units.bytes
 (** Total bytes * hops carried for broadcast packets. *)
 
 val reset_wire_counters : t -> unit

@@ -1,5 +1,7 @@
+module U = Util.Units
+
 type config = {
-  link_gbps : float;
+  link_gbps : U.gbps;
   hop_latency_ns : int;
   mtu : int;
   paths_per_flow : int;
@@ -7,17 +9,17 @@ type config = {
 }
 
 let default_config =
-  { link_gbps = 10.0; hop_latency_ns = 100; mtu = 1500; paths_per_flow = 8; seed = 1 }
+  { link_gbps = U.gbps 10.0; hop_latency_ns = 100; mtu = 1500; paths_per_flow = 8; seed = 1 }
 
 type flow_result = {
   spec : Workload.Flowgen.spec;
   fct_ns : int;
-  throughput_gbps : float;
+  throughput_gbps : U.gbps;
 }
 
 type fstate = {
   spec : Workload.Flowgen.spec;
-  subflows : (int * float) array list;  (** link lists of each path *)
+  subflows : (int * U.fraction) array list;  (** link lists of each path *)
   pipe_ns : int;  (** store-and-forward pipeline latency *)
   mutable remaining : float;
   mutable rate : float;  (** bytes/ns over all paths *)
@@ -26,7 +28,8 @@ type fstate = {
 let run ?until_ns cfg topo specs =
   let rctx = Routing.make topo in
   let rng = Util.Rng.create cfg.seed in
-  let cap = cfg.link_gbps /. 8.0 in
+  let link_gbps_f = U.to_float cfg.link_gbps in
+  let cap = U.byte_rate_of_gbps cfg.link_gbps in
   let capacities = Array.make (Topology.link_count topo) cap in
   let arrivals =
     ref (List.stable_sort (fun a b -> compare a.Workload.Flowgen.arrival_ns b.arrival_ns) specs)
@@ -45,7 +48,7 @@ let run ?until_ns cfg topo specs =
     let wf =
       Array.mapi (fun i (_, links) -> Congestion.Waterfill.flow ~id:i links) subs
     in
-    let rates = Congestion.Waterfill.allocate ~capacities wf in
+    let rates = U.floats_of (Congestion.Waterfill.allocate ~capacities wf) in
     List.iter (fun st -> st.rate <- 0.0) !active;
     Array.iteri (fun i (st, _) -> st.rate <- st.rate +. rates.(i)) subs
   in
@@ -56,10 +59,12 @@ let run ?until_ns cfg topo specs =
       Routing.sample_paths_distinct rctx rng ~k:cfg.paths_per_flow ~src:spec.src ~dst:spec.dst
     in
     let subflows =
-      List.map (fun p -> Array.map (fun l -> (l, 1.0)) (Routing.path_links rctx p)) paths
+      List.map
+        (fun p -> Array.map (fun l -> (l, U.fraction 1.0)) (Routing.path_links rctx p))
+        paths
     in
     let hops = Topology.distance topo spec.src spec.dst in
-    let tx = int_of_float (ceil (float_of_int (8 * cfg.mtu) /. cfg.link_gbps)) in
+    let tx = int_of_float (ceil (float_of_int (8 * cfg.mtu) /. link_gbps_f)) in
     let pipe_ns = hops * (tx + cfg.hop_latency_ns) in
     active :=
       { spec; subflows; pipe_ns; remaining = float_of_int spec.size; rate = 0.0 } :: !active
@@ -96,7 +101,7 @@ let run ?until_ns cfg topo specs =
             {
               spec = st.spec;
               fct_ns = fct;
-              throughput_gbps = float_of_int (8 * st.spec.size) /. float_of_int fct;
+              throughput_gbps = U.gbps (float_of_int (8 * st.spec.size) /. float_of_int fct);
             }
             :: !finished)
         done_;

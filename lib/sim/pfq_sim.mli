@@ -10,7 +10,7 @@
     store-and-forward pipeline latency of the flow's path. *)
 
 type config = {
-  link_gbps : float;
+  link_gbps : Util.Units.gbps;
   hop_latency_ns : int;
   mtu : int;
   paths_per_flow : int;
@@ -23,7 +23,7 @@ val default_config : config
 type flow_result = {
   spec : Workload.Flowgen.spec;
   fct_ns : int;
-  throughput_gbps : float;
+  throughput_gbps : Util.Units.gbps;
 }
 
 val run : ?until_ns:int -> config -> Topology.t -> Workload.Flowgen.spec list -> flow_result list

@@ -1,9 +1,11 @@
 type control = Global_epoch | Per_node
 
+module U = Util.Units
+
 type config = {
-  link_gbps : float;
+  link_gbps : U.gbps;
   hop_latency_ns : int;
-  headroom : float;
+  headroom : U.fraction;
   recompute_interval_ns : int;
   mtu : int;
   trees_per_source : int;
@@ -27,21 +29,22 @@ type config = {
   digest_interval_ns : int;  (** anti-entropy beacon period per source *)
   nack_delay_ns : int;  (** gap detection -> NACK send delay (and retry) *)
   bcast_log_cap : int;  (** origin replay-log depth per tree *)
-  control_loss : float;  (** per-hop control-packet loss probability *)
-  control_reorder : float;  (** per-hop extra-delay (reorder) probability *)
-  control_dup : float;  (** per-hop duplication probability *)
+  control_loss : U.fraction;  (** per-hop control-packet loss probability *)
+  control_reorder : U.fraction;  (** per-hop extra-delay (reorder) probability *)
+  control_dup : U.fraction;  (** per-hop duplication probability *)
   loss_headroom_gain : float;
       (** graceful degradation: effective headroom =
-          min max_headroom (headroom + gain * loss EWMA) *)
-  max_headroom : float;
+          min max_headroom (headroom + gain * loss EWMA); a dimensionless
+          gain multiplying a fraction, so it stays a raw float *)
+  max_headroom : U.fraction;
   seed : int;
 }
 
 let default_config =
   {
-    link_gbps = 10.0;
+    link_gbps = U.gbps 10.0;
     hop_latency_ns = 100;
-    headroom = 0.05;
+    headroom = U.fraction 0.05;
     recompute_interval_ns = 500_000;
     mtu = 1500;
     trees_per_source = 4;
@@ -58,11 +61,11 @@ let default_config =
     digest_interval_ns = 100_000;
     nack_delay_ns = 20_000;
     bcast_log_cap = 65536;
-    control_loss = 0.0;
-    control_reorder = 0.0;
-    control_dup = 0.0;
+    control_loss = U.fraction 0.0;
+    control_reorder = U.fraction 0.0;
+    control_dup = U.fraction 0.0;
     loss_headroom_gain = 2.0;
-    max_headroom = 0.30;
+    max_headroom = U.fraction 0.30;
     seed = 1;
   }
 
@@ -79,10 +82,10 @@ type result = {
   metrics : Metrics.t;
   max_queue : int array;
   drops : int;
-  data_wire_bytes : float;
-  control_wire_bytes : float;
+  data_wire_bytes : U.bytes;
+  control_wire_bytes : U.bytes;
   recomputes : int;
-  rate_updates : (int * float) list;
+  rate_updates : (int * U.gbps) list;
   reselections : int;
   flows_rerouted : int;
   blackholes : int;
@@ -113,8 +116,8 @@ type result = {
   reconverge_samples : int list;
       (** ns from first divergent epoch to the next all-identical one *)
   terminal_diverged : int;  (** nodes still diverged when the run ended *)
-  loss_ewma : float;
-  effective_headroom : float;
+  loss_ewma : U.fraction;
+  effective_headroom : U.fraction;
 }
 
 type fstate = {
@@ -124,8 +127,8 @@ type fstate = {
   mutable proto : Routing.protocol;
   weight : float;
   priority : int;
-  mutable wf_links : (int * float) array;
-  demand : float option;  (** host cap, wire bytes per ns *)
+  mutable wf_links : (int * U.fraction) array;
+  demand : U.byte_rate option;  (** host cap, wire bytes per ns *)
   started_ns : int;
   mutable remaining : int;  (** payload bytes not yet injected *)
   mutable seq : int;
@@ -157,8 +160,8 @@ type t = {
   rng : Util.Rng.t;
   root_rng : Util.Rng.t;
   mtrcs : Metrics.t;
-  cap_bytes_ns : float;
-  capacities : float array;
+  cap_bytes_ns : float;  (** link capacity, wire bytes per ns (hot path, raw) *)
+  capacities : U.byte_rate array;
   active : (int, fstate) Hashtbl.t;
   all_states : (int, fstate) Hashtbl.t;  (** for per-node views that may lag *)
   views : (int, unit) Hashtbl.t array;  (** per-node traffic-matrix views (Per_node) *)
@@ -167,7 +170,7 @@ type t = {
   on_complete : (int, int -> unit) Hashtbl.t;
   mutable next_id : int;
   mutable recomputes : int;
-  mutable rate_updates : (int * float) list;
+  mutable rate_updates : (int * U.gbps) list;
   mutable rate_update_count : int;
   mutable loop_running : bool;
   mutable reselections : int;
@@ -429,7 +432,11 @@ and schedule_injection t st =
   let wire = min t.cfg.mtu (st.remaining + header) in
   (* A host-limited flow never injects above its demand, whatever the
      allocation says. *)
-  let pace = match st.demand with Some d -> Float.min st.rate d | None -> st.rate in
+  let pace =
+    match st.demand with
+    | Some d -> Float.min st.rate (d : U.byte_rate :> float)
+    | None -> st.rate
+  in
   let gap = int_of_float (ceil (float_of_int wire /. pace)) in
   let tnext = max (Engine.now t.eng) (st.last_inject + gap) in
   Engine.at t.eng tnext (fun () ->
@@ -478,15 +485,15 @@ let send_flow_broadcast t st event =
     | Wire.Flow_finish | Wire.Demand_update | Wire.Route_change -> ()
   end
 
-let apply_rate t st r =
-  let r = Float.max (0.001 *. t.cap_bytes_ns) r in
+let apply_rate t st (r : U.byte_rate) =
+  let r = Float.max (0.001 *. t.cap_bytes_ns) (r : U.byte_rate :> float) in
   if abs_float (r -. st.rate) > 1e-12 then begin
     st.rate <- r;
     if not st.done_sending then schedule_injection t st
   end;
   if t.rate_update_count < 10_000 then begin
     t.rate_update_count <- t.rate_update_count + 1;
-    t.rate_updates <- (Engine.now t.eng, r *. 8.0) :: t.rate_updates
+    t.rate_updates <- (Engine.now t.eng, U.gbps (r *. 8.0)) :: t.rate_updates
   end
 
 let wf_of st =
@@ -523,7 +530,8 @@ let recompute_per_node t =
         t.recomputes <- t.recomputes + 1;
         let wf = Array.map wf_of flows in
         let rates =
-          Congestion.Waterfill.allocate ~headroom:t.eff_headroom ~capacities:t.capacities wf
+          Congestion.Waterfill.allocate ~headroom:(U.fraction t.eff_headroom)
+            ~capacities:t.capacities wf
         in
         Array.iteri (fun i st -> if st.src = node then apply_rate t st rates.(i)) flows
       end)
@@ -560,10 +568,12 @@ let update_loss_ewma t =
       t.loss_ewma <-
         (0.8 *. t.loss_ewma) +. (0.2 *. (float_of_int dl /. float_of_int dh));
     t.eff_headroom <-
-      Float.min t.cfg.max_headroom
-        (t.cfg.headroom +. (t.cfg.loss_headroom_gain *. t.loss_ewma));
+      Float.min
+        (t.cfg.max_headroom : U.fraction :> float)
+        ((t.cfg.headroom : U.fraction :> float)
+        +. (t.cfg.loss_headroom_gain *. t.loss_ewma));
     match t.galloc with
-    | Some inc -> Congestion.Waterfill.Inc.set_headroom inc t.eff_headroom
+    | Some inc -> Congestion.Waterfill.Inc.set_headroom inc (U.fraction t.eff_headroom)
     | None -> ()
   end
 
@@ -666,7 +676,7 @@ let reselect t interval =
     (* §3.4: re-route only "if a significant improvement is possible" —
        near-ties would otherwise make flows flap between protocols. *)
     let changed = ref 0 in
-    if best > current *. 1.01 then
+    if (best : U.gbps :> float) > (current : U.gbps :> float) *. 1.01 then
       Array.iteri
         (fun i st ->
           if assignment.(i) <> st.proto then begin
@@ -945,7 +955,9 @@ let create cfg topo =
       ~hop_latency_ns:cfg.hop_latency_ns ()
   in
   let chaos_on =
-    cfg.control_loss > 0.0 || cfg.control_reorder > 0.0 || cfg.control_dup > 0.0
+    U.compare_q cfg.control_loss U.zero > 0
+    || U.compare_q cfg.control_reorder U.zero > 0
+    || U.compare_q cfg.control_dup U.zero > 0
   in
   if chaos_on then
     Net.set_control_chaos net ~seed:(chaos_seed cfg.seed) ~loss:cfg.control_loss
@@ -953,7 +965,8 @@ let create cfg topo =
   let bcast = Broadcast.make ~trees_per_source:cfg.trees_per_source topo in
   Net.set_broadcast net bcast;
   let nverts = Topology.vertex_count topo in
-  let capacities = Array.make (Topology.link_count topo) (cfg.link_gbps /. 8.0) in
+  let cap = U.byte_rate_of_gbps cfg.link_gbps in
+  let capacities = Array.make (Topology.link_count topo) cap in
   let t =
     {
       cfg;
@@ -965,7 +978,7 @@ let create cfg topo =
       rng = Util.Rng.create cfg.seed;
       root_rng = Util.Rng.create (cfg.seed + 7);
       mtrcs = Metrics.create ();
-      cap_bytes_ns = cfg.link_gbps /. 8.0;
+      cap_bytes_ns = U.to_float cap;
       capacities;
       active = Hashtbl.create 256;
       all_states = Hashtbl.create 256;
@@ -1015,7 +1028,7 @@ let create cfg topo =
       diverged_since = -1;
       reconverge_samples = [];
       loss_ewma = 0.0;
-      eff_headroom = cfg.headroom;
+      eff_headroom = (cfg.headroom : U.fraction :> float);
       prev_ctrl_hops = 0;
       prev_ctrl_lost = 0;
     }
@@ -1152,7 +1165,7 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
       priority;
       wf_links = Routing.fractions t.rctx protocol ~src ~dst;
       (* Gbps from the caller, wire bytes/ns internally. *)
-      demand = Option.map (fun gbps -> gbps /. 8.0) demand_gbps;
+      demand = Option.map U.byte_rate_of_gbps demand_gbps;
       started_ns = Engine.now t.eng;
       remaining = size;
       seq = 0;
@@ -1188,8 +1201,8 @@ let set_control_chaos_at t ~ns ~loss ~reorder ~dup =
   Engine.at t.eng ns (fun () ->
       Net.set_control_chaos t.net ~seed:(chaos_seed t.cfg.seed) ~loss ~reorder ~dup)
 
-let loss_ewma t = t.loss_ewma
-let effective_headroom t = t.eff_headroom
+let loss_ewma t = U.fraction t.loss_ewma
+let effective_headroom t = U.fraction t.eff_headroom
 
 let node_view_ids t ~node =
   if t.cfg.control <> Per_node then
@@ -1215,7 +1228,8 @@ let node_allocations t ~node =
   else begin
     let wf = Array.map wf_of flows in
     let rates =
-      Congestion.Waterfill.allocate ~headroom:t.eff_headroom ~capacities:t.capacities wf
+      Congestion.Waterfill.allocate ~headroom:(U.fraction t.eff_headroom)
+        ~capacities:t.capacities wf
     in
     Array.mapi (fun i st -> (st.idx, rates.(i))) flows
   end
@@ -1287,8 +1301,8 @@ let results t =
     divergence_epochs = t.divergence_epochs;
     reconverge_samples = List.rev t.reconverge_samples;
     terminal_diverged = diverged_nodes t;
-    loss_ewma = t.loss_ewma;
-    effective_headroom = t.eff_headroom;
+    loss_ewma = U.fraction t.loss_ewma;
+    effective_headroom = U.fraction t.eff_headroom;
   }
 
 let run ?(protocol_of = fun _ _ -> Routing.Rps) ?(demand_of = fun _ _ -> None) ?until_ns cfg

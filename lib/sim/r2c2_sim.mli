@@ -23,9 +23,9 @@ type control =
           its own water-filling for its own flows *)
 
 type config = {
-  link_gbps : float;
+  link_gbps : Util.Units.gbps;
   hop_latency_ns : int;
-  headroom : float;
+  headroom : Util.Units.fraction;
   recompute_interval_ns : int;
   mtu : int;  (** wire bytes per data packet, header included *)
   trees_per_source : int;
@@ -60,15 +60,17 @@ type config = {
   nack_delay_ns : int;
       (** delay from gap detection to the NACK (and between retries) *)
   bcast_log_cap : int;  (** origin replay-log depth per tree *)
-  control_loss : float;
+  control_loss : Util.Units.fraction;
       (** chaos: per-hop control-packet loss probability, [0, 1) *)
-  control_reorder : float;  (** per-hop extra-delay (reorder) probability *)
-  control_dup : float;  (** per-hop duplication probability *)
+  control_reorder : Util.Units.fraction;
+      (** per-hop extra-delay (reorder) probability *)
+  control_dup : Util.Units.fraction;  (** per-hop duplication probability *)
   loss_headroom_gain : float;
       (** graceful degradation: the waterfill reserves
           [min max_headroom (headroom + gain * loss EWMA)] instead of the
-          static [headroom], so stale views overbook less under loss *)
-  max_headroom : float;
+          static [headroom], so stale views overbook less under loss; a
+          dimensionless gain, so a raw float *)
+  max_headroom : Util.Units.fraction;
   seed : int;
 }
 
@@ -94,10 +96,11 @@ type result = {
   metrics : Metrics.t;
   max_queue : int array;  (** per-link peak occupancy, bytes *)
   drops : int;
-  data_wire_bytes : float;
-  control_wire_bytes : float;
+  data_wire_bytes : Util.Units.bytes;
+  control_wire_bytes : Util.Units.bytes;
   recomputes : int;  (** rate recomputation rounds executed *)
-  rate_updates : (int * float) list;  (** (time ns, allocated rate Gbps) samples *)
+  rate_updates : (int * Util.Units.gbps) list;
+      (** (time ns, allocated rate) samples *)
   reselections : int;  (** §3.4 routing-reselection rounds executed *)
   flows_rerouted : int;  (** flows whose protocol a reselection changed *)
   blackholes : int;  (** packets of any kind destroyed by dead links/nodes *)
@@ -138,8 +141,9 @@ type result = {
   terminal_diverged : int;
       (** nodes still disagreeing with the modal view when the run ended —
           0 is the steady-state correctness criterion *)
-  loss_ewma : float;  (** final observed control-loss estimate *)
-  effective_headroom : float;  (** final loss-scaled waterfill headroom *)
+  loss_ewma : Util.Units.fraction;  (** final observed control-loss estimate *)
+  effective_headroom : Util.Units.fraction;
+      (** final loss-scaled waterfill headroom *)
 }
 
 (** {2 Handle API — dynamic workloads} *)
@@ -160,7 +164,7 @@ val start_flow :
   ?weight:int ->
   ?priority:int ->
   ?protocol:Routing.protocol ->
-  ?demand_gbps:float ->
+  ?demand_gbps:Util.Units.gbps ->
   ?on_complete:(int -> unit) ->
   t ->
   src:int ->
@@ -209,7 +213,12 @@ val results : t -> result
     all of them are pure observers. *)
 
 val set_control_chaos_at :
-  t -> ns:int -> loss:float -> reorder:float -> dup:float -> unit
+  t ->
+  ns:int ->
+  loss:Util.Units.fraction ->
+  reorder:Util.Units.fraction ->
+  dup:Util.Units.fraction ->
+  unit
 (** Schedule a mid-run retune of the control-chaos rates at simulation time
     [ns] (e.g. start lossless, degrade, recover). The chaos RNG continues
     across retunes, so runs stay seed-deterministic. *)
@@ -229,19 +238,19 @@ val diverged_nodes : t -> int
 val node_view_ids : t -> node:int -> int list
 (** The flow ids in the node's view, ascending (Per_node only). *)
 
-val node_allocations : t -> node:int -> (int * float) array
+val node_allocations : t -> node:int -> (int * Util.Units.byte_rate) array
 (** The full rate vector the node computes from its current view — every
     flow it believes exists, in ascending id order. Nodes with identical
     views return byte-identical vectors (Per_node only). *)
 
-val loss_ewma : t -> float
-val effective_headroom : t -> float
+val loss_ewma : t -> Util.Units.fraction
+val effective_headroom : t -> Util.Units.fraction
 
 (** {2 Batch API — pre-generated workloads} *)
 
 val run :
   ?protocol_of:(int -> Workload.Flowgen.spec -> Routing.protocol) ->
-  ?demand_of:(int -> Workload.Flowgen.spec -> float option) ->
+  ?demand_of:(int -> Workload.Flowgen.spec -> Util.Units.gbps option) ->
   ?until_ns:int ->
   config ->
   Topology.t ->

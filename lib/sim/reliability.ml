@@ -92,6 +92,7 @@ let transfer eng cfg ~send_data ~send_ack ~ack_delay_ns ~data_delay_ns k =
   done
 
 let run_over_lossy_channel ?(seed = 1) ~loss cfg ~rtt_ns =
+  let loss = (loss : Util.Units.fraction :> float) in
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Reliability: loss out of range";
   let eng = Engine.create () in
   let rng = Util.Rng.create seed in

@@ -47,6 +47,6 @@ val transfer :
     final statistics when the transfer completes or aborts. *)
 
 val run_over_lossy_channel :
-  ?seed:int -> loss:float -> config -> rtt_ns:int -> stats
+  ?seed:int -> loss:Util.Units.fraction -> config -> rtt_ns:int -> stats
 (** Convenience harness: both directions drop independently with
     probability [loss]; one-way delay is [rtt_ns / 2]. *)

@@ -1,5 +1,5 @@
 type config = {
-  link_gbps : float;
+  link_gbps : Util.Units.gbps;
   hop_latency_ns : int;
   mtu : int;
   queue_capacity : int;
@@ -10,7 +10,7 @@ type config = {
 
 let default_config =
   {
-    link_gbps = 10.0;
+    link_gbps = Util.Units.gbps 10.0;
     hop_latency_ns = 100;
     mtu = 1500;
     queue_capacity = 64 * 1024;
@@ -24,7 +24,7 @@ type result = {
   max_queue : int array;
   drops : int;
   retransmits : int;
-  data_wire_bytes : float;
+  data_wire_bytes : Util.Units.bytes;
 }
 
 let header = Wire.data_header_size

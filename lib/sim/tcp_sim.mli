@@ -7,7 +7,7 @@
     queues are finite and tail-drop, which is TCP's congestion signal. *)
 
 type config = {
-  link_gbps : float;
+  link_gbps : Util.Units.gbps;
   hop_latency_ns : int;
   mtu : int;  (** wire bytes per data packet, header included *)
   queue_capacity : int;  (** bytes per output queue *)
@@ -25,7 +25,7 @@ type result = {
   max_queue : int array;
   drops : int;
   retransmits : int;
-  data_wire_bytes : float;
+  data_wire_bytes : Util.Units.bytes;
 }
 
 val run : ?until_ns:int -> config -> Topology.t -> Workload.Flowgen.spec list -> result

@@ -47,6 +47,7 @@ let fixed_size topo rng ~flows ~size ~mean_interarrival_ns =
     (poisson_arrivals rng ~flows ~mean_interarrival_ns)
 
 let permutation_long_flows topo rng ~load =
+  let load = (load : Util.Units.fraction :> float) in
   if load < 0.0 || load > 1.0 then invalid_arg "Flowgen.permutation_long_flows: load";
   let h = Topology.host_count topo in
   let sources = Util.Rng.permutation rng h in
@@ -73,20 +74,20 @@ let permutation_long_flows topo rng ~load =
 
 let short_fraction specs ~threshold =
   let n = List.length specs in
-  if n = 0 then 0.0
+  if n = 0 then Util.Units.fraction 0.0
   else begin
     let small = List.length (List.filter (fun s -> s.size < threshold) specs) in
-    float_of_int small /. float_of_int n
+    Util.Units.fraction (float_of_int small /. float_of_int n)
   end
 
 let bytes_in_small specs ~threshold =
   let total = List.fold_left (fun acc s -> acc +. float_of_int s.size) 0.0 specs in
-  if total = 0.0 then 0.0
+  if total = 0.0 then Util.Units.fraction 0.0
   else begin
     let small =
       List.fold_left
         (fun acc s -> if s.size < threshold then acc +. float_of_int s.size else acc)
         0.0 specs
     in
-    small /. total
+    Util.Units.fraction (small /. total)
   end

@@ -35,14 +35,15 @@ val fixed_size :
 (** Fig. 7 cross-validation workload: fixed-size flows, Poisson arrivals,
     uniform random pairs. *)
 
-val permutation_long_flows : Topology.t -> Util.Rng.t -> load:float -> spec list
+val permutation_long_flows :
+  Topology.t -> Util.Rng.t -> load:Util.Units.fraction -> spec list
 (** Fig. 18 workload: a fraction [load] of hosts each sources one
     long-running flow to a random host, with every host the source and
     destination of at most one flow. Long-running is encoded as
     [size = max_int / 2]. *)
 
-val short_fraction : spec list -> threshold:int -> float
+val short_fraction : spec list -> threshold:int -> Util.Units.fraction
 (** Fraction of flows smaller than [threshold] bytes. *)
 
-val bytes_in_small : spec list -> threshold:int -> float
+val bytes_in_small : spec list -> threshold:int -> Util.Units.fraction
 (** Fraction of payload bytes carried by flows smaller than [threshold]. *)

@@ -19,7 +19,11 @@ val flows : Topology.t -> t -> (int * int * float) list
     [Transpose] on unequal dimensions). *)
 
 val adversarial :
-  Routing.ctx -> Routing.protocol -> tries:int -> seed:int -> (int * int * float) list * float
+  Routing.ctx ->
+  Routing.protocol ->
+  tries:int ->
+  seed:int ->
+  (int * int * float) list * Util.Units.fraction
 (** Worst-case search: evaluates structured adversaries (tornado-like
     shifts, transpose, bit-complement, diagonal shifts) plus [tries] random
     permutations and returns the pattern minimizing the protocol's

@@ -3,32 +3,52 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
-let wf = Congestion.Waterfill.flow
+module U = Util.Units
+
+(* The tests state their instances in raw numbers; these shims wrap the
+   units at the boundary (and unwrap the resulting rates) so the known
+   answers below stay plain floats. *)
+let wf ?weight ?priority ?demand ~id links =
+  Congestion.Waterfill.flow ?weight ?priority
+    ?demand:(Option.map U.byte_rate demand)
+    ~id (U.pairs_of_floats links)
+
+let allocate ?headroom ~capacities flows =
+  U.floats_of
+    (Congestion.Waterfill.allocate
+       ?headroom:(Option.map U.fraction headroom)
+       ~capacities:(U.of_floats capacities) flows)
+
+let allocate_reference ?headroom ~capacities flows =
+  U.floats_of
+    (Congestion.Waterfill.allocate_reference
+       ?headroom:(Option.map U.fraction headroom)
+       ~capacities:(U.of_floats capacities) flows)
 
 let single_flow_gets_capacity () =
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 10.0 |] [| wf ~id:0 [| (0, 1.0) |] |] in
+  let rates = allocate ~capacities:[| 10.0 |] [| wf ~id:0 [| (0, 1.0) |] |] in
   Alcotest.(check (float 1e-9)) "full link" 10.0 rates.(0)
 
 let two_flows_share_equally () =
   let flows = [| wf ~id:0 [| (0, 1.0) |]; wf ~id:1 [| (0, 1.0) |] |] in
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 10.0 |] flows in
+  let rates = allocate ~capacities:[| 10.0 |] flows in
   Alcotest.(check (float 1e-9)) "half" 5.0 rates.(0);
   Alcotest.(check (float 1e-9)) "half" 5.0 rates.(1)
 
 let weighted_sharing () =
   let flows = [| wf ~weight:3.0 ~id:0 [| (0, 1.0) |]; wf ~weight:1.0 ~id:1 [| (0, 1.0) |] |] in
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 8.0 |] flows in
+  let rates = allocate ~capacities:[| 8.0 |] flows in
   Alcotest.(check (float 1e-9)) "3:1 split" 6.0 rates.(0);
   Alcotest.(check (float 1e-9)) "3:1 split" 2.0 rates.(1)
 
 let headroom_respected () =
   let flows = [| wf ~id:0 [| (0, 1.0) |] |] in
-  let rates = Congestion.Waterfill.allocate ~headroom:0.05 ~capacities:[| 10.0 |] flows in
+  let rates = allocate ~headroom:0.05 ~capacities:[| 10.0 |] flows in
   Alcotest.(check (float 1e-9)) "95% of link" 9.5 rates.(0)
 
 let demand_caps_rate () =
   let flows = [| wf ~demand:2.0 ~id:0 [| (0, 1.0) |]; wf ~id:1 [| (0, 1.0) |] |] in
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 10.0 |] flows in
+  let rates = allocate ~capacities:[| 10.0 |] flows in
   Alcotest.(check (float 1e-9)) "capped at demand" 2.0 rates.(0);
   Alcotest.(check (float 1e-9)) "rest to the other" 8.0 rates.(1)
 
@@ -36,7 +56,7 @@ let priority_rounds () =
   let flows =
     [| wf ~priority:0 ~id:0 [| (0, 1.0) |]; wf ~priority:1 ~id:1 [| (0, 1.0) |] |]
   in
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 10.0 |] flows in
+  let rates = allocate ~capacities:[| 10.0 |] flows in
   Alcotest.(check (float 1e-9)) "high priority takes all" 10.0 rates.(0);
   Alcotest.(check (float 1e-9)) "low priority starved" 0.0 rates.(1)
 
@@ -44,7 +64,7 @@ let priority_with_demand_leftover () =
   let flows =
     [| wf ~priority:0 ~demand:4.0 ~id:0 [| (0, 1.0) |]; wf ~priority:1 ~id:1 [| (0, 1.0) |] |]
   in
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 10.0 |] flows in
+  let rates = allocate ~capacities:[| 10.0 |] flows in
   Alcotest.(check (float 1e-9)) "demand met" 4.0 rates.(0);
   Alcotest.(check (float 1e-9)) "leftover to next round" 6.0 rates.(1)
 
@@ -56,7 +76,7 @@ let paper_fig4_example () =
   let capacities = [| 1.0; 1.0; 1.0; 1.0 |] in
   let f1 = wf ~id:1 [| (0, 0.5); (1, 0.5); (2, 0.5) |] in
   let f2 = wf ~id:2 [| (3, 1.0); (2, 1.0) |] in
-  let rates = Congestion.Waterfill.allocate ~capacities [| f1; f2 |] in
+  let rates = allocate ~capacities [| f1; f2 |] in
   Alcotest.(check (float 1e-6)) "f1 = 2/3" (2.0 /. 3.0) rates.(0);
   Alcotest.(check (float 1e-6)) "f2 = 2/3" (2.0 /. 3.0) rates.(1)
 
@@ -68,7 +88,7 @@ let multilink_bottleneck () =
       wf ~id:0 [| (0, 1.0); (1, 1.0) |]; wf ~id:1 [| (1, 1.0) |]; wf ~id:2 [| (0, 1.0) |];
     |]
   in
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 10.0; 4.0 |] flows in
+  let rates = allocate ~capacities:[| 10.0; 4.0 |] flows in
   Alcotest.(check (float 1e-6)) "A limited by link1" 2.0 rates.(0);
   Alcotest.(check (float 1e-6)) "B limited by link1" 2.0 rates.(1);
   Alcotest.(check (float 1e-6)) "C takes the slack on link0" 8.0 rates.(2)
@@ -76,26 +96,26 @@ let multilink_bottleneck () =
 let fractional_load () =
   (* A flow spraying over two links at 0.5 each loads each at rate/2. *)
   let flows = [| wf ~id:0 [| (0, 0.5); (1, 0.5) |] |] in
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 1.0; 1.0 |] flows in
+  let rates = allocate ~capacities:[| 1.0; 1.0 |] flows in
   Alcotest.(check (float 1e-9)) "rate 2 with half fractions" 2.0 rates.(0)
 
 let empty_flow_list () =
-  let rates = Congestion.Waterfill.allocate ~capacities:[| 1.0 |] [||] in
+  let rates = allocate ~capacities:[| 1.0 |] [||] in
   Alcotest.(check int) "empty result" 0 (Array.length rates)
 
 let invalid_inputs_rejected () =
   Alcotest.check_raises "bad weight" (Invalid_argument "Waterfill: non-positive weight")
     (fun () ->
       ignore
-        (Congestion.Waterfill.allocate ~capacities:[| 1.0 |]
+        (allocate ~capacities:[| 1.0 |]
            [| wf ~weight:0.0 ~id:0 [| (0, 1.0) |] |]));
   Alcotest.check_raises "bad link id" (Invalid_argument "Waterfill: link id out of range")
     (fun () ->
-      ignore (Congestion.Waterfill.allocate ~capacities:[| 1.0 |] [| wf ~id:0 [| (7, 1.0) |] |]));
+      ignore (allocate ~capacities:[| 1.0 |] [| wf ~id:0 [| (7, 1.0) |] |]));
   Alcotest.check_raises "bad headroom" (Invalid_argument "Waterfill: headroom out of range")
     (fun () ->
       ignore
-        (Congestion.Waterfill.allocate ~headroom:1.0 ~capacities:[| 1.0 |]
+        (allocate ~headroom:1.0 ~capacities:[| 1.0 |]
            [| wf ~id:0 [| (0, 1.0) |] |]))
 
 (* Random instances for the property tests. *)
@@ -133,16 +153,19 @@ let qcheck_capacity_feasible =
   QCheck.Test.make ~name:"allocation never exceeds capacity" ~count:300
     (QCheck.make gen_instance) (fun (caps, specs) ->
       let flows = build_flows specs in
-      let rates = Congestion.Waterfill.allocate ~capacities:caps flows in
-      let util = Congestion.Waterfill.link_utilization ~capacities:caps flows rates in
-      Array.for_all (fun u -> u <= 1.0 +. 1e-6) util)
+      let rates = allocate ~capacities:caps flows in
+      let util =
+        Congestion.Waterfill.link_utilization ~capacities:(U.of_floats caps) flows
+          (U.of_floats rates)
+      in
+      Array.for_all (fun u -> U.to_float u <= 1.0 +. 1e-6) util)
 
 let qcheck_fast_equals_reference =
   QCheck.Test.make ~name:"efficient variant = reference water-filling" ~count:300
     (QCheck.make gen_instance) (fun (caps, specs) ->
       let flows = build_flows specs in
-      let a = Congestion.Waterfill.allocate ~headroom:0.05 ~capacities:caps flows in
-      let b = Congestion.Waterfill.allocate_reference ~headroom:0.05 ~capacities:caps flows in
+      let a = allocate ~headroom:0.05 ~capacities:caps flows in
+      let b = allocate_reference ~headroom:0.05 ~capacities:caps flows in
       Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-6 *. (1.0 +. abs_float y)) a b)
 
 let qcheck_max_min_property =
@@ -151,18 +174,21 @@ let qcheck_max_min_property =
   QCheck.Test.make ~name:"no flow starved with slack everywhere" ~count:300
     (QCheck.make gen_instance) (fun (caps, specs) ->
       let flows = build_flows specs in
-      let rates = Congestion.Waterfill.allocate ~capacities:caps flows in
+      let rates = allocate ~capacities:caps flows in
       let load = Array.make (Array.length caps) 0.0 in
       Array.iteri
         (fun i f ->
           Array.iter
-            (fun (l, frac) -> load.(l) <- load.(l) +. (rates.(i) *. frac))
+            (fun (l, frac) ->
+              load.(l) <- load.(l) +. (rates.(i) *. (frac : U.fraction :> float)))
             f.Congestion.Waterfill.links)
         flows;
       Array.for_all2
         (fun f r ->
           let demand_met =
-            match f.Congestion.Waterfill.demand with Some d -> r >= d -. 1e-6 | None -> false
+            match f.Congestion.Waterfill.demand with
+            | Some d -> r >= (d : U.byte_rate :> float) -. 1e-6
+            | None -> false
           in
           let some_link_tight =
             Array.exists
@@ -176,10 +202,12 @@ let qcheck_demand_never_exceeded =
   QCheck.Test.make ~name:"rates never exceed demand" ~count:300 (QCheck.make gen_instance)
     (fun (caps, specs) ->
       let flows = build_flows specs in
-      let rates = Congestion.Waterfill.allocate ~capacities:caps flows in
+      let rates = allocate ~capacities:caps flows in
       Array.for_all2
         (fun f r ->
-          match f.Congestion.Waterfill.demand with Some d -> r <= d +. 1e-6 | None -> true)
+          match f.Congestion.Waterfill.demand with
+          | Some d -> r <= (d : U.byte_rate :> float) +. 1e-6
+          | None -> true)
         flows rates)
 
 let qcheck_fast_equals_reference_dense =
@@ -195,11 +223,11 @@ let qcheck_fast_equals_reference_dense =
             let src = Util.Rng.int rng 16 in
             let dst = (src + 1 + Util.Rng.int rng 15) mod 16 in
             let proto = if i mod 2 = 0 then Routing.Vlb else Routing.Wlb in
-            wf ~id:i (Routing.fractions ctx proto ~src ~dst))
+            Congestion.Waterfill.flow ~id:i (Routing.fractions ctx proto ~src ~dst))
       in
       let capacities = Array.make (Topology.link_count (Routing.topo ctx)) 1.25 in
-      let a = Congestion.Waterfill.allocate ~headroom:0.05 ~capacities flows in
-      let b = Congestion.Waterfill.allocate_reference ~headroom:0.05 ~capacities flows in
+      let a = allocate ~headroom:0.05 ~capacities flows in
+      let b = allocate_reference ~headroom:0.05 ~capacities flows in
       Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-6 *. (1.0 +. abs_float y)) a b)
 
 (* -- channel load --------------------------------------------------------- *)
@@ -207,7 +235,7 @@ let qcheck_fast_equals_reference_dense =
 let channel_load_uniform_rps () =
   let ctx = Routing.make (Topology.torus [| 8; 8 |]) in
   let flows = Workload.Pattern.flows (Routing.topo ctx) Workload.Pattern.Uniform in
-  let v = Congestion.Channel_load.capacity_fraction ctx Routing.Rps flows in
+  let v = U.to_float (Congestion.Channel_load.capacity_fraction ctx Routing.Rps flows) in
   Alcotest.(check bool) "uniform RPS ~ 1.0" true (abs_float (v -. 1.0) < 0.05)
 
 let channel_load_vlb_half () =
@@ -215,7 +243,7 @@ let channel_load_vlb_half () =
   List.iter
     (fun pattern ->
       let flows = Workload.Pattern.flows (Routing.topo ctx) pattern in
-      let v = Congestion.Channel_load.capacity_fraction ctx Routing.Vlb flows in
+      let v = U.to_float (Congestion.Channel_load.capacity_fraction ctx Routing.Vlb flows) in
       Alcotest.(check bool)
         (Printf.sprintf "VLB = 0.5 on %s" (Workload.Pattern.name pattern))
         true
@@ -225,13 +253,13 @@ let channel_load_vlb_half () =
 let channel_load_tornado_dor () =
   let ctx = Routing.make (Topology.torus [| 8; 8 |]) in
   let flows = Workload.Pattern.flows (Routing.topo ctx) Workload.Pattern.Tornado in
-  let v = Congestion.Channel_load.capacity_fraction ctx Routing.Dor flows in
+  let v = U.to_float (Congestion.Channel_load.capacity_fraction ctx Routing.Dor flows) in
   Alcotest.(check bool) "tornado DOR ~ 1/3" true (abs_float (v -. (1.0 /. 3.0)) < 0.02)
 
 let channel_load_nn_minimal () =
   let ctx = Routing.make (Topology.torus [| 8; 8 |]) in
   let flows = Workload.Pattern.flows (Routing.topo ctx) Workload.Pattern.Nearest_neighbor in
-  let v = Congestion.Channel_load.capacity_fraction ctx Routing.Rps flows in
+  let v = U.to_float (Congestion.Channel_load.capacity_fraction ctx Routing.Rps flows) in
   Alcotest.(check (float 1e-6)) "nearest neighbor = 4" 4.0 v
 
 (* -- demand estimation ---------------------------------------------------- *)
@@ -240,18 +268,18 @@ let demand_estimator_converges () =
   let d = Congestion.Demand.create ~period_ns:1000 () in
   (* Flow allocated 1 B/ns but queuing 500 B per period: demand 1.5. *)
   for _ = 1 to 20 do
-    Congestion.Demand.observe d ~rate:1.0 ~queued_bytes:500.0
+    Congestion.Demand.observe d ~rate:(U.byte_rate 1.0) ~queued_bytes:(U.bytes 500.0)
   done;
-  Alcotest.(check bool) "estimate near 1.5" true
-    (abs_float (Congestion.Demand.estimate d -. 1.5) < 0.01)
+  let est = U.to_float (Congestion.Demand.estimate d) in
+  Alcotest.(check bool) "estimate near 1.5" true (abs_float (est -. 1.5) < 0.01)
 
 let demand_host_limited_detection () =
   let d = Congestion.Demand.create ~period_ns:1000 () in
-  Congestion.Demand.observe d ~rate:0.4 ~queued_bytes:0.0;
+  Congestion.Demand.observe d ~rate:(U.byte_rate 0.4) ~queued_bytes:(U.bytes 0.0);
   Alcotest.(check bool) "host limited vs 1.0 allocation" true
-    (Congestion.Demand.is_host_limited d ~allocation:1.0);
+    (Congestion.Demand.is_host_limited d ~allocation:(U.byte_rate 1.0));
   Alcotest.(check bool) "not limited vs 0.3" false
-    (Congestion.Demand.is_host_limited d ~allocation:0.3)
+    (Congestion.Demand.is_host_limited d ~allocation:(U.byte_rate 0.3))
 
 let suites =
   [

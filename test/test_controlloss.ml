@@ -21,7 +21,10 @@ let reliability_dedup_under_loss () =
       rtx_cap_ns = 200_000;
     }
   in
-  let s = Sim.Reliability.run_over_lossy_channel ~seed:3 ~loss:0.3 cfg ~rtt_ns:2_000 in
+  let s =
+    Sim.Reliability.run_over_lossy_channel ~seed:3 ~loss:(Util.Units.fraction 0.3) cfg
+      ~rtt_ns:2_000
+  in
   Alcotest.(check bool) "completed" true s.Sim.Reliability.completed;
   Alcotest.(check int) "each packet delivered exactly once" cfg.Sim.Reliability.packets
     s.Sim.Reliability.delivered;
@@ -168,28 +171,28 @@ let watchdog_repairs_diverged_view () =
 
 let loss_ewma_scales_headroom () =
   let st, _ = mk_stack () in
-  let base = (R2c2.Stack.config st).R2c2.Stack.headroom in
+  let base = Util.Units.to_float (R2c2.Stack.config st).R2c2.Stack.headroom in
   Alcotest.(check (float 1e-9)) "starts at configured headroom" base
-    (R2c2.Stack.effective_headroom st);
+    (Util.Units.to_float (R2c2.Stack.effective_headroom st));
   R2c2.Stack.note_control_loss st ~sent:100 ~lost:10;
   Alcotest.(check (float 1e-9)) "EWMA weights the sample by 0.2" 0.02
-    (R2c2.Stack.loss_ewma st);
+    (Util.Units.to_float (R2c2.Stack.loss_ewma st));
   Alcotest.(check (float 1e-9)) "headroom grows with observed loss" (base +. (2.0 *. 0.02))
-    (R2c2.Stack.effective_headroom st);
+    (Util.Units.to_float (R2c2.Stack.effective_headroom st));
   (* Persistent heavy loss saturates at the cap, never at an allocator-
      breaking value. *)
   for _ = 1 to 50 do
     R2c2.Stack.note_control_loss st ~sent:10 ~lost:9
   done;
   Alcotest.(check (float 1e-9)) "capped at max_headroom"
-    (R2c2.Stack.config st).R2c2.Stack.max_headroom
-    (R2c2.Stack.effective_headroom st);
+    (Util.Units.to_float (R2c2.Stack.config st).R2c2.Stack.max_headroom)
+    (Util.Units.to_float (R2c2.Stack.effective_headroom st));
   (* A clean interval decays the estimate and the reserve follows. *)
   for _ = 1 to 50 do
     R2c2.Stack.note_control_loss st ~sent:100 ~lost:0
   done;
   Alcotest.(check bool) "recovers toward the base" true
-    (R2c2.Stack.effective_headroom st < base +. 0.01);
+    (Util.Units.to_float (R2c2.Stack.effective_headroom st) < base +. 0.01);
   Alcotest.check_raises "lost > sent rejected"
     (Invalid_argument "Stack.note_control_loss") (fun () ->
       R2c2.Stack.note_control_loss st ~sent:1 ~lost:2)
@@ -205,9 +208,9 @@ let sim_cfg ?(loss = 0.0) ?(reorder = 0.0) ?(dup = 0.0) ?(seed = 7) () =
     reliable_bcast = true;
     recompute_interval_ns = interval;
     digest_interval_ns = 50_000;
-    control_loss = loss;
-    control_reorder = reorder;
-    control_dup = dup;
+    control_loss = Util.Units.fraction loss;
+    control_reorder = Util.Units.fraction reorder;
+    control_dup = Util.Units.fraction dup;
     seed;
   }
 
@@ -279,7 +282,8 @@ let identical_allocations_after_2pct_loss () =
   let topo = Topology.torus [| 3; 3; 3 |] in
   let t = Sim.R2c2_sim.create (sim_cfg ~loss:0.02 ()) topo in
   (* Lossy for the first 600 us, clean afterwards. *)
-  Sim.R2c2_sim.set_control_chaos_at t ~ns:600_000 ~loss:0.0 ~reorder:0.0 ~dup:0.0;
+  Sim.R2c2_sim.set_control_chaos_at t ~ns:600_000 ~loss:(Util.Units.fraction 0.0) ~reorder:(Util.Units.fraction 0.0)
+    ~dup:(Util.Units.fraction 0.0);
   permutation t topo ~size:3_000_000;
   Sim.R2c2_sim.run_engine ~until_ns:1_500_000 t;
   let h = Topology.host_count topo in

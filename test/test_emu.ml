@@ -3,6 +3,8 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
+module U = Util.Units
+
 let torus44 = lazy (Topology.torus [| 4; 4 |])
 
 let fluid_completes_all () =
@@ -14,7 +16,7 @@ let fluid_completes_all () =
   List.iter
     (fun (f : Emu.Fluid.flow_result) ->
       Alcotest.(check bool) "positive fct" true (f.fct_ns > 0);
-      Alcotest.(check bool) "sane rate" true (f.avg_rate_gbps > 0.0))
+      Alcotest.(check bool) "sane rate" true ((f.avg_rate_gbps : U.gbps :> float) > 0.0))
     r.Emu.Fluid.flows
 
 let fluid_single_flow_rate () =
@@ -27,8 +29,8 @@ let fluid_single_flow_rate () =
   | [ f ] ->
       (* A lone flow runs at line rate (the first epoch schedules it at
          95%, but it starts unthrottled). *)
-      Alcotest.(check bool) (Printf.sprintf "near line rate (%.2f)" f.avg_rate_gbps) true
-        (f.avg_rate_gbps > 8.5)
+      let rate = U.to_float f.avg_rate_gbps in
+      Alcotest.(check bool) (Printf.sprintf "near line rate (%.2f)" rate) true (rate > 8.5)
   | _ -> Alcotest.fail "expected one flow"
 
 let fluid_fair_sharing () =
@@ -37,10 +39,9 @@ let fluid_fair_sharing () =
   let r = Emu.Fluid.run Emu.Fluid.default_config topo [ mk 1; mk 2 ] in
   match r.Emu.Fluid.flows with
   | [ a; b ] ->
-      Alcotest.(check bool)
-        (Printf.sprintf "fair (%.2f vs %.2f)" a.avg_rate_gbps b.avg_rate_gbps)
-        true
-        (abs_float (a.avg_rate_gbps -. b.avg_rate_gbps) < 1.5)
+      let ra = U.to_float a.avg_rate_gbps and rb = U.to_float b.avg_rate_gbps in
+      Alcotest.(check bool) (Printf.sprintf "fair (%.2f vs %.2f)" ra rb) true
+        (abs_float (ra -. rb) < 1.5)
   | _ -> Alcotest.fail "expected two flows"
 
 let fluid_deterministic () =
@@ -59,10 +60,13 @@ let fluid_cross_validates_simulator () =
   let specs = Workload.Flowgen.fixed_size topo rng ~flows:100 ~size:1_000_000 ~mean_interarrival_ns:100_000.0 in
   let sim = Sim.R2c2_sim.run Sim.R2c2_sim.default_config topo specs in
   let emu = Emu.Fluid.run Emu.Fluid.default_config topo specs in
-  let sim_med = Util.Stats.median (Sim.Metrics.throughputs_gbps sim.Sim.R2c2_sim.metrics) in
+  let sim_med =
+    Util.Stats.median (U.floats_of (Sim.Metrics.throughputs_gbps sim.Sim.R2c2_sim.metrics))
+  in
   let emu_med =
     Util.Stats.median
-      (Array.of_list (List.map (fun (f : Emu.Fluid.flow_result) -> f.avg_rate_gbps) emu.Emu.Fluid.flows))
+      (Array.of_list
+         (List.map (fun (f : Emu.Fluid.flow_result) -> U.to_float f.avg_rate_gbps) emu.Emu.Fluid.flows))
   in
   Alcotest.(check bool)
     (Printf.sprintf "medians within 15%% (sim %.2f, emu %.2f)" sim_med emu_med)
@@ -78,7 +82,7 @@ let fluid_queue_estimate_grows_under_burst () =
         { Workload.Flowgen.arrival_ns = 0; src = i + 1; dst = 0; size = 5_000_000; weight = 1; priority = 0 })
   in
   let r = Emu.Fluid.run Emu.Fluid.default_config topo specs in
-  let peak = Array.fold_left max 0.0 r.Emu.Fluid.max_queue_bytes in
+  let peak = Array.fold_left max 0.0 (U.floats_of r.Emu.Fluid.max_queue_bytes) in
   Alcotest.(check bool) "queues grew" true (peak > 0.0)
 
 let fluid_until_cuts_off () =

@@ -62,34 +62,44 @@ let random_search_bounded () =
 
 let selector_ctx = lazy (Routing.make (Topology.torus [| 4; 4; 4 |]))
 
+module U = Util.Units
+
+let mk_selector ?utility () =
+  Genetic.Selector.make ?utility (Lazy.force selector_ctx) ~link_gbps:(U.gbps 10.0)
+
 let permutation_flows load seed =
   let topo = Routing.topo (Lazy.force selector_ctx) in
   let rng = Util.Rng.create seed in
-  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load in
+  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction load) in
   Array.of_list (List.map (fun (s : Workload.Flowgen.spec) -> (s.src, s.dst)) specs)
 
 let selector_uniform_matches_manual () =
-  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  let sel = mk_selector () in
   let flows = permutation_flows 0.5 3 in
   let manual =
-    Genetic.Selector.aggregate_throughput_gbps sel ~flows
-      (Array.make (Array.length flows) Routing.Rps)
+    U.to_float
+      (Genetic.Selector.aggregate_throughput_gbps sel ~flows
+         (Array.make (Array.length flows) Routing.Rps))
   in
   Alcotest.(check (float 1e-9)) "uniform = all-same assignment" manual
-    (Genetic.Selector.uniform sel ~flows Routing.Rps)
+    (U.to_float (Genetic.Selector.uniform sel ~flows Routing.Rps))
 
 let selector_beats_or_matches_baselines () =
   (* The GA-selected assignment must never be worse than either uniform
      baseline (the paper's Fig. 18 claim: ratio always >= 1). *)
-  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  let sel = mk_selector () in
   List.iter
     (fun load ->
       let flows = permutation_flows load (17 + int_of_float (load *. 10.0)) in
       let rng = Util.Rng.create 23 in
       let init = Array.make (Array.length flows) Routing.Rps in
-      let rps = Genetic.Selector.uniform sel ~flows Routing.Rps in
-      let vlb = Genetic.Selector.uniform sel ~flows Routing.Vlb in
-      let _, adaptive = Genetic.Selector.select ~pop_size:30 ~generations:10 sel rng ~flows ~init in
+      let rps = U.to_float (Genetic.Selector.uniform sel ~flows Routing.Rps) in
+      let vlb = U.to_float (Genetic.Selector.uniform sel ~flows Routing.Vlb) in
+      let sel_assignment, adaptive_q =
+        Genetic.Selector.select ~pop_size:30 ~generations:10 sel rng ~flows ~init
+      in
+      ignore sel_assignment;
+      let adaptive = U.to_float adaptive_q in
       Alcotest.(check bool)
         (Printf.sprintf "load %.2f: adaptive %.1f >= max(rps %.1f, vlb %.1f)" load adaptive rps vlb)
         true
@@ -99,12 +109,13 @@ let selector_beats_or_matches_baselines () =
 let selector_low_load_prefers_nonminimal_sometimes () =
   (* At low load VLB's extra capacity helps; the adaptive assignment should
      strictly beat all-RPS at least somewhere. *)
-  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  let sel = mk_selector () in
   let flows = permutation_flows 0.125 29 in
   let rng = Util.Rng.create 31 in
   let init = Array.make (Array.length flows) Routing.Rps in
-  let rps = Genetic.Selector.uniform sel ~flows Routing.Rps in
-  let _, adaptive = Genetic.Selector.select ~pop_size:40 ~generations:12 sel rng ~flows ~init in
+  let rps = U.to_float (Genetic.Selector.uniform sel ~flows Routing.Rps) in
+  let _, adaptive_q = Genetic.Selector.select ~pop_size:40 ~generations:12 sel rng ~flows ~init in
+  let adaptive = U.to_float adaptive_q in
   Alcotest.(check bool)
     (Printf.sprintf "adaptive %.2f > rps %.2f" adaptive rps)
     true (adaptive >= rps)
@@ -112,23 +123,21 @@ let selector_low_load_prefers_nonminimal_sometimes () =
 let selector_tail_utility () =
   (* Tail utility optimizes the worst flow; must also never fall below the
      uniform baselines under the same metric. *)
-  let sel =
-    Genetic.Selector.make ~utility:Genetic.Selector.Tail_throughput (Lazy.force selector_ctx)
-      ~link_gbps:10.0
-  in
+  let sel = mk_selector ~utility:Genetic.Selector.Tail_throughput () in
   let flows = permutation_flows 0.5 41 in
   let rng = Util.Rng.create 43 in
   let init = Array.make (Array.length flows) Routing.Rps in
-  let rps = Genetic.Selector.uniform sel ~flows Routing.Rps in
-  let vlb = Genetic.Selector.uniform sel ~flows Routing.Vlb in
-  let _, best = Genetic.Selector.select ~pop_size:30 ~generations:8 sel rng ~flows ~init in
+  let rps = U.to_float (Genetic.Selector.uniform sel ~flows Routing.Rps) in
+  let vlb = U.to_float (Genetic.Selector.uniform sel ~flows Routing.Vlb) in
+  let _, best_q = Genetic.Selector.select ~pop_size:30 ~generations:8 sel rng ~flows ~init in
+  let best = U.to_float best_q in
   Alcotest.(check bool)
     (Printf.sprintf "tail %.2f >= max(%.2f, %.2f)" best rps vlb)
     true
     (best >= Float.max rps vlb -. 1e-6);
   (* Tail <= aggregate / flows for any assignment. *)
-  let agg = Genetic.Selector.aggregate_throughput_gbps sel ~flows init in
-  let tail = Genetic.Selector.utility_gbps sel ~flows init in
+  let agg = U.to_float (Genetic.Selector.aggregate_throughput_gbps sel ~flows init) in
+  let tail = U.to_float (Genetic.Selector.utility_gbps sel ~flows init) in
   Alcotest.(check bool) "tail below mean" true
     (tail <= (agg /. float_of_int (Array.length flows)) +. 1e-6)
 
@@ -136,35 +145,24 @@ let selector_tenant_tail () =
   let flows = permutation_flows 0.5 47 in
   let n = Array.length flows in
   let tenants = Array.init n (fun i -> i mod 2) in
-  let sel =
-    Genetic.Selector.make
-      ~utility:(Genetic.Selector.Tenant_tail tenants)
-      (Lazy.force selector_ctx) ~link_gbps:10.0
-  in
+  let sel = mk_selector ~utility:(Genetic.Selector.Tenant_tail tenants) () in
   let assignment = Array.make n Routing.Rps in
-  let per_flow_sel =
-    Genetic.Selector.make ~utility:Genetic.Selector.Aggregate_throughput
-      (Lazy.force selector_ctx) ~link_gbps:10.0
-  in
-  let agg = Genetic.Selector.aggregate_throughput_gbps per_flow_sel ~flows assignment in
-  let tenant_tail = Genetic.Selector.utility_gbps sel ~flows assignment in
+  let per_flow_sel = mk_selector ~utility:Genetic.Selector.Aggregate_throughput () in
+  let agg = U.to_float (Genetic.Selector.aggregate_throughput_gbps per_flow_sel ~flows assignment) in
+  let tenant_tail = U.to_float (Genetic.Selector.utility_gbps sel ~flows assignment) in
   (* The worse tenant holds at most half the aggregate. *)
   Alcotest.(check bool) "tenant tail <= aggregate/2" true (tenant_tail <= (agg /. 2.0) +. 1e-6);
   Alcotest.(check bool) "positive" true (tenant_tail > 0.0)
 
 let selector_tenant_tail_validates () =
   let flows = permutation_flows 0.25 53 in
-  let sel =
-    Genetic.Selector.make
-      ~utility:(Genetic.Selector.Tenant_tail [| 0 |])
-      (Lazy.force selector_ctx) ~link_gbps:10.0
-  in
+  let sel = mk_selector ~utility:(Genetic.Selector.Tenant_tail [| 0 |]) () in
   Alcotest.check_raises "bad tenant map"
     (Invalid_argument "Selector: tenant map length mismatch") (fun () ->
       ignore (Genetic.Selector.utility_gbps sel ~flows (Array.make (Array.length flows) Routing.Rps)))
 
 let selector_rejects_bad_lengths () =
-  let sel = Genetic.Selector.make (Lazy.force selector_ctx) ~link_gbps:10.0 in
+  let sel = mk_selector () in
   let flows = permutation_flows 0.25 37 in
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Selector: assignment length mismatch") (fun () ->

@@ -5,11 +5,19 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
+module U = Util.Units
+
+(* Wrap/unwrap shims so the scenarios below stay in raw numbers. *)
+let lk = U.pairs_of_floats
+let caps = U.of_floats
+let inc_rate inc ~id = U.to_float (Congestion.Waterfill.Inc.rate inc ~id)
+
 (* Mirror of the incremental state kept as plain lists, re-allocated from
    scratch for the oracle on every epoch. *)
 type mirror = {
   mutable next_id : int;
-  mutable live : (int * float * int * float option * (int * float) array) list;
+  mutable live :
+    (int * float * int * U.byte_rate option * (int * U.fraction) array) list;
       (* id, weight, priority, demand, links *)
 }
 
@@ -21,7 +29,8 @@ let random_links ctx rng =
   let dst = (src + 1 + Util.Rng.int rng (h - 1)) mod h in
   Routing.fractions ctx (Util.Rng.pick rng protocols) ~src ~dst
 
-let random_demand rng = if Util.Rng.bool rng then Some (Util.Rng.float rng 2.0) else None
+let random_demand rng =
+  if Util.Rng.bool rng then Some (U.byte_rate (Util.Rng.float rng 2.0)) else None
 
 let apply_random_op ctx rng inc m =
   let n = List.length m.live in
@@ -65,10 +74,12 @@ let check_against_reference ~headroom ~capacities inc m =
            Congestion.Waterfill.flow ~weight ~priority ?demand ~id links)
          m.live)
   in
-  let expected = Congestion.Waterfill.allocate_reference ~headroom ~capacities flows in
+  let expected =
+    U.floats_of (Congestion.Waterfill.allocate_reference ~headroom ~capacities flows)
+  in
   Array.iteri
     (fun i f ->
-      let got = Congestion.Waterfill.Inc.rate inc ~id:f.Congestion.Waterfill.id in
+      let got = inc_rate inc ~id:f.Congestion.Waterfill.id in
       Alcotest.(check (float 1e-6))
         (Printf.sprintf "flow %d" f.Congestion.Waterfill.id)
         expected.(i) got)
@@ -79,8 +90,8 @@ let check_against_reference ~headroom ~capacities inc m =
 let inc_matches_reference_on_churn () =
   let topo = Topology.torus [| 4; 4 |] in
   let ctx = Routing.make topo in
-  let capacities = Array.make (Topology.link_count topo) 1.25 in
-  let headroom = 0.05 in
+  let capacities = Array.make (Topology.link_count topo) (U.byte_rate 1.25) in
+  let headroom = U.fraction 0.05 in
   let rng = Util.Rng.create 42 in
   for _seq = 1 to 200 do
     let inc = Congestion.Waterfill.Inc.create ~headroom ~capacities () in
@@ -99,15 +110,15 @@ let inc_matches_reference_on_churn () =
 let clean_epoch_zero_heap_ops () =
   let topo = Topology.torus [| 4; 4 |] in
   let ctx = Routing.make topo in
-  let capacities = Array.make (Topology.link_count topo) 1.25 in
-  let inc = Congestion.Waterfill.Inc.create ~headroom:0.05 ~capacities () in
+  let capacities = Array.make (Topology.link_count topo) (U.byte_rate 1.25) in
+  let inc = Congestion.Waterfill.Inc.create ~headroom:(U.fraction 0.05) ~capacities () in
   let rng = Util.Rng.create 7 in
   for id = 0 to 49 do
     Congestion.Waterfill.Inc.add_flow inc ~id (random_links ctx rng)
   done;
   Congestion.Waterfill.Inc.allocate inc;
   Alcotest.(check bool) "dirty epoch pushed events" true (!Congestion.Waterfill.dbg_push > 0);
-  let before = Array.init 50 (fun id -> Congestion.Waterfill.Inc.rate inc ~id) in
+  let before = Array.init 50 (fun id -> inc_rate inc ~id) in
   (* Re-announcing the demand a flow already has keeps the epoch clean. *)
   Congestion.Waterfill.Inc.set_demand inc ~id:3 None;
   Alcotest.(check bool) "still clean" false (Congestion.Waterfill.Inc.is_dirty inc);
@@ -117,19 +128,18 @@ let clean_epoch_zero_heap_ops () =
   Alcotest.(check int) "zero heap pops" 0 !Congestion.Waterfill.dbg_pops;
   Array.iteri
     (fun id r ->
-      Alcotest.(check (float 0.0)) (Printf.sprintf "rate %d unchanged" id) r
-        (Congestion.Waterfill.Inc.rate inc ~id))
+      Alcotest.(check (float 0.0)) (Printf.sprintf "rate %d unchanged" id) r (inc_rate inc ~id))
     before
 
 (* The ablation counters must report one computation per call, not a
    running total across calls. *)
 let counters_reset_per_allocate () =
-  let capacities = [| 10.0; 4.0 |] in
+  let capacities = caps [| 10.0; 4.0 |] in
   let flows =
     [|
-      Congestion.Waterfill.flow ~id:0 [| (0, 1.0); (1, 1.0) |];
-      Congestion.Waterfill.flow ~id:1 [| (1, 1.0) |];
-      Congestion.Waterfill.flow ~id:2 [| (0, 1.0) |];
+      Congestion.Waterfill.flow ~id:0 (lk [| (0, 1.0); (1, 1.0) |]);
+      Congestion.Waterfill.flow ~id:1 (lk [| (1, 1.0) |]);
+      Congestion.Waterfill.flow ~id:2 (lk [| (0, 1.0) |]);
     |]
   in
   ignore (Congestion.Waterfill.allocate ~capacities flows);
@@ -139,46 +149,45 @@ let counters_reset_per_allocate () =
   Alcotest.(check int) "identical second measurement" first !Congestion.Waterfill.dbg_push
 
 let dirty_tracking_lifecycle () =
-  let capacities = [| 1.0 |] in
+  let capacities = caps [| 1.0 |] in
   let inc = Congestion.Waterfill.Inc.create ~capacities () in
   Alcotest.(check bool) "dirty before first allocate" true
     (Congestion.Waterfill.Inc.is_dirty inc);
   Congestion.Waterfill.Inc.allocate inc;
   Alcotest.(check bool) "clean after allocate" false (Congestion.Waterfill.Inc.is_dirty inc);
-  Congestion.Waterfill.Inc.add_flow inc ~id:5 [| (0, 1.0) |];
+  Congestion.Waterfill.Inc.add_flow inc ~id:5 (lk [| (0, 1.0) |]);
   Alcotest.(check bool) "open marks dirty" true (Congestion.Waterfill.Inc.is_dirty inc);
-  Alcotest.(check (float 0.0)) "zero before allocate" 0.0
-    (Congestion.Waterfill.Inc.rate inc ~id:5);
+  Alcotest.(check (float 0.0)) "zero before allocate" 0.0 (inc_rate inc ~id:5);
   Congestion.Waterfill.Inc.allocate inc;
-  Alcotest.(check (float 1e-9)) "full link" 1.0 (Congestion.Waterfill.Inc.rate inc ~id:5);
-  Congestion.Waterfill.Inc.add_flow inc ~id:9 [| (0, 1.0) |];
+  Alcotest.(check (float 1e-9)) "full link" 1.0 (inc_rate inc ~id:5);
+  Congestion.Waterfill.Inc.add_flow inc ~id:9 (lk [| (0, 1.0) |]);
   Congestion.Waterfill.Inc.allocate inc;
-  Alcotest.(check (float 1e-9)) "half" 0.5 (Congestion.Waterfill.Inc.rate inc ~id:9);
+  Alcotest.(check (float 1e-9)) "half" 0.5 (inc_rate inc ~id:9);
   Congestion.Waterfill.Inc.remove_flow inc ~id:5;
   Alcotest.(check bool) "close marks dirty" true (Congestion.Waterfill.Inc.is_dirty inc);
   (* Swap-removal must keep the surviving flow's cached rate addressable. *)
-  Alcotest.(check (float 1e-9)) "survivor rate intact" 0.5
-    (Congestion.Waterfill.Inc.rate inc ~id:9);
+  Alcotest.(check (float 1e-9)) "survivor rate intact" 0.5 (inc_rate inc ~id:9);
   Congestion.Waterfill.Inc.allocate inc;
-  Alcotest.(check (float 1e-9)) "survivor takes the link" 1.0
-    (Congestion.Waterfill.Inc.rate inc ~id:9);
+  Alcotest.(check (float 1e-9)) "survivor takes the link" 1.0 (inc_rate inc ~id:9);
   Alcotest.(check int) "one live flow" 1 (Congestion.Waterfill.Inc.live_flows inc);
   Alcotest.check_raises "unknown id" (Invalid_argument "Waterfill.Inc: unknown flow id")
     (fun () -> ignore (Congestion.Waterfill.Inc.rate inc ~id:5));
   Alcotest.check_raises "duplicate id" (Invalid_argument "Waterfill.Inc: duplicate flow id")
-    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:9 [| (0, 1.0) |])
+    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:9 (lk [| (0, 1.0) |]))
 
 let inc_input_validation () =
-  let inc = Congestion.Waterfill.Inc.create ~capacities:[| 1.0 |] () in
+  let inc = Congestion.Waterfill.Inc.create ~capacities:(caps [| 1.0 |]) () in
   Alcotest.check_raises "bad weight" (Invalid_argument "Waterfill: non-positive weight")
-    (fun () -> Congestion.Waterfill.Inc.add_flow ~weight:0.0 inc ~id:0 [| (0, 1.0) |]);
+    (fun () -> Congestion.Waterfill.Inc.add_flow ~weight:0.0 inc ~id:0 (lk [| (0, 1.0) |]));
   Alcotest.check_raises "bad link" (Invalid_argument "Waterfill: link id out of range")
-    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:0 [| (3, 1.0) |]);
+    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:0 (lk [| (3, 1.0) |]));
   Alcotest.check_raises "bad fraction" (Invalid_argument "Waterfill: non-positive fraction")
-    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:0 [| (0, 0.0) |]);
+    (fun () -> Congestion.Waterfill.Inc.add_flow inc ~id:0 (lk [| (0, 0.0) |]));
   Alcotest.check_raises "bad headroom" (Invalid_argument "Waterfill: headroom out of range")
     (fun () ->
-      ignore (Congestion.Waterfill.Inc.create ~headroom:1.0 ~capacities:[| 1.0 |] ()))
+      ignore
+        (Congestion.Waterfill.Inc.create ~headroom:(U.fraction 1.0)
+           ~capacities:(caps [| 1.0 |]) ()))
 
 let suites =
   [

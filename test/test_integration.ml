@@ -3,6 +3,8 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
+module U = Util.Units
+
 let specs_on topo seed n tau =
   Workload.Flowgen.poisson_pareto topo (Util.Rng.create seed) ~flows:n ~mean_interarrival_ns:tau
 
@@ -14,7 +16,7 @@ let clos_fraction_conservation () =
   for _ = 1 to 20 do
     let src = Util.Rng.int rng 16 and dst = Util.Rng.int rng 16 in
     if src <> dst then begin
-      let fr = Routing.fractions ctx Routing.Rps ~src ~dst in
+      let fr = U.pairs_to_floats (Routing.fractions ctx Routing.Rps ~src ~dst) in
       let net = Array.make (Topology.vertex_count topo) 0.0 in
       Array.iter
         (fun (l, f) ->
@@ -96,12 +98,12 @@ let stack_matches_fluid_rates () =
   let topo = Topology.torus [| 4; 4; 4 |] in
   let stack = R2c2.Stack.create topo in
   let rng = Util.Rng.create 17 in
-  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:0.5 in
+  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction 0.5) in
   List.iter
     (fun (s : Workload.Flowgen.spec) -> ignore (R2c2.Stack.open_flow stack ~src:s.src ~dst:s.dst))
     specs;
   R2c2.Stack.recompute stack;
-  let stack_agg = R2c2.Stack.aggregate_throughput_gbps stack in
+  let stack_agg = U.to_float (R2c2.Stack.aggregate_throughput_gbps stack) in
   (* Same flows via the raw allocator. *)
   let ctx = Routing.make topo in
   let wf =
@@ -111,9 +113,11 @@ let stack_matches_fluid_rates () =
            Congestion.Waterfill.flow ~id:i (Routing.fractions ctx Routing.Rps ~src:s.src ~dst:s.dst))
          specs)
   in
-  let capacities = Array.make (Topology.link_count topo) 1.25 in
-  let rates = Congestion.Waterfill.allocate ~headroom:0.05 ~capacities wf in
-  let raw_agg = 8.0 *. Array.fold_left ( +. ) 0.0 rates in
+  let capacities = Array.make (Topology.link_count topo) (U.byte_rate 1.25) in
+  let rates =
+    Congestion.Waterfill.allocate ~headroom:(U.fraction 0.05) ~capacities wf
+  in
+  let raw_agg = 8.0 *. Array.fold_left ( +. ) 0.0 (U.floats_of rates) in
   Alcotest.(check (float 0.001)) "same aggregate" raw_agg stack_agg
 
 let broadcast_after_failure_spans () =
@@ -215,7 +219,7 @@ let qcheck_reliability_completes =
     QCheck.(pair (int_bound 1000) (float_bound_exclusive 0.6))
     (fun (seed, loss) ->
       let s =
-        Sim.Reliability.run_over_lossy_channel ~seed ~loss
+        Sim.Reliability.run_over_lossy_channel ~seed ~loss:(U.fraction loss)
           { Sim.Reliability.packets = 50; rtx_timeout_ns = 5_000; max_retries = 60;
             rtx_backoff = 1.0; rtx_cap_ns = max_int }
           ~rtt_ns:1_000

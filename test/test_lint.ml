@@ -145,6 +145,172 @@ let allow_requires_reason () =
     (String.concat "\n"
        [ "(* lint: allow D9 — no such rule *)"; "let f (x : int) : float = Obj.magic x" ])
 
+(* -- U1: raw float literals into unit-carrying labels ---------------------- *)
+
+let u1_raw_literals_flagged () =
+  check_rules "raw gbps literal" [ "U1" ] "let s = make ctx ~link_gbps:10.0";
+  check_rules "raw headroom literal" [ "U1" ] "let r = allocate ~headroom:0.05 ~capacities flows";
+  check_rules "Some literal under a unit label" [ "U1" ]
+    "let () = set_demand st f ~gbps:(Some 2.0)";
+  check_rules ~in_lib:false "applies in bench/bin/examples too" [ "U1" ]
+    "let x = run ~loss:0.02 ()"
+
+let u1_wrapped_ok () =
+  check_rules "constructor-wrapped ok" [] "let s = make ctx ~link_gbps:(Util.Units.gbps 10.0)";
+  check_rules "Some-wrapped ok" [] "let () = set_demand st f ~gbps:(Some (Util.Units.gbps 2.0))";
+  check_rules "non-unit labels untouched" []
+    "let n = pareto_size rng ~shape:1.05 ~mean:100_000.0";
+  check_rules "unlabeled literals untouched" [] "let x = f 10.0 0.05"
+
+(* -- U2: arithmetic directly on to_float ----------------------------------- *)
+
+let u2_arith_on_to_float_flagged () =
+  check_rules "operator on a to_float result" [ "U2" ] "let x r = Util.Units.to_float r *. 2.0";
+  check_rules "both operands flagged" [ "U2"; "U2" ] "let x a b = U.to_float a /. U.to_float b";
+  check_rules "bare to_float flagged" [ "U2" ] "let x r = 1.0 -. to_float r"
+
+let u2_let_bound_ok () =
+  check_rules "let-bound unwrap is the sanctioned idiom" []
+    "let x r = let v = Util.Units.to_float r in v *. 2.0";
+  check_rules "to_float as a plain argument ok" []
+    "let pr r = Printf.printf \"%f\" (Util.Units.to_float r)"
+
+let u2_exempt_in_units_ml () =
+  (* The combinator definitions are the one place raw unwrap-and-compute
+     is the point. *)
+  let r =
+    Lint_core.lint_source ~file:"units.ml" ~in_lib:true "let x r = Util.Units.to_float r *. 2.0"
+  in
+  Alcotest.(check (list string)) "units.ml itself is exempt" [] (rules_of r)
+
+(* -- U3: wire budget and encoder/decoder symmetry -------------------------- *)
+
+let u3_symmetric_codec_ok () =
+  check_rules "balanced encoder/decoder pair" []
+    (String.concat "\n"
+       [
+         "let sz = 8";
+         "let encode_x v =";
+         "  let b = Bytes.make sz '\\000' in";
+         "  put8 b 0 1; put16 b 1 v; put32 b 3 v; put8 b 7 0; b";
+         "let decode_x b = (get8 b 0, get16 b 1, get32 b 3, get8 b 7)";
+       ])
+
+let u3_one_byte_drift_flagged () =
+  (* The acceptance fixture: shrink the declared size by one byte and the
+     final fixed field overruns the budget. *)
+  check_rules "one-byte size drift overruns" [ "U3" ]
+    (String.concat "\n"
+       [
+         "let sz = 7";
+         "let encode_x v =";
+         "  let b = Bytes.make sz '\\000' in";
+         "  put8 b 0 1; put16 b 1 v; put32 b 3 v; put8 b 7 0; b";
+         "let decode_x b = (get8 b 0, get16 b 1, get32 b 3, get8 b 7)";
+       ])
+
+let u3_slack_flagged () =
+  check_rules "trailing slack is a budget mismatch" [ "U3" ]
+    (String.concat "\n"
+       [
+         "let sz = 9";
+         "let encode_x v =";
+         "  let b = Bytes.make sz '\\000' in";
+         "  put8 b 0 1; put16 b 1 v; put32 b 3 v; put8 b 7 0; b";
+         "let decode_x b = (get8 b 0, get16 b 1, get32 b 3, get8 b 7)";
+       ])
+
+let u3_overlap_flagged () =
+  check_rules "overlapping fixed writes" [ "U3" ]
+    (String.concat "\n"
+       [
+         "let sz = 4";
+         "let encode_x v =";
+         "  let b = Bytes.make sz '\\000' in";
+         "  put16 b 1 v; put16 b 2 v; b";
+         "let decode_x b = (get16 b 1, get16 b 2)";
+       ])
+
+let u3_asymmetry_flagged () =
+  (* Writer emits 4 bytes at offset 2, reader takes back only 2: both
+     sides of the mismatch are reported. *)
+  check_rules "width mismatch reported on both sides" [ "U3"; "U3" ]
+    (String.concat "\n"
+       [
+         "let sz = 6";
+         "let encode_y v = let b = Bytes.make sz '\\000' in put16 b 0 v; put32 b 2 v; b";
+         "let decode_y b = (get16 b 0, get16 b 2)";
+       ])
+
+let u3_dynamic_offsets_tolerated () =
+  (* Computed offsets (the packed route field) fall outside the symbolic
+     walk: no false budget/symmetry findings, static fields still checked. *)
+  check_rules "loop-written fields are skipped, not flagged" []
+    (String.concat "\n"
+       [
+         "let sz = 8";
+         "let encode_z v =";
+         "  let b = Bytes.make sz '\\000' in";
+         "  put8 b 0 1;";
+         "  Array.iteri (fun i s -> put8 b (1 + i) s) v;";
+         "  b";
+         "let decode_z b = get8 b 0";
+       ])
+
+(* -- stale allows and the summary ------------------------------------------ *)
+
+let stale_allow_fails_gate () =
+  let r = lint "(* lint: allow D3 — left behind after a refactor *)\nlet x = 1" in
+  Alcotest.(check (list string)) "no violations" [] (rules_of r);
+  Alcotest.(check int) "stale allow reported" 1 (List.length r.Lint_core.unused_allows);
+  let null = open_out Filename.null in
+  let code = Lint_core.report_and_exit_code null r in
+  close_out null;
+  Alcotest.(check int) "stale allow fails the gate" 1 code
+
+let per_rule_suppression_counts () =
+  let r = lint "let t = Unix.gettimeofday () (* lint: allow D2 — summary fixture *)" in
+  Alcotest.(check int) "D2 suppression counted" 1
+    (List.assoc "D2" r.Lint_core.suppressed_by_rule);
+  Alcotest.(check int) "other rules untouched" 0 (List.assoc "U1" r.Lint_core.suppressed_by_rule)
+
+(* -- the phantom-type layer itself: dimension swaps must not compile ------- *)
+
+let obj_dirs =
+  List.map
+    (fun l -> Printf.sprintf "../lib/%s/.%s.objs/byte" l l)
+    [ "util"; "topology"; "routing"; "congestion" ]
+
+let typechecks =
+  (* In-process typecheck against the repo's own compiled interfaces: the
+     negative fixtures prove the Units sweep rejects dimension swaps at
+     compile time, which no runtime test can demonstrate. *)
+  let initialized =
+    lazy
+      (Compmisc.init_path ();
+       List.iter Load_path.add_dir obj_dirs)
+  in
+  fun src ->
+    Lazy.force initialized;
+    let env = Compmisc.initial_env () in
+    match Typemod.type_structure env (Parse.implementation (Lexing.from_string src)) with
+    | _ -> true
+    | exception (Typetexp.Error _ | Typecore.Error _) -> false
+
+let units_reject_dimension_swap () =
+  if List.for_all Sys.file_exists obj_dirs then begin
+    Alcotest.(check bool) "correctly-typed caller compiles" true
+      (typechecks
+         "let _ = Congestion.Waterfill.allocate ~capacities:[| Util.Units.byte_rate 1.25 |] [||]");
+    Alcotest.(check bool) "bytes-for-rate swap rejected by the compiler" false
+      (typechecks
+         "let _ = Congestion.Waterfill.allocate ~capacities:[| Util.Units.bytes 1.25 |] [||]");
+    Alcotest.(check bool) "raw float capacities rejected" false
+      (typechecks "let _ = Congestion.Waterfill.allocate ~capacities:[| 1.25 |] [||]");
+    Alcotest.(check bool) "fraction-for-rate demand rejected" false
+      (typechecks "let _ = Congestion.Waterfill.flow ~demand:(Util.Units.fraction 0.5) ~id:0 [||]")
+  end
+
 (* -- revert guard: the exact code this PR scrubbed ------------------------ *)
 
 (* Pre-PR lib/core/stack.ml:166 — reverting the Util.Tbl conversion in any
@@ -191,7 +357,9 @@ let repo_tree_is_clean () =
   (* The real gate is `dune build @lint`; when the test sandbox carries the
      sources (dune `deps`), re-check them here so `dune runtest` alone also
      proves the tree clean. *)
-  let roots = List.filter Sys.file_exists [ "../lib"; "../bench" ] in
+  let roots =
+    List.filter Sys.file_exists [ "../lib"; "../bench"; "../bin"; "../examples" ]
+  in
   if roots = [] then ()
   else begin
     let r = Lint_core.lint_roots roots in
@@ -199,8 +367,9 @@ let repo_tree_is_clean () =
       (fun (v : Lint_core.violation) ->
         Printf.printf "%s:%d: [%s] %s\n" v.file v.line v.rule v.message)
       r.Lint_core.violations;
-    Alcotest.(check int) "no violations in lib/ + bench/" 0
-      (List.length r.Lint_core.violations)
+    Alcotest.(check int) "no violations in lib/ bench/ bin/ examples/" 0
+      (List.length r.Lint_core.violations);
+    Alcotest.(check int) "no stale allows anywhere" 0 (List.length r.Lint_core.unused_allows)
   end
 
 let suites =
@@ -222,6 +391,20 @@ let suites =
         tc "allow: several rules at once" allow_multiple_rules;
         tc "allow: wrong rule does not suppress" allow_wrong_rule_does_not_suppress;
         tc "allow: justification mandatory" allow_requires_reason;
+        tc "U1: raw literals into unit labels" u1_raw_literals_flagged;
+        tc "U1: wrapped / non-unit labels ok" u1_wrapped_ok;
+        tc "U2: arithmetic on to_float" u2_arith_on_to_float_flagged;
+        tc "U2: let-bound unwrap ok" u2_let_bound_ok;
+        tc "U2: units.ml exempt" u2_exempt_in_units_ml;
+        tc "U3: symmetric codec ok" u3_symmetric_codec_ok;
+        tc "U3: one-byte size drift" u3_one_byte_drift_flagged;
+        tc "U3: trailing slack" u3_slack_flagged;
+        tc "U3: overlapping writes" u3_overlap_flagged;
+        tc "U3: read/write asymmetry" u3_asymmetry_flagged;
+        tc "U3: dynamic offsets tolerated" u3_dynamic_offsets_tolerated;
+        tc "stale allow fails the gate" stale_allow_fails_gate;
+        tc "per-rule suppression counts" per_rule_suppression_counts;
+        tc "phantom types reject dimension swaps" units_reject_dimension_swap;
         tc "revert guard: stack.ml conversion" revert_guard_stack;
         tc "revert guard: metrics.ml conversion" revert_guard_metrics;
         tc "revert guard: waterfill.ml conversion" revert_guard_waterfill;

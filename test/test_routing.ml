@@ -3,6 +3,11 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
+module U = Util.Units
+
+(* Unwrap a fractions table for the raw-number flow algebra below. *)
+let fractions ctx proto ~src ~dst = U.pairs_to_floats (Routing.fractions ctx proto ~src ~dst)
+
 let torus44 = lazy (Routing.make (Topology.torus [| 4; 4 |]))
 let torus444 = lazy (Routing.make (Topology.torus [| 4; 4; 4 |]))
 
@@ -114,7 +119,7 @@ let fraction_conservation proto () =
   for _ = 1 to 30 do
     let src = Util.Rng.int rng 64 and dst = Util.Rng.int rng 64 in
     if src <> dst then begin
-      let fr = Routing.fractions ctx proto ~src ~dst in
+      let fr = fractions ctx proto ~src ~dst in
       let inflow = Array.make (Topology.vertex_count t) 0.0 in
       let outflow = Array.make (Topology.vertex_count t) 0.0 in
       Array.iter
@@ -136,7 +141,7 @@ let rps_fractions_match_sampling () =
   (* Empirical packet spraying frequencies converge to the DP fractions. *)
   let ctx = Lazy.force torus44 in
   let src = 0 and dst = 5 (* (1,1): two shortest paths *) in
-  let fr = Routing.fractions ctx Routing.Rps ~src ~dst in
+  let fr = fractions ctx Routing.Rps ~src ~dst in
   let counts = Hashtbl.create 8 in
   let rng = Util.Rng.create 19 in
   let n = 20_000 in
@@ -159,7 +164,7 @@ let dor_fraction_single_path_no_tie () =
   let ctx = Lazy.force torus44 in
   let t = Routing.topo ctx in
   let src = Topology.of_coords t [| 0; 0 |] and dst = Topology.of_coords t [| 1; 1 |] in
-  let fr = Routing.fractions ctx Routing.Dor ~src ~dst in
+  let fr = fractions ctx Routing.Dor ~src ~dst in
   Alcotest.(check int) "exactly distance links" 2 (Array.length fr);
   Array.iter (fun (_, f) -> Alcotest.(check (float 1e-9)) "full weight" 1.0 f) fr
 
@@ -168,7 +173,7 @@ let dor_fraction_tie_split () =
   let t = Routing.topo ctx in
   (* offset 2 on a 4-ring: exact half-way tie in dimension 0. *)
   let src = Topology.of_coords t [| 0; 0 |] and dst = Topology.of_coords t [| 2; 0 |] in
-  let fr = Routing.fractions ctx Routing.Dor ~src ~dst in
+  let fr = fractions ctx Routing.Dor ~src ~dst in
   Alcotest.(check int) "two 2-hop directions" 4 (Array.length fr);
   Array.iter (fun (_, f) -> Alcotest.(check (float 1e-9)) "half each way" 0.5 f) fr
 
@@ -176,7 +181,7 @@ let vlb_fractions_sum_to_expected_hops () =
   let ctx = Lazy.force torus444 in
   let t = Routing.topo ctx in
   let src = 0 and dst = 63 in
-  let fr = Routing.fractions ctx Routing.Vlb ~src ~dst in
+  let fr = fractions ctx Routing.Vlb ~src ~dst in
   let total = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 fr in
   (* Expected hops = E[d(s,w)] + E[d(w,d)] over uniform waypoints. *)
   let h = Topology.host_count t in

@@ -3,6 +3,11 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
+module U = Util.Units
+
+(* Unwrap a flow's throughput for the raw-number checks below. *)
+let tput f = U.to_float (Sim.Metrics.throughput_gbps f)
+
 (* -- engine --------------------------------------------------------------- *)
 
 let engine_time_order () =
@@ -50,7 +55,7 @@ let engine_rejects_past () =
 let mk_net ?queue_capacity () =
   let eng = Sim.Engine.create () in
   let topo = Topology.torus [| 4; 4 |] in
-  let net = Sim.Net.create eng topo ?queue_capacity ~link_gbps:10.0 ~hop_latency_ns:100 () in
+  let net = Sim.Net.create eng topo ?queue_capacity ~link_gbps:(U.gbps 10.0) ~hop_latency_ns:100 () in
   (eng, topo, net)
 
 let net_delivers_along_route () =
@@ -112,16 +117,17 @@ let net_broadcast_reaches_all () =
   Sim.Engine.run eng;
   received.(0) <- true;
   Alcotest.(check bool) "every node got a copy" true (Array.for_all Fun.id received);
-  Alcotest.(check bool) "control bytes counted" true (Sim.Net.control_bytes_on_wire net >= 16.0 *. 15.0)
+  let ctrl = U.to_float (Sim.Net.control_bytes_on_wire net) in
+  Alcotest.(check bool) "control bytes counted" true (ctrl >= 16.0 *. 15.0)
 
 let net_wire_counters () =
   let eng, _, net = mk_net () in
   Sim.Net.send net
     { Sim.Net.kind = Sim.Net.Data { flow = 0; seq = 0; last = true }; bytes = 1000; route = [| 0; 1; 2 |]; hop = 0 };
   Sim.Engine.run eng;
-  Alcotest.(check (float 1e-9)) "bytes x hops" 2000.0 (Sim.Net.data_bytes_on_wire net);
+  Alcotest.(check (float 1e-9)) "bytes x hops" 2000.0 (U.to_float (Sim.Net.data_bytes_on_wire net));
   Sim.Net.reset_wire_counters net;
-  Alcotest.(check (float 1e-9)) "reset" 0.0 (Sim.Net.data_bytes_on_wire net)
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (U.to_float (Sim.Net.data_bytes_on_wire net))
 
 let net_requires_fib_for_broadcast () =
   let _, _, net = mk_net () in
@@ -189,7 +195,7 @@ let r2c2_single_flow_line_rate () =
   in
   let res = Sim.R2c2_sim.run Sim.R2c2_sim.default_config topo specs in
   let f = Sim.Metrics.find res.Sim.R2c2_sim.metrics 0 in
-  let gbps = Sim.Metrics.throughput_gbps f in
+  let gbps = tput f in
   (* Line rate 10G minus header overhead and pipeline latency. *)
   Alcotest.(check bool) (Printf.sprintf "near line rate (got %.2f)" gbps) true (gbps > 8.5)
 
@@ -213,7 +219,7 @@ let r2c2_clean_epochs_skipped () =
     (res.Sim.R2c2_sim.recomputes >= 1 && res.Sim.R2c2_sim.recomputes <= 3);
   Alcotest.(check bool) "rate still applied"
     true
-    (Sim.Metrics.throughput_gbps f > 5.0)
+    (tput f > 5.0)
 
 let r2c2_deterministic () =
   let topo = Topology.torus [| 4; 4 |] in
@@ -266,7 +272,8 @@ let r2c2_metrics_snapshot_deterministic () =
       (fun (ns, b) -> Buffer.add_string buf (Printf.sprintf "goodput %d %d\n" ns b))
       (Sim.Metrics.goodput_series r.metrics);
     List.iter
-      (fun (ns, gbps) -> Buffer.add_string buf (Printf.sprintf "rate %d %.17g\n" ns gbps))
+      (fun (ns, gbps) ->
+        Buffer.add_string buf (Printf.sprintf "rate %d %.17g\n" ns (U.to_float gbps)))
       r.rate_updates;
     Buffer.add_string buf
       (Printf.sprintf "drops=%d recomputes=%d reselections=%d rerouted=%d inj=%d del=%d\n"
@@ -276,7 +283,14 @@ let r2c2_metrics_snapshot_deterministic () =
   in
   let s1 = snapshot () and s2 = snapshot () in
   Alcotest.(check bool) "snapshot is non-trivial" true (String.length s1 > 1000);
-  Alcotest.(check string) "identical snapshots" s1 s2
+  Alcotest.(check string) "identical snapshots" s1 s2;
+  (* Golden pin, captured immediately *before* the Util.Units sweep: the
+     phantom wrappers are all [%identity] and the combinators are the
+     literal raw formulas, so the typed stack must reproduce the unwrapped
+     trajectory to the byte — not merely be self-consistent. *)
+  Alcotest.(check int) "pre-sweep snapshot length" 4804 (String.length s1);
+  Alcotest.(check string) "pre-sweep snapshot digest" "cdb08d68b4acc8b58fb70e9159ebabf6"
+    (Digest.to_hex (Digest.string s1))
 
 let r2c2_rate_limited_after_epoch () =
   (* Two long flows from distinct sources to the same destination must
@@ -291,8 +305,8 @@ let r2c2_rate_limited_after_epoch () =
   let cfg = { Sim.R2c2_sim.default_config with recompute_interval_ns = 100_000 } in
   let res = Sim.R2c2_sim.run cfg topo specs in
   Alcotest.(check bool) "recomputed at least once" true (res.Sim.R2c2_sim.recomputes >= 1);
-  let t0 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
-  let t1 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
+  let t0 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
+  let t1 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
   (* Destination node 0 has 4 incoming links; two spraying flows share
      paths towards it. Fairness: roughly equal rates. *)
   Alcotest.(check bool) (Printf.sprintf "fair split (%.2f vs %.2f)" t0 t1) true
@@ -305,7 +319,7 @@ let r2c2_broadcast_overhead_counted () =
   (* Every flow start and finish is a real broadcast: 2 * 15 tree edges *
      16 bytes, all of which cross exactly one link each. *)
   Alcotest.(check (float 1.0)) "control wire bytes" (float_of_int (50 * 2 * 15 * 16))
-    res.Sim.R2c2_sim.control_wire_bytes
+    (U.to_float res.Sim.R2c2_sim.control_wire_bytes)
 
 let r2c2_latency_model_broadcast () =
   let topo = Topology.torus [| 4; 4 |] in
@@ -313,7 +327,8 @@ let r2c2_latency_model_broadcast () =
   let cfg = { Sim.R2c2_sim.default_config with real_broadcast = false } in
   let res = Sim.R2c2_sim.run cfg topo specs in
   Alcotest.(check int) "all complete" 60 (Sim.Metrics.completed_count res.Sim.R2c2_sim.metrics);
-  Alcotest.(check (float 1e-9)) "no control bytes on wire" 0.0 res.Sim.R2c2_sim.control_wire_bytes
+  Alcotest.(check (float 1e-9)) "no control bytes on wire" 0.0
+    (U.to_float res.Sim.R2c2_sim.control_wire_bytes)
 
 let r2c2_respects_weights () =
   let topo = Topology.torus [| 4; 4 |] in
@@ -325,8 +340,8 @@ let r2c2_respects_weights () =
   in
   let cfg = { Sim.R2c2_sim.default_config with recompute_interval_ns = 50_000 } in
   let res = Sim.R2c2_sim.run cfg topo specs in
-  let t0 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
-  let t1 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
+  let t0 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
+  let t1 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
   Alcotest.(check bool) (Printf.sprintf "weighted flow faster (%.2f vs %.2f)" t0 t1) true (t0 > t1)
 
 let r2c2_per_node_control () =
@@ -380,8 +395,8 @@ let r2c2_per_node_long_flows_fair () =
     }
   in
   let res = Sim.R2c2_sim.run cfg topo specs in
-  let t0 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
-  let t1 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
+  let t0 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
+  let t1 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
   Alcotest.(check bool) (Printf.sprintf "fair (%.2f vs %.2f)" t0 t1) true
     (abs_float (t0 -. t1) /. Float.max t0 t1 < 0.25)
 
@@ -395,12 +410,12 @@ let r2c2_host_limited_flow () =
       { Workload.Flowgen.arrival_ns = 0; src = 2; dst = 0; size = 4_000_000; weight = 1; priority = 0 };
     ]
   in
-  let demand_of idx _ = if idx = 0 then Some 1.0 else None in
+  let demand_of idx _ = if idx = 0 then Some (U.gbps 1.0) else None in
   let cfg = { Sim.R2c2_sim.default_config with recompute_interval_ns = 100_000 } in
   let res = Sim.R2c2_sim.run ~demand_of cfg topo specs in
   Alcotest.(check int) "both complete" 2 (Sim.Metrics.completed_count res.Sim.R2c2_sim.metrics);
-  let t0 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
-  let t1 = Sim.Metrics.throughput_gbps (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
+  let t0 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 0) in
+  let t1 = tput (Sim.Metrics.find res.Sim.R2c2_sim.metrics 1) in
   Alcotest.(check bool) (Printf.sprintf "capped near 1 Gbps (got %.2f)" t0) true (t0 < 1.3);
   Alcotest.(check bool) (Printf.sprintf "other soaks the slack (got %.2f)" t1) true (t1 > 5.0)
 
@@ -412,7 +427,7 @@ let r2c2_live_reselection () =
   let specs =
     List.map
       (fun (s : Workload.Flowgen.spec) -> { s with Workload.Flowgen.size = 3_000_000 })
-      (Workload.Flowgen.permutation_long_flows topo rng ~load:0.5)
+      (Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction 0.5))
   in
   let cfg =
     {
@@ -434,7 +449,7 @@ let r2c2_reselection_not_worse () =
   let specs =
     List.map
       (fun (s : Workload.Flowgen.spec) -> { s with Workload.Flowgen.size = 3_000_000 })
-      (Workload.Flowgen.permutation_long_flows topo rng ~load:0.25)
+      (Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction 0.25))
   in
   let base = Sim.R2c2_sim.run Sim.R2c2_sim.default_config topo specs in
   let cfg = { Sim.R2c2_sim.default_config with reselect_interval_ns = Some 300_000 } in
@@ -551,7 +566,7 @@ let pfq_completes_all () =
   List.iter
     (fun (r : Sim.Pfq_sim.flow_result) ->
       Alcotest.(check bool) "positive fct" true (r.fct_ns > 0);
-      Alcotest.(check bool) "positive throughput" true (r.throughput_gbps > 0.0))
+      Alcotest.(check bool) "positive throughput" true ((r.throughput_gbps : U.gbps :> float) > 0.0))
     results
 
 let pfq_single_flow_multipath_beats_line_rate () =
@@ -564,8 +579,8 @@ let pfq_single_flow_multipath_beats_line_rate () =
   let results = Sim.Pfq_sim.run Sim.Pfq_sim.default_config topo specs in
   match results with
   | [ r ] ->
-      Alcotest.(check bool) (Printf.sprintf "multipath > 10G (got %.1f)" r.throughput_gbps) true
-        (r.throughput_gbps > 10.0)
+      let t = U.to_float r.throughput_gbps in
+      Alcotest.(check bool) (Printf.sprintf "multipath > 10G (got %.1f)" t) true (t > 10.0)
   | _ -> Alcotest.fail "expected one result"
 
 let pfq_mean_fct_not_worse_than_r2c2 () =
@@ -595,11 +610,10 @@ let pfq_identical_flows_fair () =
   let results = Sim.Pfq_sim.run Sim.Pfq_sim.default_config topo [ mk 2; mk 8 ] in
   match results with
   | [ a; b ] ->
-      Alcotest.(check bool)
-        (Printf.sprintf "fair (%.2f vs %.2f)" a.Sim.Pfq_sim.throughput_gbps
-           b.Sim.Pfq_sim.throughput_gbps)
-        true
-        (abs_float (a.Sim.Pfq_sim.throughput_gbps -. b.Sim.Pfq_sim.throughput_gbps) < 1.0)
+      let ta = U.to_float a.Sim.Pfq_sim.throughput_gbps
+      and tb = U.to_float b.Sim.Pfq_sim.throughput_gbps in
+      Alcotest.(check bool) (Printf.sprintf "fair (%.2f vs %.2f)" ta tb) true
+        (abs_float (ta -. tb) < 1.0)
   | _ -> Alcotest.fail "expected two results"
 
 let pfq_until_cuts_off () =
@@ -614,7 +628,7 @@ let pfq_until_cuts_off () =
 
 let reliability_lossless () =
   let s =
-    Sim.Reliability.run_over_lossy_channel ~loss:0.0
+    Sim.Reliability.run_over_lossy_channel ~loss:(U.fraction 0.0)
       { Sim.Reliability.packets = 50; rtx_timeout_ns = 10_000; max_retries = 5;
         rtx_backoff = 1.0; rtx_cap_ns = max_int }
       ~rtt_ns:2_000
@@ -624,7 +638,7 @@ let reliability_lossless () =
 
 let reliability_with_loss () =
   let s =
-    Sim.Reliability.run_over_lossy_channel ~loss:0.3
+    Sim.Reliability.run_over_lossy_channel ~loss:(U.fraction 0.3)
       { Sim.Reliability.packets = 200; rtx_timeout_ns = 10_000; max_retries = 50;
         rtx_backoff = 1.0; rtx_cap_ns = max_int }
       ~rtt_ns:2_000
@@ -635,7 +649,7 @@ let reliability_with_loss () =
 
 let reliability_gives_up () =
   let s =
-    Sim.Reliability.run_over_lossy_channel ~seed:3 ~loss:0.95
+    Sim.Reliability.run_over_lossy_channel ~seed:3 ~loss:(U.fraction 0.95)
       { Sim.Reliability.packets = 20; rtx_timeout_ns = 1_000; max_retries = 2;
         rtx_backoff = 1.0; rtx_cap_ns = max_int }
       ~rtt_ns:2_000

@@ -3,6 +3,11 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
+module U = Util.Units
+
+(* Unwrap an allocation for the raw-number checks below. *)
+let rate st f = U.to_float (R2c2.Stack.rate_gbps st f)
+
 let mk () = R2c2.Stack.create ~seed:3 (Topology.torus [| 4; 4 |])
 
 let open_close_lifecycle () =
@@ -26,7 +31,7 @@ let broadcasts_observable () =
   let events = ref [] in
   R2c2.Stack.on_broadcast st (fun b -> events := b.Wire.event :: !events);
   let f = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
-  R2c2.Stack.set_demand st f ~gbps:(Some 2.0);
+  R2c2.Stack.set_demand st f ~gbps:(Some (U.gbps 2.0));
   R2c2.Stack.set_protocol st f Routing.Vlb;
   R2c2.Stack.close_flow st f;
   Alcotest.(check (list bool)) "event sequence" [ true; true; true; true ]
@@ -57,13 +62,13 @@ let recompute_rates () =
   let st = mk () in
   let f1 = R2c2.Stack.open_flow st ~src:1 ~dst:0 in
   let f2 = R2c2.Stack.open_flow st ~src:2 ~dst:0 in
-  Alcotest.(check (float 1e-9)) "zero before recompute" 0.0 (R2c2.Stack.rate_gbps st f1);
+  Alcotest.(check (float 1e-9)) "zero before recompute" 0.0 (rate st f1);
   R2c2.Stack.recompute st;
-  let r1 = R2c2.Stack.rate_gbps st f1 and r2 = R2c2.Stack.rate_gbps st f2 in
+  let r1 = rate st f1 and r2 = rate st f2 in
   Alcotest.(check bool) "positive" true (r1 > 0.0 && r2 > 0.0);
   Alcotest.(check bool) "nearly fair" true (abs_float (r1 -. r2) < 0.5);
   Alcotest.(check (float 1e-6)) "aggregate = sum" (r1 +. r2)
-    (R2c2.Stack.aggregate_throughput_gbps st)
+    (U.to_float (R2c2.Stack.aggregate_throughput_gbps st))
 
 let weights_and_priorities () =
   let st = mk () in
@@ -71,16 +76,16 @@ let weights_and_priorities () =
   let lo = R2c2.Stack.open_flow ~priority:1 st ~src:1 ~dst:0 in
   R2c2.Stack.recompute st;
   Alcotest.(check bool) "strict priority" true
-    (R2c2.Stack.rate_gbps st hi > 8.0 && R2c2.Stack.rate_gbps st lo < 1.0)
+    (rate st hi > 8.0 && rate st lo < 1.0)
 
 let demand_limits_allocation () =
   let st = mk () in
   let f1 = R2c2.Stack.open_flow st ~src:1 ~dst:0 in
   let f2 = R2c2.Stack.open_flow st ~src:2 ~dst:0 in
-  R2c2.Stack.set_demand st f1 ~gbps:(Some 1.0);
+  R2c2.Stack.set_demand st f1 ~gbps:(Some (U.gbps 1.0));
   R2c2.Stack.recompute st;
-  Alcotest.(check bool) "demand-capped" true (R2c2.Stack.rate_gbps st f1 <= 1.0 +. 1e-6);
-  Alcotest.(check bool) "spare goes to the other flow" true (R2c2.Stack.rate_gbps st f2 > 2.0)
+  Alcotest.(check bool) "demand-capped" true (rate st f1 <= 1.0 +. 1e-6);
+  Alcotest.(check bool) "spare goes to the other flow" true (rate st f2 > 2.0)
 
 let observe_queue_triggers_demand_update () =
   let st = mk () in
@@ -88,29 +93,29 @@ let observe_queue_triggers_demand_update () =
   let other = R2c2.Stack.open_flow st ~src:2 ~dst:0 in
   R2c2.Stack.recompute st;
   (* Build estimator history while the flow's share is low... *)
-  R2c2.Stack.observe_sender_queue st f ~queued_bytes:0.0 ~period_ns:1_000_000;
+  R2c2.Stack.observe_sender_queue st f ~queued_bytes:(U.bytes 0.0) ~period_ns:1_000_000;
   (* ...then give it a much larger allocation: the smoothed demand estimate
      now sits below the new share, i.e. the flow is host limited. *)
   R2c2.Stack.close_flow st other;
   R2c2.Stack.recompute st;
   let saw_demand = ref false in
   R2c2.Stack.on_broadcast st (fun b -> if b.Wire.event = Wire.Demand_update then saw_demand := true);
-  R2c2.Stack.observe_sender_queue st f ~queued_bytes:0.0 ~period_ns:1_000_000;
+  R2c2.Stack.observe_sender_queue st f ~queued_bytes:(U.bytes 0.0) ~period_ns:1_000_000;
   Alcotest.(check bool) "demand update broadcast" true !saw_demand
 
 let reselect_improves_throughput () =
   let topo = Topology.torus [| 4; 4; 4 |] in
   let st = R2c2.Stack.create ~seed:5 topo in
   let rng = Util.Rng.create 7 in
-  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:0.25 in
+  let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction 0.25) in
   List.iter
     (fun (s : Workload.Flowgen.spec) -> ignore (R2c2.Stack.open_flow st ~src:s.src ~dst:s.dst))
     specs;
   R2c2.Stack.recompute st;
-  let before = R2c2.Stack.aggregate_throughput_gbps st in
+  let before = U.to_float (R2c2.Stack.aggregate_throughput_gbps st) in
   let changed = R2c2.Stack.reselect_routing ~pop_size:30 ~generations:8 st (Util.Rng.create 9) in
   R2c2.Stack.recompute st;
-  let after = R2c2.Stack.aggregate_throughput_gbps st in
+  let after = U.to_float (R2c2.Stack.aggregate_throughput_gbps st) in
   Alcotest.(check bool)
     (Printf.sprintf "no regression (%.1f -> %.1f, %d changed)" before after changed)
     true
@@ -142,10 +147,10 @@ let failure_reemits_demand () =
   let limited = R2c2.Stack.open_flow st ~src:0 ~dst:5 in
   let unlimited = R2c2.Stack.open_flow st ~src:1 ~dst:6 in
   let estimated = R2c2.Stack.open_flow st ~src:2 ~dst:7 in
-  R2c2.Stack.set_demand st limited ~gbps:(Some 2.0);
+  R2c2.Stack.set_demand st limited ~gbps:(Some (U.gbps 2.0));
   (* [estimated] has a live estimator but no declared demand. *)
   R2c2.Stack.recompute st;
-  R2c2.Stack.observe_sender_queue st estimated ~queued_bytes:1e6 ~period_ns:1_000_000;
+  R2c2.Stack.observe_sender_queue st estimated ~queued_bytes:(U.bytes 1e6) ~period_ns:1_000_000;
   let demand_updates = ref [] in
   let starts = ref 0 in
   R2c2.Stack.on_broadcast st (fun b ->
@@ -187,7 +192,7 @@ let incremental_matches_fresh_stack () =
         | [] -> ()
         | l ->
             let id, _, _, _, _, demand = List.nth l (Util.Rng.int rng (List.length l)) in
-            let g = if Util.Rng.bool rng then Some (Util.Rng.float rng 4.0) else None in
+            let g = if Util.Rng.bool rng then Some (U.gbps (Util.Rng.float rng 4.0)) else None in
             demand := g;
             R2c2.Stack.set_demand churned id ~gbps:g));
     (* Interleave recomputes so the arena really is reused across epochs. *)
@@ -209,7 +214,7 @@ let incremental_matches_fresh_stack () =
     (fun (id, id') ->
       Alcotest.(check (float 1e-6))
         (Printf.sprintf "flow %d" id)
-        (R2c2.Stack.rate_gbps fresh id') (R2c2.Stack.rate_gbps churned id))
+        (rate fresh id') (rate churned id))
     pairs
 
 (* -- policy mapping (SS3.3.2) -------------------------------------------------- *)
@@ -223,7 +228,7 @@ let policy_tenant_weights () =
       ignore (R2c2.Policy.tenant_share ~weight:256))
 
 let policy_deadline_bands () =
-  let link_gbps = 10.0 in
+  let link_gbps = U.gbps 10.0 in
   (* 1 MB in 1 ms needs 8 Gbps: most urgent band. *)
   let urgent = R2c2.Policy.deadline ~size_bytes:1_000_000 ~deadline_ns:1_000_000 ~link_gbps in
   Alcotest.(check int) "urgent band" 0 urgent.R2c2.Policy.priority;
@@ -235,7 +240,7 @@ let policy_deadline_bands () =
 
 let policy_deadline_monotone () =
   (* Tighter deadlines never get a lower-urgency band. *)
-  let link_gbps = 10.0 in
+  let link_gbps = U.gbps 10.0 in
   let prev = ref max_int in
   List.iter
     (fun dl ->
@@ -263,14 +268,14 @@ let policy_end_to_end_deadline () =
   let r = R2c2.Stack.rate_gbps st urgent in
   Alcotest.(check bool) "meets deadline" true
     (R2c2.Policy.meets_deadline ~size_bytes:1_000_000 ~deadline_ns:1_200_000 ~rate_gbps:r);
-  Alcotest.(check bool) "bulk preempted" true (R2c2.Stack.rate_gbps st bulk < r)
+  Alcotest.(check bool) "bulk preempted" true (rate st bulk < (r : U.gbps :> float))
 
 (* -- control traffic (Fig 19) ------------------------------------------------ *)
 
 let fig19_decentralized_constant () =
   let topo = Topology.torus [| 8; 8; 8 |] in
   Alcotest.(check (float 1e-9)) "16 x 511" 8176.0
-    (R2c2.Control_traffic.decentralized_event_bytes topo)
+    (U.to_float (R2c2.Control_traffic.decentralized_event_bytes topo))
 
 let fig19_centralized_grows () =
   let topo = Topology.torus [| 8; 8; 8 |] in

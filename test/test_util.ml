@@ -217,8 +217,99 @@ let qcheck_heap_sorts =
       in
       drain [] = List.sort compare xs)
 
+(* -- units ---------------------------------------------------------------- *)
+
+module U = Util.Units
+
+(* The combinators advertise themselves as exactly their raw-float
+   formulas; anything weaker would shift benchmark trajectories. So the
+   properties compare IEEE bit patterns, not epsilons — NaN payloads,
+   signed zeros, infinities and subnormals included. *)
+let bits = Int64.bits_of_float
+
+let same_bits a b = Int64.equal (bits a) (bits b)
+
+let any_float =
+  QCheck.float (* the qcheck float generator includes nan, infinities and 0.0 *)
+
+let qcheck_drain_is_raw_mul =
+  QCheck.Test.make ~name:"drain ~rate ~dt = rate *. dt (bit-for-bit)" ~count:1000
+    QCheck.(pair any_float any_float)
+    (fun (r, d) ->
+      same_bits (U.to_float (U.drain ~rate:(U.byte_rate r) ~dt:(U.ns d))) (r *. d))
+
+let qcheck_rate_of_is_raw_div =
+  QCheck.Test.make ~name:"rate_of ~amount ~dt = amount /. dt (bit-for-bit)" ~count:1000
+    QCheck.(pair any_float any_float)
+    (fun (a, d) ->
+      same_bits (U.to_float (U.rate_of ~amount:(U.bytes a) ~dt:(U.ns d))) (a /. d))
+
+let qcheck_scale_is_raw_mul =
+  QCheck.Test.make ~name:"scale_by_fraction q f = q *. f (bit-for-bit)" ~count:1000
+    QCheck.(pair any_float any_float)
+    (fun (q, f) ->
+      same_bits (U.to_float (U.scale_by_fraction (U.gbps q) (U.fraction f))) (q *. f))
+
+let qcheck_fill_time_and_frac =
+  QCheck.Test.make ~name:"fill_time and frac_of are raw divisions (bit-for-bit)" ~count:1000
+    QCheck.(pair any_float any_float)
+    (fun (a, b) ->
+      same_bits (U.to_float (U.fill_time ~amount:(U.bytes a) ~rate:(U.byte_rate b))) (a /. b)
+      && same_bits (U.to_float (U.frac_of ~num:(U.bytes a) ~den:(U.bytes b))) (a /. b))
+
+let qcheck_rate_conversions =
+  QCheck.Test.make ~name:"gbps <-> byte_rate are *. 8.0 / /. 8.0 (bit-for-bit)" ~count:1000
+    any_float
+    (fun x ->
+      same_bits (U.to_float (U.byte_rate_of_gbps (U.gbps x))) (x /. 8.0)
+      && same_bits (U.to_float (U.gbps_of_byte_rate (U.byte_rate x))) (x *. 8.0)
+      && same_bits (U.to_float (U.bits_of_bytes (U.bytes x))) (x *. 8.0)
+      && same_bits (U.to_float (U.bytes_of_bits (U.bits x))) (x /. 8.0))
+
+let qcheck_same_unit_algebra =
+  QCheck.Test.make ~name:"same-unit algebra mirrors float ops (bit-for-bit)" ~count:1000
+    QCheck.(pair any_float any_float)
+    (fun (a, b) ->
+      let qa = U.bytes a and qb = U.bytes b in
+      same_bits (U.to_float (U.add qa qb)) (a +. b)
+      && same_bits (U.to_float (U.sub qa qb)) (a -. b)
+      && same_bits (U.to_float (U.min_q qa qb)) (Float.min a b)
+      && same_bits (U.to_float (U.max_q qa qb)) (Float.max a b)
+      && U.compare_q qa qb = Float.compare a b)
+
+let units_views_are_zero_copy () =
+  (* floats_of / of_floats alias the same backing array: a write through
+     one view is visible through the other, proving no copy happened. *)
+  let typed = U.of_floats [| 1.0; 2.0; 3.0 |] in
+  let raw = U.floats_of typed in
+  raw.(1) <- 42.0;
+  check_float "write via raw view lands in typed view" 42.0 (U.to_float typed.(1));
+  let back = U.of_floats raw in
+  raw.(2) <- 7.0;
+  check_float "re-blessing still aliases" 7.0 (U.to_float back.(2));
+  let pairs = U.pairs_of_floats [| (4, 0.5); (9, 0.25) |] in
+  let praw = U.pairs_to_floats pairs in
+  Alcotest.(check int) "pair keys survive" 9 (fst praw.(1));
+  check_float "pair values survive" 0.25 (snd praw.(1))
+
+let units_ticks_counter () =
+  let t = U.ticks 41 in
+  Alcotest.(check int) "tick_succ increments" 42 (U.ticks_to_int (U.tick_succ t));
+  check_float "zero is 0.0" 0.0 (U.to_float (U.zero : U.bytes))
+
 let suites =
   [
+    ( "util.units",
+      [
+        QCheck_alcotest.to_alcotest qcheck_drain_is_raw_mul;
+        QCheck_alcotest.to_alcotest qcheck_rate_of_is_raw_div;
+        QCheck_alcotest.to_alcotest qcheck_scale_is_raw_mul;
+        QCheck_alcotest.to_alcotest qcheck_fill_time_and_frac;
+        QCheck_alcotest.to_alcotest qcheck_rate_conversions;
+        QCheck_alcotest.to_alcotest qcheck_same_unit_algebra;
+        tc "array/pair views are zero-copy aliases" units_views_are_zero_copy;
+        tc "ticks counter" units_ticks_counter;
+      ] );
     ( "util.rng",
       [
         tc "deterministic per seed" rng_deterministic;

@@ -2,6 +2,8 @@
 
 let tc name f = Alcotest.test_case name `Quick f
 
+module U = Util.Units
+
 let torus88 = lazy (Topology.torus [| 8; 8 |])
 
 let pattern_unit_injection pattern () =
@@ -64,11 +66,13 @@ let transpose_rejects_unequal_dims () =
 
 let adversarial_no_worse_than_known () =
   let ctx = Routing.make (Lazy.force torus88) in
-  let _, worst = Workload.Pattern.adversarial ctx Routing.Dor ~tries:10 ~seed:3 in
+  let _, worst_q = Workload.Pattern.adversarial ctx Routing.Dor ~tries:10 ~seed:3 in
   let tornado =
-    Congestion.Channel_load.capacity_fraction ctx Routing.Dor
-      (Workload.Pattern.flows (Lazy.force torus88) Workload.Pattern.Tornado)
+    U.to_float
+      (Congestion.Channel_load.capacity_fraction ctx Routing.Dor
+         (Workload.Pattern.flows (Lazy.force torus88) Workload.Pattern.Tornado))
   in
+  let worst = U.to_float worst_q in
   Alcotest.(check bool) "worst <= tornado for DOR" true (worst <= tornado +. 1e-9)
 
 (* -- flowgen ------------------------------------------------------------- *)
@@ -137,7 +141,7 @@ let permutation_long_flows_distinct () =
   for load10 = 1 to 10 do
     let load = float_of_int load10 /. 10.0 in
     let rng = Util.Rng.create (100 + load10) in
-    let specs = Workload.Flowgen.permutation_long_flows topo rng ~load in
+    let specs = Workload.Flowgen.permutation_long_flows topo rng ~load:(U.fraction load) in
     let expected = int_of_float (Float.round (load *. 64.0)) in
     Alcotest.(check int) "flow count = load * hosts" expected (List.length specs);
     let srcs = List.map (fun s -> s.Workload.Flowgen.src) specs in
@@ -154,9 +158,9 @@ let byte_fraction_helpers () =
   let mk size = { Workload.Flowgen.arrival_ns = 0; src = 0; dst = 1; size; weight = 1; priority = 0 } in
   let specs = [ mk 10_000; mk 10_000; mk 80_000; mk 900_000 ] in
   Alcotest.(check (float 1e-9)) "short fraction" 0.75
-    (Workload.Flowgen.short_fraction specs ~threshold:100_000);
+    (U.to_float (Workload.Flowgen.short_fraction specs ~threshold:100_000));
   Alcotest.(check (float 1e-9)) "bytes in small" 0.1
-    (Workload.Flowgen.bytes_in_small specs ~threshold:100_000)
+    (U.to_float (Workload.Flowgen.bytes_in_small specs ~threshold:100_000))
 
 (* -- trace ---------------------------------------------------------------- *)
 

@@ -28,6 +28,29 @@
        `compare`; int-keyed sites should switch to `Int.compare`, which
        is also faster.)
 
+   The units pass (dimensional analysis for the data plane; the type
+   layer itself lives in `Util.Units`):
+
+   U1  a raw float literal bound to a unit-carrying labeled argument
+       (`~gbps:10.0`, `~headroom:0.05`, `~loss:(Some 0.3)`, …). The
+       phantom types normally reject this at compile time; the lint
+       keeps the rule visible where a local helper shadows the typed
+       API with raw floats. Wrap the literal in its constructor:
+       `~gbps:(Util.Units.gbps 10.0)`.
+   U2  float arithmetic directly on a `to_float` result
+       (`Util.Units.to_float r *. 2.0`). Unwrap-then-compute hides
+       which unit the formula is in; let-bind the unwrapped value (so
+       the binding names the unit) or express the computation as a
+       `Util.Units` combinator. `lib/util/units.ml` itself — where the
+       combinators are defined — is exempt.
+   U3  wire-format symmetry. For every `encode_X`/`decode_X` pair the
+       linter walks `putN`/`getN` field accesses symbolically
+       (offsets resolved through top-level integer constants): the
+       writer must stay inside — and exactly fill — the declared
+       `Bytes.make` budget, fixed-offset writes must not overlap, and
+       every fixed field the writer emits must be read back by the
+       decoder at the same offset and width (and vice versa).
+
    A violation can be suppressed with a justification comment on the
    offending line or the line directly above it:
 
@@ -50,10 +73,11 @@ type report = {
   violations : violation list;  (* sorted by (file, line, rule) *)
   files : int;
   suppressed : int;  (* violations silenced by a valid allow *)
+  suppressed_by_rule : (string * int) list;  (* rule -> applied suppressions *)
   unused_allows : (string * int) list;  (* allow comments that silenced nothing *)
 }
 
-let rules = [ "D1"; "D2"; "D3"; "S1"; "S2" ]
+let rules = [ "D1"; "D2"; "D3"; "S1"; "S2"; "U1"; "U2"; "U3" ]
 
 (* -- suppression comments ------------------------------------------------ *)
 
@@ -168,22 +192,86 @@ let check_path ~in_lib add path loc =
          (if p = "Hashtbl.iter" then "iter_sorted" else "fold_sorted"));
   if p = "Obj.magic" then add "S1" loc "'Obj.magic' defeats the type system"
 
-let lint_structure ~in_lib ~add structure =
+(* U1: the canonical unit table — labeled arguments that carry a physical
+   quantity in the public API, with the constructor a raw literal must be
+   wrapped in (DESIGN.md §10). *)
+let unit_labels =
+  [
+    ("gbps", "Util.Units.gbps");
+    ("link_gbps", "Util.Units.gbps");
+    ("rate_gbps", "Util.Units.gbps");
+    ("headroom", "Util.Units.fraction");
+    ("load", "Util.Units.fraction");
+    ("loss", "Util.Units.fraction");
+    ("reorder", "Util.Units.fraction");
+    ("dup", "Util.Units.fraction");
+    ("demand", "Util.Units.byte_rate");
+    ("rate", "Util.Units.byte_rate");
+    ("allocation", "Util.Units.byte_rate");
+    ("queued_bytes", "Util.Units.bytes");
+  ]
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**" ]
+
+let last_component lid =
+  match (try Longident.flatten lid with Misc.Fatal_error -> []) with
+  | [] -> ""
+  | l -> List.nth l (List.length l - 1)
+
+let lint_structure ~in_lib ~check_u2 ~add structure =
   let open Parsetree in
+  let is_float_lit e =
+    match e.pexp_desc with Pexp_constant (Pconst_float _) -> true | _ -> false
+  in
   let expr (iter : Ast_iterator.iterator) e =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_path ~in_lib add (path_of txt) loc
-    | Pexp_apply (_, args) ->
+    | Pexp_apply (fn, args) ->
         List.iter
-          (fun ((_, a) : Asttypes.arg_label * expression) ->
-            match a.pexp_desc with
+          (fun ((lbl, a) : Asttypes.arg_label * expression) ->
+            (match a.pexp_desc with
             | Pexp_ident { txt = Longident.Lident "compare"; loc }
             | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Stdlib", "compare"); loc } ->
                 add "S2" loc
                   "bare polymorphic 'compare' as a comparator (NaN/tie-break hazard); use \
                    Int.compare, Float.compare or an explicit key comparator"
-            | _ -> ())
-          args
+            | _ -> ());
+            match lbl with
+            | Asttypes.Labelled l | Asttypes.Optional l -> (
+                match List.assoc_opt l unit_labels with
+                | Some ctor ->
+                    let bare = is_float_lit a in
+                    let in_some =
+                      match a.pexp_desc with
+                      | Pexp_construct ({ txt = Longident.Lident "Some"; _ }, Some inner) ->
+                          is_float_lit inner
+                      | _ -> false
+                    in
+                    if bare || in_some then
+                      add "U1" a.pexp_loc
+                        (Printf.sprintf
+                           "raw float literal bound to unit-carrying label '~%s'; wrap it in \
+                            its constructor, e.g. '~%s:(%s …)'"
+                           l l ctor)
+                | None -> ())
+            | Asttypes.Nolabel -> ())
+          args;
+        (match fn.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident op; _ }
+          when check_u2 && List.mem op float_ops ->
+            List.iter
+              (fun ((_, a) : Asttypes.arg_label * expression) ->
+                match a.pexp_desc with
+                | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+                  when last_component txt = "to_float" ->
+                    add "U2" loc
+                      (Printf.sprintf
+                         "'%s' applied directly to a 'to_float' result loses the unit; \
+                          let-bind the unwrapped value or use a Util.Units combinator"
+                         op)
+                | _ -> ())
+              args
+        | _ -> ())
     | Pexp_try (_, cases) ->
         List.iter
           (fun c ->
@@ -221,6 +309,209 @@ let lint_structure ~in_lib ~add structure =
   in
   iterator.structure iterator structure
 
+(* -- U3: wire-format budget and encoder/decoder symmetry ------------------ *)
+
+(* Fixed-width field accessors, by the last component of the called path.
+   Both the Wire helpers (put16/get16) and the raw Bytes primitives they
+   wrap are understood, so the walk survives inlining a helper. *)
+let put_widths =
+  [
+    ("put8", 1);
+    ("put16", 2);
+    ("put32", 4);
+    ("put64", 8);
+    ("set_uint8", 1);
+    ("set_uint16_be", 2);
+    ("set_int32_be", 4);
+    ("set_int64_be", 8);
+  ]
+
+let get_widths =
+  [
+    ("get8", 1);
+    ("get16", 2);
+    ("get32", 4);
+    ("get64", 8);
+    ("get_uint8", 1);
+    ("get_uint16_be", 2);
+    ("get_int32_be", 4);
+    ("get_int64_be", 8);
+  ]
+
+type access = {
+  a_off : int option;  (* None: offset is computed, not statically resolvable *)
+  a_width : int;
+  a_loc : Location.t;
+}
+
+type wire_fn = {
+  w_name : string;
+  w_loc : Location.t;
+  w_size : (int option * Location.t) option;  (* Bytes.make budget, if any *)
+  w_puts : access list;
+  w_gets : access list;
+}
+
+(* Top-level `let name = <int literal>` bindings: the offset/size constants
+   the symbolic walk resolves through. *)
+let int_consts structure =
+  let open Parsetree in
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.fold_left
+            (fun acc vb ->
+              match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+              | Ppat_var { txt; _ }, Pexp_constant (Pconst_integer (s, None)) -> (
+                  match int_of_string_opt s with Some v -> (txt, v) :: acc | None -> acc)
+              | _ -> acc)
+            acc vbs
+      | _ -> acc)
+    [] structure
+
+let rec resolve_int consts (e : Parsetree.expression) =
+  let open Parsetree in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, None)) -> int_of_string_opt s
+  | Pexp_ident { txt = Longident.Lident n; _ } -> List.assoc_opt n consts
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident "+"; _ }; _ }, [ (_, a); (_, b) ])
+    -> (
+      match (resolve_int consts a, resolve_int consts b) with
+      | Some x, Some y -> Some (x + y)
+      | _ -> None)
+  | _ -> None
+
+(* Collect Bytes.make budgets and putN/getN accesses inside one function
+   body. *)
+let collect_accesses consts body =
+  let open Parsetree in
+  let size = ref None and puts = ref [] and gets = ref [] in
+  let expr (iter : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+        let name = last_component txt in
+        let full = strip_stdlib (path_of txt) in
+        if full = "Bytes.make" && !size = None then begin
+          match args with
+          | (_, sz) :: _ -> size := Some (resolve_int consts sz, loc)
+          | [] -> ()
+        end;
+        let record store width =
+          (* putN buf off v / getN buf off: the offset is the second
+             positional argument. *)
+          match args with
+          | _ :: (_, off) :: _ ->
+              store := { a_off = resolve_int consts off; a_width = width; a_loc = loc } :: !store
+          | _ -> ()
+        in
+        match (List.assoc_opt name put_widths, List.assoc_opt name get_widths) with
+        | Some w, _ -> record puts w
+        | None, Some w -> record gets w
+        | None, None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr iter e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr } in
+  iterator.expr iterator body;
+  (!size, List.rev !puts, List.rev !gets)
+
+let wire_fns structure =
+  let open Parsetree in
+  let consts = int_consts structure in
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.fold_left
+            (fun acc vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ }
+                when String.length txt > 7
+                     && (String.sub txt 0 7 = "encode_" || String.sub txt 0 7 = "decode_") ->
+                  let w_size, w_puts, w_gets = collect_accesses consts vb.pvb_expr in
+                  { w_name = txt; w_loc = vb.pvb_pat.ppat_loc; w_size; w_puts; w_gets } :: acc
+              | _ -> acc)
+            acc vbs
+      | _ -> acc)
+    [] structure
+  |> List.rev
+
+let static accesses = List.filter_map (fun a -> Option.map (fun o -> (o, a)) a.a_off) accesses
+
+let lint_wire ~add structure =
+  let fns = wire_fns structure in
+  let encoders = List.filter (fun f -> String.sub f.w_name 0 7 = "encode_") fns in
+  (* Budget: every statically-addressed write stays inside the declared
+     Bytes.make size, never overlaps a sibling, and — when every write is
+     static — exactly fills the budget. *)
+  List.iter
+    (fun f ->
+      match f.w_size with
+      | Some (Some size, size_loc) ->
+          let statics = List.sort (fun (a, _) (b, _) -> Int.compare a b) (static f.w_puts) in
+          let dynamic = List.exists (fun a -> a.a_off = None) f.w_puts in
+          List.iter
+            (fun (off, a) ->
+              if off + a.a_width > size then
+                add "U3" a.a_loc
+                  (Printf.sprintf
+                     "'%s' writes %d byte(s) at offset %d, overrunning its declared size %d"
+                     f.w_name a.a_width off size))
+            statics;
+          let rec overlaps = function
+            | (o1, a1) :: ((o2, a2) :: _ as rest) ->
+                if o1 + a1.a_width > o2 then
+                  add "U3" a2.a_loc
+                    (Printf.sprintf
+                       "'%s': the %d-byte write at offset %d overlaps the %d-byte write at \
+                        offset %d"
+                       f.w_name a2.a_width o2 a1.a_width o1);
+                overlaps rest
+            | _ -> []
+          in
+          ignore (overlaps statics);
+          if (not dynamic) && statics <> [] then begin
+            let last = List.fold_left (fun m (o, a) -> max m (o + a.a_width)) 0 statics in
+            if last < size then
+              add "U3" size_loc
+                (Printf.sprintf
+                   "'%s' declares a %d-byte packet but its writes end at byte %d (%d byte(s) \
+                    of slack)"
+                   f.w_name size last (size - last))
+          end
+      | _ -> ())
+    encoders;
+  (* Symmetry: the decoder must read back exactly the fixed fields the
+     encoder wrote — same offsets, same widths. *)
+  List.iter
+    (fun enc ->
+      let base = String.sub enc.w_name 7 (String.length enc.w_name - 7) in
+      match List.find_opt (fun f -> f.w_name = "decode_" ^ base) fns with
+      | None -> ()
+      | Some dec ->
+          let writes = static enc.w_puts and reads = static dec.w_gets in
+          let mem (o, a) l = List.exists (fun (o', a') -> o = o' && a.a_width = a'.a_width) l in
+          List.iter
+            (fun (o, a) ->
+              if not (mem (o, a) reads) then
+                add "U3" a.a_loc
+                  (Printf.sprintf
+                     "'%s' writes %d byte(s) at offset %d that '%s' never reads back at that \
+                      offset/width"
+                     enc.w_name a.a_width o dec.w_name))
+            writes;
+          List.iter
+            (fun (o, a) ->
+              if not (mem (o, a) writes) then
+                add "U3" a.a_loc
+                  (Printf.sprintf
+                     "'%s' reads %d byte(s) at offset %d that '%s' never writes at that \
+                      offset/width"
+                     dec.w_name a.a_width o enc.w_name))
+            reads)
+    encoders
+
 (* -- per-file driver ----------------------------------------------------- *)
 
 let lint_source ~file ~in_lib src =
@@ -250,7 +541,12 @@ let lint_source ~file ~in_lib src =
   (try
      let lexbuf = Lexing.from_string src in
      Location.init lexbuf file;
-     lint_structure ~in_lib ~add (Parse.implementation lexbuf)
+     let structure = Parse.implementation lexbuf in
+     (* The combinator definitions in Util.Units are the one place raw
+        arithmetic on unwrapped floats is the point. *)
+     let check_u2 = Filename.basename file <> "units.ml" in
+     lint_structure ~in_lib ~check_u2 ~add structure;
+     lint_wire ~add structure
    with exn ->
      let message =
        match exn with
@@ -259,6 +555,7 @@ let lint_source ~file ~in_lib src =
      in
      raw := { file; line = 1; rule = "LINT"; message } :: !raw);
   let suppressed = ref 0 in
+  let suppressed_rules = ref [] in
   let keep v =
     if v.rule = "LINT" then true (* malformed allows are never suppressible *)
     else begin
@@ -272,6 +569,7 @@ let lint_source ~file ~in_lib src =
       (* The allow may sit on the offending line or directly above it. *)
       if covered v.line || covered (v.line - 1) then begin
         incr suppressed;
+        suppressed_rules := v.rule :: !suppressed_rules;
         false
       end
       else true
@@ -289,7 +587,18 @@ let lint_source ~file ~in_lib src =
       (fun (_, a) (_, b) -> Int.compare a b)
       (Hashtbl.fold (fun line a acc -> if a.used then acc else (file, line) :: acc) allows [])
   in
-  { violations; files = 1; suppressed = !suppressed; unused_allows = unused }
+  let by_rule =
+    List.map
+      (fun r -> (r, List.length (List.filter (String.equal r) !suppressed_rules)))
+      rules
+  in
+  {
+    violations;
+    files = 1;
+    suppressed = !suppressed;
+    suppressed_by_rule = by_rule;
+    unused_allows = unused;
+  }
 
 let lint_file ~in_lib file =
   let ic = open_in_bin file in
@@ -322,10 +631,23 @@ let merge a b =
     violations = a.violations @ b.violations;
     files = a.files + b.files;
     suppressed = a.suppressed + b.suppressed;
+    suppressed_by_rule =
+      List.map
+        (fun r ->
+          let n l = try List.assoc r l with Not_found -> 0 in
+          (r, n a.suppressed_by_rule + n b.suppressed_by_rule))
+        rules;
     unused_allows = a.unused_allows @ b.unused_allows;
   }
 
-let empty = { violations = []; files = 0; suppressed = 0; unused_allows = [] }
+let empty =
+  {
+    violations = [];
+    files = 0;
+    suppressed = 0;
+    suppressed_by_rule = List.map (fun r -> (r, 0)) rules;
+    unused_allows = [];
+  }
 
 let lint_root root =
   let in_lib = root_is_lib root in
@@ -341,8 +663,18 @@ let pp_violation oc v =
 let report_and_exit_code oc r =
   List.iter (pp_violation oc) r.violations;
   List.iter
-    (fun (f, l) -> Printf.fprintf oc "%s:%d: warning: unused 'lint: allow' comment\n" f l)
+    (fun (f, l) ->
+      Printf.fprintf oc "%s:%d: stale 'lint: allow' comment suppresses nothing; delete it\n" f l)
     r.unused_allows;
-  Printf.fprintf oc "r2c2-lint: %d file(s), %d violation(s), %d suppression(s) applied\n"
-    r.files (List.length r.violations) r.suppressed;
-  if r.violations = [] then 0 else 1
+  Printf.fprintf oc
+    "r2c2-lint: %d file(s), %d violation(s), %d suppression(s) applied, %d stale allow(s)\n"
+    r.files (List.length r.violations) r.suppressed (List.length r.unused_allows);
+  Printf.fprintf oc "  per rule (violations/suppressions):";
+  List.iter
+    (fun rule ->
+      let v = List.length (List.filter (fun x -> x.rule = rule) r.violations) in
+      let s = try List.assoc rule r.suppressed_by_rule with Not_found -> 0 in
+      Printf.fprintf oc " %s %d/%d" rule v s)
+    (rules @ [ "LINT" ]);
+  Printf.fprintf oc "\n";
+  if r.violations = [] && r.unused_allows = [] then 0 else 1

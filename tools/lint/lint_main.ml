@@ -1,7 +1,9 @@
 (* CLI driver: `lint_main <root>…` lints every `.ml` under each root.
    A root whose basename is `lib` additionally gets the lib-only rules
-   (D2 wall-clock, D3 raw Hashtbl iteration). Exits non-zero on any
-   violation, so `dune build @lint` is a CI gate. *)
+   (D2 wall-clock, D3 raw Hashtbl iteration). The units rules U1–U3 and
+   D1/S1/S2 apply to every root (lib, bench, bin, examples). Exits
+   non-zero on any violation or stale allow, so `dune build @lint` is a
+   CI gate. *)
 
 let () =
   let roots =
