@@ -308,16 +308,16 @@ let emit_digests ?(src = 0) t =
     let last = Rbcast.last_seq t.origin ~tree in
     (* A tree that never carried an event has nothing to anti-entropy. *)
     if last >= 0 then begin
-      let d =
-        { Wire.dsrc = src; dtree = tree; epoch; last_seq = last; state_hash = hash }
-      in
-      (match Wire.decode_digest (Wire.encode_digest d) with
-      | Ok p -> assert (p = d)
-      | Error e -> failwith ("Stack: digest encoding failed: " ^ e));
       t.reliability_bytes <- t.reliability_bytes + (Wire.digest_size * fanout t);
-      ds := d :: !ds
+      ds := { Wire.dsrc = src; dtree = tree; epoch; last_seq = last; state_hash = hash } :: !ds
     end
   done;
+  (* The whole beacon round travels as one contiguous batch; check it
+     round-trips once instead of re-encoding each digest separately. *)
+  let items = List.map (fun d -> Wire.Item_digest d) !ds in
+  (match Wire.decode_batch (Wire.encode_batch items) with
+  | Ok got -> assert (got = items)
+  | Error e -> failwith ("Stack: digest batch encoding failed: " ^ e));
   !ds
 
 let replay t ~tree ~seq =
@@ -329,6 +329,19 @@ let replay t ~tree ~seq =
          original loss need it too. *)
       t.reliability_bytes <- t.reliability_bytes + (Wire.seq_broadcast_size * fanout t);
       Some (Wire.encode_seq_broadcast pkt ~flow ~seq)
+
+let replay_range t ~tree ~from_seq ~to_seq =
+  if to_seq < from_seq then invalid_arg "Stack.replay_range: empty range";
+  let items = ref [] in
+  for seq = to_seq downto from_seq do
+    match Rbcast.replay t.origin ~tree ~seq with
+    | None -> ()  (* evicted: the requester falls back to a full sync *)
+    | Some (pkt, flow) ->
+        t.event_retransmits <- t.event_retransmits + 1;
+        t.reliability_bytes <- t.reliability_bytes + (Wire.seq_broadcast_size * fanout t);
+        items := Wire.Item_seq_broadcast (pkt, flow, seq) :: !items
+  done;
+  if !items = [] then None else Some (Wire.encode_batch !items)
 
 let sync_view t view =
   let fl = flow_array t in

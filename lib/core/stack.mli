@@ -139,6 +139,14 @@ val replay : t -> tree:int -> seq:int -> bytes option
     requester then needs a full {!sync_view}). Charged to
     {!reliability_bytes_sent} and counted in {!event_retransmits}. *)
 
+val replay_range : t -> tree:int -> from_seq:int -> to_seq:int -> bytes option
+(** Answer a NACK's whole inclusive range as one {!Wire.encode_batch} of
+    sequenced events, in ascending order, skipping sequences already
+    evicted from the replay log; [None] when nothing in the range survives
+    (the requester then needs a full {!sync_view}). Feed the result to
+    {!View.apply_batch}. Each replayed event is charged and counted exactly
+    as {!replay} would. Raises [Invalid_argument] on [to_seq < from_seq]. *)
+
 val sync_view : t -> View.t -> unit
 (** Full-state repair of a diverged replica: replaces its believed flow
     set with the authoritative one and fast-forwards its windows. Charged

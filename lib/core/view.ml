@@ -41,21 +41,37 @@ type verdict =
   | Buffered  (* ahead of a gap; repair should be requested *)
   | Malformed of string
 
+let apply_seq t pkt flow seq =
+  let tree = pkt.Wire.tree in
+  if tree < 0 || tree >= t.trees then Malformed "tree id out of range"
+  else begin
+    if seq > t.hi.(tree) then t.hi.(tree) <- seq;
+    match Rbcast.receive t.windows.(tree) ~seq (pkt, flow) with
+    | Rbcast.Deliver ps ->
+        List.iter (apply_event t) ps;
+        Applied (List.length ps)
+    | Rbcast.Duplicate -> Duplicate
+    | Rbcast.Buffered -> Buffered
+  end
+
 let apply t bytes =
   match Wire.decode_seq_broadcast bytes with
   | Error e -> Malformed e
-  | Ok (pkt, flow, seq) ->
-      let tree = pkt.Wire.tree in
-      if tree < 0 || tree >= t.trees then Malformed "tree id out of range"
-      else begin
-        if seq > t.hi.(tree) then t.hi.(tree) <- seq;
-        match Rbcast.receive t.windows.(tree) ~seq (pkt, flow) with
-        | Rbcast.Deliver ps ->
-            List.iter (apply_event t) ps;
-            Applied (List.length ps)
-        | Rbcast.Duplicate -> Duplicate
-        | Rbcast.Buffered -> Buffered
-      end
+  | Ok (pkt, flow, seq) -> apply_seq t pkt flow seq
+
+let apply_batch t bytes =
+  match Wire.decode_batch bytes with
+  | Error e -> Error e
+  | Ok items ->
+      Ok
+        (List.map
+           (function
+             | Wire.Item_seq_broadcast (pkt, flow, seq) -> apply_seq t pkt flow seq
+             | Wire.Item_broadcast _ | Wire.Item_digest _ | Wire.Item_nack _ ->
+                 (* Repair batches carry sequenced events only; anything
+                    else is a framing mistake, reported in place. *)
+                 Malformed "batch item is not a sequenced broadcast")
+           items)
 
 let flow_ids t = Array.to_list (Util.Tbl.sorted_keys ~cmp:Int.compare t.flows)
 let flow t id = Hashtbl.find_opt t.flows id

@@ -27,6 +27,13 @@ val apply : t -> bytes -> verdict
 (** Feed one 24-byte sequenced broadcast ({!Wire.encode_seq_broadcast})
     as received off the wire. *)
 
+val apply_batch : t -> bytes -> (verdict list, string) result
+(** Feed one repair batch ({!Stack.replay_range}): every
+    [Wire.Item_seq_broadcast] is applied in batch order, yielding one
+    verdict each (a non-event item yields [Malformed] in its slot).
+    [Error] only when the buffer itself fails to parse — then nothing was
+    applied. *)
+
 type digest_verdict =
   | Synced  (** nothing missing as far as this digest can tell *)
   | Gaps of (int * int) list

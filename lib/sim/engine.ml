@@ -1,33 +1,167 @@
-type t = { mutable now : int; q : (unit -> unit) Util.Heap.t }
+(* Event pool + pluggable queue. Events are records in parallel arrays
+   addressed by pool id — a tagged event (tag >= 0, two int args, routed
+   through the dispatch handler) never touches the OCaml heap; a closure
+   event stores its thunk in [fns]. The queue holds bare pool ids: a
+   calendar wheel by default (O(1) for the fabric's 100 ns / few-µs event
+   horizon), or the original binary heap for differential testing. Both
+   queues share the (time, insertion order) pop contract, so the choice
+   cannot reorder a simulation. *)
 
-let create () = { now = 0; q = Util.Heap.create () }
+type backend = Binary_heap | Calendar
 
+let nop () = ()
+
+let no_dispatch ~tag:_ ~a:_ ~b:_ =
+  invalid_arg "Engine: tagged event fired with no dispatch handler installed"
+
+type t = {
+  mutable now : int;
+  backend : backend;
+  cal : Util.Calqueue.t;
+  heap : int Util.Heap.t;
+  (* Event pool; the free list is chained through [aa]. *)
+  mutable tags : int array;
+  mutable aa : int array;
+  mutable bb : int array;
+  mutable fns : (unit -> unit) array;
+  mutable free_head : int;
+  mutable next_fresh : int;
+  mutable count : int;
+  mutable dispatch : tag:int -> a:int -> b:int -> unit;
+}
+
+let create ?(backend = Calendar) () =
+  {
+    now = 0;
+    backend;
+    cal = Util.Calqueue.create ();
+    heap = Util.Heap.create ();
+    tags = Array.make 256 (-1);
+    aa = Array.make 256 (-1);
+    bb = Array.make 256 0;
+    fns = Array.make 256 nop;
+    free_head = -1;
+    next_fresh = 0;
+    count = 0;
+    dispatch = no_dispatch;
+  }
+
+let backend t = t.backend
 let now t = t.now
+let pending t = t.count
+let set_dispatch t f = t.dispatch <- f
+
+let grow t =
+  let n = Array.length t.tags in
+  let n' = 2 * n in
+  let copy a fill =
+    let a' = Array.make n' fill in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  t.tags <- copy t.tags (-1);
+  t.aa <- copy t.aa (-1);
+  t.bb <- copy t.bb 0;
+  t.fns <- copy t.fns nop
+
+let schedule t time ~tag ~a ~b fn =
+  let id =
+    if t.free_head >= 0 then begin
+      let id = t.free_head in
+      t.free_head <- t.aa.(id);
+      id
+    end
+    else begin
+      if t.next_fresh = Array.length t.tags then grow t;
+      let id = t.next_fresh in
+      t.next_fresh <- id + 1;
+      id
+    end
+  in
+  (* [id < length] holds by construction (grow above); unsafe stores skip
+     three bounds checks per event. *)
+  Array.unsafe_set t.tags id tag;
+  Array.unsafe_set t.aa id a;
+  Array.unsafe_set t.bb id b;
+  (* Tagged events leave [fns] at the recycled [nop]: skipping the store
+     skips a caml_modify write barrier per event. *)
+  if tag < 0 then t.fns.(id) <- fn;
+  t.count <- t.count + 1;
+  match t.backend with
+  | Calendar -> Util.Calqueue.add t.cal ~time id
+  | Binary_heap -> Util.Heap.push t.heap time id
 
 let at t time thunk =
   if time < t.now then invalid_arg "Engine.at: time in the past";
-  Util.Heap.push t.q time thunk
+  schedule t time ~tag:(-1) ~a:0 ~b:0 thunk
 
 let after t delay thunk =
   if delay < 0 then invalid_arg "Engine.after: negative delay";
-  Util.Heap.push t.q (t.now + delay) thunk
+  schedule t (t.now + delay) ~tag:(-1) ~a:0 ~b:0 thunk
 
-let run ?until t =
-  let stop = ref false in
-  while not !stop do
-    match Util.Heap.peek t.q with
-    | None -> stop := true
-    | Some (time, _) -> (
-        match until with
-        | Some u when time > u ->
-            t.now <- u;
-            stop := true
-        | _ -> (
-            match Util.Heap.pop t.q with
-            | None -> stop := true
-            | Some (time, thunk) ->
-                t.now <- time;
-                thunk ()))
+let after_tagged t delay ~tag ~a ~b =
+  if delay < 0 then invalid_arg "Engine.after: negative delay";
+  if tag < 0 then invalid_arg "Engine.after_tagged: negative tag";
+  schedule t (t.now + delay) ~tag ~a ~b nop
+
+let fire t id =
+  let tag = Array.unsafe_get t.tags id
+  and a = Array.unsafe_get t.aa id
+  and b = Array.unsafe_get t.bb id in
+  (* Recycle before firing so the handler can reuse the slot. *)
+  Array.unsafe_set t.aa id t.free_head;
+  t.free_head <- id;
+  t.count <- t.count - 1;
+  if tag >= 0 then t.dispatch ~tag ~a ~b
+  else begin
+    let fn = t.fns.(id) in
+    t.fns.(id) <- nop;
+    fn ()
+  end
+
+(* The Calendar loop drains through the queue's int-returning [pop_until]
+   so each event costs one bitmap scan and zero allocation; [u] folds the
+   no-deadline case into [max_int]. *)
+let run_calendar t u =
+  let continue = ref true in
+  while !continue do
+    let id = Util.Calqueue.pop_until t.cal ~until:u in
+    if id >= 0 then begin
+      t.now <- Util.Calqueue.popped_time t.cal;
+      fire t id
+    end
+    else begin
+      (* [-2]: the next event lies past the deadline — clamp the clock to
+         it, exactly as the heap path does. [-1]: queue empty, clock stays
+         on the last fired event. *)
+      if id = -2 then t.now <- u;
+      continue := false
+    end
   done
 
-let pending t = Util.Heap.size t.q
+let run_heap t u =
+  let continue = ref true in
+  while !continue do
+    match Util.Heap.peek t.heap with
+    | None -> continue := false
+    | Some (time, _) ->
+        if time > u then begin
+          t.now <- u;
+          continue := false
+        end
+        else begin
+          (match Util.Heap.pop t.heap with
+          | Some (time, id) ->
+              t.now <- time;
+              fire t id
+          | None -> assert false)
+        end
+  done
+
+let run ?until t =
+  (* [until = Some max_int] behaves identically to no deadline: no event
+     time can exceed it, so [now] is never clamped. *)
+  let u = match until with Some u -> u | None -> max_int in
+  match t.backend with
+  | Calendar -> run_calendar t u
+  | Binary_heap -> run_heap t u

@@ -1,11 +1,28 @@
 (** Discrete-event simulation engine.
 
     Time is integer nanoseconds. Events scheduled for the same instant fire
-    in scheduling order, making runs deterministic. *)
+    in scheduling order, making runs deterministic — the contract holds
+    identically under both backends below, which the differential tests in
+    [test_sim.ml] assert digest-for-digest.
+
+    Events live in a flat pool recycled through a free list; the default
+    {!Calendar} backend stores pending events in a {!Util.Calqueue} (1-ns
+    buckets over a 16384-ns window, {!Util.Heap} overflow beyond it), so
+    scheduling and firing a near-future {e tagged} event allocates nothing.
+    Closure events ([at] / [after]) still cost their closure — the packet
+    hot path uses {!after_tagged} instead. *)
 
 type t
 
-val create : unit -> t
+(** [Binary_heap] is the original single binary-heap queue, kept as the
+    reference for differential tests; [Calendar] is the O(1) wheel. Both
+    pop in (time, scheduling order). *)
+type backend = Binary_heap | Calendar
+
+val create : ?backend:backend -> unit -> t
+(** Default backend is [Calendar]. *)
+
+val backend : t -> backend
 
 val now : t -> int
 (** Current simulation time in ns. *)
@@ -15,6 +32,16 @@ val at : t -> int -> (unit -> unit) -> unit
 
 val after : t -> int -> (unit -> unit) -> unit
 (** Schedule a thunk [delay] ns from now. *)
+
+val set_dispatch : t -> (tag:int -> a:int -> b:int -> unit) -> unit
+(** Install the handler for tagged events. One consumer owns the tag
+    space — in this simulator, {!Net}. *)
+
+val after_tagged : t -> int -> tag:int -> a:int -> b:int -> unit
+(** Schedule a tagged event [delay] ns from now: at fire time the dispatch
+    handler receives [(tag, a, b)]. No closure is built — with the
+    [Calendar] backend this is the zero-allocation path. [tag] must be
+    [>= 0]; firing without a handler installed raises. *)
 
 val run : ?until:int -> t -> unit
 (** Process events in time order until the queue empties or the clock

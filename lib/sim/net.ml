@@ -1,26 +1,55 @@
-type kind =
-  | Data of { flow : int; seq : int; last : bool }
-  | Ack of { flow : int; ackno : int }
-  | Bcast of { bcast_id : int; root : int; tree : int; seq : int }
-  | Digest of { root : int; tree : int; epoch : int; last_seq : int; hash : int64 }
-  | Nack of { root : int; tree : int; from_seq : int; to_seq : int; requester : int }
-  | Sync of { root : int; entries : int list; last_seqs : int array }
+(* Arena-backed packet fabric (DESIGN.md §11). A packet is 8 native ints
+   in a flat pool — exactly one cache line: a meta word packing kind code,
+   hop cursor and wire bytes, the interned route handle, and six payload
+   words — so injecting, forwarding and delivering allocates nothing on
+   the OCaml heap and touches one line per stage. The FIFO queue link
+   lives in a side array ([qnext]) rather than the record, both to fit the
+   line and because eight neighbouring links share a line of their own.
+   Routes live in a shared refcounted slice pool: one copy per flow,
+   shared by every packet (retransmits included).
 
-type packet = {
-  kind : kind;
-  bytes : int;
-  route : int array;
-  mutable hop : int;
-}
-
-(* Bcast and Digest fan out along a (root, tree) broadcast tree; Nack and
-   Sync are source-routed unicast like Data/Ack. All four are control
-   plane. *)
-let is_control = function
-  | Bcast _ | Digest _ | Nack _ | Sync _ -> true
-  | Data _ | Ack _ -> false
+   Hot-path field access goes through local mirrors of the two backing
+   Bigarrays ([st], [sl]) so reads compile to single monomorphic loads;
+   the mirrors are re-fetched after an allocation whose handle lies past
+   them — i.e. exactly when pool growth replaced the store. *)
 
 module U = Util.Units
+module Arena = Util.Arena
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type packet = int
+type route = int
+
+let fields = 8
+
+(* Meta word: bits 0-3 kind code, bits 4-13 hop cursor (routes are capped
+   far below 1024 hops by the wire format), bits 14+ wire bytes. *)
+let f_meta = 0
+let f_route = 1
+let f_p0 = 2
+let f_p1 = 3
+let f_p2 = 4
+let f_p3 = 5
+let f_p4 = 6
+let f_p5 = 7
+
+let meta_kind m = m land 15
+let meta_hop m = (m lsr 4) land 1023
+let meta_bytes m = m lsr 14
+let meta_make ~code ~bytes = code lor (bytes lsl 14)
+let meta_hop_unit = 1 lsl 4
+
+let code_data = 0
+let code_ack = 1
+let code_bcast = 2
+let code_digest = 3
+let code_nack = 4
+let code_sync = 5
+
+(* Engine tag space, owned by this module via [Engine.set_dispatch]. *)
+let tag_txdone = 0
+let tag_arrive = 1
 
 type chaos = {
   crng : Util.Rng.t;
@@ -29,8 +58,10 @@ type chaos = {
   mutable dup : float;
 }
 
+(* Output queue: intrusive FIFO chained through the fabric's [qnext]. *)
 type link_state = {
-  q : packet Queue.t;
+  mutable head : int;
+  mutable tail : int;
   mutable busy : bool;
   mutable qbytes : int;
   mutable max_qbytes : int;
@@ -39,24 +70,48 @@ type link_state = {
 type t = {
   engine : Engine.t;
   topo : Topology.t;
+  pool : Arena.t;
+  slices : Arena.Ints.pool;
+  mutable st : ba;  (* mirror of [Arena.data pool]; refresh after alloc *)
+  mutable sl : ba;  (* mirror of [Arena.Ints.data slices] *)
+  (* Per-packet FIFO link (see the header comment); grown in lockstep with
+     the pool. Only meaningful while the packet sits in an output queue. *)
+  mutable qnext : int array;
   links : link_state array;
+  (* Link endpoints copied out of [Topology] into flat arrays: the per-hop
+     liveness check reads both ends of a link, and an array load beats a
+     cross-module accessor call. *)
+  src_of : int array;
+  dst_of : int array;
   queue_capacity : int;
   count_control : bool;
   bits_per_ns : float;
+  (* One-entry serialization-time memo: traffic is dominated by a single
+     packet size, so the float divide + ceil runs once per size change,
+     not once per transmission. *)
+  mutable tx_memo_bytes : int;
+  mutable tx_memo_ns : int;
   hop_latency_ns : int;
   mutable broadcast : Broadcast.t option;
   mutable deliver : packet -> unit;
   mutable bcast_deliver : packet -> node:int -> unit;
   mutable drop : packet -> unit;
   mutable drops : int;
-  mutable data_wire : float;
-  mutable control_wire : float;
+  (* Wire byte counters kept as ints (exact below 2^53 when exported as
+     float): incrementing a mutable float field in a mixed record boxes a
+     float per packet, which the zero-allocation contract forbids. *)
+  mutable data_wire : int;
+  mutable control_wire : int;
   (* Physical down-state, applied at the failure instant — distinct from
      the control-plane view in [Topology]'s overlay, which the simulation
      flips only after the detection delay. Packets meeting a dead element
      are blackholed and counted. *)
   link_up : bool array;
   nodes_up : bool array;
+  (* Conjunction [link_up && both endpoints up] folded into one byte per
+     directed link, maintained at the (rare) fail/restore points so the
+     twice-per-hop liveness check is a single load. *)
+  link_live : Bytes.t;
   mutable on_blackhole : packet -> unit;
   mutable blackholes : int;
   mutable blackholed_bytes : int;
@@ -73,41 +128,112 @@ type t = {
   mutable ctrl_hops : int;  (* control hop transmissions, lost ones included *)
 }
 
-let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link_gbps
-    ~hop_latency_ns () =
-  let link_gbps = (link_gbps : U.gbps :> float) in
-  if link_gbps <= 0.0 then invalid_arg "Net.create: link_gbps";
-  {
-    engine;
-    topo;
-    links =
-      Array.init (Topology.link_count topo) (fun _ ->
-          { q = Queue.create (); busy = false; qbytes = 0; max_qbytes = 0 });
-    queue_capacity;
-    count_control;
-    bits_per_ns = link_gbps;
-    hop_latency_ns;
-    broadcast = None;
-    deliver = ignore;
-    bcast_deliver = (fun _ ~node:_ -> ());
-    drop = ignore;
-    drops = 0;
-    data_wire = 0.0;
-    control_wire = 0.0;
-    link_up = Array.make (Topology.link_count topo) true;
-    nodes_up = Array.make (Topology.vertex_count topo) true;
-    on_blackhole = ignore;
-    blackholes = 0;
-    blackholed_bytes = 0;
-    blackholed_data_bytes = 0;
-    blackholed_ctrl_bytes = 0;
-    chaos = None;
-    ctrl_lost = 0;
-    ctrl_lost_bytes = 0;
-    ctrl_reordered = 0;
-    ctrl_dupped = 0;
-    ctrl_hops = 0;
-  }
+(* -- field access --------------------------------------------------------- *)
+
+let fget t h f = Bigarray.Array1.unsafe_get t.st ((h * fields) + f)
+let fset t h f v = Bigarray.Array1.unsafe_set t.st ((h * fields) + f) v
+
+(* Slice header: length at [s - 2] (see Arena.Ints). *)
+let slen t s = Bigarray.Array1.unsafe_get t.sl (s - 2)
+let sget t s i = Bigarray.Array1.unsafe_get t.sl (s + i)
+
+(* Callers write every field (send_sr, fanout, clone), so the record comes
+   back uninitialized; the mirror is only re-fetched when the handle lies
+   past it, i.e. exactly when the pool grew and replaced its store. *)
+let alloc_pkt t =
+  let h = Arena.alloc_uninit t.pool in
+  if (h + 1) * fields > Bigarray.Array1.dim t.st then begin
+    t.st <- Arena.data t.pool;
+    let q = Array.make (Arena.capacity t.pool) (-1) in
+    Array.blit t.qnext 0 q 0 (Array.length t.qnext);
+    t.qnext <- q
+  end;
+  h
+
+let intern t a =
+  let s = Arena.Ints.of_array t.slices a in
+  t.sl <- Arena.Ints.data t.slices;
+  s
+
+(* Terminal for every packet: drop the route reference (and, for Sync, the
+   two payload slices), then recycle the record. *)
+let free_pkt t h =
+  Arena.Ints.release t.slices (fget t h f_route);
+  if meta_kind (fget t h f_meta) = code_sync then begin
+    Arena.Ints.release t.slices (fget t h f_p1);
+    Arena.Ints.release t.slices (fget t h f_p2)
+  end;
+  Arena.free t.pool h
+
+let clone_pkt t h =
+  let c = alloc_pkt t in
+  for f = 0 to fields - 1 do
+    fset t c f (fget t h f)
+  done;
+  t.qnext.(c) <- -1;
+  Arena.Ints.retain t.slices (fget t c f_route);
+  if meta_kind (fget t c f_meta) = code_sync then begin
+    Arena.Ints.retain t.slices (fget t c f_p1);
+    Arena.Ints.retain t.slices (fget t c f_p2)
+  end;
+  c
+
+(* -- public accessors ----------------------------------------------------- *)
+
+let kind t h = meta_kind (fget t h f_meta)
+
+(* Bcast and Digest fan out along a (root, tree) broadcast tree; Nack and
+   Sync are source-routed unicast like Data/Ack. All four are control
+   plane. *)
+let is_control t h = meta_kind (fget t h f_meta) >= code_bcast
+let bytes t h = meta_bytes (fget t h f_meta)
+let hop t h = meta_hop (fget t h f_meta)
+let route_length t h = slen t (fget t h f_route)
+let route_at t h i = sget t (fget t h f_route) i
+
+let route_last t h =
+  let r = fget t h f_route in
+  sget t r (slen t r - 1)
+
+let data_flow t h = fget t h f_p0
+let data_seq t h = fget t h f_p1
+let data_last t h = fget t h f_p2 <> 0
+let ack_flow t h = fget t h f_p0
+let ack_ackno t h = fget t h f_p1
+let bcast_id t h = fget t h f_p0
+let bcast_root t h = fget t h f_p1
+let bcast_tree t h = fget t h f_p2
+let bcast_seq t h = fget t h f_p3
+let digest_root t h = fget t h f_p0
+let digest_tree t h = fget t h f_p1
+let digest_epoch t h = fget t h f_p2
+let digest_last_seq t h = fget t h f_p3
+
+let digest_hash t h =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (fget t h f_p5)) 32)
+    (Int64.of_int (fget t h f_p4))
+
+let nack_root t h = fget t h f_p0
+let nack_tree t h = fget t h f_p1
+let nack_from t h = fget t h f_p2
+let nack_to t h = fget t h f_p3
+let nack_requester t h = fget t h f_p4
+let sync_root t h = fget t h f_p0
+
+let sync_entries t h =
+  let s = fget t h f_p1 in
+  let acc = ref [] in
+  for i = slen t s - 1 downto 0 do
+    acc := sget t s i :: !acc
+  done;
+  !acc
+
+let sync_last_seqs t h =
+  let s = fget t h f_p2 in
+  Array.init (slen t s) (fun i -> sget t s i)
+
+(* -- construction --------------------------------------------------------- *)
 
 let topo t = t.topo
 let engine t = t.engine
@@ -117,13 +243,13 @@ let on_drop t f = t.drop <- f
 let set_broadcast t b = t.broadcast <- Some b
 
 let tx_time_ns t bytes =
-  int_of_float (ceil (float_of_int (8 * bytes) /. t.bits_per_ns))
-
-let count_wire t pkt =
-  match pkt.kind with
-  | Data _ | Ack _ -> t.data_wire <- t.data_wire +. float_of_int pkt.bytes
-  | Bcast _ | Digest _ | Nack _ | Sync _ ->
-      if t.count_control then t.control_wire <- t.control_wire +. float_of_int pkt.bytes
+  if bytes = t.tx_memo_bytes then t.tx_memo_ns
+  else begin
+    let ns = int_of_float (ceil (float_of_int (8 * bytes) /. t.bits_per_ns)) in
+    t.tx_memo_bytes <- bytes;
+    t.tx_memo_ns <- ns;
+    ns
+  end
 
 let check_rate name r =
   if r < 0.0 || r >= 1.0 then invalid_arg ("Net.set_control_chaos: " ^ name)
@@ -152,39 +278,63 @@ let ctrl_reordered t = t.ctrl_reordered
 let ctrl_dupped t = t.ctrl_dupped
 let ctrl_hops t = t.ctrl_hops
 
-(* -- physical failures --------------------------------------------------- *)
+(* -- routes --------------------------------------------------------------- *)
 
-let phys_link_up t l =
-  t.link_up.(l) && t.nodes_up.(Topology.link_src t.topo l) && t.nodes_up.(Topology.link_dst t.topo l)
+let intern_route t a = intern t a
+let retain_route t r = Arena.Ints.retain t.slices r
+let release_route t r = Arena.Ints.release t.slices r
 
-let blackhole t pkt =
+(* -- physical failures ---------------------------------------------------- *)
+
+let phys_link_up t l = Bytes.unsafe_get t.link_live l = '\001'
+
+let recompute_link_live t l =
+  let live =
+    Array.unsafe_get t.link_up l
+    && Array.unsafe_get t.nodes_up (Array.unsafe_get t.src_of l)
+    && Array.unsafe_get t.nodes_up (Array.unsafe_get t.dst_of l)
+  in
+  Bytes.unsafe_set t.link_live l (if live then '\001' else '\000')
+
+let blackhole t h =
+  let m = fget t h f_meta in
+  let b = meta_bytes m in
   t.blackholes <- t.blackholes + 1;
-  t.blackholed_bytes <- t.blackholed_bytes + pkt.bytes;
-  if is_control pkt.kind then
-    t.blackholed_ctrl_bytes <- t.blackholed_ctrl_bytes + pkt.bytes
-  else t.blackholed_data_bytes <- t.blackholed_data_bytes + pkt.bytes;
-  t.on_blackhole pkt
+  t.blackholed_bytes <- t.blackholed_bytes + b;
+  if meta_kind m >= code_bcast then
+    t.blackholed_ctrl_bytes <- t.blackholed_ctrl_bytes + b
+  else t.blackholed_data_bytes <- t.blackholed_data_bytes + b;
+  t.on_blackhole h;
+  free_pkt t h
 
 let purge_link t link_id =
   let ls = t.links.(link_id) in
   if ls.busy then begin
     (* The head packet is mid-serialization and owned by the pending
-       tx-completion callback, which blackholes it itself; everything
+       tx-completion event, which blackholes it itself; everything
        queued behind it dies now. *)
-    let head = Queue.pop ls.q in
-    while not (Queue.is_empty ls.q) do
-      let pkt = Queue.pop ls.q in
-      ls.qbytes <- ls.qbytes - pkt.bytes;
+    let head = ls.head in
+    let p = ref t.qnext.(head) in
+    while !p >= 0 do
+      let pkt = !p in
+      p := t.qnext.(pkt);
+      ls.qbytes <- ls.qbytes - meta_bytes (fget t pkt f_meta);
       blackhole t pkt
     done;
-    Queue.push head ls.q
+    t.qnext.(head) <- -1;
+    ls.tail <- head
   end
-  else
-    while not (Queue.is_empty ls.q) do
-      let pkt = Queue.pop ls.q in
-      ls.qbytes <- ls.qbytes - pkt.bytes;
+  else begin
+    let p = ref ls.head in
+    while !p >= 0 do
+      let pkt = !p in
+      p := t.qnext.(pkt);
+      ls.qbytes <- ls.qbytes - meta_bytes (fget t pkt f_meta);
       blackhole t pkt
-    done
+    done;
+    ls.head <- -1;
+    ls.tail <- -1
+  end
 
 let cable_ids t u v =
   match (Topology.find_link t.topo u v, Topology.find_link t.topo v u) with
@@ -195,21 +345,38 @@ let fail_link t u v =
   let a, b = cable_ids t u v in
   t.link_up.(a) <- false;
   t.link_up.(b) <- false;
+  recompute_link_live t a;
+  recompute_link_live t b;
   purge_link t a;
   purge_link t b
 
 let restore_link t u v =
   let a, b = cable_ids t u v in
   t.link_up.(a) <- true;
-  t.link_up.(b) <- true
+  t.link_up.(b) <- true;
+  recompute_link_live t a;
+  recompute_link_live t b
+
+(* Refresh the folded liveness byte of every link incident to [u], both
+   directions. *)
+let refresh_node_links t u =
+  Array.iter
+    (fun (v, l) ->
+      recompute_link_live t l;
+      let back = Topology.find_link_id t.topo v u in
+      if back >= 0 then recompute_link_live t back)
+    (Topology.out_links t.topo u)
 
 let fail_node t u =
   t.nodes_up.(u) <- false;
+  refresh_node_links t u;
   (* Output queues live at the dead node; packets queued towards it at the
      neighbors die on arrival instead. *)
   Array.iter (fun (_, l) -> purge_link t l) (Topology.out_links t.topo u)
 
-let restore_node t u = t.nodes_up.(u) <- true
+let restore_node t u =
+  t.nodes_up.(u) <- true;
+  refresh_node_links t u
 let node_up t u = t.nodes_up.(u)
 let on_blackhole t f = t.on_blackhole <- f
 let blackholes t = t.blackholes
@@ -217,40 +384,49 @@ let blackholed_bytes t = t.blackholed_bytes
 let blackholed_data_bytes t = t.blackholed_data_bytes
 let blackholed_ctrl_bytes t = t.blackholed_ctrl_bytes
 
+(* -- forwarding ----------------------------------------------------------- *)
+
 (* Forwarding is mutually recursive with arrival: an arriving packet is
    re-enqueued towards its next hop. *)
 let rec start_tx t link_id =
   let ls = t.links.(link_id) in
-  match Queue.peek_opt ls.q with
-  | None -> ls.busy <- false
-  | Some pkt ->
-      ls.busy <- true;
-      let tx = tx_time_ns t pkt.bytes in
-      Engine.after t.engine tx (fun () ->
-          let pkt = Queue.pop ls.q in
-          ls.qbytes <- ls.qbytes - pkt.bytes;
-          (* Serialization of the next packet overlaps propagation. *)
-          start_tx t link_id;
-          if phys_link_up t link_id then propagate t link_id pkt
-          else blackhole t pkt)
+  if ls.head < 0 then ls.busy <- false
+  else begin
+    ls.busy <- true;
+    let tx = tx_time_ns t (meta_bytes (fget t ls.head f_meta)) in
+    Engine.after_tagged t.engine tx ~tag:tag_txdone ~a:link_id ~b:0
+  end
+
+and tx_done t link_id =
+  let ls = t.links.(link_id) in
+  let pkt = ls.head in
+  let nx = Array.unsafe_get t.qnext pkt in
+  ls.head <- nx;
+  if nx < 0 then ls.tail <- -1;
+  ls.qbytes <- ls.qbytes - meta_bytes (fget t pkt f_meta);
+  (* Serialization of the next packet overlaps propagation. *)
+  start_tx t link_id;
+  if phys_link_up t link_id then propagate t link_id pkt else blackhole t pkt
 
 (* One hop of propagation. Control packets pass through the chaos injector:
    three independent draws per hop (loss, reorder, duplicate) keep the RNG
    stream aligned across runs even when a rate is retuned mid-run. A
    reordered packet is held back a few extra hop latencies; a duplicate is a
-   fresh record so the two copies advance their route cursors
+   fresh pool record so the two copies advance their route cursors
    independently. *)
 and propagate t link_id pkt =
-  let dst = Topology.link_dst t.topo link_id in
-  if is_control pkt.kind then t.ctrl_hops <- t.ctrl_hops + 1;
+  let dst = Array.unsafe_get t.dst_of link_id in
+  let ctrl = meta_kind (fget t pkt f_meta) >= code_bcast in
+  if ctrl then t.ctrl_hops <- t.ctrl_hops + 1;
   match t.chaos with
-  | Some ch when is_control pkt.kind ->
+  | Some ch when ctrl ->
       let u_loss = Util.Rng.float ch.crng 1.0 in
       let u_reorder = Util.Rng.float ch.crng 1.0 in
       let u_dup = Util.Rng.float ch.crng 1.0 in
       if u_loss < ch.loss then begin
         t.ctrl_lost <- t.ctrl_lost + 1;
-        t.ctrl_lost_bytes <- t.ctrl_lost_bytes + pkt.bytes
+        t.ctrl_lost_bytes <- t.ctrl_lost_bytes + meta_bytes (fget t pkt f_meta);
+        free_pkt t pkt
       end
       else begin
         let delay =
@@ -260,52 +436,80 @@ and propagate t link_id pkt =
           end
           else t.hop_latency_ns
         in
-        Engine.after t.engine delay (fun () -> arrive t dst pkt);
+        Engine.after_tagged t.engine delay ~tag:tag_arrive ~a:dst ~b:pkt;
         if u_dup < ch.dup then begin
           t.ctrl_dupped <- t.ctrl_dupped + 1;
-          let copy = { pkt with hop = pkt.hop } in
-          Engine.after t.engine (delay + t.hop_latency_ns) (fun () ->
-              arrive t dst copy)
+          let copy = clone_pkt t pkt in
+          Engine.after_tagged t.engine (delay + t.hop_latency_ns) ~tag:tag_arrive
+            ~a:dst ~b:copy
         end
       end
-  | _ ->
-      Engine.after t.engine t.hop_latency_ns (fun () -> arrive t dst pkt)
+  | _ -> Engine.after_tagged t.engine t.hop_latency_ns ~tag:tag_arrive ~a:dst ~b:pkt
 
 and enqueue_link t link_id pkt =
   if not (phys_link_up t link_id) then blackhole t pkt
   else begin
     let ls = t.links.(link_id) in
-    if ls.qbytes + pkt.bytes > t.queue_capacity then begin
+    let b = meta_bytes (fget t pkt f_meta) in
+    if ls.qbytes + b > t.queue_capacity then begin
       t.drops <- t.drops + 1;
-      t.drop pkt
+      t.drop pkt;
+      free_pkt t pkt
     end
     else begin
-      Queue.push pkt ls.q;
-      ls.qbytes <- ls.qbytes + pkt.bytes;
+      Array.unsafe_set t.qnext pkt (-1);
+      if ls.head < 0 then ls.head <- pkt
+      else Array.unsafe_set t.qnext ls.tail pkt;
+      ls.tail <- pkt;
+      ls.qbytes <- ls.qbytes + b;
       if ls.qbytes > ls.max_qbytes then ls.max_qbytes <- ls.qbytes;
       if not ls.busy then start_tx t link_id
     end
   end
 
 and arrive t node pkt =
-  if not t.nodes_up.(node) then blackhole t pkt
+  if not (Array.unsafe_get t.nodes_up node) then blackhole t pkt
   else begin
-    count_wire t pkt;
-    match pkt.kind with
-    | Bcast { root; tree; _ } | Digest { root; tree; _ } ->
-        t.bcast_deliver pkt ~node;
-        forward_bcast t ~root ~tree ~from:node ~bytes:pkt.bytes ~kind:pkt.kind
-    | Data _ | Ack _ | Nack _ | Sync _ -> (
-        pkt.hop <- pkt.hop + 1;
-        assert (pkt.route.(pkt.hop) = node);
-        if pkt.hop = Array.length pkt.route - 1 then t.deliver pkt
-        else
-          match Topology.find_link t.topo node pkt.route.(pkt.hop + 1) with
-          | Some l -> enqueue_link t l pkt
-          | None -> invalid_arg "Net: route crosses non-adjacent vertices")
+    let m = fget t pkt f_meta in
+    let k = meta_kind m in
+    let b = meta_bytes m in
+    if k >= code_bcast then begin
+      if t.count_control then t.control_wire <- t.control_wire + b
+    end
+    else t.data_wire <- t.data_wire + b;
+    if k = code_bcast || k = code_digest then begin
+      t.bcast_deliver pkt ~node;
+      let root = if k = code_bcast then fget t pkt f_p1 else fget t pkt f_p0 in
+      let tree = if k = code_bcast then fget t pkt f_p2 else fget t pkt f_p1 in
+      fanout t ~root ~tree ~from:node ~code:k ~bytes:b ~p0:(fget t pkt f_p0)
+        ~p1:(fget t pkt f_p1) ~p2:(fget t pkt f_p2) ~p3:(fget t pkt f_p3)
+        ~p4:(fget t pkt f_p4) ~p5:(fget t pkt f_p5);
+      free_pkt t pkt
+    end
+    else begin
+      let h = meta_hop m + 1 in
+      fset t pkt f_meta (m + meta_hop_unit);
+      let r = fget t pkt f_route in
+      assert (sget t r h = node);
+      if h = slen t r - 1 then begin
+        t.deliver pkt;
+        (* [free_pkt] with the kind and route already in registers. *)
+        Arena.Ints.release t.slices r;
+        if k = code_sync then begin
+          Arena.Ints.release t.slices (fget t pkt f_p1);
+          Arena.Ints.release t.slices (fget t pkt f_p2)
+        end;
+        Arena.free t.pool pkt
+      end
+      else begin
+        let l = Topology.find_link_id t.topo node (sget t r (h + 1)) in
+        if l < 0 then invalid_arg "Net: route crosses non-adjacent vertices";
+        enqueue_link t l pkt
+      end
+    end
   end
 
-and forward_bcast t ~root ~tree ~from ~bytes ~kind =
+and fanout t ~root ~tree ~from ~code ~bytes ~p0 ~p1 ~p2 ~p3 ~p4 ~p5 =
   let b =
     match t.broadcast with
     | Some b -> b
@@ -314,34 +518,132 @@ and forward_bcast t ~root ~tree ~from ~bytes ~kind =
   List.iter
     (fun child ->
       match Topology.find_link t.topo from child with
-      | Some l -> enqueue_link t l { kind; bytes; route = [||]; hop = 0 }
+      | Some l ->
+          let h = alloc_pkt t in
+          fset t h f_meta (meta_make ~code ~bytes);
+          fset t h f_route Arena.Ints.empty;
+          fset t h f_p0 p0;
+          fset t h f_p1 p1;
+          fset t h f_p2 p2;
+          fset t h f_p3 p3;
+          fset t h f_p4 p4;
+          fset t h f_p5 p5;
+          enqueue_link t l h
       | None -> assert false)
     (Broadcast.children b ~src:root ~tree from)
 
-let send t pkt =
-  let len = Array.length pkt.route in
-  if len < 2 then invalid_arg "Net.send: route needs at least two vertices";
-  let node = pkt.route.(pkt.hop) in
-  match Topology.find_link t.topo node pkt.route.(pkt.hop + 1) with
-  | Some l -> enqueue_link t l pkt
-  | None -> invalid_arg "Net.send: route crosses non-adjacent vertices"
+let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link_gbps
+    ~hop_latency_ns () =
+  let link_gbps = (link_gbps : U.gbps :> float) in
+  if link_gbps <= 0.0 then invalid_arg "Net.create: link_gbps";
+  let pool = Arena.create ~capacity:1024 ~width:fields () in
+  let slices = Arena.Ints.create ~capacity:4096 () in
+  let t =
+    {
+      engine;
+      topo;
+      pool;
+      slices;
+      st = Arena.data pool;
+      sl = Arena.Ints.data slices;
+      qnext = Array.make (Arena.capacity pool) (-1);
+      links =
+        Array.init (Topology.link_count topo) (fun _ ->
+            { head = -1; tail = -1; busy = false; qbytes = 0; max_qbytes = 0 });
+      src_of = Array.init (Topology.link_count topo) (Topology.link_src topo);
+      dst_of = Array.init (Topology.link_count topo) (Topology.link_dst topo);
+      queue_capacity;
+      count_control;
+      bits_per_ns = link_gbps;
+      tx_memo_bytes = -1;
+      tx_memo_ns = 0;
+      hop_latency_ns;
+      broadcast = None;
+      deliver = ignore;
+      bcast_deliver = (fun _ ~node:_ -> ());
+      drop = ignore;
+      drops = 0;
+      data_wire = 0;
+      control_wire = 0;
+      link_up = Array.make (Topology.link_count topo) true;
+      nodes_up = Array.make (Topology.vertex_count topo) true;
+      link_live = Bytes.make (Topology.link_count topo) '\001';
+      on_blackhole = ignore;
+      blackholes = 0;
+      blackholed_bytes = 0;
+      blackholed_data_bytes = 0;
+      blackholed_ctrl_bytes = 0;
+      chaos = None;
+      ctrl_lost = 0;
+      ctrl_lost_bytes = 0;
+      ctrl_reordered = 0;
+      ctrl_dupped = 0;
+      ctrl_hops = 0;
+    }
+  in
+  (* The fabric owns the engine's tag space: 0 = tx completion on link [a],
+     1 = arrival of packet [b] at node [a]. *)
+  Engine.set_dispatch engine (fun ~tag ~a ~b ->
+      if tag = tag_txdone then tx_done t a else arrive t a b);
+  t
+
+(* -- injection ------------------------------------------------------------ *)
+
+(* Validate before allocating so a rejected send leaks nothing. *)
+let send_sr t ~code ~bytes ~route ~p0 ~p1 ~p2 ~p3 ~p4 ~p5 =
+  if slen t route < 2 then
+    invalid_arg "Net.send: route needs at least two vertices";
+  let l = Topology.find_link_id t.topo (sget t route 0) (sget t route 1) in
+  if l < 0 then invalid_arg "Net.send: route crosses non-adjacent vertices";
+  let h = alloc_pkt t in
+  fset t h f_meta (meta_make ~code ~bytes);
+  fset t h f_route route;
+  fset t h f_p0 p0;
+  fset t h f_p1 p1;
+  fset t h f_p2 p2;
+  fset t h f_p3 p3;
+  fset t h f_p4 p4;
+  fset t h f_p5 p5;
+  Arena.Ints.retain t.slices route;
+  enqueue_link t l h
+
+let send_data t ~flow ~seq ~last ~bytes ~route =
+  send_sr t ~code:code_data ~bytes ~route ~p0:flow ~p1:seq
+    ~p2:(if last then 1 else 0) ~p3:0 ~p4:0 ~p5:0
+
+let send_ack t ~flow ~ackno ~bytes ~route =
+  send_sr t ~code:code_ack ~bytes ~route ~p0:flow ~p1:ackno ~p2:0 ~p3:0 ~p4:0
+    ~p5:0
+
+let send_nack t ~root ~tree ~from_seq ~to_seq ~requester ~bytes ~route =
+  send_sr t ~code:code_nack ~bytes ~route ~p0:root ~p1:tree ~p2:from_seq
+    ~p3:to_seq ~p4:requester ~p5:0
+
+let send_sync t ~root ~entries ~last_seqs ~bytes ~route =
+  let es = intern t (Array.of_list entries) in
+  let ls = intern t last_seqs in
+  send_sr t ~code:code_sync ~bytes ~route ~p0:root ~p1:es ~p2:ls ~p3:0 ~p4:0
+    ~p5:0
 
 let send_bcast t ?(seq = 0) ~root ~tree ~bcast_id ~bytes () =
-  forward_bcast t ~root ~tree ~from:root ~bytes
-    ~kind:(Bcast { bcast_id; root; tree; seq })
+  fanout t ~root ~tree ~from:root ~code:code_bcast ~bytes ~p0:bcast_id ~p1:root
+    ~p2:tree ~p3:seq ~p4:0 ~p5:0
 
-let send_tree t ~root ~tree ~kind ~bytes =
-  (match kind with
-  | Bcast _ | Digest _ -> ()
-  | Data _ | Ack _ | Nack _ | Sync _ ->
-      invalid_arg "Net.send_tree: kind is not tree-forwarded");
-  forward_bcast t ~root ~tree ~from:root ~bytes ~kind
+let send_digest_tree t ~root ~tree ~epoch ~last_seq ~hash ~bytes =
+  fanout t ~root ~tree ~from:root ~code:code_digest ~bytes ~p0:root ~p1:tree
+    ~p2:epoch ~p3:last_seq
+    ~p4:(Int64.to_int (Int64.logand hash 0xFFFFFFFFL))
+    ~p5:(Int64.to_int (Int64.shift_right_logical hash 32))
 
+(* -- telemetry ------------------------------------------------------------ *)
+
+let packets_live t = Arena.live t.pool
+let packets_high_water t = Arena.high_water t.pool
 let max_queue_bytes t = Array.map (fun ls -> ls.max_qbytes) t.links
 let drops t = t.drops
-let data_bytes_on_wire t = U.bytes t.data_wire
-let control_bytes_on_wire t = U.bytes t.control_wire
+let data_bytes_on_wire t = U.bytes (float_of_int t.data_wire)
+let control_bytes_on_wire t = U.bytes (float_of_int t.control_wire)
 
 let reset_wire_counters t =
-  t.data_wire <- 0.0;
-  t.control_wire <- 0.0
+  t.data_wire <- 0;
+  t.control_wire <- 0

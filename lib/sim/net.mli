@@ -6,33 +6,32 @@
     nodes forward without any per-flow state (paper §3.5).
 
     Broadcast packets carry a [(source, tree)] pair instead of a path and
-    are replicated to the tree children at every node (paper §3.2). *)
+    are replicated to the tree children at every node (paper §3.2).
 
-type kind =
-  | Data of { flow : int; seq : int; last : bool }
-  | Ack of { flow : int; ackno : int }
-  | Bcast of { bcast_id : int; root : int; tree : int; seq : int }
-      (** a flow-event broadcast; [seq] is the per-(root, tree) reliable
-          sequence number ({!Broadcast.Rbcast}) *)
-  | Digest of { root : int; tree : int; epoch : int; last_seq : int; hash : int64 }
-      (** periodic anti-entropy beacon, tree-forwarded like [Bcast] *)
-  | Nack of { root : int; tree : int; from_seq : int; to_seq : int; requester : int }
-      (** source-routed retransmission request for an inclusive seq range *)
-  | Sync of { root : int; entries : int list; last_seqs : int array }
-      (** source-routed full-state repair: [root]'s live-flow ids plus its
-          per-tree last sequence numbers *)
+    {2 Packet representation}
 
-val is_control : kind -> bool
-(** All kinds except [Data]/[Ack]. *)
+    A packet is an integer handle into a per-fabric {!Util.Arena} pool —
+    not a record. Fields are read through accessor functions taking the
+    fabric; routes live in a shared refcounted int-slice pool
+    ({!Util.Arena.Ints}), interned once and shared by every packet of a
+    flow (retransmits included). Injecting, forwarding and delivering a
+    packet allocates nothing on the OCaml heap.
 
-type packet = {
-  kind : kind;
-  bytes : int;  (** wire size, header included *)
-  route : int array;  (** vertex path for Data/Ack; [||] for Bcast *)
-  mutable hop : int;  (** next index into [route] *)
-}
+    Ownership: the fabric frees a packet after its terminal callback
+    ([on_deliver] / [on_drop] / [on_blackhole], or the last
+    [on_bcast_deliver] of a leaf copy) returns. Handles must not be stashed
+    across callbacks — read what you need inside the callback. *)
 
 type t
+
+type packet = int
+(** Arena handle. Valid only while the packet is in flight; see ownership
+    note above. *)
+
+type route = int
+(** Interned route: a handle into the fabric's shared slice pool. *)
+
+(** {2 Construction} *)
 
 val create :
   Engine.t ->
@@ -45,13 +44,85 @@ val create :
   t
 (** [queue_capacity] bounds each output queue in bytes (tail drop);
     default unbounded. [count_control] (default true) includes broadcast
-    bytes in the control-traffic counters. *)
+    bytes in the control-traffic counters. Installs the fabric as the
+    engine's tagged-event dispatcher. *)
 
 val topo : t -> Topology.t
 val engine : t -> Engine.t
 
+(** {2 Routes} *)
+
+val intern_route : t -> int array -> route
+(** Copy a vertex path into the slice pool; the caller owns one reference.
+    Senders below take their own reference, so a one-shot caller releases
+    right after sending; a flow keeps its route interned for its lifetime
+    and releases it (once) when done. *)
+
+val retain_route : t -> route -> unit
+
+val release_route : t -> route -> unit
+(** Drop one reference; the last release recycles the slice. Raises
+    [Invalid_argument] on a double release. *)
+
+(** {2 Field accessors}
+
+    [kind] returns one of the codes below; the per-kind accessors are only
+    meaningful for packets of that kind (unchecked). *)
+
+val code_data : int
+val code_ack : int
+val code_bcast : int
+val code_digest : int
+val code_nack : int
+val code_sync : int
+
+val kind : t -> packet -> int
+val is_control : t -> packet -> bool
+(** All kinds except Data/Ack. *)
+
+val bytes : t -> packet -> int
+(** Wire size, header included. *)
+
+val hop : t -> packet -> int
+(** Next index into the route. *)
+
+val route_length : t -> packet -> int
+val route_at : t -> packet -> int -> int
+val route_last : t -> packet -> int
+(** Final vertex of the route — the packet's destination. *)
+
+val data_flow : t -> packet -> int
+val data_seq : t -> packet -> int
+val data_last : t -> packet -> bool
+val ack_flow : t -> packet -> int
+val ack_ackno : t -> packet -> int
+val bcast_id : t -> packet -> int
+val bcast_root : t -> packet -> int
+val bcast_tree : t -> packet -> int
+val bcast_seq : t -> packet -> int
+(** The per-(root, tree) reliable sequence number ({!Broadcast.Rbcast}). *)
+
+val digest_root : t -> packet -> int
+val digest_tree : t -> packet -> int
+val digest_epoch : t -> packet -> int
+val digest_last_seq : t -> packet -> int
+val digest_hash : t -> packet -> int64
+val nack_root : t -> packet -> int
+val nack_tree : t -> packet -> int
+val nack_from : t -> packet -> int
+val nack_to : t -> packet -> int
+val nack_requester : t -> packet -> int
+val sync_root : t -> packet -> int
+val sync_entries : t -> packet -> int list
+(** The origin's live-flow ids (fresh list; sync is rare repair traffic). *)
+
+val sync_last_seqs : t -> packet -> int array
+(** The origin's per-tree last sequence numbers (fresh array). *)
+
+(** {2 Callbacks} *)
+
 val on_deliver : t -> (packet -> unit) -> unit
-(** Called when a Data/Ack packet reaches the end of its route. *)
+(** Called when a source-routed packet reaches the end of its route. *)
 
 val on_bcast_deliver : t -> (packet -> node:int -> unit) -> unit
 (** Called at {e every} vertex (including relays) receiving a broadcast
@@ -62,21 +133,53 @@ val on_drop : t -> (packet -> unit) -> unit
 val set_broadcast : t -> Broadcast.t -> unit
 (** Required before sending broadcast packets. *)
 
-val send : t -> packet -> unit
-(** Inject a source-routed packet at [route.(hop)]; [hop] must point at the
-    current node (normally 0). *)
+(** {2 Injection}
+
+    Source-routed senders validate the route ([Invalid_argument] on a
+    route shorter than two vertices or crossing non-adjacent ones) and
+    take their own reference on it. *)
+
+val send_data :
+  t -> flow:int -> seq:int -> last:bool -> bytes:int -> route:route -> unit
+
+val send_ack : t -> flow:int -> ackno:int -> bytes:int -> route:route -> unit
+
+val send_nack :
+  t ->
+  root:int ->
+  tree:int ->
+  from_seq:int ->
+  to_seq:int ->
+  requester:int ->
+  bytes:int ->
+  route:route ->
+  unit
+(** Source-routed retransmission request for an inclusive seq range. *)
+
+val send_sync :
+  t -> root:int -> entries:int list -> last_seqs:int array -> bytes:int -> route:route -> unit
+(** Source-routed full-state repair: [root]'s live-flow ids plus its
+    per-tree last sequence numbers. *)
 
 val send_bcast :
   t -> ?seq:int -> root:int -> tree:int -> bcast_id:int -> bytes:int -> unit -> unit
 (** Inject a broadcast at its root; copies fan out along the tree. [seq]
     (default 0) is the reliable-broadcast sequence number. *)
 
-val send_tree : t -> root:int -> tree:int -> kind:kind -> bytes:int -> unit
-(** Inject any tree-forwarded kind ([Bcast] or [Digest]) at its root.
-    Raises [Invalid_argument] for source-routed kinds. *)
+val send_digest_tree :
+  t -> root:int -> tree:int -> epoch:int -> last_seq:int -> hash:int64 -> bytes:int -> unit
+(** Inject a periodic anti-entropy beacon at its root, tree-forwarded like
+    a broadcast. *)
 
 val tx_time_ns : t -> int -> int
 (** Serialization time of a packet of the given byte size. *)
+
+(** {2 Pool telemetry} *)
+
+val packets_live : t -> int
+val packets_high_water : t -> int
+(** Peak in-flight packet count — the measured figure behind the pool's
+    initial sizing. *)
 
 (** {2 Physical failures}
 
@@ -113,7 +216,7 @@ val blackholed_data_bytes : t -> int
 (** The [Data]/[Ack] share of {!blackholed_bytes}. *)
 
 val blackholed_ctrl_bytes : t -> int
-(** The control-plane ([Bcast]/[Digest]/[Nack]/[Sync]) share of
+(** The control-plane (Bcast/Digest/Nack/Sync) share of
     {!blackholed_bytes}. *)
 
 (** {2 Control-plane chaos}

@@ -37,6 +37,9 @@ type config = {
           min max_headroom (headroom + gain * loss EWMA); a dimensionless
           gain multiplying a fraction, so it stays a raw float *)
   max_headroom : U.fraction;
+  engine_backend : Engine.backend;
+      (** event-queue implementation; [Calendar] is the production O(1)
+          wheel, [Binary_heap] the reference for differential tests *)
   seed : int;
 }
 
@@ -66,6 +69,7 @@ let default_config =
     control_dup = U.fraction 0.0;
     loss_headroom_gain = 2.0;
     max_headroom = U.fraction 0.30;
+    engine_backend = Engine.Calendar;
     seed = 1;
   }
 
@@ -152,6 +156,9 @@ type win = { rx : (int * int) Rbcast.rx; mutable hi : int }
 
 type t = {
   cfg : config;
+  rel_cfg : Reliability.config;
+      (** derived from [cfg] once; building it per retransmission timer
+          allocated a record on the packet-loss path *)
   topo : Topology.t;
   eng : Engine.t;
   net : Net.t;
@@ -299,15 +306,13 @@ let send_nack t ~node ~root ~tree ~from_seq ~to_seq =
     if to_seq < from_seq then t.sync_requests <- t.sync_requests + 1
     else t.nacks_sent <- t.nacks_sent + 1;
     let route =
-      Routing.ecmp_path t.rctx ~flow_id:(win_key t ~root ~tree) ~src:node ~dst:root
+      Net.intern_route t.net
+        (Routing.ecmp_path t.rctx ~flow_id:(win_key t ~root ~tree) ~src:node
+           ~dst:root)
     in
-    Net.send t.net
-      {
-        Net.kind = Net.Nack { root; tree; from_seq; to_seq; requester = node };
-        bytes = Wire.nack_size;
-        route;
-        hop = 0;
-      }
+    Net.send_nack t.net ~root ~tree ~from_seq ~to_seq ~requester:node
+      ~bytes:Wire.nack_size ~route;
+    Net.release_route t.net route
   end
 
 (* The per-window repair timer: armed on the first sign of a gap (an
@@ -357,11 +362,12 @@ let send_sync t ~root ~requester =
     t.syncs_sent <- t.syncs_sent + 1;
     t.sync_bytes <- t.sync_bytes + bytes;
     let route =
-      Routing.ecmp_path t.rctx ~flow_id:(root + (131 * requester)) ~src:root
-        ~dst:requester
+      Net.intern_route t.net
+        (Routing.ecmp_path t.rctx ~flow_id:(root + (131 * requester)) ~src:root
+           ~dst:requester)
     in
-    Net.send t.net
-      { Net.kind = Net.Sync { root; entries; last_seqs }; bytes; route; hop = 0 }
+    Net.send_sync t.net ~root ~entries ~last_seqs ~bytes ~route;
+    Net.release_route t.net route
   end
 
 let apply_sync t ~node ~root ~entries ~last_seqs =
@@ -415,13 +421,9 @@ let rec inject t st =
     t.injected_payload <- t.injected_payload + payload;
     Metrics.note_first_tx t.mtrcs ~id:st.idx ~now:(Engine.now t.eng);
     let path = Routing.sample_path t.rctx t.rng st.proto ~src:st.src ~dst:st.dst in
-    Net.send t.net
-      {
-        Net.kind = Net.Data { flow = st.idx; seq = st.seq; last };
-        bytes = wire;
-        route = path;
-        hop = 0;
-      };
+    let route = Net.intern_route t.net path in
+    Net.send_data t.net ~flow:st.idx ~seq:st.seq ~last ~bytes:wire ~route;
+    Net.release_route t.net route;
     st.seq <- st.seq + 1;
     if not st.done_sending then schedule_injection t st
   end
@@ -507,7 +509,11 @@ let wf_of st =
    delivery, completion or reroute happened since the last epoch
    ([epoch_dirty]); a quiet epoch is skipped outright. *)
 let recompute_per_node t =
-  let senders : (int, fstate list) Hashtbl.t = Hashtbl.create 64 in
+  (* Measured: one bucket per distinct still-sending source, bounded by
+     the active-flow count (= host count under the permutation workload). *)
+  let senders : (int, fstate list) Hashtbl.t =
+    Hashtbl.create (max 64 (Hashtbl.length t.active))
+  in
   Util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ st ->
       if not st.done_sending then
@@ -516,8 +522,12 @@ let recompute_per_node t =
     t.active;
   Util.Tbl.iter_sorted ~cmp:Int.compare
     (fun node own ->
-      (* The node's view, plus its own flows which it always knows. *)
-      let view : (int, fstate) Hashtbl.t = Hashtbl.create 64 in
+      (* The node's view, plus its own flows which it always knows.
+         Measured: the believed-flow count, = host count once every
+         start broadcast has arrived. *)
+      let view : (int, fstate) Hashtbl.t =
+        Hashtbl.create (max 64 (Hashtbl.length t.views.(node)))
+      in
       Util.Tbl.iter_sorted ~cmp:Int.compare
         (fun flow () ->
           match Hashtbl.find_opt t.all_states flow with
@@ -725,8 +735,7 @@ let digest_round t =
         for tree = 0 to t.cfg.trees_per_source - 1 do
           let last = Rbcast.last_seq o ~tree in
           if last >= 0 then
-            Net.send_tree t.net ~root:src ~tree
-              ~kind:(Net.Digest { root = src; tree; epoch; last_seq = last; hash })
+            Net.send_digest_tree t.net ~root:src ~tree ~epoch ~last_seq:last ~hash
               ~bytes:Wire.digest_size
         done
       end)
@@ -838,7 +847,7 @@ let rec arm_retransmit t st ~seq ~bytes ~last =
   else begin
     Hashtbl.replace st.rtx seq (n + 1);
     Engine.after t.eng
-      (Reliability.timeout_ns (rcfg t.cfg) ~attempt:n)
+      (Reliability.timeout_ns t.rel_cfg ~attempt:n)
       (fun () -> retransmit t st ~seq ~bytes ~last)
   end
 
@@ -848,8 +857,9 @@ and retransmit t st ~seq ~bytes ~last =
       t.retransmissions <- t.retransmissions + 1;
       t.injected_payload <- t.injected_payload + (bytes - header);
       let path = Routing.sample_path t.rctx t.rng st.proto ~src:st.src ~dst:st.dst in
-      Net.send t.net
-        { Net.kind = Net.Data { flow = st.idx; seq; last }; bytes; route = path; hop = 0 }
+      let route = Net.intern_route t.net path in
+      Net.send_data t.net ~flow:st.idx ~seq ~last ~bytes ~route;
+      Net.release_route t.net route
     end
     else
       (* Partitioned for now: wait out another timeout (the detection
@@ -858,13 +868,14 @@ and retransmit t st ~seq ~bytes ~last =
   end
 
 let handle_loss t pkt =
-  match pkt.Net.kind with
-  | Net.Data { flow; seq; last } -> (
-      match Hashtbl.find_opt t.all_states flow with
-      | Some st when (not st.failed) && not (flow_complete t flow) ->
-          arm_retransmit t st ~seq ~bytes:pkt.Net.bytes ~last
-      | _ -> ())
-  | Net.Ack _ | Net.Bcast _ | Net.Digest _ | Net.Nack _ | Net.Sync _ -> ()
+  if Net.kind t.net pkt = Net.code_data then begin
+    let flow = Net.data_flow t.net pkt in
+    match Hashtbl.find_opt t.all_states flow with
+    | Some st when (not st.failed) && not (flow_complete t flow) ->
+        arm_retransmit t st ~seq:(Net.data_seq t.net pkt)
+          ~bytes:(Net.bytes t.net pkt) ~last:(Net.data_last t.net pkt)
+    | _ -> ()
+  end
 
 let detection_delay t =
   match t.cfg.detection_delay_ns with
@@ -949,7 +960,7 @@ let create cfg topo =
     invalid_arg "R2c2_sim: Per_node control builds its views from real broadcasts";
   if cfg.reliable_bcast && not cfg.real_broadcast then
     invalid_arg "R2c2_sim: reliable_bcast needs real broadcasts to protect";
-  let eng = Engine.create () in
+  let eng = Engine.create ~backend:cfg.engine_backend () in
   let net =
     Net.create eng topo ~queue_capacity:cfg.queue_capacity ~link_gbps:cfg.link_gbps
       ~hop_latency_ns:cfg.hop_latency_ns ()
@@ -970,6 +981,7 @@ let create cfg topo =
   let t =
     {
       cfg;
+      rel_cfg = rcfg cfg;
       topo;
       eng;
       net;
@@ -980,13 +992,20 @@ let create cfg topo =
       mtrcs = Metrics.create ();
       cap_bytes_ns = U.to_float cap;
       capacities;
-      active = Hashtbl.create 256;
-      all_states = Hashtbl.create 256;
+      (* Pre-sized to measured steady-state populations (permutation
+         workload, one flow per host): [active]/[all_states] and each
+         node's view hold one entry per host (27 on the 3x3x3 test torus,
+         512 on the 8x8x8 bench torus); [bcast_seen] peaks at two ids per
+         flow (start + finish). Sizing from [nverts] keeps the packet-path
+         lookups resize-free at every scale. *)
+      active = Hashtbl.create (max 256 nverts);
+      all_states = Hashtbl.create (max 256 nverts);
       views =
-        (if cfg.control = Per_node then Array.init nverts (fun _ -> Hashtbl.create 32)
+        (if cfg.control = Per_node then
+           Array.init nverts (fun _ -> Hashtbl.create (max 32 nverts))
          else [||]);
-      bcast_seen = Hashtbl.create 256;
-      on_complete = Hashtbl.create 16;
+      bcast_seen = Hashtbl.create (max 256 (2 * nverts));
+      on_complete = Hashtbl.create 16;  (* one callback per test waiter; measured <= 16 *)
       next_id = 0;
       recomputes = 0;
       rate_updates = [];
@@ -1015,7 +1034,11 @@ let create cfg topo =
          else [||]);
       wins =
         (if cfg.reliable_bcast && cfg.real_broadcast then
-           Array.init nverts (fun _ -> Hashtbl.create 16)
+           (* Each node ends up with one receive window per (root, tree):
+              measured trees_per_source * (nverts - 1) entries — 104 on
+              the 3x3x3 test torus, 2044 on the 8x8x8 bench torus. The
+              old create 16 forced ~7 doublings per node on the bench. *)
+           Array.init nverts (fun _ -> Hashtbl.create (cfg.trees_per_source * nverts))
          else [||]);
       chaos_on;
       digest_running = false;
@@ -1040,20 +1063,27 @@ let create cfg topo =
      duplicates are absorbed, reordered arrivals buffered, and a gap arms
      the NACK timer. *)
   Net.on_bcast_deliver net (fun pkt ~node ->
-      match pkt.Net.kind with
-      | Net.Bcast { bcast_id; root; tree; seq } ->
-          if reliable t then begin
-            let w = get_win t ~node ~root ~tree in
-            if seq > w.hi then w.hi <- seq;
-            match Rbcast.receive w.rx ~seq (bcast_id, pkt.Net.bytes) with
-            | Rbcast.Deliver ps ->
-                List.iter (fun (bid, _) -> apply_bcast_event t ~node bid) ps
-            | Rbcast.Duplicate -> ()
-            | Rbcast.Buffered -> schedule_nack t ~node ~root ~tree w
-          end
-          else apply_bcast_event t ~node bcast_id
-      | Net.Digest { root; tree; last_seq; hash; _ } ->
-          if reliable t then begin
+      let k = Net.kind net pkt in
+      if k = Net.code_bcast then begin
+        let bcast_id = Net.bcast_id net pkt in
+        if reliable t then begin
+          let root = Net.bcast_root net pkt and tree = Net.bcast_tree net pkt in
+          let seq = Net.bcast_seq net pkt in
+          let w = get_win t ~node ~root ~tree in
+          if seq > w.hi then w.hi <- seq;
+          match Rbcast.receive w.rx ~seq (bcast_id, Net.bytes net pkt) with
+          | Rbcast.Deliver ps ->
+              List.iter (fun (bid, _) -> apply_bcast_event t ~node bid) ps
+          | Rbcast.Duplicate -> ()
+          | Rbcast.Buffered -> schedule_nack t ~node ~root ~tree w
+        end
+        else apply_bcast_event t ~node bcast_id
+      end
+      else if k = Net.code_digest then begin
+        let root = Net.digest_root net pkt and tree = Net.digest_tree net pkt in
+        let last_seq = Net.digest_last_seq net pkt in
+        let hash = Net.digest_hash net pkt in
+        if reliable t then begin
             let w = get_win t ~node ~root ~tree in
             if last_seq > w.hi then w.hi <- last_seq;
             let next = Rbcast.next_expected w.rx in
@@ -1076,24 +1106,23 @@ let create cfg topo =
               then send_nack t ~node ~root ~tree ~from_seq:0 ~to_seq:(-1)
             end
           end
-      | Net.Data _ | Net.Ack _ | Net.Nack _ | Net.Sync _ -> ());
+      end);
   (* Lost Data packets — queue tail drops and failure blackholes alike —
      feed the retransmission machinery; payload losses are bucketed for the
      byte-conservation accounting. *)
   Net.on_drop net (fun pkt ->
-      (match pkt.Net.kind with
-      | Net.Data _ -> t.dropped_payload <- t.dropped_payload + (pkt.Net.bytes - header)
-      | Net.Ack _ | Net.Bcast _ | Net.Digest _ | Net.Nack _ | Net.Sync _ -> ());
+      if Net.kind net pkt = Net.code_data then
+        t.dropped_payload <- t.dropped_payload + (Net.bytes net pkt - header);
       handle_loss t pkt);
   Net.on_blackhole net (fun pkt ->
-      (match pkt.Net.kind with
-      | Net.Data _ -> t.blackholed_payload <- t.blackholed_payload + (pkt.Net.bytes - header)
-      | Net.Ack _ | Net.Bcast _ | Net.Digest _ | Net.Nack _ | Net.Sync _ -> ());
+      if Net.kind net pkt = Net.code_data then
+        t.blackholed_payload <- t.blackholed_payload + (Net.bytes net pkt - header);
       handle_loss t pkt);
   Net.on_deliver net (fun pkt ->
-      match pkt.Net.kind with
-      | Net.Data { flow; seq; _ } ->
-          let payload = pkt.Net.bytes - header in
+      let k = Net.kind net pkt in
+      if k = Net.code_data then begin
+          let flow = Net.data_flow net pkt and seq = Net.data_seq net pkt in
+          let payload = Net.bytes net pkt - header in
           t.delivered_payload <- t.delivered_payload + payload;
           let finished =
             Metrics.record_delivery t.mtrcs ~id:flow ~seq ~payload ~now:(Engine.now eng)
@@ -1118,11 +1147,15 @@ let create cfg topo =
                 k flow
             | None -> ()
           end
-      | Net.Nack { root; tree; from_seq; to_seq; requester } ->
+      end
+      else if k = Net.code_nack then begin
           (* A NACK reached the origin: replay the logged packets onto the
              same tree (duplicates at healthy nodes are absorbed by their
              windows), or fall back to a full-state sync when the range is
              empty (a sync request) or evicted from the log. *)
+          let root = Net.nack_root net pkt and tree = Net.nack_tree net pkt in
+          let from_seq = Net.nack_from net pkt and to_seq = Net.nack_to net pkt in
+          let requester = Net.nack_requester net pkt in
           if reliable t then begin
             if to_seq < from_seq then send_sync t ~root ~requester
             else begin
@@ -1140,12 +1173,15 @@ let create cfg topo =
               if !evicted then send_sync t ~root ~requester
             end
           end
-      | Net.Sync { root; entries; last_seqs } ->
+      end
+      else if k = Net.code_sync then begin
           if reliable t then begin
-            let node = pkt.Net.route.(Array.length pkt.Net.route - 1) in
-            apply_sync t ~node ~root ~entries ~last_seqs
+            let node = Net.route_last net pkt in
+            apply_sync t ~node ~root:(Net.sync_root net pkt)
+              ~entries:(Net.sync_entries net pkt)
+              ~last_seqs:(Net.sync_last_seqs net pkt)
           end
-      | Net.Ack _ | Net.Bcast _ | Net.Digest _ -> ());
+      end);
   t
 
 let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_gbps ?on_complete
@@ -1179,6 +1215,8 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
       visible = false;
       done_sending = false;
       rtx = Hashtbl.create 8;
+      (* measured: empty on loss-free runs; only tail-drop/failure
+         retransmission timers land here, a handful per flow *)
       failed = false;
       btree = -1;
     }
@@ -1216,7 +1254,9 @@ let node_view_ids t ~node =
 let node_allocations t ~node =
   if t.cfg.control <> Per_node then
     invalid_arg "R2c2_sim.node_allocations: Per_node control only";
-  let view : (int, fstate) Hashtbl.t = Hashtbl.create 64 in
+  let view : (int, fstate) Hashtbl.t =
+    Hashtbl.create (max 64 (Hashtbl.length t.views.(node)))
+  in
   Util.Tbl.iter_sorted ~cmp:Int.compare
     (fun flow () ->
       match Hashtbl.find_opt t.all_states flow with
@@ -1322,3 +1362,4 @@ let run ?(protocol_of = fun _ _ -> Routing.Rps) ?(demand_of = fun _ _ -> None) ?
     specs;
   run_engine ?until_ns t;
   results t
+

@@ -71,6 +71,11 @@ type config = {
           static [headroom], so stale views overbook less under loss; a
           dimensionless gain, so a raw float *)
   max_headroom : Util.Units.fraction;
+  engine_backend : Engine.backend;
+      (** event-queue implementation; [Calendar] (the default) is the O(1)
+          wheel, [Binary_heap] the reference queue kept for differential
+          testing — both pop in (time, scheduling order), so results must
+          be identical *)
   seed : int;
 }
 

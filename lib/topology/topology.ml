@@ -16,6 +16,11 @@ type t = {
   lsrc : int array;
   ldst : int array;
   link_tbl : (int, link_id) Hashtbl.t;
+  (* Dense (u * nverts + v) -> link_id matrix, -1 when not adjacent: the
+     packet hot path resolves one link per hop and cannot afford the
+     Hashtbl probe (or the [Some] cell find_opt allocates). Rack-scale
+     vertex counts keep it small: 512 nodes -> 2 MB. *)
+  link_mat : int array;
   dist_cache : (int, int array) Hashtbl.t;
   (* Live down-state overlay: links and nodes can be failed and restored
      without rebuilding the graph. [link_failed] records explicitly failed
@@ -38,6 +43,7 @@ let build ~kind ~hosts ~nverts edges =
       adj.(v) <- u :: adj.(v))
     edges;
   let link_tbl = Hashtbl.create (4 * List.length edges) in
+  let link_mat = Array.make (nverts * nverts) (-1) in
   let lsrc = ref [] and ldst = ref [] in
   let next = ref 0 in
   let out =
@@ -49,6 +55,7 @@ let build ~kind ~hosts ~nverts edges =
                let id = !next in
                incr next;
                Hashtbl.replace link_tbl ((u * nverts) + v) id;
+               link_mat.((u * nverts) + v) <- id;
                lsrc := u :: !lsrc;
                ldst := v :: !ldst;
                (v, id))
@@ -63,6 +70,7 @@ let build ~kind ~hosts ~nverts edges =
     lsrc;
     ldst = Array.of_list (List.rev !ldst);
     link_tbl;
+    link_mat;
     dist_cache = Hashtbl.create 64;
     link_failed = Array.make (Array.length lsrc) false;
     node_up = Array.make nverts true;
@@ -223,6 +231,8 @@ let link_dst t l = t.ldst.(l)
 let out_links t u = t.out.(u)
 let degree t u = Array.length t.out.(u)
 let find_link t u v = Hashtbl.find_opt t.link_tbl ((u * t.nverts) + v)
+
+let[@inline] find_link_id t u v = Array.unsafe_get t.link_mat ((u * t.nverts) + v)
 
 (* -- live down-state ----------------------------------------------------- *)
 

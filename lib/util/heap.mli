@@ -20,4 +20,21 @@ val pop : 'a t -> (int * 'a) option
 
 val peek : 'a t -> (int * 'a) option
 
+(** {2 Allocation-free variants}
+
+    For users with non-negative priorities (the simulator's times): plain
+    ints instead of options, [-1] as the empty marker. *)
+
+val peek_prio : 'a t -> int
+(** Priority of the minimum entry, or [-1] when the heap is empty. *)
+
+val pop_int : int t -> int
+(** Specialization for int-valued heaps: removes the minimum entry and
+    returns its value, or [-1] when empty. The removed entry's priority is
+    readable via {!popped_prio}. *)
+
+val popped_prio : 'a t -> int
+(** Priority of the entry last removed by {!pop} / {!pop_int}; [-1]
+    before any removal. *)
+
 val clear : 'a t -> unit

@@ -85,19 +85,34 @@ let get64 b off = Bytes.get_int64_be b off
 
 (* -- checksum ----------------------------------------------------------- *)
 
-let checksum b =
-  let n = Bytes.length b in
+(* Ones'-complement sum over [off, off + len): word boundaries are relative
+   to [off], so an item checksums identically wherever it sits in a batch
+   buffer. *)
+let checksum_sub b off len =
+  let fin = off + len in
   let sum = ref 0 in
-  let i = ref 0 in
-  while !i + 1 < n do
+  let i = ref off in
+  while !i + 1 < fin do
     sum := !sum + get16 b !i;
     i := !i + 2
   done;
-  if n land 1 = 1 then sum := !sum + (get8 b (n - 1) lsl 8);
+  if len land 1 = 1 then sum := !sum + (get8 b (fin - 1) lsl 8);
   while !sum lsr 16 <> 0 do
     sum := (!sum land 0xFFFF) + (!sum lsr 16)
   done;
   lnot !sum land 0xFFFF
+
+let checksum b = checksum_sub b 0 (Bytes.length b)
+
+(* Verify an item's checksum in place: zero the stored field, sum the
+   range, restore. The buffer is briefly mutated but always restored
+   before returning. [stored] is read by the caller so the U3 symmetry
+   walk sees the checksum field read back at its written offset. *)
+let verify_sub b ~off ~len ~cksum_off ~stored =
+  put16 b cksum_off 0;
+  let computed = checksum_sub b off len in
+  put16 b cksum_off stored;
+  stored = computed
 
 (* -- data packets ------------------------------------------------------- *)
 
@@ -196,52 +211,63 @@ let boff_tree = 11
 let boff_rp = 12
 let boff_cksum = 14
 
-let encode_broadcast p =
+(* Writer into a caller-provided buffer at a symbolic base [off] (the item's
+   origin in a batch; the slice must be zero-filled). The U3 checker
+   resolves [off] to 0, so these stay statically proven against the same
+   budgets as the whole-buffer forms below. *)
+let encode_broadcast_at b ~off p =
   check_width "src" p.bsrc 16;
   check_width "dst" p.bdst 16;
   check_width "weight" p.weight 8;
   check_width "priority" p.priority 8;
   check_width "demand" p.demand_kbps 32;
   check_width "tree" p.tree 8;
+  put8 b (off + boff_type) (type_of_event p.event);
+  put16 b (off + boff_src) p.bsrc;
+  put16 b (off + boff_dst) p.bdst;
+  put8 b (off + boff_weight) p.weight;
+  put8 b (off + boff_priority) p.priority;
+  put32 b (off + boff_demand) p.demand_kbps;
+  put8 b (off + boff_tree) p.tree;
+  put8 b (off + boff_rp) (Routing.protocol_to_int p.rp);
+  put16 b (off + boff_cksum) (checksum_sub b off broadcast_size)
+
+let decode_broadcast_at b ~off =
+  if off < 0 || off + broadcast_size > Bytes.length b then
+    Error "short broadcast packet"
+  else if
+    not
+      (verify_sub b ~off ~len:broadcast_size ~cksum_off:(off + boff_cksum)
+         ~stored:(get16 b (off + boff_cksum)))
+  then Error "broadcast checksum mismatch"
+  else begin
+    match event_of_type (get8 b (off + boff_type)) with
+    | None -> Error "unknown broadcast type"
+    | Some event -> (
+        match Routing.protocol_of_int (get8 b (off + boff_rp)) with
+        | None -> Error "unknown routing protocol"
+        | Some rp ->
+            Ok
+              {
+                event;
+                bsrc = get16 b (off + boff_src);
+                bdst = get16 b (off + boff_dst);
+                weight = get8 b (off + boff_weight);
+                priority = get8 b (off + boff_priority);
+                demand_kbps = get32 b (off + boff_demand);
+                tree = get8 b (off + boff_tree);
+                rp;
+              })
+  end
+
+let encode_broadcast p =
   let b = Bytes.make broadcast_size '\000' in
-  put8 b boff_type (type_of_event p.event);
-  put16 b boff_src p.bsrc;
-  put16 b boff_dst p.bdst;
-  put8 b boff_weight p.weight;
-  put8 b boff_priority p.priority;
-  put32 b boff_demand p.demand_kbps;
-  put8 b boff_tree p.tree;
-  put8 b boff_rp (Routing.protocol_to_int p.rp);
-  put16 b boff_cksum (checksum b);
+  encode_broadcast_at b ~off:0 p;
   b
 
 let decode_broadcast b =
   if Bytes.length b <> broadcast_size then Error "broadcast packet must be 16 bytes"
-  else begin
-    let stored = get16 b boff_cksum in
-    let zeroed = Bytes.copy b in
-    put16 zeroed boff_cksum 0;
-    if stored <> checksum zeroed then Error "broadcast checksum mismatch"
-    else begin
-      match event_of_type (get8 b boff_type) with
-      | None -> Error "unknown broadcast type"
-      | Some event -> (
-          match Routing.protocol_of_int (get8 b boff_rp) with
-          | None -> Error "unknown routing protocol"
-          | Some rp ->
-              Ok
-                {
-                  event;
-                  bsrc = get16 b boff_src;
-                  bdst = get16 b boff_dst;
-                  weight = get8 b boff_weight;
-                  priority = get8 b boff_priority;
-                  demand_kbps = get32 b boff_demand;
-                  tree = get8 b boff_tree;
-                  rp;
-                })
-    end
-  end
+  else decode_broadcast_at b ~off:0
 
 (* -- sequenced broadcast (loss-tolerant control plane) -------------------- *)
 
@@ -257,7 +283,7 @@ let sboff_flow = 13
 let sboff_seq = 17
 let sboff_cksum = 22
 
-let encode_seq_broadcast p ~flow ~seq =
+let encode_seq_broadcast_at b ~off p ~flow ~seq =
   check_width "src" p.bsrc 16;
   check_width "dst" p.bdst 16;
   check_width "weight" p.weight 8;
@@ -266,50 +292,57 @@ let encode_seq_broadcast p ~flow ~seq =
   check_width "tree" p.tree 8;
   check_width "flow" flow 32;
   check_width "seq" seq 32;
+  put8 b (off + boff_type) (type_of_event p.event);
+  put16 b (off + boff_src) p.bsrc;
+  put16 b (off + boff_dst) p.bdst;
+  put8 b (off + boff_weight) p.weight;
+  put8 b (off + boff_priority) p.priority;
+  put32 b (off + boff_demand) p.demand_kbps;
+  put8 b (off + boff_tree) p.tree;
+  put8 b (off + boff_rp) (Routing.protocol_to_int p.rp);
+  put32 b (off + sboff_flow) flow;
+  put32 b (off + sboff_seq) seq;
+  put16 b (off + sboff_cksum) (checksum_sub b off seq_broadcast_size)
+
+let decode_seq_broadcast_at b ~off =
+  if off < 0 || off + seq_broadcast_size > Bytes.length b then
+    Error "short sequenced broadcast"
+  else if
+    not
+      (verify_sub b ~off ~len:seq_broadcast_size ~cksum_off:(off + sboff_cksum)
+         ~stored:(get16 b (off + sboff_cksum)))
+  then Error "sequenced broadcast checksum mismatch"
+  else begin
+    match event_of_type (get8 b (off + boff_type)) with
+    | None -> Error "unknown broadcast type"
+    | Some event -> (
+        match Routing.protocol_of_int (get8 b (off + boff_rp)) with
+        | None -> Error "unknown routing protocol"
+        | Some rp ->
+            Ok
+              ( {
+                  event;
+                  bsrc = get16 b (off + boff_src);
+                  bdst = get16 b (off + boff_dst);
+                  weight = get8 b (off + boff_weight);
+                  priority = get8 b (off + boff_priority);
+                  demand_kbps = get32 b (off + boff_demand);
+                  tree = get8 b (off + boff_tree);
+                  rp;
+                },
+                get32 b (off + sboff_flow),
+                get32 b (off + sboff_seq) ))
+  end
+
+let encode_seq_broadcast p ~flow ~seq =
   let b = Bytes.make seq_broadcast_size '\000' in
-  put8 b boff_type (type_of_event p.event);
-  put16 b boff_src p.bsrc;
-  put16 b boff_dst p.bdst;
-  put8 b boff_weight p.weight;
-  put8 b boff_priority p.priority;
-  put32 b boff_demand p.demand_kbps;
-  put8 b boff_tree p.tree;
-  put8 b boff_rp (Routing.protocol_to_int p.rp);
-  put32 b sboff_flow flow;
-  put32 b sboff_seq seq;
-  put16 b sboff_cksum (checksum b);
+  encode_seq_broadcast_at b ~off:0 p ~flow ~seq;
   b
 
 let decode_seq_broadcast b =
   if Bytes.length b <> seq_broadcast_size then
     Error "sequenced broadcast must be 24 bytes"
-  else begin
-    let stored = get16 b sboff_cksum in
-    let zeroed = Bytes.copy b in
-    put16 zeroed sboff_cksum 0;
-    if stored <> checksum zeroed then Error "sequenced broadcast checksum mismatch"
-    else begin
-      match event_of_type (get8 b boff_type) with
-      | None -> Error "unknown broadcast type"
-      | Some event -> (
-          match Routing.protocol_of_int (get8 b boff_rp) with
-          | None -> Error "unknown routing protocol"
-          | Some rp ->
-              Ok
-                ( {
-                    event;
-                    bsrc = get16 b boff_src;
-                    bdst = get16 b boff_dst;
-                    weight = get8 b boff_weight;
-                    priority = get8 b boff_priority;
-                    demand_kbps = get32 b boff_demand;
-                    tree = get8 b boff_tree;
-                    rp;
-                  },
-                  get32 b sboff_flow,
-                  get32 b sboff_seq ))
-    end
-  end
+  else decode_seq_broadcast_at b ~off:0
 
 (* -- anti-entropy digest --------------------------------------------------- *)
 
@@ -320,39 +353,45 @@ let goff_last = 8
 let goff_hash = 12
 let goff_cksum = 20
 
-let encode_digest d =
+let encode_digest_at b ~off d =
   check_width "src" d.dsrc 16;
   check_width "tree" d.dtree 8;
   check_width "epoch" d.epoch 32;
   check_width "last_seq" d.last_seq 32;
+  put8 b (off + boff_type) type_digest;
+  put16 b (off + goff_src) d.dsrc;
+  put8 b (off + goff_tree) d.dtree;
+  put32 b (off + goff_epoch) d.epoch;
+  put32 b (off + goff_last) d.last_seq;
+  put64 b (off + goff_hash) d.state_hash;
+  put16 b (off + goff_cksum) (checksum_sub b off digest_size)
+
+let decode_digest_at b ~off =
+  if off < 0 || off + digest_size > Bytes.length b then Error "short digest"
+  else if get8 b (off + boff_type) <> type_digest then Error "not a digest packet"
+  else if
+    not
+      (verify_sub b ~off ~len:digest_size ~cksum_off:(off + goff_cksum)
+         ~stored:(get16 b (off + goff_cksum)))
+  then Error "digest checksum mismatch"
+  else
+    Ok
+      {
+        dsrc = get16 b (off + goff_src);
+        dtree = get8 b (off + goff_tree);
+        epoch = get32 b (off + goff_epoch);
+        last_seq = get32 b (off + goff_last);
+        state_hash = get64 b (off + goff_hash);
+      }
+
+let encode_digest d =
   let b = Bytes.make digest_size '\000' in
-  put8 b boff_type type_digest;
-  put16 b goff_src d.dsrc;
-  put8 b goff_tree d.dtree;
-  put32 b goff_epoch d.epoch;
-  put32 b goff_last d.last_seq;
-  put64 b goff_hash d.state_hash;
-  put16 b goff_cksum (checksum b);
+  encode_digest_at b ~off:0 d;
   b
 
 let decode_digest b =
   if Bytes.length b <> digest_size then Error "digest must be 22 bytes"
-  else if get8 b boff_type <> type_digest then Error "not a digest packet"
-  else begin
-    let stored = get16 b goff_cksum in
-    let zeroed = Bytes.copy b in
-    put16 zeroed goff_cksum 0;
-    if stored <> checksum zeroed then Error "digest checksum mismatch"
-    else
-      Ok
-        {
-          dsrc = get16 b goff_src;
-          dtree = get8 b goff_tree;
-          epoch = get32 b goff_epoch;
-          last_seq = get32 b goff_last;
-          state_hash = get64 b goff_hash;
-        }
-  end
+  else decode_digest_at b ~off:0
 
 (* -- NACK ------------------------------------------------------------------ *)
 
@@ -363,44 +402,142 @@ let noff_from = 6
 let noff_to = 10
 let noff_cksum = 14
 
-let encode_nack n =
+let encode_nack_at b ~off n =
   check_width "src" n.nsrc 16;
   check_width "requester" n.nrequester 16;
   check_width "tree" n.ntree 8;
   check_width "from" n.nfrom 32;
   check_width "to" n.nto 32;
   if n.nto < n.nfrom then invalid_arg "Wire.encode_nack: empty range";
+  put8 b (off + boff_type) type_nack;
+  put16 b (off + noff_src) n.nsrc;
+  put16 b (off + noff_req) n.nrequester;
+  put8 b (off + noff_tree) n.ntree;
+  put32 b (off + noff_from) n.nfrom;
+  put32 b (off + noff_to) n.nto;
+  put16 b (off + noff_cksum) (checksum_sub b off nack_size)
+
+let decode_nack_at b ~off =
+  if off < 0 || off + nack_size > Bytes.length b then Error "short NACK"
+  else if get8 b (off + boff_type) <> type_nack then Error "not a NACK packet"
+  else if
+    not
+      (verify_sub b ~off ~len:nack_size ~cksum_off:(off + noff_cksum)
+         ~stored:(get16 b (off + noff_cksum)))
+  then Error "NACK checksum mismatch"
+  else begin
+    let n =
+      {
+        nsrc = get16 b (off + noff_src);
+        nrequester = get16 b (off + noff_req);
+        ntree = get8 b (off + noff_tree);
+        nfrom = get32 b (off + noff_from);
+        nto = get32 b (off + noff_to);
+      }
+    in
+    if n.nto < n.nfrom then Error "NACK range empty" else Ok n
+  end
+
+let encode_nack n =
   let b = Bytes.make nack_size '\000' in
-  put8 b boff_type type_nack;
-  put16 b noff_src n.nsrc;
-  put16 b noff_req n.nrequester;
-  put8 b noff_tree n.ntree;
-  put32 b noff_from n.nfrom;
-  put32 b noff_to n.nto;
-  put16 b noff_cksum (checksum b);
+  encode_nack_at b ~off:0 n;
   b
 
 let decode_nack b =
   if Bytes.length b <> nack_size then Error "NACK must be 16 bytes"
-  else if get8 b boff_type <> type_nack then Error "not a NACK packet"
-  else begin
-    let stored = get16 b noff_cksum in
-    let zeroed = Bytes.copy b in
-    put16 zeroed noff_cksum 0;
-    if stored <> checksum zeroed then Error "NACK checksum mismatch"
+  else decode_nack_at b ~off:0
+
+(* -- batched control-plane codec ------------------------------------------ *)
+
+(* One contiguous buffer holding a heterogeneous run of control items, each
+   framed as a 1-byte format code followed by the item's standard encoding
+   (own checksum included, so a corrupted item is pinpointed rather than
+   poisoning the whole batch). The format code is needed because the inner
+   type byte alone cannot distinguish a 16-byte event from its 24-byte
+   sequenced extension. Data packets are not batchable: their route field
+   is bit-packed at dynamic offsets, outside what the U3 checker can prove
+   for a running-offset writer. *)
+
+type batch_item =
+  | Item_broadcast of broadcast
+  | Item_seq_broadcast of broadcast * int * int
+  | Item_digest of digest
+  | Item_nack of nack
+
+let batch_code_broadcast = 1
+let batch_code_seq_broadcast = 2
+let batch_code_digest = 3
+let batch_code_nack = 4
+
+let item_code = function
+  | Item_broadcast _ -> batch_code_broadcast
+  | Item_seq_broadcast _ -> batch_code_seq_broadcast
+  | Item_digest _ -> batch_code_digest
+  | Item_nack _ -> batch_code_nack
+
+let size_of_code c =
+  if c = batch_code_broadcast then Some broadcast_size
+  else if c = batch_code_seq_broadcast then Some seq_broadcast_size
+  else if c = batch_code_digest then Some digest_size
+  else if c = batch_code_nack then Some nack_size
+  else None
+
+let item_size it =
+  match size_of_code (item_code it) with Some s -> 1 + s | None -> assert false
+
+let batch_size items = List.fold_left (fun acc it -> acc + item_size it) 0 items
+
+let encode_batch items =
+  let b = Bytes.make (batch_size items) '\000' in
+  let off = ref 0 in
+  List.iter
+    (fun it ->
+      put8 b !off (item_code it);
+      let body = !off + 1 in
+      (match it with
+      | Item_broadcast p -> encode_broadcast_at b ~off:body p
+      | Item_seq_broadcast (p, flow, seq) ->
+          encode_seq_broadcast_at b ~off:body p ~flow ~seq
+      | Item_digest d -> encode_digest_at b ~off:body d
+      | Item_nack n -> encode_nack_at b ~off:body n);
+      off := !off + item_size it)
+    items;
+  b
+
+(* The cursor is deliberately not named [off]: that name is U3's symbolic
+   item base, and the batch walker's accesses are genuinely dynamic. *)
+let decode_batch b =
+  let n = Bytes.length b in
+  let rec go pos acc =
+    if pos = n then Ok (List.rev acc)
     else begin
-      let n =
-        {
-          nsrc = get16 b noff_src;
-          nrequester = get16 b noff_req;
-          ntree = get8 b noff_tree;
-          nfrom = get32 b noff_from;
-          nto = get32 b noff_to;
-        }
-      in
-      if n.nto < n.nfrom then Error "NACK range empty" else Ok n
+      let code = get8 b pos in
+      match size_of_code code with
+      | None ->
+          Error (Printf.sprintf "batch: unknown item code %d at offset %d" code pos)
+      | Some size ->
+          if pos + 1 + size > n then
+            Error (Printf.sprintf "batch truncated mid-item at offset %d" pos)
+          else begin
+            let body = pos + 1 in
+            let item =
+              if code = batch_code_broadcast then
+                Result.map (fun p -> Item_broadcast p) (decode_broadcast_at b ~off:body)
+              else if code = batch_code_seq_broadcast then
+                Result.map
+                  (fun (p, flow, seq) -> Item_seq_broadcast (p, flow, seq))
+                  (decode_seq_broadcast_at b ~off:body)
+              else if code = batch_code_digest then
+                Result.map (fun d -> Item_digest d) (decode_digest_at b ~off:body)
+              else Result.map (fun k -> Item_nack k) (decode_nack_at b ~off:body)
+            in
+            match item with
+            | Error e -> Error (Printf.sprintf "batch item at offset %d: %s" pos e)
+            | Ok it -> go (pos + 1 + size) (it :: acc)
+          end
     end
-  end
+  in
+  go 0 []
 
 (* -- route selectors ----------------------------------------------------- *)
 

@@ -109,6 +109,35 @@ val encode_nack : nack -> bytes
 
 val decode_nack : bytes -> (nack, string) result
 
+(** {2 Batched control-plane codec}
+
+    Control traffic travels in bursts — an epoch's digests, a NACK repair's
+    replayed events — so the codec can pack a heterogeneous run of items
+    into one contiguous buffer: each item is a 1-byte format code followed
+    by its standard encoding, checksum included. Per-item checksums mean a
+    corrupted item is reported with its offset instead of poisoning the
+    whole batch. Data packets are not batchable (their route field is
+    bit-packed at dynamic offsets). *)
+
+type batch_item =
+  | Item_broadcast of broadcast
+  | Item_seq_broadcast of broadcast * int * int
+      (** [(packet, flow, seq)] — a sequenced control event *)
+  | Item_digest of digest
+  | Item_nack of nack
+
+val batch_size : batch_item list -> int
+(** Encoded size in bytes: each item costs its format size plus one. *)
+
+val encode_batch : batch_item list -> bytes
+(** One contiguous buffer; the empty list encodes to zero bytes. Raises
+    [Invalid_argument] when any item's field exceeds its width. *)
+
+val decode_batch : bytes -> (batch_item list, string) result
+(** Walks the buffer with a running offset; fails (with the offending
+    offset) on an unknown format code, a truncated final item, or a
+    per-item decode error. [decode_batch (encode_batch items) = Ok items]. *)
+
 val route_selectors : Routing.ctx -> int array -> int array
 (** [route_selectors ctx path] converts a vertex path to per-hop 3-bit link
     selectors: at hop [i], the index of the link towards [path.(i+1)] within

@@ -123,6 +123,77 @@ let view_nack_repair_heals_all_loss () =
   Alcotest.(check bool) "repairs were charged" true (R2c2.Stack.reliability_bytes_sent st > 0);
   Alcotest.(check bool) "replays counted" true (R2c2.Stack.event_retransmits st > 0)
 
+(* Same healing loop as above, but every NACKed gap is answered with one
+   replay_range batch instead of per-sequence replays: the batched path
+   must repair the replica identically and charge the same per-event
+   accounting as single replays would. *)
+let view_batched_repair_heals_all_loss () =
+  let st, _ = mk_stack () in
+  let trees = (R2c2.Stack.config st).R2c2.Stack.trees_per_source in
+  let view = R2c2.View.create ~trees () in
+  let n = ref 0 in
+  R2c2.Stack.on_broadcast_seq st (fun b ->
+      incr n;
+      if !n mod 3 <> 0 then feed view b);
+  let ids = ref [] in
+  for i = 0 to 5 do
+    ids := R2c2.Stack.open_flow st ~src:(i mod 8) ~dst:((i + 3) mod 8) :: !ids
+  done;
+  (match !ids with
+  | last :: _ -> R2c2.Stack.close_flow st last
+  | [] -> assert false);
+  Alcotest.(check bool) "loss actually diverged the replica" true
+    (R2c2.View.matrix_hash view <> R2c2.Stack.matrix_hash st);
+  let rounds = ref 0 in
+  let rec heal () =
+    incr rounds;
+    if !rounds > 10 then Alcotest.fail "view did not heal within 10 digest rounds";
+    let again = ref false in
+    List.iter
+      (fun d ->
+        match R2c2.View.observe_digest view d with
+        | R2c2.View.Gaps ranges ->
+            again := true;
+            List.iter
+              (fun (lo, hi) ->
+                let before = R2c2.Stack.event_retransmits st in
+                match
+                  R2c2.Stack.replay_range st ~tree:d.Wire.dtree ~from_seq:lo ~to_seq:hi
+                with
+                | None -> Alcotest.fail "replay log evicted too early"
+                | Some batch -> (
+                    Alcotest.(check int) "one retransmit per ranged event"
+                      (hi - lo + 1)
+                      (R2c2.Stack.event_retransmits st - before);
+                    match R2c2.View.apply_batch view batch with
+                    | Error e -> Alcotest.fail ("repair batch rejected: " ^ e)
+                    | Ok verdicts ->
+                        Alcotest.(check int) "one verdict per ranged event"
+                          (hi - lo + 1) (List.length verdicts);
+                        List.iter
+                          (function
+                            | R2c2.View.Malformed e ->
+                                Alcotest.fail ("malformed repair item: " ^ e)
+                            | R2c2.View.Applied _ | R2c2.View.Duplicate
+                            | R2c2.View.Buffered ->
+                                ())
+                          verdicts))
+              ranges
+        | R2c2.View.Diverged -> Alcotest.fail "caught-up replica cannot hash differently"
+        | R2c2.View.Synced -> ())
+      (R2c2.Stack.emit_digests st);
+    if !again then heal ()
+  in
+  heal ();
+  Alcotest.(check bool) "hashes agree after batched repair" true
+    (R2c2.View.matrix_hash view = R2c2.Stack.matrix_hash st);
+  Alcotest.(check (list int)) "flow sets agree"
+    (List.map (fun (id, _) -> id) (R2c2.Stack.allocations st))
+    (R2c2.View.flow_ids view);
+  Alcotest.check_raises "empty range raises"
+    (Invalid_argument "Stack.replay_range: empty range") (fun () ->
+      ignore (R2c2.Stack.replay_range st ~tree:0 ~from_seq:5 ~to_seq:4))
+
 let view_dedups_duplicates () =
   let st, _ = mk_stack () in
   let trees = (R2c2.Stack.config st).R2c2.Stack.trees_per_source in
@@ -346,6 +417,7 @@ let suites =
         tc "reliability dedups on seq under loss" reliability_dedup_under_loss;
         tc "rbcast window orders and dedups" rbcast_window_orders_and_dedups;
         tc "view NACK repair heals all loss" view_nack_repair_heals_all_loss;
+        tc "view batched repair heals all loss" view_batched_repair_heals_all_loss;
         tc "view dedups duplicates" view_dedups_duplicates;
         tc "watchdog repairs diverged view" watchdog_repairs_diverged_view;
         tc "loss EWMA scales headroom" loss_ewma_scales_headroom;

@@ -257,6 +257,62 @@ let u3_dynamic_offsets_tolerated () =
          "let decode_z b = get8 b 0";
        ])
 
+(* -- A1: arena bypass on the packet path (lib/sim only) -------------------- *)
+
+let lint_sim src = Lint_core.lint_source ~file:"lib/sim/fixture.ml" ~in_lib:true src
+let check_sim_rules name expected src =
+  Alcotest.(check (list string)) name expected (rules_of (lint_sim src))
+
+let a1_packet_record_flagged () =
+  check_sim_rules "kind+route record literal" [ "A1" ]
+    "let p = { kind = Data; route = r; hop = 0 }";
+  check_sim_rules "route+hop record literal" [ "A1" ]
+    "let p = { route = r; hop = 1; bytes = 1500 }";
+  (* The pre-arena Net.packet constructor: reverting the arena conversion
+     reintroduces exactly this shape. *)
+  check_sim_rules "pre-arena Net.packet fails A1" [ "A1" ]
+    (String.concat "\n"
+       [
+         "let send t ~flow ~seq ~last ~bytes ~route =";
+         "  let p = { kind = Data { flow; seq; last }; bytes; route; hop = 0 } in";
+         "  enqueue_link t p";
+       ])
+
+let a1_route_copy_flagged () =
+  check_sim_rules "Array.copy of a route field" [ "A1" ]
+    "let clone t p = Array.copy p.route";
+  check_sim_rules "Array.copy of a route binding" [ "A1" ]
+    "let dup route = Array.copy route";
+  check_sim_rules "route-prefixed names count" [ "A1" ]
+    "let r2 fwd_route = Array.copy fwd_route"
+
+let a1_scoped_to_sim () =
+  (* Outside a sim/ directory component the rule is off: the control plane
+     and tests may build packet-shaped values freely. *)
+  check_rules "record literal fine outside sim" []
+    "let p = { kind = Data; route = r; hop = 0 }";
+  check_rules "route copy fine outside sim" [] "let dup route = Array.copy route"
+
+let a1_benign_shapes_ok () =
+  check_sim_rules "record without route untouched" []
+    "let s = { kind = Data; bytes = 1500 }";
+  check_sim_rules "route record without kind/hop untouched" []
+    "let e = { route = r; cost = 3 }";
+  check_sim_rules "Array.copy of non-route untouched" []
+    "let snap stats = Array.copy stats"
+
+let a1_allow_suppresses () =
+  let r =
+    lint_sim
+      (String.concat "\n"
+         [
+           "(* lint: allow A1 — test fixture builds a throwaway packet *)";
+           "let p = { kind = Data; route = r; hop = 0 }";
+         ])
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rules_of r);
+  Alcotest.(check int) "counted" 1 (List.assoc "A1" r.Lint_core.suppressed_by_rule)
+
 (* -- stale allows and the summary ------------------------------------------ *)
 
 let stale_allow_fails_gate () =
@@ -402,6 +458,11 @@ let suites =
         tc "U3: overlapping writes" u3_overlap_flagged;
         tc "U3: read/write asymmetry" u3_asymmetry_flagged;
         tc "U3: dynamic offsets tolerated" u3_dynamic_offsets_tolerated;
+        tc "A1: packet-shaped record literal" a1_packet_record_flagged;
+        tc "A1: route Array.copy" a1_route_copy_flagged;
+        tc "A1: scoped to lib/sim" a1_scoped_to_sim;
+        tc "A1: benign shapes ok" a1_benign_shapes_ok;
+        tc "A1: allow suppresses" a1_allow_suppresses;
         tc "stale allow fails the gate" stale_allow_fails_gate;
         tc "per-rule suppression counts" per_rule_suppression_counts;
         tc "phantom types reject dimension swaps" units_reject_dimension_swap;

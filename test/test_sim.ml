@@ -58,28 +58,34 @@ let mk_net ?queue_capacity () =
   let net = Sim.Net.create eng topo ?queue_capacity ~link_gbps:(U.gbps 10.0) ~hop_latency_ns:100 () in
   (eng, topo, net)
 
+(* One-shot send through the handle API: intern the route, send, drop the
+   caller's reference (the packet keeps its own). *)
+let send_data net ~flow ~bytes verts =
+  let r = Sim.Net.intern_route net verts in
+  Sim.Net.send_data net ~flow ~seq:0 ~last:true ~bytes ~route:r;
+  Sim.Net.release_route net r
+
 let net_delivers_along_route () =
   let eng, _, net = mk_net () in
-  let delivered = ref None in
-  Sim.Net.on_deliver net (fun pkt -> delivered := Some pkt);
+  let delivered = ref false in
+  (* Packets are freed after the callback returns, so inspect in place. *)
+  Sim.Net.on_deliver net (fun pkt ->
+      delivered := true;
+      Alcotest.(check int) "arrived at final hop" 2
+        (Sim.Net.route_at net pkt (Sim.Net.hop net pkt)));
   (* route 0 -> 1 -> 2 on the first row of the 4x4 torus *)
-  Sim.Net.send net
-    { Sim.Net.kind = Sim.Net.Data { flow = 1; seq = 0; last = true }; bytes = 1500; route = [| 0; 1; 2 |]; hop = 0 };
+  send_data net ~flow:1 ~bytes:1500 [| 0; 1; 2 |];
   Sim.Engine.run eng;
-  match !delivered with
-  | None -> Alcotest.fail "not delivered"
-  | Some pkt ->
-      Alcotest.(check int) "arrived at final hop" 2 pkt.Sim.Net.route.(pkt.Sim.Net.hop);
-      (* 2 hops x (serialization 1200ns + latency 100ns) *)
-      Alcotest.(check int) "latency model" 2600 (Sim.Engine.now eng)
+  Alcotest.(check bool) "delivered" true !delivered;
+  (* 2 hops x (serialization 1200ns + latency 100ns) *)
+  Alcotest.(check int) "latency model" 2600 (Sim.Engine.now eng)
 
 let net_serialization_queuing () =
   let eng, _, net = mk_net () in
   let times = ref [] in
   Sim.Net.on_deliver net (fun _ -> times := Sim.Engine.now eng :: !times);
   for i = 0 to 2 do
-    Sim.Net.send net
-      { Sim.Net.kind = Sim.Net.Data { flow = i; seq = 0; last = true }; bytes = 1500; route = [| 0; 1 |]; hop = 0 }
+    send_data net ~flow:i ~bytes:1500 [| 0; 1 |]
   done;
   Sim.Engine.run eng;
   (* Back-to-back packets serialize at 1200ns each; propagation overlaps. *)
@@ -90,8 +96,7 @@ let net_tail_drop () =
   let drops = ref 0 in
   Sim.Net.on_drop net (fun _ -> incr drops);
   for i = 0 to 4 do
-    Sim.Net.send net
-      { Sim.Net.kind = Sim.Net.Data { flow = i; seq = 0; last = true }; bytes = 1500; route = [| 0; 1 |]; hop = 0 }
+    send_data net ~flow:i ~bytes:1500 [| 0; 1 |]
   done;
   Sim.Engine.run eng;
   Alcotest.(check int) "drops counted" !drops (Sim.Net.drops net);
@@ -100,8 +105,7 @@ let net_tail_drop () =
 let net_max_queue_tracked () =
   let eng, _, net = mk_net () in
   for i = 0 to 3 do
-    Sim.Net.send net
-      { Sim.Net.kind = Sim.Net.Data { flow = i; seq = 0; last = true }; bytes = 1500; route = [| 0; 1 |]; hop = 0 }
+    send_data net ~flow:i ~bytes:1500 [| 0; 1 |]
   done;
   Sim.Engine.run eng;
   let q = Sim.Net.max_queue_bytes net in
@@ -122,8 +126,7 @@ let net_broadcast_reaches_all () =
 
 let net_wire_counters () =
   let eng, _, net = mk_net () in
-  Sim.Net.send net
-    { Sim.Net.kind = Sim.Net.Data { flow = 0; seq = 0; last = true }; bytes = 1000; route = [| 0; 1; 2 |]; hop = 0 };
+  send_data net ~flow:0 ~bytes:1000 [| 0; 1; 2 |];
   Sim.Engine.run eng;
   Alcotest.(check (float 1e-9)) "bytes x hops" 2000.0 (U.to_float (Sim.Net.data_bytes_on_wire net));
   Sim.Net.reset_wire_counters net;
@@ -138,12 +141,43 @@ let net_rejects_bad_route () =
   let _, _, net = mk_net () in
   Alcotest.check_raises "non-adjacent"
     (Invalid_argument "Net.send: route crosses non-adjacent vertices") (fun () ->
-      Sim.Net.send net
-        { Sim.Net.kind = Sim.Net.Data { flow = 0; seq = 0; last = true }; bytes = 100; route = [| 0; 10 |]; hop = 0 });
+      send_data net ~flow:0 ~bytes:100 [| 0; 10 |]);
   Alcotest.check_raises "too short" (Invalid_argument "Net.send: route needs at least two vertices")
-    (fun () ->
-      Sim.Net.send net
-        { Sim.Net.kind = Sim.Net.Data { flow = 0; seq = 0; last = true }; bytes = 100; route = [| 0 |]; hop = 0 })
+    (fun () -> send_data net ~flow:0 ~bytes:100 [| 0 |])
+
+let net_steady_state_zero_alloc () =
+  (* The zero-allocation contract, asserted rather than merely benchmarked:
+     a steady-state send/ack loop — data 0->1, ack 1->0, next data on each
+     ack — must not allocate minor words per packet once pools, queues and
+     the serialization memo have warmed up. A regression to per-packet
+     records or options shows up as tens of words per packet here. *)
+  let eng, _, net = mk_net () in
+  let fwd = Sim.Net.intern_route net [| 0; 1 |] in
+  let rev = Sim.Net.intern_route net [| 1; 0 |] in
+  let remaining = ref 0 in
+  Sim.Net.on_deliver net (fun pkt ->
+      if Sim.Net.kind net pkt = Sim.Net.code_data then
+        Sim.Net.send_ack net ~flow:0 ~ackno:(Sim.Net.data_seq net pkt) ~bytes:64
+          ~route:rev
+      else if !remaining > 0 then begin
+        decr remaining;
+        Sim.Net.send_data net ~flow:0 ~seq:!remaining ~last:false ~bytes:1500
+          ~route:fwd
+      end);
+  let run n =
+    remaining := n;
+    Sim.Net.send_data net ~flow:0 ~seq:0 ~last:false ~bytes:1500 ~route:fwd;
+    Sim.Engine.run eng
+  in
+  run 200;
+  let before = Gc.minor_words () in
+  run 2000;
+  let per_pkt = (Gc.minor_words () -. before) /. 4000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words per packet ~ 0 (got %.3f)" per_pkt)
+    true (per_pkt < 0.05);
+  Sim.Net.release_route net fwd;
+  Sim.Net.release_route net rev
 
 (* -- metrics --------------------------------------------------------------- *)
 
@@ -233,55 +267,74 @@ let r2c2_deterministic () =
         (Sim.Metrics.fct_ns (Sim.Metrics.find r2.Sim.R2c2_sim.metrics i)))
     specs
 
+(* Byte-exact metrics snapshot of a seeded 4x4-torus run: per-flow records
+   in [Metrics.all] order, the goodput time series, every sampled rate
+   update and all the accounting counters. Parameterized over the engine
+   backend (for the heap-vs-calendar differential test) and an optional
+   control-plane chaos scenario. *)
+let metrics_snapshot ?(backend = Sim.Engine.Calendar) ?(chaos = false) () =
+  let topo = Topology.torus [| 4; 4 |] in
+  let specs = default_specs topo (Util.Rng.create 11) 60 1_000.0 in
+  let cfg =
+    { Sim.R2c2_sim.default_config with
+      recompute_interval_ns = 100_000;
+      reselect_interval_ns = Some 200_000;
+      engine_backend = backend;
+    }
+  in
+  let cfg =
+    if chaos then
+      { cfg with
+        Sim.R2c2_sim.control_loss = U.fraction 0.2;
+        control_reorder = U.fraction 0.1;
+        control_dup = U.fraction 0.05;
+      }
+    else cfg
+  in
+  let t = Sim.R2c2_sim.create cfg topo in
+  Sim.Metrics.set_goodput_bucket (Sim.R2c2_sim.metrics t) ~bucket_ns:10_000;
+  List.iter
+    (fun (s : Workload.Flowgen.spec) ->
+      Sim.Engine.at (Sim.R2c2_sim.engine t) s.arrival_ns (fun () ->
+          ignore
+            (Sim.R2c2_sim.start_flow ~weight:s.weight ~priority:s.priority t ~src:s.src
+               ~dst:s.dst ~size:s.size)))
+    specs;
+  Sim.R2c2_sim.run_engine t;
+  let r = Sim.R2c2_sim.results t in
+  let open Sim.R2c2_sim in
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun (f : Sim.Metrics.flow) ->
+      Buffer.add_string buf
+        (Printf.sprintf "flow %d %d->%d size=%d t0=%d tx=%d del=%d fin=%d ro=%d\n" f.id f.src
+           f.dst f.size f.arrival_ns f.start_tx_ns f.delivered f.finish_ns f.reorder_max))
+    (Sim.Metrics.all r.metrics);
+  Array.iter
+    (fun (ns, b) -> Buffer.add_string buf (Printf.sprintf "goodput %d %d\n" ns b))
+    (Sim.Metrics.goodput_series r.metrics);
+  List.iter
+    (fun (ns, gbps) ->
+      Buffer.add_string buf (Printf.sprintf "rate %d %.17g\n" ns (U.to_float gbps)))
+    r.rate_updates;
+  Buffer.add_string buf
+    (Printf.sprintf "drops=%d recomputes=%d reselections=%d rerouted=%d inj=%d del=%d\n"
+       r.drops r.recomputes r.reselections r.flows_rerouted r.injected_payload
+       r.delivered_payload);
+  (* Chaos-only so the clean snapshot stays byte-compatible with the
+     golden pin below. *)
+  if chaos then
+    Buffer.add_string buf
+      (Printf.sprintf "lost=%d lostB=%d reord=%d dup=%d\n" r.ctrl_lost r.ctrl_lost_bytes
+         r.ctrl_reordered r.ctrl_dupped);
+  Buffer.contents buf
+
 let r2c2_metrics_snapshot_deterministic () =
   (* Stronger than [r2c2_deterministic]: two identically-seeded runs of a
-     4x4 torus must produce *byte-identical* metric snapshots — per-flow
-     records in [Metrics.all] order, the goodput time series, every
-     sampled rate update and all the accounting counters. Guards the
+     4x4 torus must produce *byte-identical* metric snapshots. Guards the
      Util.Tbl sorted-iteration conversion: any hash-order dependence left
      in the sim (or reintroduced later) shows up here as a diff. *)
-  let snapshot () =
-    let topo = Topology.torus [| 4; 4 |] in
-    let specs = default_specs topo (Util.Rng.create 11) 60 1_000.0 in
-    let cfg =
-      { Sim.R2c2_sim.default_config with
-        recompute_interval_ns = 100_000;
-        reselect_interval_ns = Some 200_000;
-      }
-    in
-    let t = Sim.R2c2_sim.create cfg topo in
-    Sim.Metrics.set_goodput_bucket (Sim.R2c2_sim.metrics t) ~bucket_ns:10_000;
-    List.iter
-      (fun (s : Workload.Flowgen.spec) ->
-        Sim.Engine.at (Sim.R2c2_sim.engine t) s.arrival_ns (fun () ->
-            ignore
-              (Sim.R2c2_sim.start_flow ~weight:s.weight ~priority:s.priority t ~src:s.src
-                 ~dst:s.dst ~size:s.size)))
-      specs;
-    Sim.R2c2_sim.run_engine t;
-    let r = Sim.R2c2_sim.results t in
-    let open Sim.R2c2_sim in
-    let buf = Buffer.create 8192 in
-    List.iter
-      (fun (f : Sim.Metrics.flow) ->
-        Buffer.add_string buf
-          (Printf.sprintf "flow %d %d->%d size=%d t0=%d tx=%d del=%d fin=%d ro=%d\n" f.id f.src
-             f.dst f.size f.arrival_ns f.start_tx_ns f.delivered f.finish_ns f.reorder_max))
-      (Sim.Metrics.all r.metrics);
-    Array.iter
-      (fun (ns, b) -> Buffer.add_string buf (Printf.sprintf "goodput %d %d\n" ns b))
-      (Sim.Metrics.goodput_series r.metrics);
-    List.iter
-      (fun (ns, gbps) ->
-        Buffer.add_string buf (Printf.sprintf "rate %d %.17g\n" ns (U.to_float gbps)))
-      r.rate_updates;
-    Buffer.add_string buf
-      (Printf.sprintf "drops=%d recomputes=%d reselections=%d rerouted=%d inj=%d del=%d\n"
-         r.drops r.recomputes r.reselections r.flows_rerouted r.injected_payload
-         r.delivered_payload);
-    Buffer.contents buf
-  in
-  let s1 = snapshot () and s2 = snapshot () in
+  let s1 = metrics_snapshot () and s2 = metrics_snapshot () in
   Alcotest.(check bool) "snapshot is non-trivial" true (String.length s1 > 1000);
   Alcotest.(check string) "identical snapshots" s1 s2;
   (* Golden pin, captured immediately *before* the Util.Units sweep: the
@@ -291,6 +344,19 @@ let r2c2_metrics_snapshot_deterministic () =
   Alcotest.(check int) "pre-sweep snapshot length" 4804 (String.length s1);
   Alcotest.(check string) "pre-sweep snapshot digest" "cdb08d68b4acc8b58fb70e9159ebabf6"
     (Digest.to_hex (Digest.string s1))
+
+let r2c2_backend_differential () =
+  (* The calendar queue must be observationally identical to the binary
+     heap it replaced: same-instant events fire in the same FIFO order, so
+     a full 4x4-torus run — and one with control-plane chaos layered on
+     top (loss, reordering, duplication all active) — must produce
+     byte-identical metric snapshots under both engine backends. *)
+  Alcotest.(check string) "clean run: heap = calendar"
+    (metrics_snapshot ~backend:Sim.Engine.Binary_heap ())
+    (metrics_snapshot ~backend:Sim.Engine.Calendar ());
+  Alcotest.(check string) "chaos run: heap = calendar"
+    (metrics_snapshot ~backend:Sim.Engine.Binary_heap ~chaos:true ())
+    (metrics_snapshot ~backend:Sim.Engine.Calendar ~chaos:true ())
 
 let r2c2_rate_limited_after_epoch () =
   (* Two long flows from distinct sources to the same destination must
@@ -710,6 +776,7 @@ let suites =
         tc "wire byte counters" net_wire_counters;
         tc "broadcast requires a FIB" net_requires_fib_for_broadcast;
         tc "bad routes rejected" net_rejects_bad_route;
+        tc "steady state allocates nothing" net_steady_state_zero_alloc;
       ] );
     ( "sim.metrics",
       [
@@ -722,6 +789,7 @@ let suites =
         tc "single flow near line rate" r2c2_single_flow_line_rate;
         tc "deterministic given seed" r2c2_deterministic;
         tc "byte-identical metric snapshots" r2c2_metrics_snapshot_deterministic;
+        tc "heap and calendar backends agree (clean + chaos)" r2c2_backend_differential;
         tc "fair split after recompute" r2c2_rate_limited_after_epoch;
         tc "clean epochs skipped by dirty tracking" r2c2_clean_epochs_skipped;
         tc "broadcast bytes accounted" r2c2_broadcast_overhead_counted;

@@ -297,6 +297,137 @@ let units_ticks_counter () =
   Alcotest.(check int) "tick_succ increments" 42 (U.ticks_to_int (U.tick_succ t));
   check_float "zero is 0.0" 0.0 (U.to_float (U.zero : U.bytes))
 
+(* -- arena ---------------------------------------------------------------- *)
+
+(* Random alloc/free interleavings against a model map: values written into
+   surviving records are never clobbered by allocation, recycling or pool
+   growth, [alloc] hands back zeroed records, and the live count tracks the
+   model exactly. *)
+let qcheck_arena_roundtrip =
+  QCheck.Test.make ~name:"alloc/free/reuse round-trips" ~count:200
+    QCheck.(list (int_bound 999))
+    (fun ops ->
+      let a = Util.Arena.create ~capacity:2 ~width:3 () in
+      let live = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op mod 3 = 0 && Hashtbl.length live > 0 then begin
+            let h = Hashtbl.fold (fun h _ m -> min h m) live max_int in
+            ok := !ok && Util.Arena.get a h 1 = Hashtbl.find live h;
+            Util.Arena.free a h;
+            Hashtbl.remove live h;
+            ok := !ok && not (Util.Arena.is_live a h)
+          end
+          else begin
+            let h = Util.Arena.alloc a in
+            ok := !ok && Util.Arena.get a h 1 = 0 && Util.Arena.is_live a h;
+            Util.Arena.set a h 1 (op + 1);
+            Hashtbl.replace live h (op + 1)
+          end)
+        ops;
+      Hashtbl.iter (fun h v -> ok := !ok && Util.Arena.get a h 1 = v) live;
+      !ok && Util.Arena.live a = Hashtbl.length live)
+
+let arena_double_free_detected () =
+  let a = Util.Arena.create ~width:2 () in
+  let h = Util.Arena.alloc a in
+  Util.Arena.free a h;
+  Alcotest.check_raises "double free" (Invalid_argument "Arena.free: double free")
+    (fun () -> Util.Arena.free a h);
+  Alcotest.check_raises "out of range" (Invalid_argument "Arena.free: handle out of range")
+    (fun () -> Util.Arena.free a (-1))
+
+let arena_recycles_handles () =
+  let a = Util.Arena.create ~capacity:4 ~width:2 () in
+  let h0 = Util.Arena.alloc a in
+  let h1 = Util.Arena.alloc a in
+  Util.Arena.set a h1 0 42;
+  Util.Arena.free a h1;
+  (* LIFO free list: the next allocation reuses the freed record. *)
+  Alcotest.(check int) "freed handle reused" h1 (Util.Arena.alloc a);
+  Alcotest.(check int) "reused record zeroed" 0 (Util.Arena.get a h1 0);
+  Util.Arena.free a h0;
+  Util.Arena.free a h1;
+  Alcotest.(check int) "live drained" 0 (Util.Arena.live a);
+  Alcotest.(check int) "high water saw both" 2 (Util.Arena.high_water a)
+
+let arena_ints_refcount () =
+  let p = Util.Arena.Ints.create () in
+  let s = Util.Arena.Ints.of_array p [| 7; 8; 9 |] in
+  Alcotest.(check int) "length" 3 (Util.Arena.Ints.length p s);
+  Alcotest.(check int) "contents" 8 (Util.Arena.Ints.get p s 1);
+  Util.Arena.Ints.retain p s;
+  Alcotest.(check int) "refcount 2" 2 (Util.Arena.Ints.refcount p s);
+  Util.Arena.Ints.release p s;
+  Util.Arena.Ints.release p s;
+  Alcotest.(check int) "recycled" 0 (Util.Arena.Ints.live p);
+  Alcotest.check_raises "double release"
+    (Invalid_argument "Arena.Ints.release: double release") (fun () ->
+      Util.Arena.Ints.release p s);
+  (* Same length allocates from the free list: the block comes back. *)
+  let s' = Util.Arena.Ints.of_array p [| 1; 2; 3 |] in
+  Alcotest.(check int) "exact-fit block reused" s s';
+  (* The empty slice is a pinned singleton: refcounting it is a no-op. *)
+  let e = Util.Arena.Ints.of_array p [||] in
+  Alcotest.(check int) "empty singleton" Util.Arena.Ints.empty e;
+  Util.Arena.Ints.release p e;
+  Util.Arena.Ints.release p e
+
+(* -- calendar queue -------------------------------------------------------- *)
+
+(* Ids double as list indices so every payload is unique (the queue's FIFO
+   links are intrusive). Times up to 50k against a 256-slot wheel exercise
+   the overflow heap and window migration, not just the happy path. *)
+let qcheck_calqueue_order =
+  QCheck.Test.make ~name:"drain order = stable sort by time" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 200) (int_bound 50_000))
+    (fun times ->
+      let q = Util.Calqueue.create ~wheel:256 () in
+      List.iteri (fun i t -> Util.Calqueue.add q ~time:t i) times;
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let rec drain acc =
+        match Util.Calqueue.pop q with
+        | None -> List.rev acc
+        | Some (t, id) -> drain ((t, id) :: acc)
+      in
+      drain [] = expected)
+
+let calqueue_pop_until () =
+  let q = Util.Calqueue.create ~wheel:16 () in
+  Alcotest.(check int) "empty" (-1) (Util.Calqueue.pop_until q ~until:100);
+  (* Time 50 lands in the overflow heap (wheel 16), so hitting it also
+     crosses a window advance. *)
+  Util.Calqueue.add q ~time:50 7;
+  Alcotest.(check int) "deadline before head" (-2) (Util.Calqueue.pop_until q ~until:49);
+  Alcotest.(check int) "head time readable after -2" 50 (Util.Calqueue.popped_time q);
+  Alcotest.(check int) "pops at deadline" 7 (Util.Calqueue.pop_until q ~until:50);
+  Alcotest.(check int) "popped time" 50 (Util.Calqueue.popped_time q);
+  Alcotest.(check int) "drained" (-1) (Util.Calqueue.pop_until q ~until:1000);
+  Alcotest.check_raises "past add rejected"
+    (Invalid_argument "Calqueue.add: time below window") (fun () ->
+      Util.Calqueue.add q ~time:3 0)
+
+let calqueue_fifo_across_stores () =
+  (* Ties must pop in insertion order even when some of the tied entries
+     were bucketed directly and others migrated in from the overflow heap. *)
+  let q = Util.Calqueue.create ~wheel:8 () in
+  Util.Calqueue.add q ~time:100 0;
+  Util.Calqueue.add q ~time:3 10;
+  Util.Calqueue.add q ~time:100 1;
+  Util.Calqueue.add q ~time:3 11;
+  Util.Calqueue.add q ~time:100 2;
+  Alcotest.(check bool) "overflow used" true (Util.Calqueue.overflow_pushes q > 0);
+  let rec drain acc =
+    match Util.Calqueue.pop q with
+    | None -> List.rev acc
+    | Some (_, id) -> drain (id :: acc)
+  in
+  Alcotest.(check (list int)) "insertion order on ties" [ 10; 11; 0; 1; 2 ] (drain [])
+
 let suites =
   [
     ( "util.units",
@@ -332,6 +463,19 @@ let suites =
         tc "empty heap" heap_empty;
         tc "interleaved push/pop" heap_interleaved;
         QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+      ] );
+    ( "util.arena",
+      [
+        QCheck_alcotest.to_alcotest qcheck_arena_roundtrip;
+        tc "double free detected" arena_double_free_detected;
+        tc "freed handles recycled" arena_recycles_handles;
+        tc "slice refcounting" arena_ints_refcount;
+      ] );
+    ( "util.calqueue",
+      [
+        QCheck_alcotest.to_alcotest qcheck_calqueue_order;
+        tc "pop_until deadline semantics" calqueue_pop_until;
+        tc "fifo ties across wheel and overflow" calqueue_fifo_across_stores;
       ] );
     ( "util.stats",
       [

@@ -262,6 +262,76 @@ let seq_broadcast_wrong_size_rejected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "16-byte buffer accepted as digest"
 
+(* -- batched control-plane codec ------------------------------------------ *)
+
+let batch_pkt =
+  {
+    Wire.event = Wire.Demand_update;
+    bsrc = 7;
+    bdst = 12;
+    weight = 3;
+    priority = 1;
+    demand_kbps = 250_000;
+    tree = 2;
+    rp = Routing.Rps;
+  }
+
+let batch_items =
+  [
+    Wire.Item_broadcast batch_pkt;
+    Wire.Item_seq_broadcast (batch_pkt, 41, 9);
+    Wire.Item_digest
+      { Wire.dsrc = 3; dtree = 2; epoch = 5; last_seq = 9; state_hash = 0xBEEFL };
+    Wire.Item_nack { Wire.nsrc = 3; nrequester = 8; ntree = 2; nfrom = 4; nto = 7 };
+  ]
+
+let batch_heterogeneous_roundtrip () =
+  let b = Wire.encode_batch batch_items in
+  Alcotest.(check int)
+    "size" (Wire.batch_size batch_items) (Bytes.length b);
+  match Wire.decode_batch b with
+  | Ok got -> if got <> batch_items then Alcotest.fail "batch roundtrip broke"
+  | Error e -> Alcotest.failf "batch decode failed: %s" e
+
+let batch_empty () =
+  let b = Wire.encode_batch [] in
+  Alcotest.(check int) "empty encodes to zero bytes" 0 (Bytes.length b);
+  match Wire.decode_batch b with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty batch decoded items"
+  | Error e -> Alcotest.failf "empty batch decode failed: %s" e
+
+let batch_truncation_detected () =
+  let b = Wire.encode_batch batch_items in
+  match Wire.decode_batch (Bytes.sub b 0 (Bytes.length b - 1)) with
+  | Error e ->
+      if not (String.length e >= 15 && String.sub e 0 15 = "batch truncated") then
+        Alcotest.failf "unexpected truncation error: %s" e
+  | Ok _ -> Alcotest.fail "truncated batch accepted"
+
+let batch_unknown_code_rejected () =
+  let b = Wire.encode_batch batch_items in
+  Bytes.set b 0 '\255';
+  match Wire.decode_batch b with
+  | Error e ->
+      if not (String.length e >= 24 && String.sub e 0 24 = "batch: unknown item code") then
+        Alcotest.failf "unexpected unknown-code error: %s" e
+  | Ok _ -> Alcotest.fail "unknown item code accepted"
+
+let batch_corruption_located () =
+  (* Flip a byte inside the second item's body; the error must name the
+     second item's offset, one broadcast frame in. *)
+  let b = Wire.encode_batch batch_items in
+  let second = 1 + Wire.broadcast_size in
+  Bytes.set b (second + 3) (Char.chr (Char.code (Bytes.get b (second + 3)) lxor 0x40));
+  match Wire.decode_batch b with
+  | Error e ->
+      let want = Printf.sprintf "batch item at offset %d:" second in
+      let n = String.length want in
+      if not (String.length e >= n && String.sub e 0 n = want) then
+        Alcotest.failf "corruption not located: %s" e
+  | Ok _ -> Alcotest.fail "corrupted batch item accepted"
+
 let suites =
   [
     ( "wire",
@@ -284,6 +354,11 @@ let suites =
         tc "fuzz all packet types" fuzz_all_packet_types;
         tc "NACK rejects empty range" nack_rejects_empty_range;
         tc "wrong-size reliability packets rejected" seq_broadcast_wrong_size_rejected;
+        tc "batch heterogeneous roundtrip" batch_heterogeneous_roundtrip;
+        tc "batch empty" batch_empty;
+        tc "batch truncation detected" batch_truncation_detected;
+        tc "batch unknown code rejected" batch_unknown_code_rejected;
+        tc "batch corruption located" batch_corruption_located;
         QCheck_alcotest.to_alcotest qcheck_data_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_broadcast_roundtrip;
       ] );

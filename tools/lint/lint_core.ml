@@ -45,11 +45,22 @@
        combinators are defined — is exempt.
    U3  wire-format symmetry. For every `encode_X`/`decode_X` pair the
        linter walks `putN`/`getN` field accesses symbolically
-       (offsets resolved through top-level integer constants): the
-       writer must stay inside — and exactly fill — the declared
-       `Bytes.make` budget, fixed-offset writes must not overlap, and
-       every fixed field the writer emits must be read back by the
-       decoder at the same offset and width (and vice versa).
+       (offsets resolved through top-level integer constants, and the
+       identifier `off` — the batch writers' item-origin parameter —
+       resolving to 0): the writer must stay inside — and exactly fill —
+       the declared `Bytes.make` budget, fixed-offset writes must not
+       overlap, and every fixed field the writer emits must be read back
+       by the decoder at the same offset and width (and vice versa).
+
+   The allocation pass (the zero-allocation data plane, DESIGN.md §11):
+
+   A1  arena bypass on the packet path, under `lib/sim` only. Two
+       shapes: a packet-shaped record literal (a `route` field next to
+       a `kind` or `hop` field — the pre-arena `Net.packet` layout,
+       one heap block per packet), and `Array.copy` of anything
+       route-named (routes are interned refcounted slices in
+       `Arena.Ints`; copying one re-allocates per packet). Use the
+       arena handle API instead.
 
    A violation can be suppressed with a justification comment on the
    offending line or the line directly above it:
@@ -77,7 +88,7 @@ type report = {
   unused_allows : (string * int) list;  (* allow comments that silenced nothing *)
 }
 
-let rules = [ "D1"; "D2"; "D3"; "S1"; "S2"; "U1"; "U2"; "U3" ]
+let rules = [ "A1"; "D1"; "D2"; "D3"; "S1"; "S2"; "U1"; "U2"; "U3" ]
 
 (* -- suppression comments ------------------------------------------------ *)
 
@@ -218,7 +229,24 @@ let last_component lid =
   | [] -> ""
   | l -> List.nth l (List.length l - 1)
 
-let lint_structure ~in_lib ~check_u2 ~add structure =
+(* A1 helper: does an expression mention anything route-named (an ident or
+   record field whose name contains "route")? Syntactic, like the rest of
+   the pass — the naming convention is what makes routes greppable. *)
+let mentions_route e =
+  let found = ref false in
+  let has_route s = find_substring s "route" <> None in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } when has_route (last_component txt) -> found := true
+    | Pexp_field (_, { txt; _ }) when has_route (last_component txt) -> found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+let lint_structure ~in_lib ~check_u2 ~check_a1 ~add structure =
   let open Parsetree in
   let is_float_lit e =
     match e.pexp_desc with Pexp_constant (Pconst_float _) -> true | _ -> false
@@ -226,7 +254,25 @@ let lint_structure ~in_lib ~check_u2 ~add structure =
   let expr (iter : Ast_iterator.iterator) e =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_path ~in_lib add (path_of txt) loc
+    | Pexp_record (fields, _) when check_a1 ->
+        let labels = List.map (fun (({ txt; _ } : _ Location.loc), _) -> last_component txt) fields in
+        let has l = List.mem l labels in
+        if has "route" && (has "kind" || has "hop") then
+          add "A1" e.pexp_loc
+            "packet-shaped record literal (route alongside kind/hop) allocates one heap \
+             block per packet; packets are arena handles — allocate through Net/Arena and \
+             use the packed accessors"
     | Pexp_apply (fn, args) ->
+        (match fn.pexp_desc with
+        | Pexp_ident { txt; loc } when check_a1 && strip_stdlib (path_of txt) = "Array.copy"
+          -> (
+            match args with
+            | (_, arg) :: _ when mentions_route arg ->
+                add "A1" loc
+                  "'Array.copy' of a route allocates per packet; routes are interned \
+                   refcounted slices — share the handle (Arena.Ints retain/release)"
+            | _ -> ())
+        | _ -> ());
         List.iter
           (fun ((lbl, a) : Asttypes.arg_label * expression) ->
             (match a.pexp_desc with
@@ -374,6 +420,14 @@ let rec resolve_int consts (e : Parsetree.expression) =
   let open Parsetree in
   match e.pexp_desc with
   | Pexp_constant (Pconst_integer (s, None)) -> int_of_string_opt s
+  | Pexp_ident { txt = Longident.Lident "off"; _ } when not (List.mem_assoc "off" consts)
+    ->
+      (* Symbolic batch base: a writer taking [~off] and addressing
+         [off + field] is the whole-buffer encoder relocated to an item
+         origin, so the budget and symmetry checks hold with [off] = 0.
+         Only the literal name [off] gets this treatment, and a top-level
+         [off] constant still wins. *)
+      Some 0
   | Pexp_ident { txt = Longident.Lident n; _ } -> List.assoc_opt n consts
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident "+"; _ }; _ }, [ (_, a); (_, b) ])
     -> (
@@ -545,7 +599,10 @@ let lint_source ~file ~in_lib src =
      (* The combinator definitions in Util.Units are the one place raw
         arithmetic on unwrapped floats is the point. *)
      let check_u2 = Filename.basename file <> "units.ml" in
-     lint_structure ~in_lib ~check_u2 ~add structure;
+     (* A1 patrols the packet-rate data plane only: any file under a
+        `sim` directory component. *)
+     let check_a1 = List.mem "sim" (String.split_on_char '/' file) in
+     lint_structure ~in_lib ~check_u2 ~check_a1 ~add structure;
      lint_wire ~add structure
    with exn ->
      let message =
