@@ -25,6 +25,7 @@ type 'a origin = {
   logs : (int, 'a) Hashtbl.t array;  (* per tree: seq -> payload replay log *)
   live : (int, unit) Hashtbl.t;  (* authoritative live-flow id set *)
   mutable epoch : int;
+  mutable inc : int;  (* incarnation: bumped by crash-restart, not by digests *)
 }
 
 let origin ?(log_cap = 65536) ~trees () =
@@ -37,6 +38,7 @@ let origin ?(log_cap = 65536) ~trees () =
     logs = Array.init trees (fun _ -> Hashtbl.create 16);
     live = Hashtbl.create 16;
     epoch = 0;
+    inc = 0;
   }
 
 let check_tree o tree =
@@ -72,6 +74,22 @@ let bump_epoch o =
 
 let epoch o = o.epoch
 
+(* Crash-restart: the node lost every bit of its soft state, so the origin
+   comes back cold — empty logs, sequence spaces at 0, no live flows —
+   under a fresh incarnation. The incarnation, not the anti-entropy epoch
+   (which [bump_epoch] advances every digest round), is what receive
+   windows key their invalidation on: a window seeing a higher incarnation
+   than its own drops itself and restarts from sequence 0. *)
+let restart o =
+  Array.fill o.next 0 (Array.length o.next) 0;
+  Array.iter Hashtbl.reset o.logs;
+  Hashtbl.reset o.live;
+  o.epoch <- o.epoch + 1;
+  o.inc <- o.inc + 1;
+  o.inc
+
+let incarnation o = o.inc
+
 (* -- receive window (per source, per tree) -------------------------------- *)
 
 type 'a rx = {
@@ -79,6 +97,7 @@ type 'a rx = {
   pending : (int, 'a) Hashtbl.t;  (* out-of-order buffer: seq -> payload *)
   mutable dups : int;
   mutable armed : bool;  (* caller's repair-timer latch *)
+  mutable rinc : int;  (* origin incarnation this window is keyed to *)
 }
 
 type 'a verdict =
@@ -86,11 +105,32 @@ type 'a verdict =
   | Duplicate
   | Buffered  (* out of order: a gap is now open *)
 
-let rx () = { rnext = 0; pending = Hashtbl.create 8; dups = 0; armed = false }
+let rx () =
+  { rnext = 0; pending = Hashtbl.create 8; dups = 0; armed = false; rinc = 0 }
 
 let next_expected r = r.rnext
 let pending_count r = Hashtbl.length r.pending
 let duplicates r = r.dups
+let rx_incarnation r = r.rinc
+
+(* The stale-window guard (satellite of the crash-restart protocol): a
+   window still keyed to a pre-crash incarnation MUST drop its state the
+   moment it learns of a newer one, or the restarted origin's fresh
+   sequence space collides with the old window — seq 0 of the new
+   incarnation would be absorbed as a duplicate and never delivered.
+   Returns whether a packet stamped with [epoch] should be processed at
+   all: packets from an older incarnation are stale and must be ignored. *)
+let ensure_epoch r ~epoch =
+  if epoch < r.rinc then false
+  else begin
+    if epoch > r.rinc then begin
+      Hashtbl.reset r.pending;
+      r.rnext <- 0;
+      r.armed <- false;
+      r.rinc <- epoch
+    end;
+    true
+  end
 
 let drain r acc =
   let rec go acc =

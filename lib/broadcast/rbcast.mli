@@ -56,6 +56,16 @@ val bump_epoch : 'a origin -> int
 
 val epoch : 'a origin -> int
 
+val restart : 'a origin -> int
+(** Crash-restart: wipe the replay logs, live set and sequence spaces (the
+    node lost all soft state), bump the anti-entropy epoch, and advance the
+    {e incarnation} — returned so the rejoin JOIN can announce it. Receive
+    windows key their invalidation on the incarnation via {!ensure_epoch},
+    {e not} on the epoch, which moves every digest round. *)
+
+val incarnation : 'a origin -> int
+(** Number of restarts this origin has gone through; 0 initially. *)
+
 (** {2 Receive window (per source, per tree)} *)
 
 type 'a rx
@@ -68,7 +78,19 @@ type 'a verdict =
   | Buffered  (** arrived ahead of a gap; a repair should be scheduled *)
 
 val rx : unit -> 'a rx
-(** A fresh window expecting sequence number 0. *)
+(** A fresh window expecting sequence number 0, keyed to incarnation 0. *)
+
+val ensure_epoch : 'a rx -> epoch:int -> bool
+(** Stale-window guard: call with the origin incarnation stamped on an
+    incoming packet {e before} {!receive}. A higher incarnation than the
+    window's drops all window state (pending buffer, sequence cursor,
+    repair latch) and re-keys it — without this, the restarted origin's
+    fresh sequence 0 would be absorbed as a duplicate of the pre-crash
+    run. Returns false when the packet is from an older incarnation and
+    must be ignored. *)
+
+val rx_incarnation : 'a rx -> int
+(** The origin incarnation the window is currently keyed to. *)
 
 val receive : 'a rx -> seq:int -> 'a -> 'a verdict
 

@@ -369,6 +369,38 @@ let watchdog t views =
     views;
   !repaired
 
+let incarnation t = Rbcast.incarnation t.origin
+
+let restart ?(src = 0) t =
+  (* The crash destroyed the authoritative state: every open flow is gone
+     (silently — a dead node cannot announce finishes) and the origin
+     comes back under a fresh incarnation whose streams start at sequence
+     zero. The returned JOIN is what peers need to void their replicas. *)
+  Array.iter
+    (fun f ->
+      Hashtbl.remove t.flows f.id;
+      Congestion.Waterfill.Inc.remove_flow t.alloc ~id:f.id)
+    (flow_array t);
+  let inc = Rbcast.restart t.origin in
+  let j = { Wire.jnode = src; jinc = inc } in
+  let wire = Wire.encode_join j in
+  (match Wire.decode_join wire with
+  | Ok got -> assert (got = j)
+  | Error e -> failwith ("Stack: join encoding failed: " ^ e));
+  t.reliability_bytes <- t.reliability_bytes + (Wire.join_size * fanout t);
+  wire
+
+let snapshot_request ?(requester = 0) t ~root =
+  let s =
+    { Wire.sroot = root; srequester = requester; sinc = incarnation t }
+  in
+  let wire = Wire.encode_snapshot_req s in
+  (match Wire.decode_snapshot_req wire with
+  | Ok got -> assert (got = s)
+  | Error e -> failwith ("Stack: snapshot-req encoding failed: " ^ e));
+  t.reliability_bytes <- t.reliability_bytes + Wire.snapshot_req_size;
+  wire
+
 let note_control_loss t ~sent ~lost =
   if sent < 0 || lost < 0 || lost > sent then invalid_arg "Stack.note_control_loss";
   if sent > 0 then begin

@@ -157,6 +157,24 @@ val watchdog : t -> View.t list -> int
     {!View.matrix_hash} against {!matrix_hash} and {!sync_view} the
     diverged ones. Returns how many needed repair. *)
 
+val incarnation : t -> int
+(** The origin's crash–restart incarnation, 0 for a stack that never
+    crashed; bumped by {!restart}. *)
+
+val restart : ?src:int -> t -> bytes
+(** Come back {e cold} after a crash: every open flow is dropped without a
+    finish announcement (a dead node cannot send one — peers learn of the
+    loss from the JOIN instead), the origin's streams restart at sequence
+    zero under a bumped incarnation, and the encoded {!Wire.join}
+    announcement to broadcast rack-wide is returned. [src] (default 0)
+    fills the JOIN's node field. Charged to {!reliability_bytes_sent} at
+    broadcast fan-out. *)
+
+val snapshot_request : ?requester:int -> t -> root:int -> bytes
+(** The encoded {!Wire.snapshot_req} asking [root] for a full-state
+    catch-up after {!restart}; the origin answers with {!sync_view}.
+    Charged to {!reliability_bytes_sent} (unicast, no fan-out). *)
+
 val note_control_loss : t -> sent:int -> lost:int -> unit
 (** Feed one observation interval of control-transport statistics into the
     loss EWMA (weight 0.2); updates {!effective_headroom} and the

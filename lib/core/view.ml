@@ -35,6 +35,21 @@ let apply_event t (pkt, flow) =
          (re)materialize a flow from any of them. *)
       Hashtbl.replace t.flows flow pkt
 
+let observe_incarnation t ~inc =
+  let prev = Rbcast.rx_incarnation t.windows.(0) in
+  if inc < prev then `Stale
+  else if inc = prev then `Current
+  else begin
+    (* The source restarted: everything learned from its old life —
+       window positions, advertised highs, the believed flow set — is
+       void. The windows re-key in lockstep, so [windows.(0)] speaks for
+       all of them above. *)
+    Array.iter (fun w -> ignore (Rbcast.ensure_epoch w ~epoch:inc)) t.windows;
+    Array.fill t.hi 0 t.trees (-1);
+    Hashtbl.reset t.flows;
+    `Reset
+  end
+
 type verdict =
   | Applied of int  (* events folded into the matrix, in order *)
   | Duplicate

@@ -15,6 +15,14 @@ type t
 val create : trees:int -> unit -> t
 (** A replica expecting the source's tree count. *)
 
+val observe_incarnation : t -> inc:int -> [ `Current | `Reset | `Stale ]
+(** Process the source incarnation stamped on an incoming packet (a JOIN,
+    or any sequenced broadcast). [`Current] — matches the replica's key,
+    nothing to do. [`Reset] — the source restarted: the windows re-key to
+    the new incarnation and the believed flow set is dropped; the caller
+    should request a snapshot ({!Stack.snapshot_request}). [`Stale] — old
+    incarnation, the packet should be ignored. *)
+
 type verdict =
   | Applied of int
       (** the packet (plus any unblocked buffered successors) was folded

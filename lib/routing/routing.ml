@@ -16,6 +16,21 @@ let pp_protocol ppf p = Format.pp_print_string ppf (protocol_name p)
 
 let wlb_beta = 0.5
 
+(* Gray-failure quarantine (DESIGN.md §12): a suspect link is demoted, not
+   deleted — its sampling weight shrinks so spraying, waypoint choice and
+   the fraction DP route most (but not all) traffic around it, and the
+   residual trickle keeps probing it so probation can observe recovery. *)
+type health = Healthy | Probation | Quarantined
+
+let probation_weight = 0.5
+let quarantine_weight = 0.125
+let hrank = function Healthy -> 0 | Probation -> 1 | Quarantined -> 2
+
+let hweight = function
+  | Healthy -> 1.0
+  | Probation -> probation_weight
+  | Quarantined -> quarantine_weight
+
 type ctx = {
   topo : Topology.t;
   frac_cache : (int, (int * float) array) Hashtbl.t;
@@ -23,7 +38,10 @@ type ctx = {
   vlb_a : (int, float array) Hashtbl.t;  (* per source: sum over waypoints of minimal fractions *)
   vlb_b : (int, float array) Hashtbl.t;  (* per destination *)
   wlb_dist : (int, float array) Hashtbl.t;  (* per (src,dst): waypoint prefix weights *)
-  mutable cache_version : int;  (* Topology.version the caches were built against *)
+  mutable cache_version : int;  (* combined stamp the caches were built against *)
+  quar : (int, health) Hashtbl.t;  (* per directed link; absent = Healthy *)
+  mutable demoted : int;  (* directed links currently not Healthy *)
+  mutable quar_version : int;  (* bumped on every health transition *)
 }
 
 let make topo =
@@ -34,12 +52,16 @@ let make topo =
     vlb_b = Hashtbl.create 64;
     wlb_dist = Hashtbl.create 256;
     cache_version = Topology.version topo;
+    quar = Hashtbl.create 16;
+    demoted = 0;
+    quar_version = 0;
   }
 
-(* Every cached structure bakes in the down-state it was computed under;
-   flush wholesale when the topology's fail/restore version moved. *)
+(* Every cached structure bakes in the down-state and link-health it was
+   computed under; flush wholesale when either version moved. Both counters
+   only grow, so their sum is a monotone combined stamp. *)
 let sync ctx =
-  let v = Topology.version ctx.topo in
+  let v = Topology.version ctx.topo + ctx.quar_version in
   if v <> ctx.cache_version then begin
     Hashtbl.reset ctx.frac_cache;
     Hashtbl.reset ctx.vlb_a;
@@ -50,6 +72,58 @@ let sync ctx =
 
 let topo ctx = ctx.topo
 
+(* -- link-health state machine ------------------------------------------ *)
+
+let link_weight ctx l =
+  match Hashtbl.find_opt ctx.quar l with None -> 1.0 | Some h -> hweight h
+
+let quar_cable ctx u v =
+  match (Topology.find_link ctx.topo u v, Topology.find_link ctx.topo v u) with
+  | Some a, Some b -> (a, b)
+  | _ -> invalid_arg "Routing: vertices not adjacent"
+
+let set_health ctx u v h =
+  let a, b = quar_cable ctx u v in
+  let set l =
+    let cur =
+      match Hashtbl.find_opt ctx.quar l with None -> Healthy | Some x -> x
+    in
+    if hrank cur <> hrank h then begin
+      (match h with
+      | Healthy ->
+          Hashtbl.remove ctx.quar l;
+          ctx.demoted <- ctx.demoted - 1
+      | Probation | Quarantined ->
+          if hrank cur = 0 then ctx.demoted <- ctx.demoted + 1;
+          Hashtbl.replace ctx.quar l h);
+      ctx.quar_version <- ctx.quar_version + 1
+    end
+  in
+  set a;
+  set b
+
+let note_suspect ctx u v = set_health ctx u v Quarantined
+let note_probation ctx u v = set_health ctx u v Probation
+let note_recovered ctx u v = set_health ctx u v Healthy
+
+let link_health ctx u v =
+  let a, _ = quar_cable ctx u v in
+  match Hashtbl.find_opt ctx.quar a with None -> Healthy | Some h -> h
+
+let demoted_links ctx = ctx.demoted
+
+(* A waypoint sitting behind a quarantined cable is demoted from VLB/WLB
+   waypoint choice with the same weight the cable itself gets. Checked
+   only when something is demoted, so clean runs pay nothing. *)
+let node_shadowed ctx w =
+  ctx.demoted > 0
+  && Array.exists
+       (fun (_, l) ->
+         match Hashtbl.find_opt ctx.quar l with
+         | Some Quarantined -> true
+         | Some (Healthy | Probation) | None -> false)
+       (Topology.out_links ctx.topo w)
+
 let pack ctx p ~src ~dst =
   let n = Topology.vertex_count ctx.topo in
   ((protocol_to_int p * n) + src) * n + dst
@@ -58,13 +132,21 @@ let pack ctx p ~src ~dst =
 
 let walk_minimal ctx rng ~src ~dst =
   (* Random shortest path: spray uniformly over productive hops at every
-     vertex. *)
+     vertex — health-weighted instead when any link is demoted. The
+     [demoted = 0] branch is the exact legacy draw, so runs without
+     quarantine consume the identical RNG stream. *)
   let rec go acc u =
     if u = dst then List.rev (dst :: acc)
     else begin
       let hops = Topology.productive_hops ctx.topo u ~dst in
       if Array.length hops = 0 then invalid_arg "Routing: destination unreachable";
-      let v, _ = Util.Rng.pick rng hops in
+      let v =
+        if ctx.demoted = 0 then fst (Util.Rng.pick rng hops)
+        else begin
+          let weights = Array.map (fun (_, l) -> link_weight ctx l) hops in
+          fst hops.(Util.Rng.categorical rng weights)
+        end
+      in
       go (u :: acc) v
     end
   in
@@ -193,9 +275,14 @@ let wlb_waypoint_weights ctx ~src ~dst =
       let weights =
         Array.init h (fun w ->
             let dsw = Topology.distance t src w and dwd = Topology.distance t w dst in
-            (* Dead or cut-off waypoints get zero weight. *)
+            (* Dead or cut-off waypoints get zero weight; shadowed ones are
+               demoted, not deleted. *)
             if dsw = max_int || dwd = max_int then 0.0
-            else wlb_beta ** float_of_int (dsw + dwd - base))
+            else begin
+              let base_w = wlb_beta ** float_of_int (dsw + dwd - base) in
+              if node_shadowed ctx w then base_w *. quarantine_weight
+              else base_w
+            end)
       in
       (* Prefix sums for O(log n) sampling. *)
       let prefix = Array.make h 0.0 in
@@ -233,13 +320,22 @@ let sample_path ctx rng p ~src ~dst =
       let t = ctx.topo in
       let h = Topology.host_count t in
       (* Resample until the waypoint is alive and connects both phases;
-         degenerate to a single minimal phase if none is found quickly. *)
+         degenerate to a single minimal phase if none is found quickly.
+         A quarantine-shadowed waypoint is kept only with its demoted
+         weight (never outright rejected forever: the last try accepts),
+         so suspect regions still see a probing trickle. *)
       let rec draw tries =
         if tries = 0 then src
         else begin
           let w = Util.Rng.int rng h in
           if w = src || w = dst then w
-          else if Topology.reachable t src w && Topology.reachable t w dst then w
+          else if Topology.reachable t src w && Topology.reachable t w dst then
+            if
+              node_shadowed ctx w
+              && tries > 1
+              && Util.Rng.float rng 1.0 >= quarantine_weight
+            then draw (tries - 1)
+            else w
           else draw (tries - 1)
         end
       in
@@ -296,22 +392,34 @@ let min_fractions_uncached ctx ~src ~dst =
   let prob = Hashtbl.create 32 in
   Hashtbl.replace prob src 1.0;
   let frac = Hashtbl.create 32 in
+  (* Mass deposits on link [l] and flows into [v]. *)
+  let deposit v l share =
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt frac l) in
+    Hashtbl.replace frac l (cur +. share);
+    match Hashtbl.find_opt prob v with
+    | Some q -> Hashtbl.replace prob v (q +. share)
+    | None ->
+        Hashtbl.replace prob v share;
+        layers.(d.(v)) <- v :: layers.(d.(v))
+  in
   for layer = d.(src) downto 1 do
     List.iter
       (fun u ->
         let p = Hashtbl.find prob u in
         let hops = Topology.productive_hops t u ~dst in
-        let share = p /. float_of_int (Array.length hops) in
-        Array.iter
-          (fun (v, l) ->
-            let cur = Option.value ~default:0.0 (Hashtbl.find_opt frac l) in
-            Hashtbl.replace frac l (cur +. share);
-            match Hashtbl.find_opt prob v with
-            | Some q -> Hashtbl.replace prob v (q +. share)
-            | None ->
-                Hashtbl.replace prob v share;
-                layers.(d.(v)) <- v :: layers.(d.(v)))
-          hops)
+        if ctx.demoted = 0 then begin
+          (* Uniform split — the exact legacy arithmetic. *)
+          let share = p /. float_of_int (Array.length hops) in
+          Array.iter (fun (v, l) -> deposit v l share) hops
+        end
+        else begin
+          let wtot =
+            Array.fold_left (fun acc (_, l) -> acc +. link_weight ctx l) 0.0 hops
+          in
+          Array.iter
+            (fun (v, l) -> deposit v l (p *. link_weight ctx l /. wtot))
+            hops
+        end)
       layers.(layer)
   done;
   Util.Tbl.sorted_bindings ~cmp:Int.compare frac

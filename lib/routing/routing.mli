@@ -74,3 +74,43 @@ val min_path_fractions :
 val wlb_beta : float
 (** Path-length bias of WLB: waypoint [w] is drawn with probability
     proportional to [wlb_beta ^ (d(s,w) + d(w,d) - d(s,d))]. *)
+
+(** {2 Gray-failure quarantine}
+
+    A flaky link is not dead, so deleting it (the fail/restore overlay)
+    would be both wrong and unobservable — once no traffic crosses the
+    link, nothing can notice it recovering. Instead the health estimator
+    {e demotes} a suspect cable: its sampling weight in spraying
+    ([Healthy] 1.0, [Probation] {!probation_weight}, [Quarantined]
+    {!quarantine_weight}) shrinks, the fraction DP splits mass by the same
+    weights, and VLB/WLB waypoints sitting behind a quarantined cable are
+    kept only with the demoted weight. The residual trickle keeps probing
+    the link so probation can observe recovery. Health transitions flush
+    the fraction caches exactly like a topology fail/restore. With no
+    demoted links every code path — including the RNG draw sequence — is
+    the exact pre-quarantine one. *)
+
+type health = Healthy | Probation | Quarantined
+
+val probation_weight : float
+(** 0.5 — a link on probation carries half its healthy sampling weight. *)
+
+val quarantine_weight : float
+(** 0.125 — the quarantined trickle. *)
+
+val note_suspect : ctx -> int -> int -> unit
+(** Quarantine the cable between adjacent vertices (both directions).
+    Raises [Invalid_argument] if not adjacent. *)
+
+val note_probation : ctx -> int -> int -> unit
+(** Begin probation: the link earns back half weight while the estimator
+    watches whether its loss stays low. *)
+
+val note_recovered : ctx -> int -> int -> unit
+(** Full weight restored. *)
+
+val link_health : ctx -> int -> int -> health
+
+val demoted_links : ctx -> int
+(** Directed links currently not [Healthy]; 0 guarantees the legacy
+    sampling paths. *)

@@ -17,10 +17,23 @@ type t = {
   mutable completed : int;
   mutable bucket_ns : int;  (* goodput histogram bucket width; 0 = disabled *)
   buckets : (int, int) Hashtbl.t;  (* bucket index -> accepted payload bytes *)
+  mutable rejoins : (int * int * int) list;  (* (node, restart_ns, caught_up_ns), newest first *)
 }
 
 let create () =
-  { flows = Hashtbl.create 256; completed = 0; bucket_ns = 0; buckets = Hashtbl.create 64 }
+  {
+    flows = Hashtbl.create 256;
+    completed = 0;
+    bucket_ns = 0;
+    buckets = Hashtbl.create 64;
+    rejoins = [];
+  }
+
+let note_rejoin t ~node ~start ~finish =
+  if finish < start then invalid_arg "Metrics.note_rejoin: finish < start";
+  t.rejoins <- (node, start, finish) :: t.rejoins
+
+let rejoin_samples t = List.rev t.rejoins
 
 let set_goodput_bucket t ~bucket_ns =
   if bucket_ns <= 0 then invalid_arg "Metrics.set_goodput_bucket";

@@ -53,3 +53,12 @@ val set_goodput_bucket : t -> bucket_ns:int -> unit
 val goodput_series : t -> (int * int) array
 (** [(bucket_start_ns, payload_bytes)] pairs in time order; empty buckets
     are omitted. Empty unless {!set_goodput_bucket} was called. *)
+
+val note_rejoin : t -> node:int -> start:int -> finish:int -> unit
+(** Stamp one completed crash-restart rejoin: the node came back at [start]
+    and was sequence-caught-up with every reachable origin at [finish].
+    Raises [Invalid_argument] if [finish < start]. *)
+
+val rejoin_samples : t -> (int * int * int) list
+(** [(node, restart_ns, caught_up_ns)] in stamping order — the p99 rejoin
+    time of the graychaos bench comes from here. *)

@@ -58,6 +58,21 @@ type chaos = {
   mutable dup : float;
 }
 
+(* Gray failures: a flagged link intermittently loses packets and spikes
+   its latency — any packet kind, both directions — from a dedicated RNG
+   so runs stay seed-deterministic. Per-link attempt/loss counters feed
+   the health estimator upstairs. Links not flagged draw nothing, so a
+   run without flaky links has a bit-identical event stream. *)
+type flaky = {
+  frng : Util.Rng.t;
+  floss : float array;  (* per directed link: loss probability *)
+  fspike : float array;  (* per directed link: latency-spike probability *)
+  mutable spike_ns : int;  (* extra delay a spiked hop suffers *)
+  factive : Bytes.t;  (* '\001' when the link has any flaky behavior *)
+  ftx : int array;  (* propagation attempts on flagged links *)
+  flost : int array;  (* flaky losses per link *)
+}
+
 (* Output queue: intrusive FIFO chained through the fabric's [qnext]. *)
 type link_state = {
   mutable head : int;
@@ -126,6 +141,13 @@ type t = {
   mutable ctrl_reordered : int;
   mutable ctrl_dupped : int;
   mutable ctrl_hops : int;  (* control hop transmissions, lost ones included *)
+  (* Gray-failure injection, [None] until a link is flagged. *)
+  mutable flaky : flaky option;
+  mutable flaky_lost : int;
+  mutable flaky_lost_bytes : int;
+  (* Observation tap fired on every live arrival (relays included); the
+     chaos-scenario invariant monitors hang off this. *)
+  mutable arrive_tap : node:int -> packet -> unit;
 }
 
 (* -- field access --------------------------------------------------------- *)
@@ -204,6 +226,7 @@ let bcast_id t h = fget t h f_p0
 let bcast_root t h = fget t h f_p1
 let bcast_tree t h = fget t h f_p2
 let bcast_seq t h = fget t h f_p3
+let bcast_inc t h = fget t h f_p4
 let digest_root t h = fget t h f_p0
 let digest_tree t h = fget t h f_p1
 let digest_epoch t h = fget t h f_p2
@@ -277,6 +300,72 @@ let ctrl_lost_bytes t = t.ctrl_lost_bytes
 let ctrl_reordered t = t.ctrl_reordered
 let ctrl_dupped t = t.ctrl_dupped
 let ctrl_hops t = t.ctrl_hops
+
+(* -- gray failures -------------------------------------------------------- *)
+
+let flaky_cable t u v =
+  match (Topology.find_link t.topo u v, Topology.find_link t.topo v u) with
+  | Some a, Some b -> (a, b)
+  | _ -> invalid_arg "Net: vertices not adjacent"
+
+let get_flaky t ~seed =
+  match t.flaky with
+  | Some fl -> fl
+  | None ->
+      let n = Topology.link_count t.topo in
+      let fl =
+        {
+          frng = Util.Rng.create seed;
+          floss = Array.make n 0.0;
+          fspike = Array.make n 0.0;
+          spike_ns = 0;
+          factive = Bytes.make n '\000';
+          ftx = Array.make n 0;
+          flost = Array.make n 0;
+        }
+      in
+      t.flaky <- Some fl;
+      fl
+
+let set_flaky_link t ~seed ?(spike_ns = 0) u v ~loss ~spike =
+  let loss = (loss : U.fraction :> float)
+  and spike = (spike : U.fraction :> float) in
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Net.set_flaky_link: loss";
+  if spike < 0.0 || spike >= 1.0 then invalid_arg "Net.set_flaky_link: spike";
+  if spike_ns < 0 then invalid_arg "Net.set_flaky_link: spike_ns";
+  let a, b = flaky_cable t u v in
+  let fl = get_flaky t ~seed in
+  fl.floss.(a) <- loss;
+  fl.floss.(b) <- loss;
+  fl.fspike.(a) <- spike;
+  fl.fspike.(b) <- spike;
+  if spike_ns > 0 then fl.spike_ns <- spike_ns;
+  let flag = if loss > 0.0 || spike > 0.0 then '\001' else '\000' in
+  Bytes.set fl.factive a flag;
+  Bytes.set fl.factive b flag
+
+let clear_flaky_link t u v =
+  match t.flaky with
+  | None -> ()
+  | Some fl ->
+      let a, b = flaky_cable t u v in
+      fl.floss.(a) <- 0.0;
+      fl.floss.(b) <- 0.0;
+      fl.fspike.(a) <- 0.0;
+      fl.fspike.(b) <- 0.0;
+      Bytes.set fl.factive a '\000';
+      Bytes.set fl.factive b '\000'
+
+let flaky_link_stats t u v =
+  match t.flaky with
+  | None -> (0, 0)
+  | Some fl ->
+      let a, b = flaky_cable t u v in
+      (fl.ftx.(a) + fl.ftx.(b), fl.flost.(a) + fl.flost.(b))
+
+let flaky_lost t = t.flaky_lost
+let flaky_lost_bytes t = t.flaky_lost_bytes
+let set_arrive_tap t f = t.arrive_tap <- f
 
 (* -- routes --------------------------------------------------------------- *)
 
@@ -418,33 +507,66 @@ and propagate t link_id pkt =
   let dst = Array.unsafe_get t.dst_of link_id in
   let ctrl = meta_kind (fget t pkt f_meta) >= code_bcast in
   if ctrl then t.ctrl_hops <- t.ctrl_hops + 1;
-  match t.chaos with
-  | Some ch when ctrl ->
-      let u_loss = Util.Rng.float ch.crng 1.0 in
-      let u_reorder = Util.Rng.float ch.crng 1.0 in
-      let u_dup = Util.Rng.float ch.crng 1.0 in
-      if u_loss < ch.loss then begin
-        t.ctrl_lost <- t.ctrl_lost + 1;
-        t.ctrl_lost_bytes <- t.ctrl_lost_bytes + meta_bytes (fget t pkt f_meta);
-        free_pkt t pkt
-      end
-      else begin
-        let delay =
-          if u_reorder < ch.reorder then begin
-            t.ctrl_reordered <- t.ctrl_reordered + 1;
-            t.hop_latency_ns * (2 + Util.Rng.int ch.crng 4)
-          end
-          else t.hop_latency_ns
-        in
-        Engine.after_tagged t.engine delay ~tag:tag_arrive ~a:dst ~b:pkt;
-        if u_dup < ch.dup then begin
-          t.ctrl_dupped <- t.ctrl_dupped + 1;
-          let copy = clone_pkt t pkt in
-          Engine.after_tagged t.engine (delay + t.hop_latency_ns) ~tag:tag_arrive
-            ~a:dst ~b:copy
+  (* Gray-failure injection runs first: two draws per packet, flagged
+     links only, so a run without flaky links draws nothing here. A flaky
+     loss goes through the ordinary [drop] callback (not the blackhole
+     path): upstairs it is indistinguishable from a queue drop, so
+     payload accounting and per-packet retransmission just work and byte
+     conservation holds. [-1] marks the packet as consumed. *)
+  let spike_ns =
+    match t.flaky with
+    | Some fl when Bytes.unsafe_get fl.factive link_id = '\001' ->
+        fl.ftx.(link_id) <- fl.ftx.(link_id) + 1;
+        let u_loss = Util.Rng.float fl.frng 1.0 in
+        let u_spike = Util.Rng.float fl.frng 1.0 in
+        if u_loss < fl.floss.(link_id) then begin
+          fl.flost.(link_id) <- fl.flost.(link_id) + 1;
+          t.flaky_lost <- t.flaky_lost + 1;
+          t.flaky_lost_bytes <-
+            t.flaky_lost_bytes + meta_bytes (fget t pkt f_meta);
+          t.drops <- t.drops + 1;
+          t.drop pkt;
+          free_pkt t pkt;
+          -1
         end
-      end
-  | _ -> Engine.after_tagged t.engine t.hop_latency_ns ~tag:tag_arrive ~a:dst ~b:pkt
+        else if u_spike < fl.fspike.(link_id) then fl.spike_ns
+        else 0
+    | _ -> 0
+  in
+  if spike_ns >= 0 then begin
+    match t.chaos with
+    | Some ch when ctrl ->
+        let u_loss = Util.Rng.float ch.crng 1.0 in
+        let u_reorder = Util.Rng.float ch.crng 1.0 in
+        let u_dup = Util.Rng.float ch.crng 1.0 in
+        if u_loss < ch.loss then begin
+          t.ctrl_lost <- t.ctrl_lost + 1;
+          t.ctrl_lost_bytes <- t.ctrl_lost_bytes + meta_bytes (fget t pkt f_meta);
+          free_pkt t pkt
+        end
+        else begin
+          let delay =
+            spike_ns
+            +
+            if u_reorder < ch.reorder then begin
+              t.ctrl_reordered <- t.ctrl_reordered + 1;
+              t.hop_latency_ns * (2 + Util.Rng.int ch.crng 4)
+            end
+            else t.hop_latency_ns
+          in
+          Engine.after_tagged t.engine delay ~tag:tag_arrive ~a:dst ~b:pkt;
+          if u_dup < ch.dup then begin
+            t.ctrl_dupped <- t.ctrl_dupped + 1;
+            let copy = clone_pkt t pkt in
+            Engine.after_tagged t.engine (delay + t.hop_latency_ns) ~tag:tag_arrive
+              ~a:dst ~b:copy
+          end
+        end
+    | _ ->
+        Engine.after_tagged t.engine
+          (t.hop_latency_ns + spike_ns)
+          ~tag:tag_arrive ~a:dst ~b:pkt
+  end
 
 and enqueue_link t link_id pkt =
   if not (phys_link_up t link_id) then blackhole t pkt
@@ -470,6 +592,7 @@ and enqueue_link t link_id pkt =
 and arrive t node pkt =
   if not (Array.unsafe_get t.nodes_up node) then blackhole t pkt
   else begin
+    t.arrive_tap ~node pkt;
     let m = fget t pkt f_meta in
     let k = meta_kind m in
     let b = meta_bytes m in
@@ -579,6 +702,10 @@ let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link
       ctrl_reordered = 0;
       ctrl_dupped = 0;
       ctrl_hops = 0;
+      flaky = None;
+      flaky_lost = 0;
+      flaky_lost_bytes = 0;
+      arrive_tap = (fun ~node:_ _ -> ());
     }
   in
   (* The fabric owns the engine's tag space: 0 = tx completion on link [a],
@@ -625,9 +752,9 @@ let send_sync t ~root ~entries ~last_seqs ~bytes ~route =
   send_sr t ~code:code_sync ~bytes ~route ~p0:root ~p1:es ~p2:ls ~p3:0 ~p4:0
     ~p5:0
 
-let send_bcast t ?(seq = 0) ~root ~tree ~bcast_id ~bytes () =
+let send_bcast t ?(seq = 0) ?(inc = 0) ~root ~tree ~bcast_id ~bytes () =
   fanout t ~root ~tree ~from:root ~code:code_bcast ~bytes ~p0:bcast_id ~p1:root
-    ~p2:tree ~p3:seq ~p4:0 ~p5:0
+    ~p2:tree ~p3:seq ~p4:inc ~p5:0
 
 let send_digest_tree t ~root ~tree ~epoch ~last_seq ~hash ~bytes =
   fanout t ~root ~tree ~from:root ~code:code_digest ~bytes ~p0:root ~p1:tree

@@ -102,6 +102,10 @@ val bcast_tree : t -> packet -> int
 val bcast_seq : t -> packet -> int
 (** The per-(root, tree) reliable sequence number ({!Broadcast.Rbcast}). *)
 
+val bcast_inc : t -> packet -> int
+(** The origin incarnation stamped on the copy — receive windows key their
+    crash-restart invalidation on this ({!Rbcast.ensure_epoch}). *)
+
 val digest_root : t -> packet -> int
 val digest_tree : t -> packet -> int
 val digest_epoch : t -> packet -> int
@@ -162,9 +166,18 @@ val send_sync :
     per-tree last sequence numbers. *)
 
 val send_bcast :
-  t -> ?seq:int -> root:int -> tree:int -> bcast_id:int -> bytes:int -> unit -> unit
+  t ->
+  ?seq:int ->
+  ?inc:int ->
+  root:int ->
+  tree:int ->
+  bcast_id:int ->
+  bytes:int ->
+  unit ->
+  unit
 (** Inject a broadcast at its root; copies fan out along the tree. [seq]
-    (default 0) is the reliable-broadcast sequence number. *)
+    (default 0) is the reliable-broadcast sequence number, [inc] (default 0)
+    the origin incarnation after crash-restarts. *)
 
 val send_digest_tree :
   t -> root:int -> tree:int -> epoch:int -> last_seq:int -> hash:int64 -> bytes:int -> unit
@@ -247,6 +260,49 @@ val ctrl_dupped : t -> int
 val ctrl_hops : t -> int
 (** Control-packet hop transmissions attempted, lost ones included — the
     denominator for an observed control-loss rate. *)
+
+(** {2 Gray failures (flaky links)}
+
+    Unlike the binary up/down failures above, a {e flaky} link stays up but
+    intermittently loses packets and spikes its latency — any packet kind,
+    both directions. Losses go through the ordinary {!on_drop} path (not
+    the blackhole path), so upstairs they are indistinguishable from queue
+    drops: payload accounting and per-packet retransmission apply
+    unchanged. Draws come from a dedicated RNG touched only on flagged
+    links, so a run without flaky links is bit-identical to one on a fabric
+    that never heard of them. *)
+
+val set_flaky_link :
+  t ->
+  seed:int ->
+  ?spike_ns:int ->
+  int ->
+  int ->
+  loss:Util.Units.fraction ->
+  spike:Util.Units.fraction ->
+  unit
+(** [set_flaky_link t ~seed u v ~loss ~spike] flags the cable between
+    adjacent [u] and [v] (both directions): each packet propagating over it
+    is lost with probability [loss] and, surviving, delayed by an extra
+    [spike_ns] with probability [spike]. The RNG is created from [seed] on
+    the first call and kept across retunes. [spike_ns] (fabric-wide; the
+    last positive value wins) defaults to 0. Raises [Invalid_argument] on
+    out-of-range rates or non-adjacent vertices. *)
+
+val clear_flaky_link : t -> int -> int -> unit
+(** Unflag the cable; counters and the RNG survive for determinism. *)
+
+val flaky_link_stats : t -> int -> int -> int * int
+(** [(attempts, losses)] on the cable, both directions summed, counted only
+    while flagged — the health estimator's ground truth. *)
+
+val flaky_lost : t -> int
+val flaky_lost_bytes : t -> int
+
+val set_arrive_tap : t -> (node:int -> packet -> unit) -> unit
+(** Observation tap fired on every live arrival, relays included (dead-node
+    arrivals blackhole instead and never reach the tap). Chaos-scenario
+    invariant monitors hang off this; the default tap does nothing. *)
 
 val max_queue_bytes : t -> int array
 (** Per-link maximum queue occupancy observed (bytes). *)

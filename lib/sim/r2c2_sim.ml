@@ -37,6 +37,19 @@ type config = {
           min max_headroom (headroom + gain * loss EWMA); a dimensionless
           gain multiplying a fraction, so it stays a raw float *)
   max_headroom : U.fraction;
+  flaky_spike_ns : int;
+      (** extra latency a spiked hop on a flaky link suffers, unless the
+          injection call overrides it *)
+  health_interval_ns : int;  (** per-link loss-EWMA estimator period *)
+  health_alpha : float;  (** EWMA weight of the newest interval, (0, 1] *)
+  quarantine_loss_threshold : float;
+      (** per-link loss EWMA above this quarantines the cable *)
+  probation_ns : int;
+      (** quarantine dwell before probation, and probation dwell before the
+          recover/re-quarantine verdict *)
+  rejoin_retry_ns : int;
+      (** a restarted node re-announces its JOIN at this period until it has
+          caught up — a lost JOIN or snapshot must not strand the rejoin *)
   engine_backend : Engine.backend;
       (** event-queue implementation; [Calendar] is the production O(1)
           wheel, [Binary_heap] the reference for differential tests *)
@@ -69,6 +82,12 @@ let default_config =
     control_dup = U.fraction 0.0;
     loss_headroom_gain = 2.0;
     max_headroom = U.fraction 0.30;
+    flaky_spike_ns = 2_000;
+    health_interval_ns = 50_000;
+    health_alpha = 0.3;
+    quarantine_loss_threshold = 0.02;
+    probation_ns = 500_000;
+    rejoin_retry_ns = 500_000;
     engine_backend = Engine.Calendar;
     seed = 1;
   }
@@ -122,6 +141,16 @@ type result = {
   terminal_diverged : int;  (** nodes still diverged when the run ended *)
   loss_ewma : U.fraction;
   effective_headroom : U.fraction;
+  (* robustness: gray failures and crash-restart *)
+  flaky_lost : int;  (** packets lost to flaky-link injection *)
+  flaky_lost_bytes : int;
+  quarantines : int;  (** Healthy/Probation -> Quarantined transitions *)
+  probations : int;
+  recoveries : int;  (** Probation -> Healthy transitions *)
+  joins_sent : int;  (** JOIN announcements, retries included *)
+  rejoins : (int * int * int) list;
+      (** (node, restart ns, caught-up ns) per completed rejoin *)
+  rejoins_pending : int;  (** restarted nodes not yet caught up at run end *)
 }
 
 type fstate = {
@@ -153,6 +182,16 @@ type fstate = {
    plus the highest sequence number this node has heard of on the tree
    (from packets or digests) — the upper bound a NACK sweep covers. *)
 type win = { rx : (int * int) Rbcast.rx; mutable hi : int }
+
+(* Per-cable gray-failure health estimator state, indexed by the canonical
+   directed link id (src < dst); allocated only once a flaky link exists so
+   clean runs never touch it. *)
+type hstate = {
+  ewma : float array;  (* per-cable loss-rate EWMA *)
+  prev_tx : int array;  (* flaky_link_stats watermarks from the last tick *)
+  prev_lost : int array;
+  since : int array;  (* ns of the cable's last health transition *)
+}
 
 type t = {
   cfg : config;
@@ -219,6 +258,15 @@ type t = {
   mutable eff_headroom : float;
   mutable prev_ctrl_hops : int;
   mutable prev_ctrl_lost : int;
+  (* -- crash-restart rejoin -- *)
+  pending_rejoins : (int, int) Hashtbl.t;  (* node -> restart ns *)
+  mutable joins_sent : int;
+  (* -- gray-failure health estimation -- *)
+  mutable health : hstate option;
+  mutable health_running : bool;
+  mutable quarantines : int;
+  mutable probations : int;
+  mutable recoveries : int;
 }
 
 let header = Wire.data_header_size
@@ -269,6 +317,21 @@ let get_win t ~node ~root ~tree =
       let w = { rx = Rbcast.rx (); hi = -1 } in
       Hashtbl.replace t.wins.(node) key w;
       w
+
+(* JOIN announcements ride the broadcast fabric under a sentinel id well
+   clear of flow events (ids >= 0) and batched reselection announcements
+   (small negatives). *)
+let bcast_id_join = min_int
+
+(* Key the window to the incarnation stamped on an incoming packet; a
+   newer incarnation wipes the window ([Rbcast.ensure_epoch]) and the
+   NACK-sweep bound tracked next to it. Returns false for stale packets.
+   On clean runs every incarnation is 0, so this never changes state. *)
+let win_ensure_inc w ~inc =
+  let prev = Rbcast.rx_incarnation w.rx in
+  let ok = Rbcast.ensure_epoch w.rx ~epoch:inc in
+  if ok && Rbcast.rx_incarnation w.rx > prev then w.hi <- -1;
+  ok
 
 (* Apply one flow-event broadcast at a node: update the node's view of the
    traffic matrix (Per_node) and the global visibility counter. In reliable
@@ -406,6 +469,32 @@ let per_source_view_ids t ~node ~root =
     (Util.Tbl.sorted_keys ~cmp:Int.compare t.views.(node));
   List.rev !out
 
+(* Drop every flow sourced at [src] from the node's view — a restarted
+   [src] lost them all, and anything still real arrives again through the
+   fresh incarnation's stream. *)
+let purge_view_of t ~node ~src =
+  let view = t.views.(node) in
+  Array.iter
+    (fun id ->
+      match Hashtbl.find_opt t.all_states id with
+      | Some st when st.src = src ->
+          Hashtbl.remove view id;
+          t.epoch_dirty <- true
+      | _ -> ())
+    (Util.Tbl.sorted_keys ~cmp:Int.compare view)
+
+(* A JOIN announcement from a restarted node: re-key every window for that
+   root to the new incarnation — wiping the pre-crash window state, which
+   would otherwise absorb the fresh sequence space as duplicates — and
+   forget the joiner's pre-crash flows. The joiner pulls full state itself
+   with snapshot requests, so receivers only reset here. *)
+let handle_join t ~node ~joiner ~inc =
+  if reliable t then
+    for tree = 0 to t.cfg.trees_per_source - 1 do
+      ignore (win_ensure_inc (get_win t ~node ~root:joiner ~tree) ~inc)
+    done;
+  if t.cfg.control = Per_node then purge_view_of t ~node ~src:joiner
+
 (* -- data plane: token-bucket pacing and source routing ------------------- *)
 
 let rec inject t st =
@@ -470,7 +559,8 @@ let send_flow_broadcast t st event =
       | Wire.Demand_update | Wire.Route_change -> ());
       let bytes = Wire.seq_broadcast_size in
       let seq = Rbcast.send o ~tree:st.btree (bcast_id, bytes) in
-      Net.send_bcast t.net ~seq ~root:st.src ~tree:st.btree ~bcast_id ~bytes ()
+      Net.send_bcast t.net ~seq ~inc:(Rbcast.incarnation o) ~root:st.src
+        ~tree:st.btree ~bcast_id ~bytes ()
     end
     else begin
       let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:st.src in
@@ -708,10 +798,13 @@ let reselect t interval =
       let root = sts.(0).src in
       let bcast_id = -t.reselections in
       let tree = Broadcast.choose_tree t.bcast t.root_rng ~src:root in
-      let seq =
-        if reliable t then Rbcast.send t.origins.(root) ~tree (bcast_id, bytes) else 0
+      let seq, inc =
+        if reliable t then
+          ( Rbcast.send t.origins.(root) ~tree (bcast_id, bytes),
+            Rbcast.incarnation t.origins.(root) )
+        else (0, 0)
       in
-      Net.send_bcast t.net ~seq ~root ~tree ~bcast_id ~bytes ()
+      Net.send_bcast t.net ~seq ~inc ~root ~tree ~bcast_id ~bytes ()
     end
   end
 
@@ -730,7 +823,13 @@ let digest_round t =
   Array.iteri
     (fun src o ->
       if Net.node_up t.net src then begin
-        let epoch = Rbcast.bump_epoch o in
+        (* The digest has no spare payload word, so the epoch word carries
+           the origin incarnation in its upper half; the anti-entropy epoch
+           itself never nears 2^32 in a simulated run. Incarnation 0 leaves
+           the word bit-identical to the pre-crash-restart format. *)
+        let epoch =
+          (Rbcast.incarnation o lsl 32) lor (Rbcast.bump_epoch o land 0xFFFFFFFF)
+        in
         let hash = Rbcast.state_hash o in
         for tree = 0 to t.cfg.trees_per_source - 1 do
           let last = Rbcast.last_seq o ~tree in
@@ -773,9 +872,70 @@ let control_converged t =
     t.wins;
   !ok
 
+(* [control_converged] restricted to one node — the rejoin-completion
+   criterion: the restarted node is sequence-caught-up with every reachable
+   origin and (Per_node) believes exactly their live-flow sets. *)
+let node_caught_up t ~node =
+  let ok = ref true in
+  Array.iteri
+    (fun root o ->
+      if
+        root <> node && Net.node_up t.net root
+        && Topology.reachable t.topo root node
+      then begin
+        for tree = 0 to t.cfg.trees_per_source - 1 do
+          let last = Rbcast.last_seq o ~tree in
+          if last >= 0 then
+            match Hashtbl.find_opt t.wins.(node) (win_key t ~root ~tree) with
+            | Some w when Rbcast.next_expected w.rx > last -> ()
+            | Some _ | None -> ok := false
+        done;
+        if
+          t.cfg.control = Per_node
+          && Rbcast.hash_ids (per_source_view_ids t ~node ~root)
+             <> Rbcast.state_hash o
+        then ok := false
+      end)
+    t.origins;
+  !ok
+
+let detection_delay t =
+  match t.cfg.detection_delay_ns with
+  | Some d -> d
+  | None ->
+      let tx = Net.tx_time_ns t.net Wire.broadcast_size in
+      2 * Topology.diameter t.topo * (t.cfg.hop_latency_ns + tx)
+
+(* Evaluated once per digest round: a pending rejoiner that has caught up
+   gets its rejoin time stamped and leaves the pending set. *)
+let check_rejoins t =
+  if Hashtbl.length t.pending_rejoins > 0 then begin
+    let now = Engine.now t.eng in
+    Array.iter
+      (fun node ->
+        (* Before the restart's detection instant the overlay still shows
+           the node detached, so every origin would be skipped as
+           unreachable and the catch-up check would pass vacuously —
+           stamping a zero-length rejoin before the JOIN even went out. *)
+        if
+          now >= Hashtbl.find t.pending_rejoins node + detection_delay t
+          && Net.node_up t.net node && node_caught_up t ~node
+        then begin
+          let start = Hashtbl.find t.pending_rejoins node in
+          Hashtbl.remove t.pending_rejoins node;
+          Metrics.note_rejoin t.mtrcs ~node ~start ~finish:now
+        end)
+      (Util.Tbl.sorted_keys ~cmp:Int.compare t.pending_rejoins)
+  end
+
 let rec digest_loop t () =
   close_reconvergence t;
-  if Hashtbl.length t.active > 0 || not (control_converged t) then begin
+  check_rejoins t;
+  if
+    Hashtbl.length t.active > 0
+    || Hashtbl.length t.pending_rejoins > 0
+    || not (control_converged t)
+  then begin
     digest_round t;
     Engine.after t.eng t.cfg.digest_interval_ns (digest_loop t)
   end
@@ -877,13 +1037,6 @@ let handle_loss t pkt =
     | _ -> ()
   end
 
-let detection_delay t =
-  match t.cfg.detection_delay_ns with
-  | Some d -> d
-  | None ->
-      let tx = Net.tx_time_ns t.net Wire.broadcast_size in
-      2 * Topology.diameter t.topo * (t.cfg.hop_latency_ns + tx)
-
 (* Runs one detection delay after the physical event: flips the
    control-plane overlay, repairs broadcast trees, drops flows whose
    endpoint died, and re-paths + re-announces the survivors (§3.2: every
@@ -928,7 +1081,13 @@ let schedule_event t ~ns kind phys overlay =
         }
       in
       t.failures <- fr :: t.failures;
-      Engine.after t.eng (detection_delay t) (fun () -> detect t fr overlay))
+      Engine.after t.eng (detection_delay t) (fun () ->
+          detect t fr overlay;
+          (* The rack may have gone quiet before this event was detected
+             (e.g. a partition healing after every flow completed); the
+             periodic loops must come back so anti-entropy can repair the
+             views of whoever was cut off. *)
+          ensure_loop t))
 
 let fail_link_at t ~ns u v =
   schedule_event t ~ns "link"
@@ -949,6 +1108,210 @@ let restore_node_at t ~ns u =
   schedule_event t ~ns "restore-node"
     (fun () -> Net.restore_node t.net u)
     (fun () -> Topology.restore_node t.topo u)
+
+(* -- crash-restart (robustness) -------------------------------------------- *)
+
+(* A crash is a state-losing node failure: besides the physical down-state,
+   the node's receive windows, traffic-matrix view and per-flow sender soft
+   state (pacing timers, retransmission history) are destroyed — unlike
+   {!fail_node_at}, which models an outage that preserves state. *)
+let crash_node_at t ~ns u =
+  schedule_event t ~ns "crash"
+    (fun () ->
+      Net.fail_node t.net u;
+      if reliable t then Hashtbl.reset t.wins.(u);
+      if t.cfg.control = Per_node then Hashtbl.reset t.views.(u);
+      Util.Tbl.iter_sorted ~cmp:Int.compare
+        (fun _ st ->
+          if st.src = u then begin
+            (* Invalidate the pacing timer and forget retransmission
+               attempts: nothing of the sender survives the crash. *)
+            st.inject_gen <- st.inject_gen + 1;
+            Hashtbl.reset st.rtx
+          end)
+        t.active)
+    (fun () -> Topology.fail_node t.topo u)
+
+let send_snapshot_reqs t u =
+  if reliable t then
+    Array.iteri
+      (fun root _ ->
+        if
+          root <> u && Net.node_up t.net root
+          && Topology.reachable t.topo u root
+        then begin
+          (* An empty-range NACK is the wire-level snapshot request
+             ([Wire.snapshot_req]): the origin answers with a full-state
+             sync — the rejoin catch-up reuses the anti-entropy repair
+             path wholesale. *)
+          t.sync_requests <- t.sync_requests + 1;
+          let route =
+            Net.intern_route t.net
+              (Routing.ecmp_path t.rctx ~flow_id:(root + (131 * u)) ~src:u
+                 ~dst:root)
+          in
+          Net.send_nack t.net ~root ~tree:0 ~from_seq:0 ~to_seq:(-1)
+            ~requester:u ~bytes:Wire.snapshot_req_size ~route;
+          Net.release_route t.net route
+        end)
+      t.origins
+
+(* Announce the rejoin: a JOIN broadcast carrying the fresh incarnation
+   (receivers wipe their windows for this root and drop its pre-crash
+   flows), plus one snapshot request per alive origin. Re-announced every
+   [rejoin_retry_ns] until the node has caught up, so a lost JOIN or
+   snapshot cannot strand the rejoin. *)
+let rec announce_join t u =
+  if Net.node_up t.net u && Hashtbl.mem t.pending_rejoins u then begin
+    t.joins_sent <- t.joins_sent + 1;
+    if t.cfg.real_broadcast then begin
+      let inc = if reliable t then Rbcast.incarnation t.origins.(u) else 0 in
+      Net.send_bcast t.net ~inc ~root:u ~tree:0 ~bcast_id:bcast_id_join
+        ~bytes:Wire.join_size ()
+    end;
+    send_snapshot_reqs t u;
+    if reliable t then
+      Engine.after t.eng t.cfg.rejoin_retry_ns (fun () -> announce_join t u)
+    else begin
+      (* Without the reliable machinery there is no catch-up to await: the
+         rejoin completes at the announcement. *)
+      let start = Hashtbl.find t.pending_rejoins u in
+      Hashtbl.remove t.pending_rejoins u;
+      Metrics.note_rejoin t.mtrcs ~node:u ~start ~finish:(Engine.now t.eng)
+    end
+  end
+
+(* The node comes back {e cold}: fresh origin incarnation, no receive
+   windows, no view — then runs the rejoin protocol. The JOIN waits for the
+   restore's detection instant, when the broadcast trees have been repaired
+   around the revived node and the routing overlay can reach it again. *)
+let restart_node_at t ~ns u =
+  Engine.at t.eng ns (fun () ->
+      Net.restore_node t.net u;
+      if reliable t then begin
+        Hashtbl.reset t.wins.(u);
+        ignore (Rbcast.restart t.origins.(u))
+      end;
+      if t.cfg.control = Per_node then Hashtbl.reset t.views.(u);
+      Hashtbl.replace t.pending_rejoins u ns;
+      let fr =
+        {
+          kind = "restart";
+          fail_ns = ns;
+          detect_ns = ns + detection_delay t;
+          reconverge_ns = -1;
+          aborted = 0;
+          repaired = 0;
+        }
+      in
+      t.failures <- fr :: t.failures;
+      Engine.after t.eng (detection_delay t) (fun () ->
+          detect t fr (fun () -> Topology.restore_node t.topo u);
+          announce_join t u;
+          ensure_loop t))
+
+(* -- gray failures: flaky links and the health estimator ------------------- *)
+
+let flaky_seed seed = seed + 211
+
+let get_health t =
+  match t.health with
+  | Some h -> h
+  | None ->
+      let n = Topology.link_count t.topo in
+      let h =
+        {
+          ewma = Array.make n 0.0;
+          prev_tx = Array.make n 0;
+          prev_lost = Array.make n 0;
+          since = Array.make n 0;
+        }
+      in
+      t.health <- Some h;
+      h
+
+(* One estimator tick: fold the last interval's per-cable flaky-loss rate
+   into an EWMA and drive the {!Routing} quarantine state machine. An
+   interval without samples decays the estimate, so an unflagged or idle
+   cable drifts back towards health instead of pinning its last bad
+   reading forever. Returns whether any cable is still demoted. *)
+let health_tick t h =
+  let now = Engine.now t.eng in
+  let demoted = ref false in
+  let nl = Topology.link_count t.topo in
+  for l = 0 to nl - 1 do
+    let u = Topology.link_src t.topo l and v = Topology.link_dst t.topo l in
+    if u < v then begin
+      let tx, lost = Net.flaky_link_stats t.net u v in
+      let dtx = tx - h.prev_tx.(l) and dlost = lost - h.prev_lost.(l) in
+      h.prev_tx.(l) <- tx;
+      h.prev_lost.(l) <- lost;
+      if dtx > 0 then
+        h.ewma.(l) <-
+          (t.cfg.health_alpha *. (float_of_int dlost /. float_of_int dtx))
+          +. ((1.0 -. t.cfg.health_alpha) *. h.ewma.(l))
+      else h.ewma.(l) <- (1.0 -. t.cfg.health_alpha) *. h.ewma.(l);
+      (match Routing.link_health t.rctx u v with
+      | Routing.Healthy ->
+          if h.ewma.(l) > t.cfg.quarantine_loss_threshold then begin
+            Routing.note_suspect t.rctx u v;
+            t.quarantines <- t.quarantines + 1;
+            h.since.(l) <- now
+          end
+      | Routing.Quarantined ->
+          if now - h.since.(l) >= t.cfg.probation_ns then begin
+            Routing.note_probation t.rctx u v;
+            t.probations <- t.probations + 1;
+            h.since.(l) <- now
+          end
+      | Routing.Probation ->
+          if now - h.since.(l) >= t.cfg.probation_ns then begin
+            (* The probation trickle kept sampling the cable; the verdict
+               is whatever the estimator saw of it. *)
+            if h.ewma.(l) > t.cfg.quarantine_loss_threshold then begin
+              Routing.note_suspect t.rctx u v;
+              t.quarantines <- t.quarantines + 1
+            end
+            else begin
+              Routing.note_recovered t.rctx u v;
+              t.recoveries <- t.recoveries + 1
+            end;
+            h.since.(l) <- now
+          end);
+      match Routing.link_health t.rctx u v with
+      | Routing.Healthy -> ()
+      | Routing.Probation | Routing.Quarantined -> demoted := true
+    end
+  done;
+  !demoted
+
+let rec health_loop t () =
+  match t.health with
+  | None -> t.health_running <- false
+  | Some h ->
+      let demoted = health_tick t h in
+      if demoted || Hashtbl.length t.active > 0 then
+        Engine.after t.eng t.cfg.health_interval_ns (health_loop t)
+      else t.health_running <- false
+
+(* Started when the first flaky link is flagged — a clean run never runs a
+   single tick, so its event stream is untouched. *)
+let ensure_health_loop t =
+  ignore (get_health t);
+  if not t.health_running then begin
+    t.health_running <- true;
+    Engine.after t.eng t.cfg.health_interval_ns (health_loop t)
+  end
+
+let flaky_link_at t ~ns ?spike_ns u v ~loss ~spike =
+  Engine.at t.eng ns (fun () ->
+      Net.set_flaky_link t.net ~seed:(flaky_seed t.cfg.seed)
+        ~spike_ns:(Option.value ~default:t.cfg.flaky_spike_ns spike_ns)
+        u v ~loss ~spike;
+      ensure_health_loop t)
+
+let unflaky_link_at t ~ns u v =
+  Engine.at t.eng ns (fun () -> Net.clear_flaky_link t.net u v)
 
 (* -- construction ---------------------------------------------------------- *)
 
@@ -1054,6 +1417,13 @@ let create cfg topo =
       eff_headroom = (cfg.headroom : U.fraction :> float);
       prev_ctrl_hops = 0;
       prev_ctrl_lost = 0;
+      pending_rejoins = Hashtbl.create 4;
+      joins_sent = 0;
+      health = None;
+      health_running = false;
+      quarantines = 0;
+      probations = 0;
+      recoveries = 0;
     }
   in
   (* Broadcast copies arriving anywhere bump the receipt counter; once all
@@ -1066,16 +1436,21 @@ let create cfg topo =
       let k = Net.kind net pkt in
       if k = Net.code_bcast then begin
         let bcast_id = Net.bcast_id net pkt in
-        if reliable t then begin
+        if bcast_id = bcast_id_join then
+          handle_join t ~node ~joiner:(Net.bcast_root net pkt)
+            ~inc:(Net.bcast_inc net pkt)
+        else if reliable t then begin
           let root = Net.bcast_root net pkt and tree = Net.bcast_tree net pkt in
           let seq = Net.bcast_seq net pkt in
           let w = get_win t ~node ~root ~tree in
-          if seq > w.hi then w.hi <- seq;
-          match Rbcast.receive w.rx ~seq (bcast_id, Net.bytes net pkt) with
-          | Rbcast.Deliver ps ->
-              List.iter (fun (bid, _) -> apply_bcast_event t ~node bid) ps
-          | Rbcast.Duplicate -> ()
-          | Rbcast.Buffered -> schedule_nack t ~node ~root ~tree w
+          if win_ensure_inc w ~inc:(Net.bcast_inc net pkt) then begin
+            if seq > w.hi then w.hi <- seq;
+            match Rbcast.receive w.rx ~seq (bcast_id, Net.bytes net pkt) with
+            | Rbcast.Deliver ps ->
+                List.iter (fun (bid, _) -> apply_bcast_event t ~node bid) ps
+            | Rbcast.Duplicate -> ()
+            | Rbcast.Buffered -> schedule_nack t ~node ~root ~tree w
+          end
         end
         else apply_bcast_event t ~node bcast_id
       end
@@ -1085,6 +1460,7 @@ let create cfg topo =
         let hash = Net.digest_hash net pkt in
         if reliable t then begin
             let w = get_win t ~node ~root ~tree in
+            if win_ensure_inc w ~inc:(Net.digest_epoch net pkt lsr 32) then begin
             if last_seq > w.hi then w.hi <- last_seq;
             let next = Rbcast.next_expected w.rx in
             if next <= last_seq then schedule_nack t ~node ~root ~tree w
@@ -1104,6 +1480,7 @@ let create cfg topo =
                 !all_caught_up
                 && Rbcast.hash_ids (per_source_view_ids t ~node ~root) <> hash
               then send_nack t ~node ~root ~tree ~from_seq:0 ~to_seq:(-1)
+            end
             end
           end
       end);
@@ -1167,7 +1544,8 @@ let create cfg topo =
                 match Rbcast.replay o ~tree ~seq:s with
                 | Some (bcast_id, bytes) ->
                     t.event_retransmits <- t.event_retransmits + 1;
-                    Net.send_bcast t.net ~seq:s ~root ~tree ~bcast_id ~bytes ()
+                    Net.send_bcast t.net ~seq:s ~inc:(Rbcast.incarnation o) ~root
+                      ~tree ~bcast_id ~bytes ()
                 | None -> evicted := true
               done;
               if !evicted then send_sync t ~root ~requester
@@ -1343,7 +1721,18 @@ let results t =
     terminal_diverged = diverged_nodes t;
     loss_ewma = U.fraction t.loss_ewma;
     effective_headroom = U.fraction t.eff_headroom;
+    flaky_lost = Net.flaky_lost t.net;
+    flaky_lost_bytes = Net.flaky_lost_bytes t.net;
+    quarantines = t.quarantines;
+    probations = t.probations;
+    recoveries = t.recoveries;
+    joins_sent = t.joins_sent;
+    rejoins = Metrics.rejoin_samples t.mtrcs;
+    rejoins_pending = Hashtbl.length t.pending_rejoins;
   }
+
+let link_health t u v = Routing.link_health t.rctx u v
+let net t = t.net
 
 let run ?(protocol_of = fun _ _ -> Routing.Rps) ?(demand_of = fun _ _ -> None) ?until_ns cfg
     topo specs =

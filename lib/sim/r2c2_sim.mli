@@ -71,6 +71,19 @@ type config = {
           static [headroom], so stale views overbook less under loss; a
           dimensionless gain, so a raw float *)
   max_headroom : Util.Units.fraction;
+  flaky_spike_ns : int;
+      (** default extra latency of a gray-failure spike ({!flaky_link_at}) *)
+  health_interval_ns : int;  (** per-neighbor health estimator tick period *)
+  health_alpha : float;
+      (** EWMA gain of the per-cable loss estimate; higher reacts faster *)
+  quarantine_loss_threshold : float;
+      (** estimated loss rate above which a cable is quarantined *)
+  probation_ns : int;
+      (** dwell time in quarantine before probation, and in probation
+          before the recovery verdict *)
+  rejoin_retry_ns : int;
+      (** period between JOIN re-announcements while a restarted node is
+          still catching up *)
   engine_backend : Engine.backend;
       (** event-queue implementation; [Calendar] (the default) is the O(1)
           wheel, [Binary_heap] the reference queue kept for differential
@@ -87,7 +100,9 @@ val default_config : config
     delay, 64 Ki replay log, no chaos, headroom gain 2 capped at 30%. *)
 
 type failure = {
-  kind : string;  (** ["link"], ["node"], ["restore-link"], ["restore-node"] *)
+  kind : string;
+      (** ["link"], ["node"], ["restore-link"], ["restore-node"],
+          ["crash"], ["restart"] *)
   fail_ns : int;  (** when the physical event happened *)
   detect_ns : int;  (** when topology discovery surfaced it *)
   mutable reconverge_ns : int;
@@ -149,6 +164,17 @@ type result = {
   loss_ewma : Util.Units.fraction;  (** final observed control-loss estimate *)
   effective_headroom : Util.Units.fraction;
       (** final loss-scaled waterfill headroom *)
+  flaky_lost : int;  (** packets lost to gray-failure (flaky-link) injection *)
+  flaky_lost_bytes : int;
+  quarantines : int;  (** Healthy/Probation -> Quarantined transitions *)
+  probations : int;  (** Quarantined -> Probation transitions *)
+  recoveries : int;  (** Probation -> Healthy transitions *)
+  joins_sent : int;  (** JOIN announcements sent, retries included *)
+  rejoins : (int * int * int) list;
+      (** [(node, restart_ns, caught_up_ns)] per completed rejoin *)
+  rejoins_pending : int;
+      (** restarted nodes still catching up when the run ended — 0 is the
+          rejoin-protocol correctness criterion *)
 }
 
 (** {2 Handle API — dynamic workloads} *)
@@ -208,6 +234,53 @@ val restore_link_at : t -> ns:int -> int -> int -> unit
 val restore_node_at : t -> ns:int -> int -> unit
 (** Restores follow the same discovery path: the fabric heals immediately,
     the control plane re-paths one detection delay later. *)
+
+(** {2 Crash–restart}
+
+    Unlike {!fail_node_at}, which preserves the node's state across the
+    outage, a {e crash} destroys it: receive windows, traffic-matrix view
+    and sender soft state are wiped at the crash instant. A later
+    {!restart_node_at} brings the node back {e cold} and runs the rejoin
+    protocol — a JOIN broadcast carrying a bumped origin incarnation (every
+    receiver re-keys its windows for that root and drops its pre-crash
+    flows), plus per-origin snapshot requests answered over the
+    anti-entropy full-state sync path. The rejoin is re-announced every
+    [rejoin_retry_ns] until the node is sequence-caught-up with every
+    reachable origin, at which point {!Metrics.note_rejoin} stamps it. *)
+
+val crash_node_at : t -> ns:int -> int -> unit
+val restart_node_at : t -> ns:int -> int -> unit
+
+(** {2 Gray failures}
+
+    A flaky cable stays up but intermittently loses packets and spikes its
+    latency. A per-neighbor EWMA health estimator (ticking every
+    [health_interval_ns] once a flaky link exists) feeds the {!Routing}
+    quarantine state machine, which {e demotes} — rather than deletes —
+    suspect cables from spraying fractions and VLB waypoint choice, with
+    probation-based unquarantine. *)
+
+val flaky_link_at :
+  t ->
+  ns:int ->
+  ?spike_ns:int ->
+  int ->
+  int ->
+  loss:Util.Units.fraction ->
+  spike:Util.Units.fraction ->
+  unit
+(** [flaky_link_at t ~ns u v ~loss ~spike] flags the cable between adjacent
+    [u] and [v] at time [ns]; [spike_ns] defaults to the config's
+    [flaky_spike_ns]. *)
+
+val unflaky_link_at : t -> ns:int -> int -> int -> unit
+
+val link_health : t -> int -> int -> Routing.health
+(** Current quarantine state of the cable, for monitors and tests. *)
+
+val net : t -> Net.t
+(** The underlying fabric — chaos-scenario invariant monitors hang their
+    observation taps off it. *)
 
 val results : t -> result
 (** Snapshot of the statistics so far. *)

@@ -3,6 +3,8 @@ let broadcast_size = 16
 let seq_broadcast_size = 24
 let digest_size = 22
 let nack_size = 16
+let join_size = 10
+let snapshot_req_size = 12
 let max_route_hops = 42
 let max_links_per_node = 8
 
@@ -45,11 +47,17 @@ type nack = {
   nto : int;
 }
 
+type join = { jnode : int; jinc : int }
+type snapshot_req = { sroot : int; srequester : int; sinc : int }
+
 (* Packet type codes. 0 is a data packet; broadcast packets carry the event
-   kind directly in the type byte; digests and NACKs get their own codes. *)
+   kind directly in the type byte; digests and NACKs get their own codes,
+   as do the crash-restart rejoin formats. *)
 let type_data = 0
 let type_digest = 5
 let type_nack = 6
+let type_join = 7
+let type_snapshot_req = 8
 
 let type_of_event = function
   | Flow_start -> 1
@@ -446,6 +454,88 @@ let encode_nack n =
 let decode_nack b =
   if Bytes.length b <> nack_size then Error "NACK must be 16 bytes"
   else decode_nack_at b ~off:0
+
+(* -- crash-restart rejoin (JOIN / SNAPSHOT-REQ) --------------------------- *)
+
+(* A restarted node announces itself with a JOIN carrying its fresh
+   incarnation number; receivers drop any receive window still keyed to an
+   older incarnation of that origin. The SNAPSHOT-REQ asks an origin for a
+   full-state sync (the PR 4 catch-up path) when the joiner's windows start
+   cold. Both are fixed-size, checksummed, and follow the [_at ~off]
+   writer/reader discipline so the U3 symbolic walk proves them. *)
+
+let joff_node = 1
+let joff_inc = 3
+let joff_cksum = 8
+
+let encode_join_at b ~off j =
+  check_width "node" j.jnode 16;
+  check_width "inc" j.jinc 32;
+  put8 b (off + boff_type) type_join;
+  put16 b (off + joff_node) j.jnode;
+  put32 b (off + joff_inc) j.jinc;
+  put16 b (off + joff_cksum) (checksum_sub b off join_size)
+
+let decode_join_at b ~off =
+  if off < 0 || off + join_size > Bytes.length b then Error "short JOIN"
+  else if get8 b (off + boff_type) <> type_join then Error "not a JOIN packet"
+  else if
+    not
+      (verify_sub b ~off ~len:join_size ~cksum_off:(off + joff_cksum)
+         ~stored:(get16 b (off + joff_cksum)))
+  then Error "JOIN checksum mismatch"
+  else Ok { jnode = get16 b (off + joff_node); jinc = get32 b (off + joff_inc) }
+
+let encode_join j =
+  let b = Bytes.make join_size '\000' in
+  encode_join_at b ~off:0 j;
+  b
+
+let decode_join b =
+  if Bytes.length b <> join_size then Error "JOIN must be 10 bytes"
+  else decode_join_at b ~off:0
+
+let soff_root = 1
+let soff_req = 3
+let soff_inc = 5
+let soff_cksum = 10
+
+let encode_snapshot_req_at b ~off s =
+  check_width "root" s.sroot 16;
+  check_width "requester" s.srequester 16;
+  check_width "inc" s.sinc 32;
+  put8 b (off + boff_type) type_snapshot_req;
+  put16 b (off + soff_root) s.sroot;
+  put16 b (off + soff_req) s.srequester;
+  put32 b (off + soff_inc) s.sinc;
+  put16 b (off + soff_cksum) (checksum_sub b off snapshot_req_size)
+
+let decode_snapshot_req_at b ~off =
+  if off < 0 || off + snapshot_req_size > Bytes.length b then
+    Error "short SNAPSHOT-REQ"
+  else if get8 b (off + boff_type) <> type_snapshot_req then
+    Error "not a SNAPSHOT-REQ packet"
+  else if
+    not
+      (verify_sub b ~off ~len:snapshot_req_size ~cksum_off:(off + soff_cksum)
+         ~stored:(get16 b (off + soff_cksum)))
+  then Error "SNAPSHOT-REQ checksum mismatch"
+  else
+    Ok
+      {
+        sroot = get16 b (off + soff_root);
+        srequester = get16 b (off + soff_req);
+        sinc = get32 b (off + soff_inc);
+      }
+
+let encode_snapshot_req s =
+  let b = Bytes.make snapshot_req_size '\000' in
+  encode_snapshot_req_at b ~off:0 s;
+  b
+
+let decode_snapshot_req b =
+  if Bytes.length b <> snapshot_req_size then Error "SNAPSHOT-REQ must be 12 bytes"
+  else decode_snapshot_req_at b ~off:0
 
 (* -- batched control-plane codec ------------------------------------------ *)
 

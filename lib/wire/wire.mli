@@ -28,6 +28,12 @@ val digest_size : int
 val nack_size : int
 (** 16 bytes: a missing-range retransmission request. *)
 
+val join_size : int
+(** 10 bytes: a restarted node's rejoin announcement. *)
+
+val snapshot_req_size : int
+(** 12 bytes: a full-state catch-up request. *)
+
 val max_route_hops : int
 (** 42: the 128-bit route field at 3 bits per hop. *)
 
@@ -108,6 +114,36 @@ val encode_nack : nack -> bytes
 (** Raises [Invalid_argument] on an empty range ([nto < nfrom]). *)
 
 val decode_nack : bytes -> (nack, string) result
+
+(** {2 Crash-restart rejoin}
+
+    A node that crashes loses its soft state (receive windows, view, flow
+    bookkeeping) and comes back cold under a fresh incarnation number. The
+    JOIN announces the restart rack-wide so peers drop windows keyed to the
+    old incarnation; the SNAPSHOT-REQ asks one origin for a full-state sync
+    over the anti-entropy catch-up path. *)
+
+type join = {
+  jnode : int;  (** the restarted node *)
+  jinc : int;  (** its fresh 32-bit incarnation number *)
+}
+
+type snapshot_req = {
+  sroot : int;  (** origin whose state is requested *)
+  srequester : int;  (** node asking for the snapshot *)
+  sinc : int;  (** requester's incarnation of record for [sroot] *)
+}
+
+val encode_join : join -> bytes
+(** 10-byte rejoin announcement. Raises [Invalid_argument] when a field
+    exceeds its width. *)
+
+val decode_join : bytes -> (join, string) result
+
+val encode_snapshot_req : snapshot_req -> bytes
+(** 12-byte full-state catch-up request. *)
+
+val decode_snapshot_req : bytes -> (snapshot_req, string) result
 
 (** {2 Batched control-plane codec}
 

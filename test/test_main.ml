@@ -16,6 +16,7 @@ let () =
          Test_stack.suites;
          Test_failure.suites;
          Test_controlloss.suites;
+         Test_robustness.suites;
          Test_integration.suites;
          Test_lint.suites;
        ])

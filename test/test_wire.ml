@@ -172,6 +172,31 @@ let qcheck_broadcast_roundtrip =
       | Ok p' -> p' = p
       | Error _ -> false)
 
+let qcheck_join_roundtrip =
+  QCheck.Test.make ~name:"JOIN roundtrip" ~count:500
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0x3FFFFFFF))
+    (fun (jnode, jinc) ->
+      match Wire.decode_join (Wire.encode_join { Wire.jnode; jinc }) with
+      | Ok j -> j = { Wire.jnode; jinc }
+      | Error _ -> false)
+
+let qcheck_snapshot_req_roundtrip =
+  QCheck.Test.make ~name:"SNAPSHOT-REQ roundtrip" ~count:500
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0x3FFFFFFF))
+    (fun (sroot, srequester, sinc) ->
+      let s = { Wire.sroot; srequester; sinc } in
+      match Wire.decode_snapshot_req (Wire.encode_snapshot_req s) with
+      | Ok s' -> s' = s
+      | Error _ -> false)
+
+let join_wrong_size_rejected () =
+  (match Wire.decode_join (Bytes.make Wire.snapshot_req_size '\000') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "12-byte buffer accepted as JOIN");
+  match Wire.decode_snapshot_req (Bytes.make Wire.join_size '\000') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "10-byte buffer accepted as SNAPSHOT-REQ"
+
 (* -- deterministic fuzz over every packet type ----------------------------- *)
 
 (* One seeded generator drives random instances of every control format —
@@ -242,9 +267,35 @@ let fuzz_all_packet_types () =
     (match Wire.decode_nack nb with
     | Ok n' -> if n' <> n then Alcotest.failf "NACK roundtrip broke at %d" i
     | Error e -> Alcotest.failf "NACK decode failed at %d: %s" i e);
-    match Wire.decode_nack (Wire.corrupt rng nb) with
+    (match Wire.decode_nack (Wire.corrupt rng nb) with
     | Error _ -> ()
-    | Ok n' -> if n' <> n then () else Alcotest.failf "NACK corruption undetected at %d" i
+    | Ok n' -> if n' <> n then () else Alcotest.failf "NACK corruption undetected at %d" i);
+    let j =
+      { Wire.jnode = Util.Rng.int rng 0x10000; jinc = Util.Rng.int rng 0x40000000 }
+    in
+    let jb = Wire.encode_join j in
+    (match Wire.decode_join jb with
+    | Ok j' -> if j' <> j then Alcotest.failf "JOIN roundtrip broke at %d" i
+    | Error e -> Alcotest.failf "JOIN decode failed at %d: %s" i e);
+    (match Wire.decode_join (Wire.corrupt rng jb) with
+    | Error _ -> ()
+    | Ok j' -> if j' <> j then () else Alcotest.failf "JOIN corruption undetected at %d" i);
+    let s =
+      {
+        Wire.sroot = Util.Rng.int rng 0x10000;
+        srequester = Util.Rng.int rng 0x10000;
+        sinc = Util.Rng.int rng 0x40000000;
+      }
+    in
+    let sb = Wire.encode_snapshot_req s in
+    (match Wire.decode_snapshot_req sb with
+    | Ok s' -> if s' <> s then Alcotest.failf "SNAPSHOT-REQ roundtrip broke at %d" i
+    | Error e -> Alcotest.failf "SNAPSHOT-REQ decode failed at %d: %s" i e);
+    match Wire.decode_snapshot_req (Wire.corrupt rng sb) with
+    | Error _ -> ()
+    | Ok s' ->
+        if s' <> s then ()
+        else Alcotest.failf "SNAPSHOT-REQ corruption undetected at %d" i
   done
 
 let nack_rejects_empty_range () =
@@ -354,6 +405,7 @@ let suites =
         tc "fuzz all packet types" fuzz_all_packet_types;
         tc "NACK rejects empty range" nack_rejects_empty_range;
         tc "wrong-size reliability packets rejected" seq_broadcast_wrong_size_rejected;
+        tc "wrong-size rejoin packets rejected" join_wrong_size_rejected;
         tc "batch heterogeneous roundtrip" batch_heterogeneous_roundtrip;
         tc "batch empty" batch_empty;
         tc "batch truncation detected" batch_truncation_detected;
@@ -361,5 +413,7 @@ let suites =
         tc "batch corruption located" batch_corruption_located;
         QCheck_alcotest.to_alcotest qcheck_data_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_broadcast_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_join_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_snapshot_req_roundtrip;
       ] );
   ]
