@@ -149,7 +149,7 @@ let fig8 ?(flows = 10_000) ?(seed = 5) () =
                by the headroom and never considered. *)
             let cutoff = !next - rho_ns in
             let wf =
-              Hashtbl.fold
+              Util.Tbl.fold_sorted ~cmp:Int.compare
                 (fun id (s : Workload.Flowgen.spec) acc ->
                   if s.Workload.Flowgen.arrival_ns <= cutoff then
                     Congestion.Waterfill.flow ~id

@@ -159,6 +159,9 @@ let churn ?(flows = 512) ?(churn_pct = 10) ~quick () =
   (* The pre-incremental recompute: flow-table fold, sort, per-flow struct
      rebuild, allocation of every waterfill buffer. *)
   let seed_epoch world =
+    (* The raw fold IS the measured legacy path; the sort below fixes the
+       order before anything consumes it. *)
+    (* lint: allow D3 — legacy recompute path under measurement; sorted below *)
     let fl = Hashtbl.fold (fun id (s, d) acc -> (id, s, d) :: acc) world [] in
     let fl = List.sort (fun (a, _, _) (b, _, _) -> compare a b) fl in
     let wf =
@@ -278,9 +281,9 @@ let run () =
   in
   let results = Analyze.merge ols instances results in
   Printf.printf "%-40s %16s\n" "benchmark" "ns/run";
-  Hashtbl.iter
+  Util.Tbl.iter_sorted ~cmp:String.compare
     (fun _instance tbl ->
-      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      let rows = Util.Tbl.fold_sorted ~cmp:String.compare (fun name ols acc -> (name, ols) :: acc) tbl [] in
       List.iter
         (fun (name, ols) ->
           match Analyze.OLS.estimates ols with

@@ -217,17 +217,23 @@ end
 
 (* Operation counters for the performance ablation (bench `ablation`).
    Reset at the top of every allocation so each call reports only its own
-   work. *)
-let dbg_pops = ref 0
-let dbg_valid = ref 0
-let dbg_scan = ref 0
-let dbg_push = ref 0
+   work. One explicit record — registered domain_local in the lint
+   ownership map (tools/lint/ownership.sexp): sharded domains each keep
+   their own copy; the counters are never read across domains. *)
+type debug_counters = {
+  mutable pops : int;
+  mutable valid : int;
+  mutable scan : int;
+  mutable push : int;
+}
+
+let dbg = { pops = 0; valid = 0; scan = 0; push = 0 }
 
 let reset_debug_counters () =
-  dbg_pops := 0;
-  dbg_valid := 0;
-  dbg_scan := 0;
-  dbg_push := 0
+  dbg.pops <- 0;
+  dbg.valid <- 0;
+  dbg.scan <- 0;
+  dbg.push <- 0
 
 type event = Link_sat of int (* link *) | Demand_met of int (* flow index *)
 
@@ -272,7 +278,7 @@ let fast_round ~remaining ~rates flows indices =
         (fun (l, _) ->
           if not queued.(l) then begin
             queued.(l) <- true;
-            incr dbg_push;
+            dbg.push <- dbg.push + 1;
             Fheap.push heap (sat_level l) (Link_sat l)
           end)
         f.links;
@@ -300,20 +306,20 @@ let fast_round ~remaining ~rates flows indices =
           (* No constraining event left: flows with no links get 0. *)
           List.iter (fun i -> freeze_flow i 0.0) indices
       | Some (key, Link_sat l) ->
-          incr dbg_pops;
+          dbg.pops <- dbg.pops + 1;
           let cur = sat_level l in
           if cur = infinity then () (* no unfrozen flow loads this link *)
           else if cur > key +. (1e-12 *. (1.0 +. abs_float key)) then begin
             (* The level moved since this entry was queued; re-insert. *)
-            incr dbg_push;
+            dbg.push <- dbg.push + 1;
             Fheap.push heap cur (Link_sat l)
           end
           else begin
-            incr dbg_valid;
+            dbg.valid <- dbg.valid + 1;
             settle l cur;
             List.iter
               (fun i ->
-                incr dbg_scan;
+                dbg.scan <- dbg.scan + 1;
                 freeze_flow i cur)
               on_link.(l)
           end;
@@ -754,7 +760,7 @@ module Inc = struct
         let l = t.lnk_id.(j) in
         if not t.queued.(l) then begin
           t.queued.(l) <- true;
-          incr dbg_push;
+          dbg.push <- dbg.push + 1;
           heap_push t (sat_level l) l
         end
       done;
@@ -783,19 +789,19 @@ module Inc = struct
         done
       else if v >= 0 then begin
         let l = v and key = !heap_key in
-        incr dbg_pops;
+        dbg.pops <- dbg.pops + 1;
         let cur = sat_level l in
         if cur = infinity then ()
         else if cur > key +. (1e-12 *. (1.0 +. abs_float key)) then begin
-          incr dbg_push;
+          dbg.push <- dbg.push + 1;
           heap_push t cur l
         end
         else begin
-          incr dbg_valid;
+          dbg.valid <- dbg.valid + 1;
           settle l cur;
           for p = t.link_start.(l) to t.link_start.(l + 1) - 1 do
             let r = t.link_rows.(p) in
-            incr dbg_scan;
+            dbg.scan <- dbg.scan + 1;
             if t.round_of.(r) = round then freeze r cur
           done
         end

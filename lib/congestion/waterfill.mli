@@ -138,10 +138,18 @@ end
 
 (**/**)
 
-val dbg_pops : int ref
-val dbg_valid : int ref
-val dbg_scan : int ref
-val dbg_push : int ref
+(** Operation counters for the performance ablation. One explicit record
+    rather than loose refs: it is registered [domain_local] in the lint
+    ownership map (each domain will keep its own copy once the engine is
+    sharded). *)
+type debug_counters = {
+  mutable pops : int;
+  mutable valid : int;
+  mutable scan : int;
+  mutable push : int;
+}
+
+val dbg : debug_counters
 
 val reset_debug_counters : unit -> unit
 (** Zero the four counters; {!allocate} and a dirty {!Inc.allocate} also

@@ -747,8 +747,10 @@ let send_nack t ~root ~tree ~from_seq ~to_seq ~requester ~bytes ~route =
     ~p3:to_seq ~p4:requester ~p5:0
 
 let send_sync t ~root ~entries ~last_seqs ~bytes ~route =
-  let es = intern t (Array.of_list entries) in
-  let ls = intern t last_seqs in
+  (* Ownership of both slices transfers into the packet: the sync
+     delivery/drop paths release f_p1/f_p2 when the packet dies. *)
+  let es = intern t (Array.of_list entries) in (* lint: allow L1 — receiver owns: freed with the sync packet *)
+  let ls = intern t last_seqs in (* lint: allow L1 — receiver owns: freed with the sync packet *)
   send_sr t ~code:code_sync ~bytes ~route ~p0:root ~p1:es ~p2:ls ~p3:0 ~p4:0
     ~p5:0
 

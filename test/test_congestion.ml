@@ -144,7 +144,9 @@ let build_flows specs =
         (fun (l, f) ->
           Hashtbl.replace tbl l (f +. Option.value ~default:0.0 (Hashtbl.find_opt tbl l)))
         links;
-      let links = Array.of_list (Hashtbl.fold (fun l f acc -> (l, f) :: acc) tbl []) in
+      let links =
+        Array.of_list (Util.Tbl.fold_sorted ~cmp:Int.compare (fun l f acc -> (l, f) :: acc) tbl [])
+      in
       wf ~weight ~priority ?demand ~id:i links)
     specs
   |> Array.of_list

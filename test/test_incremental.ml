@@ -117,15 +117,15 @@ let clean_epoch_zero_heap_ops () =
     Congestion.Waterfill.Inc.add_flow inc ~id (random_links ctx rng)
   done;
   Congestion.Waterfill.Inc.allocate inc;
-  Alcotest.(check bool) "dirty epoch pushed events" true (!Congestion.Waterfill.dbg_push > 0);
+  Alcotest.(check bool) "dirty epoch pushed events" true (Congestion.Waterfill.dbg.push > 0);
   let before = Array.init 50 (fun id -> inc_rate inc ~id) in
   (* Re-announcing the demand a flow already has keeps the epoch clean. *)
   Congestion.Waterfill.Inc.set_demand inc ~id:3 None;
   Alcotest.(check bool) "still clean" false (Congestion.Waterfill.Inc.is_dirty inc);
   Congestion.Waterfill.reset_debug_counters ();
   Congestion.Waterfill.Inc.allocate inc;
-  Alcotest.(check int) "zero heap pushes" 0 !Congestion.Waterfill.dbg_push;
-  Alcotest.(check int) "zero heap pops" 0 !Congestion.Waterfill.dbg_pops;
+  Alcotest.(check int) "zero heap pushes" 0 Congestion.Waterfill.dbg.push;
+  Alcotest.(check int) "zero heap pops" 0 Congestion.Waterfill.dbg.pops;
   Array.iteri
     (fun id r ->
       Alcotest.(check (float 0.0)) (Printf.sprintf "rate %d unchanged" id) r (inc_rate inc ~id))
@@ -143,10 +143,10 @@ let counters_reset_per_allocate () =
     |]
   in
   ignore (Congestion.Waterfill.allocate ~capacities flows);
-  let first = !Congestion.Waterfill.dbg_push in
+  let first = Congestion.Waterfill.dbg.push in
   Alcotest.(check bool) "pushes counted" true (first > 0);
   ignore (Congestion.Waterfill.allocate ~capacities flows);
-  Alcotest.(check int) "identical second measurement" first !Congestion.Waterfill.dbg_push
+  Alcotest.(check int) "identical second measurement" first Congestion.Waterfill.dbg.push
 
 let dirty_tracking_lifecycle () =
   let capacities = caps [| 1.0 |] in

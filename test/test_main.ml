@@ -19,4 +19,6 @@ let () =
          Test_robustness.suites;
          Test_integration.suites;
          Test_lint.suites;
+         Test_lint_life.suites;
+         Test_lint_typed.suites;
        ])

@@ -313,6 +313,7 @@ let qcheck_arena_roundtrip =
       List.iter
         (fun op ->
           if op mod 3 = 0 && Hashtbl.length live > 0 then begin
+            (* lint: allow D3 — order-independent: commutative min over live handles *)
             let h = Hashtbl.fold (fun h _ m -> min h m) live max_int in
             ok := !ok && Util.Arena.get a h 1 = Hashtbl.find live h;
             Util.Arena.free a h;
@@ -326,6 +327,7 @@ let qcheck_arena_roundtrip =
             Hashtbl.replace live h (op + 1)
           end)
         ops;
+      (* lint: allow D3 — order-independent: conjunction over all live bindings *)
       Hashtbl.iter (fun h v -> ok := !ok && Util.Arena.get a h 1 = v) live;
       !ok && Util.Arena.live a = Hashtbl.length live)
 

@@ -1,11 +1,11 @@
-(* r2c2-lint: determinism & simulation-safety static analysis.
+(* r2c2-lint: determinism & simulation-safety static analysis — parse pass.
 
    R2C2's congestion control (§3.2–3.3) requires every node to compute
    the same max-min allocation from the same broadcast traffic matrix,
    and the repro's tier-1 guarantee is bit-for-bit reproducible
-   simulations. This pass walks the parsetree of every `.ml` under
-   `lib/` and `bench/` (no typing — `Parse` + `Ast_iterator` from
-   compiler-libs only) and rejects constructs that break either:
+   simulations. This module walks the parsetree of every `.ml` it is
+   given (no typing — `Parse` + `Ast_iterator` from compiler-libs only)
+   and rejects constructs that break either:
 
    D1  `Random.*` anywhere — the ambient PRNG is unseeded global state;
        only the explicit, splittable `Util.Rng` is allowed.
@@ -13,11 +13,13 @@
        `Sys.getenv`, …) under `lib/` — simulation results must be a
        function of the seed, never of the host. `bench/` may time
        itself.
-   D3  raw `Hashtbl.iter` / `Hashtbl.fold` under `lib/` — hash order
-       depends on insertion history, so two rack nodes holding the same
-       bindings can walk them differently; use `Util.Tbl`
-       (`sorted_keys` / `sorted_bindings` / `fold_sorted` / …), which
-       fixes the order by key.
+   D3  raw `Hashtbl.iter` / `Hashtbl.fold` — hash order depends on
+       insertion history, so two rack nodes holding the same bindings
+       can walk them differently; use `Util.Tbl` (`sorted_keys` /
+       `sorted_bindings` / `fold_sorted` / …), which fixes the order by
+       key. Enforced in `lib/` and, since v3, in `bench/` and `test/`
+       too (a bench or test that walks a table in hash order can mask a
+       rack-divergence bug in the code under test).
    S1  `Obj.magic`, and catch-all `try … with _ ->` handlers that
        swallow exceptions (including assertion failures) silently.
    S2  bare polymorphic `compare` passed as a value (e.g.
@@ -62,6 +64,27 @@
        `Arena.Ints`; copying one re-allocates per packet). Use the
        arena handle API instead.
 
+   Since v3 two further rule families ride on top of this module's
+   violation/suppression machinery but are implemented elsewhere
+   (DESIGN.md §13):
+
+   L1/L2  arena-lifetime rules over `lib/sim` (`Lint_life`): every
+       `intern_route` / `Arena.alloc` handle must reach exactly one
+       release on every path, and must never be touched after it.
+   M1–M3  domain-safety rules over the typed tree (`Lint_typed`):
+       every toplevel mutable item in `lib/` must be declared in the
+       ownership registry `tools/lint/ownership.sexp`, and closures
+       capturing shard-owned state must not escape their module.
+
+   Rule tiers. Each linted root runs one of three tiers:
+
+     Lib      (lib/)            — everything above.
+     Default  (bin/, examples/) — D1, S1, S2, U1–U3.
+     Relaxed  (bench/, test/)   — D-rules only: D1 and D3. D2 stays
+              off because a bench times itself by design; the S/U
+              rules stay off because harness code legitimately builds
+              raw fixtures.
+
    A violation can be suppressed with a justification comment on the
    offending line or the line directly above it:
 
@@ -69,9 +92,12 @@
 
    The rule list may name several rules (`allow D2 D3 — …`); the reason
    after the dash is mandatory, and a malformed or reason-less allow is
-   itself reported (rule LINT) and cannot be suppressed. The summary
-   counts applied suppressions so reviewers can see how much of the
-   codebase is exempted. *)
+   itself reported (rule LINT) and cannot be suppressed. Every rule an
+   allow names must suppress at least one violation: a fully unused
+   allow is stale, and a multi-rule allow whose rules are only partly
+   exercised reports the unused rule names at its file:line. The
+   summary counts applied suppressions so reviewers can see how much of
+   the codebase is exempted. *)
 
 type violation = {
   file : string;
@@ -80,19 +106,48 @@ type violation = {
   message : string;
 }
 
+(* Internal tool errors (unreadable .cmt, registry syntax error, bad
+   usage) — distinct from lint violations: the driver exits 2, not 1, so
+   CI can tell "the code is dirty" from "the linter is broken". *)
+exception Internal of string
+
+(* A stale allow: the comment's position plus the named rules that
+   suppressed nothing (all of them for a fully unused allow). *)
+type stale_allow = {
+  sa_file : string;
+  sa_line : int;
+  sa_rules : string list;
+}
+
 type report = {
   violations : violation list;  (* sorted by (file, line, rule) *)
   files : int;
   suppressed : int;  (* violations silenced by a valid allow *)
   suppressed_by_rule : (string * int) list;  (* rule -> applied suppressions *)
-  unused_allows : (string * int) list;  (* allow comments that silenced nothing *)
+  unused_allows : stale_allow list;  (* allows (or rules of one) that silenced nothing *)
 }
 
-let rules = [ "A1"; "D1"; "D2"; "D3"; "S1"; "S2"; "U1"; "U2"; "U3" ]
+let rules =
+  [ "A1"; "D1"; "D2"; "D3"; "L1"; "L2"; "M1"; "M2"; "M3"; "S1"; "S2"; "U1"; "U2"; "U3" ]
+
+(* Which parse-level rules run where. L/M rules are driven from
+   Lint_driver (L needs the sim scope, M needs .cmt files) but share the
+   suppression machinery below. *)
+type tier = Lib | Default | Relaxed
+
+let tier_of_root root =
+  let base =
+    Filename.basename
+      (if Filename.check_suffix root "/" then Filename.chop_suffix root "/" else root)
+  in
+  match base with
+  | "lib" -> Lib
+  | "bench" | "test" -> Relaxed
+  | _ -> Default
 
 (* -- suppression comments ------------------------------------------------ *)
 
-type allow = { allow_rules : string list; mutable used : bool }
+type allow = { allow_rules : string list; mutable used_rules : string list }
 
 let is_rule_char c = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
 
@@ -184,24 +239,23 @@ let clock_reads =
     "Unix.environment";
   ]
 
-let check_path ~in_lib add path loc =
+let check_path ~check_d2 ~check_d3 add path loc =
   let p = strip_stdlib path in
   if has_root ~root:"Random" p then
     add "D1" loc
       (Printf.sprintf "'%s' is ambient nondeterministic state; use Util.Rng (seeded, splittable)"
          path);
-  if in_lib && List.mem p clock_reads then
+  if check_d2 && List.mem p clock_reads then
     add "D2" loc
       (Printf.sprintf
          "'%s' reads the host clock/environment; lib/ results must be a function of the seed"
          path);
-  if in_lib && (p = "Hashtbl.iter" || p = "Hashtbl.fold") then
+  if check_d3 && (p = "Hashtbl.iter" || p = "Hashtbl.fold") then
     add "D3" loc
       (Printf.sprintf
          "raw '%s' iterates in hash order (a rack-divergence hazard); use Util.Tbl.%s ~cmp:…"
          path
-         (if p = "Hashtbl.iter" then "iter_sorted" else "fold_sorted"));
-  if p = "Obj.magic" then add "S1" loc "'Obj.magic' defeats the type system"
+         (if p = "Hashtbl.iter" then "iter_sorted" else "fold_sorted"))
 
 (* U1: the canonical unit table — labeled arguments that carry a physical
    quantity in the public API, with the constructor a raw literal must be
@@ -246,14 +300,22 @@ let mentions_route e =
   it.expr it e;
   !found
 
-let lint_structure ~in_lib ~check_u2 ~check_a1 ~add structure =
+let lint_structure ~tier ~check_u2 ~check_a1 ~add structure =
   let open Parsetree in
+  let check_d2 = tier = Lib in
+  let check_d3 = tier = Lib || tier = Relaxed in
+  let check_s = tier <> Relaxed in
+  let check_u = tier <> Relaxed in
+  let check_u2 = check_u && check_u2 in
   let is_float_lit e =
     match e.pexp_desc with Pexp_constant (Pconst_float _) -> true | _ -> false
   in
   let expr (iter : Ast_iterator.iterator) e =
     (match e.pexp_desc with
-    | Pexp_ident { txt; loc } -> check_path ~in_lib add (path_of txt) loc
+    | Pexp_ident { txt; loc } ->
+        check_path ~check_d2 ~check_d3 add (path_of txt) loc;
+        if check_s && strip_stdlib (path_of txt) = "Obj.magic" then
+          add "S1" loc "'Obj.magic' defeats the type system"
     | Pexp_record (fields, _) when check_a1 ->
         let labels = List.map (fun (({ txt; _ } : _ Location.loc), _) -> last_component txt) fields in
         let has l = List.mem l labels in
@@ -275,32 +337,34 @@ let lint_structure ~in_lib ~check_u2 ~check_a1 ~add structure =
         | _ -> ());
         List.iter
           (fun ((lbl, a) : Asttypes.arg_label * expression) ->
-            (match a.pexp_desc with
-            | Pexp_ident { txt = Longident.Lident "compare"; loc }
-            | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Stdlib", "compare"); loc } ->
-                add "S2" loc
-                  "bare polymorphic 'compare' as a comparator (NaN/tie-break hazard); use \
-                   Int.compare, Float.compare or an explicit key comparator"
-            | _ -> ());
-            match lbl with
-            | Asttypes.Labelled l | Asttypes.Optional l -> (
-                match List.assoc_opt l unit_labels with
-                | Some ctor ->
-                    let bare = is_float_lit a in
-                    let in_some =
-                      match a.pexp_desc with
-                      | Pexp_construct ({ txt = Longident.Lident "Some"; _ }, Some inner) ->
-                          is_float_lit inner
-                      | _ -> false
-                    in
-                    if bare || in_some then
-                      add "U1" a.pexp_loc
-                        (Printf.sprintf
-                           "raw float literal bound to unit-carrying label '~%s'; wrap it in \
-                            its constructor, e.g. '~%s:(%s …)'"
-                           l l ctor)
-                | None -> ())
-            | Asttypes.Nolabel -> ())
+            (if check_s then
+               match a.pexp_desc with
+               | Pexp_ident { txt = Longident.Lident "compare"; loc }
+               | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Stdlib", "compare"); loc } ->
+                   add "S2" loc
+                     "bare polymorphic 'compare' as a comparator (NaN/tie-break hazard); use \
+                      Int.compare, Float.compare or an explicit key comparator"
+               | _ -> ());
+            if check_u then
+              match lbl with
+              | Asttypes.Labelled l | Asttypes.Optional l -> (
+                  match List.assoc_opt l unit_labels with
+                  | Some ctor ->
+                      let bare = is_float_lit a in
+                      let in_some =
+                        match a.pexp_desc with
+                        | Pexp_construct ({ txt = Longident.Lident "Some"; _ }, Some inner) ->
+                            is_float_lit inner
+                        | _ -> false
+                      in
+                      if bare || in_some then
+                        add "U1" a.pexp_loc
+                          (Printf.sprintf
+                             "raw float literal bound to unit-carrying label '~%s'; wrap it in \
+                              its constructor, e.g. '~%s:(%s …)'"
+                             l l ctor)
+                  | None -> ())
+              | Asttypes.Nolabel -> ())
           args;
         (match fn.pexp_desc with
         | Pexp_ident { txt = Longident.Lident op; _ }
@@ -318,7 +382,7 @@ let lint_structure ~in_lib ~check_u2 ~check_a1 ~add structure =
                 | _ -> ())
               args
         | _ -> ())
-    | Pexp_try (_, cases) ->
+    | Pexp_try (_, cases) when check_s ->
         List.iter
           (fun c ->
             match c.pc_lhs.ppat_desc with
@@ -335,7 +399,7 @@ let lint_structure ~in_lib ~check_u2 ~check_a1 ~add structure =
     let p = strip_stdlib path in
     if has_root ~root:"Random" p then
       add "D1" loc "'open Random' imports ambient nondeterministic state; use Util.Rng";
-    if in_lib && has_root ~root:"Hashtbl" p then
+    if check_d3 && has_root ~root:"Hashtbl" p then
       add "D3" loc "'open Hashtbl' hides raw iteration from this linter; qualify Hashtbl calls instead"
   in
   let open_description iter (od : open_description) =
@@ -566,16 +630,28 @@ let lint_wire ~add structure =
             reads)
     encoders
 
-(* -- per-file driver ----------------------------------------------------- *)
+(* -- scan / finalize ------------------------------------------------------ *)
 
-let lint_source ~file ~in_lib src =
+(* A scanned file: raw (unsuppressed) violations plus its allow table.
+   Kept open so Lint_driver can merge in typed-tree (M) and lifetime (L)
+   violations attributed to the same file before suppression runs. *)
+type scanned = {
+  s_file : string;
+  mutable s_raw : violation list;
+  s_allows : (int, allow) Hashtbl.t;
+  s_structure : Parsetree.structure option;  (* None when the file does not parse *)
+}
+
+let in_sim file = List.mem "sim" (String.split_on_char '/' file)
+
+let scan_source ~file ~tier src =
   let allows = Hashtbl.create 8 in
   let raw = ref [] in
   List.iteri
     (fun i line ->
       match parse_allow line with
       | `None -> ()
-      | `Allow rs -> Hashtbl.replace allows (i + 1) { allow_rules = rs; used = false }
+      | `Allow rs -> Hashtbl.replace allows (i + 1) { allow_rules = rs; used_rules = [] }
       | `Malformed ->
           raw :=
             {
@@ -592,34 +668,46 @@ let lint_source ~file ~in_lib src =
     let line = loc.loc_start.pos_lnum in
     raw := { file; line; rule; message } :: !raw
   in
-  (try
-     let lexbuf = Lexing.from_string src in
-     Location.init lexbuf file;
-     let structure = Parse.implementation lexbuf in
-     (* The combinator definitions in Util.Units are the one place raw
-        arithmetic on unwrapped floats is the point. *)
-     let check_u2 = Filename.basename file <> "units.ml" in
-     (* A1 patrols the packet-rate data plane only: any file under a
-        `sim` directory component. *)
-     let check_a1 = List.mem "sim" (String.split_on_char '/' file) in
-     lint_structure ~in_lib ~check_u2 ~check_a1 ~add structure;
-     lint_wire ~add structure
-   with exn ->
-     let message =
-       match exn with
-       | Syntaxerr.Error _ -> "syntax error: file does not parse"
-       | _ -> Printf.sprintf "parse failure: %s" (Printexc.to_string exn)
-     in
-     raw := { file; line = 1; rule = "LINT"; message } :: !raw);
+  let structure =
+    try
+      let lexbuf = Lexing.from_string src in
+      Location.init lexbuf file;
+      let structure = Parse.implementation lexbuf in
+      (* The combinator definitions in Util.Units are the one place raw
+         arithmetic on unwrapped floats is the point. *)
+      let check_u2 = Filename.basename file <> "units.ml" in
+      (* A1 patrols the packet-rate data plane only: any file under a
+         `sim` directory component. *)
+      let check_a1 = tier = Lib && in_sim file in
+      lint_structure ~tier ~check_u2 ~check_a1 ~add structure;
+      if tier <> Relaxed then lint_wire ~add structure;
+      Some structure
+    with exn ->
+      let message =
+        match exn with
+        | Syntaxerr.Error _ -> "syntax error: file does not parse"
+        | _ -> Printf.sprintf "parse failure: %s" (Printexc.to_string exn)
+      in
+      raw := { file; line = 1; rule = "LINT"; message } :: !raw;
+      None
+  in
+  { s_file = file; s_raw = !raw; s_allows = allows; s_structure = structure }
+
+let add_violations scanned vs = scanned.s_raw <- vs @ scanned.s_raw
+
+(* Applies the allow table: drops suppressed violations, counts
+   suppressions per rule, and reports stale allows (including the unused
+   rule names of a partially-used multi-rule allow). *)
+let finalize scanned =
   let suppressed = ref 0 in
   let suppressed_rules = ref [] in
   let keep v =
     if v.rule = "LINT" then true (* malformed allows are never suppressible *)
     else begin
       let covered line =
-        match Hashtbl.find_opt allows line with
+        match Hashtbl.find_opt scanned.s_allows line with
         | Some a when List.mem v.rule a.allow_rules ->
-            a.used <- true;
+            if not (List.mem v.rule a.used_rules) then a.used_rules <- v.rule :: a.used_rules;
             true
         | _ -> false
       in
@@ -637,12 +725,17 @@ let lint_source ~file ~in_lib src =
       (fun a b ->
         let c = Int.compare a.line b.line in
         if c <> 0 then c else String.compare a.rule b.rule)
-      (List.filter keep !raw)
+      (List.filter keep scanned.s_raw)
   in
   let unused =
     List.sort
-      (fun (_, a) (_, b) -> Int.compare a b)
-      (Hashtbl.fold (fun line a acc -> if a.used then acc else (file, line) :: acc) allows [])
+      (fun a b -> Int.compare a.sa_line b.sa_line)
+      (Hashtbl.fold
+         (fun line a acc ->
+           let stale = List.filter (fun r -> not (List.mem r a.used_rules)) a.allow_rules in
+           if stale = [] then acc
+           else { sa_file = scanned.s_file; sa_line = line; sa_rules = stale } :: acc)
+         scanned.s_allows [])
   in
   let by_rule =
     List.map
@@ -657,31 +750,35 @@ let lint_source ~file ~in_lib src =
     unused_allows = unused;
   }
 
-let lint_file ~in_lib file =
+(* Back-compat single-file entry (parse rules only; the L/M passes are
+   composed by Lint_driver). [in_lib] maps to the Lib/Default tiers. *)
+let lint_source ?tier ~file ~in_lib src =
+  let tier = match tier with Some t -> t | None -> if in_lib then Lib else Default in
+  finalize (scan_source ~file ~tier src)
+
+let read_file file =
   let ic = open_in_bin file in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  lint_source ~file ~in_lib src
+  src
+
+let lint_file ~in_lib file = lint_source ~file ~in_lib (read_file file)
 
 (* -- tree walking -------------------------------------------------------- *)
 
-let rec ml_files_under path =
+let rec files_under ~suffix path =
   if Sys.is_directory path then begin
     let entries = Sys.readdir path in
     Array.sort String.compare entries (* Sys.readdir order is unspecified *);
     Array.fold_left
-      (fun acc e -> acc @ ml_files_under (Filename.concat path e))
+      (fun acc e -> acc @ files_under ~suffix (Filename.concat path e))
       [] entries
   end
-  else if Filename.check_suffix path ".ml" then [ path ]
+  else if Filename.check_suffix path suffix then [ path ]
   else []
 
-(* A root named `lib` (or any file under a `lib` directory) gets the
-   lib-only rules D2/D3 as well. *)
-let root_is_lib root =
-  let base = Filename.basename (if Filename.check_suffix root "/" then Filename.chop_suffix root "/" else root) in
-  base = "lib"
+let ml_files_under = files_under ~suffix:".ml"
 
 let merge a b =
   {
@@ -707,7 +804,7 @@ let empty =
   }
 
 let lint_root root =
-  let in_lib = root_is_lib root in
+  let in_lib = tier_of_root root = Lib in
   List.fold_left (fun acc f -> merge acc (lint_file ~in_lib f)) empty (ml_files_under root)
 
 let lint_roots roots = List.fold_left (fun acc r -> merge acc (lint_root r)) empty roots
@@ -717,12 +814,17 @@ let lint_roots roots = List.fold_left (fun acc r -> merge acc (lint_root r)) emp
 let pp_violation oc v =
   Printf.fprintf oc "%s:%d: [%s] %s\n" v.file v.line v.rule v.message
 
+let pp_stale oc sa =
+  Printf.fprintf oc
+    "%s:%d: stale 'lint: allow %s' — %s nothing; delete %s\n"
+    sa.sa_file sa.sa_line
+    (String.concat " " sa.sa_rules)
+    (match sa.sa_rules with [ _ ] -> "it suppresses" | _ -> "these rules suppress")
+    (match sa.sa_rules with [ _ ] -> "it" | _ -> "them from the allow")
+
 let report_and_exit_code oc r =
   List.iter (pp_violation oc) r.violations;
-  List.iter
-    (fun (f, l) ->
-      Printf.fprintf oc "%s:%d: stale 'lint: allow' comment suppresses nothing; delete it\n" f l)
-    r.unused_allows;
+  List.iter (pp_stale oc) r.unused_allows;
   Printf.fprintf oc
     "r2c2-lint: %d file(s), %d violation(s), %d suppression(s) applied, %d stale allow(s)\n"
     r.files (List.length r.violations) r.suppressed (List.length r.unused_allows);

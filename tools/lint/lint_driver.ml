@@ -1,0 +1,186 @@
+(* Composes the three lint passes and owns reporting (DESIGN.md §13).
+
+   Pass order matters only in that suppression runs last: the parse
+   pass (Lint_core) builds one `scanned` record per file — raw
+   violations plus the file's `lint: allow` table — then the lifetime
+   pass (Lint_life, files under `lib/sim`) and the typed pass
+   (Lint_typed, `.cmt` files against the ownership registry) merge
+   their violations into the same records, and `finalize` applies the
+   allows once over everything. An L2 or M3 can therefore be
+   suppressed exactly like a D3: a justified comment on the offending
+   line. Typed-pass violations attributed to files outside the linted
+   roots (notably `ownership.sexp` itself) bypass suppression — there
+   is no source line to carry an allow comment.
+
+   The driver also emits `LINT_REPORT.json`: per-rule counts plus the
+   full mutable-state ownership map. That file is the machine-readable
+   shard-readiness artifact the multicore PR consumes (which items are
+   `shard_owned`, where they live), checked in at the repo root and
+   kept current by the promoting `@lint` rule. *)
+
+type config = {
+  roots : string list;  (* directories of .ml files; tier by basename *)
+  relaxed : string list;  (* roots forced to the Relaxed tier *)
+  registry_file : string option;  (* ownership.sexp; None skips the M pass *)
+  cmt_root : string option;  (* where to find .cmt files; None skips the M pass *)
+}
+
+type full_report = {
+  core : Lint_core.report;
+  ownership : (Lint_typed.inv_item * string option) list;
+      (* inventory item, registered class (None = unregistered, which M3
+         already flagged) *)
+}
+
+let tier_for config root =
+  if List.mem root config.relaxed then Lint_core.Relaxed
+  else Lint_core.tier_of_root root
+
+let run config =
+  (* Parse pass: scan every file, keeping the records open. *)
+  let scanned =
+    List.concat_map
+      (fun root ->
+        let tier = tier_for config root in
+        List.map
+          (fun file -> (tier, Lint_core.scan_source ~file ~tier (Lint_core.read_file file)))
+          (Lint_core.ml_files_under root))
+      config.roots
+  in
+  (* Lifetime pass: the arena discipline lives under lib/sim. *)
+  List.iter
+    (fun ((tier, sc) : Lint_core.tier * Lint_core.scanned) ->
+      match (tier, sc.s_structure) with
+      | Lint_core.Lib, Some str when Lint_core.in_sim sc.s_file ->
+          Lint_core.add_violations sc (Lint_life.scan_structure ~file:sc.s_file str)
+      | _ -> ())
+    scanned;
+  (* Typed pass: inventory + registry over the .cmt files. *)
+  let ownership, typed_violations =
+    match (config.registry_file, config.cmt_root) with
+    | Some reg_file, Some cmt_root ->
+        let registry = Lint_typed.load_registry reg_file in
+        let units = Lint_typed.load_units ~cmt_root in
+        let r = Lint_typed.analyze ~registry units in
+        (r.inventory, r.typed_violations)
+    | _ -> ([], [])
+  in
+  (* Attribute typed violations to their scanned files so allows apply;
+     whatever has no scanned record (ownership.sexp) stays as-is. *)
+  let orphans =
+    List.filter
+      (fun (v : Lint_core.violation) ->
+        match List.find_opt (fun (_, sc) -> sc.Lint_core.s_file = v.file) scanned with
+        | Some (_, sc) ->
+            Lint_core.add_violations sc [ v ];
+            false
+        | None -> true)
+      typed_violations
+  in
+  let core =
+    List.fold_left
+      (fun acc (_, sc) -> Lint_core.merge acc (Lint_core.finalize sc))
+      Lint_core.empty scanned
+  in
+  let core = { core with Lint_core.violations = core.Lint_core.violations @ orphans } in
+  { core; ownership }
+
+(* -- JSON ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let per_rule_violations (r : Lint_core.report) =
+  List.map
+    (fun rule ->
+      (rule, List.length (List.filter (fun (v : Lint_core.violation) -> v.rule = rule) r.violations)))
+    (Lint_core.rules @ [ "LINT" ])
+
+(* Hand-rolled like the BENCH_*.json writers: key order fixed, output
+   byte-stable for a given repo state. *)
+let to_json report =
+  let buf = Buffer.create 4096 in
+  let r = report.core in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"files\": %d,\n" r.files);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"violation_count\": %d,\n" (List.length r.violations));
+  Buffer.add_string buf (Printf.sprintf "  \"suppressed\": %d,\n" r.suppressed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"stale_allow_count\": %d,\n" (List.length r.unused_allows));
+  let kv_ints name l =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": {" name);
+    List.iteri
+      (fun i (k, n) ->
+        Buffer.add_string buf (Printf.sprintf "%s\"%s\": %d" (if i = 0 then "" else ", ") k n))
+      l;
+    Buffer.add_string buf "},\n"
+  in
+  kv_ints "violations_by_rule" (per_rule_violations r);
+  kv_ints "suppressions_by_rule" r.suppressed_by_rule;
+  Buffer.add_string buf "  \"violations\": [";
+  List.iteri
+    (fun i (v : Lint_core.violation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"message\": \"%s\"}"
+           (if i = 0 then "" else ",")
+           (json_escape v.file) v.line (json_escape v.rule) (json_escape v.message)))
+    r.violations;
+  Buffer.add_string buf (if r.violations = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"stale_allows\": [";
+  List.iteri
+    (fun i (sa : Lint_core.stale_allow) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\n    {\"file\": \"%s\", \"line\": %d, \"rules\": [%s]}"
+           (if i = 0 then "" else ",")
+           (json_escape sa.sa_file) sa.sa_line
+           (String.concat ", " (List.map (fun r -> "\"" ^ json_escape r ^ "\"") sa.sa_rules))))
+    r.unused_allows;
+  Buffer.add_string buf (if r.unused_allows = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"ownership\": [";
+  List.iteri
+    (fun i ((item : Lint_typed.inv_item), cls) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s\n    {\"item\": \"%s\", \"class\": %s, \"file\": \"%s\", \"line\": %d, \
+            \"mutable_via\": \"%s\"}"
+           (if i = 0 then "" else ",")
+           (json_escape item.i_name)
+           (match cls with
+           | Some c -> "\"" ^ json_escape c ^ "\""
+           | None -> "null")
+           (json_escape item.i_file) item.i_line
+           (json_escape item.i_why_mutable)))
+    report.ownership;
+  Buffer.add_string buf (if report.ownership = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_json path report =
+  let oc = open_out path in
+  output_string oc (to_json report);
+  close_out oc
+
+(* -- text report ----------------------------------------------------------- *)
+
+let report_and_exit_code oc report =
+  let code = Lint_core.report_and_exit_code oc report.core in
+  if report.ownership <> [] then begin
+    let n_reg =
+      List.length (List.filter (fun (_, c) -> c <> None) report.ownership)
+    in
+    Printf.fprintf oc "  ownership map: %d mutable item(s), %d registered\n"
+      (List.length report.ownership) n_reg
+  end;
+  code

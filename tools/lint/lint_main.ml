@@ -1,23 +1,76 @@
-(* CLI driver: `lint_main <root>…` lints every `.ml` under each root.
-   A root whose basename is `lib` additionally gets the lib-only rules
-   (D2 wall-clock, D3 raw Hashtbl iteration). The units rules U1–U3 and
-   D1/S1/S2 apply to every root (lib, bench, bin, examples). Exits
-   non-zero on any violation or stale allow, so `dune build @lint` is a
-   CI gate. *)
+(* r2c2-lint CLI.
+
+   Usage:
+     lint_main [--json FILE] [--registry FILE] [--cmt-root DIR]
+               [--relaxed DIR]... DIR...
+
+   Each positional DIR is linted at the tier its basename implies
+   (lib → Lib, bench/test → Relaxed, anything else → Default);
+   `--relaxed DIR` forces a root to the Relaxed tier regardless.
+   `--registry` + `--cmt-root` together enable the typed M pass;
+   omitting either skips it (parse + lifetime rules only).
+   `--json FILE` additionally writes the machine-readable report.
+
+   Exit codes (CI keys off these):
+     0  clean
+     1  violations or stale allows — the code needs fixing
+     2  internal error (bad usage, unreadable .cmt, registry syntax
+        error) — the linter run itself is invalid *)
+
+let usage () =
+  prerr_endline
+    "usage: lint_main [--json FILE] [--registry FILE] [--cmt-root DIR] [--relaxed DIR]... \
+     DIR...";
+  exit 2
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ ->
-        prerr_endline "usage: lint_main <dir>…";
-        exit 2
+  let json = ref None
+  and registry = ref None
+  and cmt_root = ref None
+  and relaxed = ref []
+  and roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: v :: rest ->
+        json := Some v;
+        parse rest
+    | "--registry" :: v :: rest ->
+        registry := Some v;
+        parse rest
+    | "--cmt-root" :: v :: rest ->
+        cmt_root := Some v;
+        parse rest
+    | "--relaxed" :: v :: rest ->
+        relaxed := v :: !relaxed;
+        parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "lint_main: unknown option '%s'\n" arg;
+        usage ()
+    | dir :: rest ->
+        if not (Sys.file_exists dir) then begin
+          Printf.eprintf "lint_main: no such path: %s\n" dir;
+          exit 2
+        end;
+        roots := dir :: !roots;
+        parse rest
   in
-  List.iter
-    (fun r ->
-      if not (Sys.file_exists r) then begin
-        Printf.eprintf "lint_main: no such path: %s\n" r;
-        exit 2
-      end)
-    roots;
-  exit (Lint_core.report_and_exit_code stdout (Lint_core.lint_roots roots))
+  parse (List.tl (Array.to_list Sys.argv));
+  if !roots = [] then usage ();
+  let config =
+    {
+      Lint_driver.roots = List.rev !roots;
+      relaxed = List.rev !relaxed;
+      registry_file = !registry;
+      cmt_root = !cmt_root;
+    }
+  in
+  match Lint_driver.run config with
+  | report ->
+      (match !json with Some path -> Lint_driver.write_json path report | None -> ());
+      exit (Lint_driver.report_and_exit_code stdout report)
+  | exception Lint_core.Internal msg ->
+      Printf.eprintf "lint_main: internal error: %s\n" msg;
+      exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "lint_main: internal error: %s\n" msg;
+      exit 2

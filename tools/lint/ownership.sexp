@@ -1,0 +1,24 @@
+; r2c2 mutable-state ownership registry (DESIGN.md §13).
+;
+; Every toplevel mutable item under lib/ must have an entry here; the
+; lint M-rules enforce it (M3 flags unregistered items, M1 flags stale
+; or malformed entries). Classes describe what the sharded multicore
+; engine may assume:
+;
+;   domain_local     one copy per domain; no synchronization needed.
+;   shard_owned      owned by exactly one shard; reachable from other
+;                    shards only via messages. M2 patrols closures that
+;                    capture these and escape their module.
+;   shared_readonly  frozen after setup; safe to share between domains.
+
+((item Congestion.Waterfill.dbg)
+ (class domain_local)
+ (why "ablation operation counters, reset per allocate; once the engine is sharded each domain keeps its own record and reports stay per-domain"))
+
+((item Congestion.Waterfill.Inc.heap_key)
+ (class domain_local)
+ (why "scratch out-parameter of heap_pop (avoids a tuple allocation on the hot path); valid only between one pop and the next, never read across calls, so each domain gets its own cell"))
+
+((item R2c2.Stack.default_config)
+ (class shared_readonly)
+ (why "config template built at module init; the selection_choices array is never written after construction — stacks read it or copy-update the record with a fresh array"))
