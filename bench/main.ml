@@ -26,10 +26,10 @@ let () =
     print_endline
       "usage: main.exe [exp-id] [--paper] [--quick]\n\
        exp-ids: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
-      \         fig17 fig18 fig19 ablation micro churn chaos graychaos control-loss hotpath all\n\
-      \         (default: all)\n\
+      \         fig17 fig18 fig19 ablation micro churn chaos graychaos overload control-loss\n\
+      \         hotpath all (default: all)\n\
        churn writes BENCH_waterfill.json; chaos writes BENCH_failure.json;\n\
-      \ graychaos writes BENCH_graychaos.json;\n\
+      \ graychaos writes BENCH_graychaos.json; overload writes BENCH_overload.json;\n\
        control-loss writes BENCH_controlloss.json; --quick runs a smoke-sized\n\
        variant";
     exit 1
@@ -61,6 +61,7 @@ let () =
   | [ "churn" ] -> Micro.churn ~quick ()
   | [ "chaos" ] -> Chaos.run ~quick ()
   | [ "graychaos" ] -> Graychaos.run ~quick ()
+  | [ "overload" ] -> Overload.run ~quick ()
   | [ "control-loss" ] -> Controlloss.run ~quick ()
   | [ "hotpath" ] -> Hotpath.run ~quick ()
   | _ -> usage ()

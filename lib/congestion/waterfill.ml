@@ -368,6 +368,11 @@ module Inc = struct
   type t = {
     capacities : float array;
     mutable headroom : float;
+    (* per-class headroom reservation (overload backpressure): a capacity
+       fraction withheld from every class with priority >= reserve_prio,
+       kept free for the classes above the threshold. 0.0 = disabled. *)
+    mutable reserve_prio : int;
+    mutable reserve_frac : float;
     row_of : (int, int) Hashtbl.t;  (* flow id -> row *)
     (* CSR rows: rows 0..nrows-1 are live, swap-remove keeps them dense. *)
     mutable nrows : int;
@@ -411,6 +416,8 @@ module Inc = struct
     {
       capacities = Array.copy capacities;
       headroom;
+      reserve_prio = 0;
+      reserve_frac = 0.0;
       row_of = Hashtbl.create 64;
       nrows = 0;
       fid = Array.make cap0 0;
@@ -453,6 +460,19 @@ module Inc = struct
       t.headroom <- h;
       t.dirty <- true
     end
+
+  let class_reserve t = (t.reserve_prio, U.fraction t.reserve_frac)
+
+  let set_class_reserve t ~priority ~reserve =
+    let r = (reserve : U.fraction :> float) in
+    if priority < 0 then invalid_arg "Waterfill: negative reserve priority";
+    if r < 0.0 || r >= 1.0 then invalid_arg "Waterfill: class reserve out of range";
+    if r <> t.reserve_frac || priority <> t.reserve_prio then begin
+      t.reserve_prio <- priority;
+      t.reserve_frac <- r;
+      t.dirty <- true
+    end
+
   let mem t ~id = Hashtbl.mem t.row_of id
 
   let row t id =
@@ -822,8 +842,19 @@ module Inc = struct
       build_transpose t;
       let k0 = ref 0 in
       let round = ref 0 in
+      let reserved = ref false in
       while !k0 < nf do
         let p = t.fprio.(t.order.(!k0)) in
+        (* Crossing the reserve threshold: withhold the reserved slice from
+           this and every lower class, exactly once. Gated on a non-zero
+           fraction so the default path stays bit-identical. *)
+        if (not !reserved) && t.reserve_frac > 0.0 && p >= t.reserve_prio then begin
+          for l = 0 to nl - 1 do
+            t.remaining.(l) <-
+              Float.max 0.0 (t.remaining.(l) -. (t.reserve_frac *. t.capacities.(l)))
+          done;
+          reserved := true
+        end;
         let k1 = ref (!k0 + 1) in
         while !k1 < nf && t.fprio.(t.order.(!k1)) = p do
           incr k1

@@ -134,6 +134,18 @@ module Inc : sig
   (** Retune the reserved capacity fraction — the graceful-degradation knob
       under control-plane loss. Same range contract as {!create}; a changed
       value marks the state dirty, an unchanged one keeps it clean. *)
+
+  val class_reserve : t -> int * Util.Units.fraction
+  (** Current [(priority threshold, reserved fraction)]; fraction 0 when
+      disabled (the default). *)
+
+  val set_class_reserve : t -> priority:int -> reserve:Util.Units.fraction -> unit
+  (** Per-class headroom reservation (overload backpressure): withhold
+      [reserve] of every link's capacity from all classes with priority >=
+      [priority], keeping that slice free for the classes above the
+      threshold. [reserve] must be in [\[0, 1)]; 0 disables (the default —
+      allocations are then bit-identical to a state without the feature).
+      A changed value marks the state dirty. *)
 end
 
 (**/**)

@@ -8,6 +8,7 @@ type config = {
   selection_choices : Routing.protocol array;
   loss_headroom_gain : float;
   max_headroom : U.fraction;
+  shed_recover_epochs : int;
 }
 
 let default_config =
@@ -19,7 +20,13 @@ let default_config =
     selection_choices = [| Routing.Rps; Routing.Vlb |];
     loss_headroom_gain = 2.0;
     max_headroom = U.fraction 0.30;
+    shed_recover_epochs = 3;
   }
+
+(* Priority classes the admission machinery distinguishes: one above the
+   deadline bands plus the scavenger class, matching the simulator's eight
+   tracked SLO classes. *)
+let max_shed_class = 7
 
 type flow_id = int
 
@@ -61,6 +68,10 @@ type t = {
   alloc : Congestion.Waterfill.Inc.t;
       (* incremental epoch state: patched on every flow event, so a
          recompute with no intervening event is O(1) *)
+  admission : Congestion.Overload.Admission.t;
+      (* strict-priority shedding; inert until {!note_epoch_load} reports
+         an overloaded epoch *)
+  mutable shed_flows : int;
 }
 
 let create ?(config = default_config) ?(seed = 1) topo =
@@ -92,6 +103,11 @@ let create ?(config = default_config) ?(seed = 1) topo =
     eff_headroom = (config.headroom :> float);
     capacities;
     alloc = Congestion.Waterfill.Inc.create ~headroom:config.headroom ~capacities ();
+    admission =
+      Congestion.Overload.Admission.create
+        ~clean_epochs_to_recover:config.shed_recover_epochs
+        ~max_priority:max_shed_class ();
+    shed_flows = 0;
   }
 
 let topology t = t.topo
@@ -176,6 +192,25 @@ let open_flow ?(weight = 1) ?(priority = 0) ?protocol t ~src ~dst =
     (Routing.fractions t.rctx f.protocol ~src ~dst);
   emit_broadcast t f Wire.Flow_start;
   id
+
+(* -- overload admission ---------------------------------------------------- *)
+
+let note_epoch_load t ~overloaded =
+  Congestion.Overload.Admission.note_epoch t.admission ~overloaded
+
+let admits t ~priority = Congestion.Overload.Admission.admits t.admission ~priority
+let shed_floor t = Congestion.Overload.Admission.shed_floor t.admission
+let shed_flows t = t.shed_flows
+
+let try_open_flow ?weight ?(priority = 0) ?protocol t ~src ~dst =
+  if admits t ~priority then Some (open_flow ?weight ~priority ?protocol t ~src ~dst)
+  else begin
+    t.shed_flows <- t.shed_flows + 1;
+    None
+  end
+
+let set_class_reserve t ~priority ~reserve =
+  Congestion.Waterfill.Inc.set_class_reserve t.alloc ~priority ~reserve
 
 let close_flow t id =
   let f = find t id in

@@ -26,12 +26,15 @@ type config = {
           repairs are in flight ({!note_control_loss}) *)
   max_headroom : Util.Units.fraction;
       (** ceiling on the loss-scaled reserve, < 1 *)
+  shed_recover_epochs : int;
+      (** overload admission: consecutive clean epochs before the shed
+          floor re-admits one class ({!note_epoch_load}) *)
 }
 
 val default_config : config
 (** 10 Gbps links, 5% headroom, 4 broadcast trees per source, RPS default
     routing, selection between RPS and VLB, loss gain 2 capped at 30%
-    headroom. *)
+    headroom, 3 clean epochs to recover shed classes. *)
 
 type t
 type flow_id = int
@@ -54,6 +57,48 @@ val open_flow :
 
 val close_flow : t -> flow_id -> unit
 (** Announce flow termination; unknown ids raise. *)
+
+(** {2 Overload admission control}
+
+    Strict-priority load shedding ({!Congestion.Overload.Admission}): feed
+    each rate epoch's overload verdict — e.g. whether any link queue sat
+    above its watermark ({!Sim.Net.overloaded_links} in simulation, switch
+    telemetry on hardware) — into {!note_epoch_load}; every overloaded
+    epoch lowers the shed floor one class (lowest priority refused first,
+    class 0 never refused) and [shed_recover_epochs] consecutive clean
+    epochs raise it back. *)
+
+val note_epoch_load : t -> overloaded:bool -> unit
+(** One rate epoch's overload verdict. *)
+
+val admits : t -> priority:int -> bool
+(** Would a flow of this class be admitted right now? *)
+
+val shed_floor : t -> int
+(** Classes with [priority >= shed_floor] are refused; 8 when nothing is
+    shed. *)
+
+val try_open_flow :
+  ?weight:int ->
+  ?priority:int ->
+  ?protocol:Routing.protocol ->
+  t ->
+  src:int ->
+  dst:int ->
+  flow_id option
+(** {!open_flow} behind the admission gate: [None] (counted in
+    {!shed_flows}) when the class is currently being shed. {!open_flow}
+    itself stays ungated — callers that must not be refused (control
+    traffic, re-announcements) keep using it directly. *)
+
+val shed_flows : t -> int
+(** Flows refused by {!try_open_flow} so far. *)
+
+val set_class_reserve : t -> priority:int -> reserve:Util.Units.fraction -> unit
+(** Backpressure headroom: withhold [reserve] of every link's capacity
+    from classes numerically >= [priority] in the rate computation
+    ({!Congestion.Waterfill.Inc.set_class_reserve}), keeping that slice
+    free for the latency-sensitive classes above the threshold. *)
 
 val set_demand : t -> flow_id -> gbps:Util.Units.gbps option -> unit
 (** Declare a host-limited flow's demand ([None] = network-limited);

@@ -46,6 +46,7 @@ let code_bcast = 2
 let code_digest = 3
 let code_nack = 4
 let code_sync = 5
+let code_pause = 6
 
 (* Engine tag space, owned by this module via [Engine.set_dispatch]. *)
 let tag_txdone = 0
@@ -99,6 +100,15 @@ type t = {
   src_of : int array;
   dst_of : int array;
   queue_capacity : int;
+  (* Queue-occupancy watermarks for overload detection: a link whose
+     occupancy exceeds [q_high] is flagged overloaded and stays flagged
+     until it drains below [q_low] (hysteresis). Default high = max_int
+     keeps the whole machinery inert — no flag is ever set and the event
+     stream is bit-identical to a build without it. *)
+  mutable q_high : int;
+  mutable q_low : int;
+  over : Bytes.t;  (* per directed link: '\001' while overloaded *)
+  mutable over_count : int;
   count_control : bool;
   bits_per_ns : float;
   (* One-entry serialization-time memo: traffic is dominated by a single
@@ -242,6 +252,10 @@ let nack_tree t h = fget t h f_p1
 let nack_from t h = fget t h f_p2
 let nack_to t h = fget t h f_p3
 let nack_requester t h = fget t h f_p4
+let pause_node t h = fget t h f_p0
+let pause_class t h = fget t h f_p1
+let pause_level t h = fget t h f_p2
+let pause_window t h = fget t h f_p3
 let sync_root t h = fget t h f_p0
 
 let sync_entries t h =
@@ -385,6 +399,22 @@ let recompute_link_live t l =
   in
   Bytes.unsafe_set t.link_live l (if live then '\001' else '\000')
 
+(* Watermark hysteresis: a link is flagged when its occupancy crosses
+   [q_high] upward and unflagged only once it drains to [q_low], so a queue
+   oscillating just under the high mark cannot flap the overload signal.
+   Both checks are branch + byte read on the hot path, no allocation. *)
+let note_q_grew t link_id ls =
+  if ls.qbytes > t.q_high && Bytes.unsafe_get t.over link_id = '\000' then begin
+    Bytes.unsafe_set t.over link_id '\001';
+    t.over_count <- t.over_count + 1
+  end
+
+let note_q_shrank t link_id ls =
+  if ls.qbytes <= t.q_low && Bytes.unsafe_get t.over link_id = '\001' then begin
+    Bytes.unsafe_set t.over link_id '\000';
+    t.over_count <- t.over_count - 1
+  end
+
 let blackhole t h =
   let m = fget t h f_meta in
   let b = meta_bytes m in
@@ -423,7 +453,8 @@ let purge_link t link_id =
     done;
     ls.head <- -1;
     ls.tail <- -1
-  end
+  end;
+  note_q_shrank t link_id ls
 
 let cable_ids t u v =
   match (Topology.find_link t.topo u v, Topology.find_link t.topo v u) with
@@ -493,6 +524,7 @@ and tx_done t link_id =
   ls.head <- nx;
   if nx < 0 then ls.tail <- -1;
   ls.qbytes <- ls.qbytes - meta_bytes (fget t pkt f_meta);
+  note_q_shrank t link_id ls;
   (* Serialization of the next packet overlaps propagation. *)
   start_tx t link_id;
   if phys_link_up t link_id then propagate t link_id pkt else blackhole t pkt
@@ -585,6 +617,7 @@ and enqueue_link t link_id pkt =
       ls.tail <- pkt;
       ls.qbytes <- ls.qbytes + b;
       if ls.qbytes > ls.max_qbytes then ls.max_qbytes <- ls.qbytes;
+      note_q_grew t link_id ls;
       if not ls.busy then start_tx t link_id
     end
   end
@@ -676,6 +709,10 @@ let create engine topo ?(queue_capacity = max_int) ?(count_control = true) ~link
       src_of = Array.init (Topology.link_count topo) (Topology.link_src topo);
       dst_of = Array.init (Topology.link_count topo) (Topology.link_dst topo);
       queue_capacity;
+      q_high = max_int;
+      q_low = 0;
+      over = Bytes.make (Topology.link_count topo) '\000';
+      over_count = 0;
       count_control;
       bits_per_ns = link_gbps;
       tx_memo_bytes = -1;
@@ -746,6 +783,12 @@ let send_nack t ~root ~tree ~from_seq ~to_seq ~requester ~bytes ~route =
   send_sr t ~code:code_nack ~bytes ~route ~p0:root ~p1:tree ~p2:from_seq
     ~p3:to_seq ~p4:requester ~p5:0
 
+let send_pause t ~node ~cls ~level ~window_kbps ~bytes ~route =
+  if cls < 0 then invalid_arg "Net.send_pause: negative class";
+  if level < 0 then invalid_arg "Net.send_pause: negative level";
+  send_sr t ~code:code_pause ~bytes ~route ~p0:node ~p1:cls ~p2:level
+    ~p3:window_kbps ~p4:0 ~p5:0
+
 let send_sync t ~root ~entries ~last_seqs ~bytes ~route =
   (* Ownership of both slices transfers into the packet: the sync
      delivery/drop paths release f_p1/f_p2 when the packet dies. *)
@@ -765,6 +808,18 @@ let send_digest_tree t ~root ~tree ~epoch ~last_seq ~hash ~bytes =
     ~p5:(Int64.to_int (Int64.shift_right_logical hash 32))
 
 (* -- telemetry ------------------------------------------------------------ *)
+
+let set_queue_watermarks t ~high ~low =
+  if high <= 0 then invalid_arg "Net.set_queue_watermarks: non-positive high";
+  if low < 0 || low >= high then
+    invalid_arg "Net.set_queue_watermarks: low must be in [0, high)";
+  t.q_high <- high;
+  t.q_low <- low;
+  (* Re-evaluate standing queues against the new thresholds. *)
+  Array.iteri (fun l ls -> note_q_grew t l ls; note_q_shrank t l ls) t.links
+
+let overloaded_links t = t.over_count
+let link_overloaded t ~link_id = Bytes.get t.over link_id = '\001'
 
 let packets_live t = Arena.live t.pool
 let packets_high_water t = Arena.high_water t.pool

@@ -75,6 +75,7 @@ val code_bcast : int
 val code_digest : int
 val code_nack : int
 val code_sync : int
+val code_pause : int
 
 val kind : t -> packet -> int
 val is_control : t -> packet -> bool
@@ -116,6 +117,10 @@ val nack_tree : t -> packet -> int
 val nack_from : t -> packet -> int
 val nack_to : t -> packet -> int
 val nack_requester : t -> packet -> int
+val pause_node : t -> packet -> int
+val pause_class : t -> packet -> int
+val pause_level : t -> packet -> int
+val pause_window : t -> packet -> int
 val sync_root : t -> packet -> int
 val sync_entries : t -> packet -> int list
 (** The origin's live-flow ids (fresh list; sync is rare repair traffic). *)
@@ -164,6 +169,21 @@ val send_sync :
   t -> root:int -> entries:int list -> last_seqs:int array -> bytes:int -> route:route -> unit
 (** Source-routed full-state repair: [root]'s live-flow ids plus its
     per-tree last sequence numbers. *)
+
+val send_pause :
+  t ->
+  node:int ->
+  cls:int ->
+  level:int ->
+  window_kbps:int ->
+  bytes:int ->
+  route:route ->
+  unit
+(** Source-routed backpressure notice from a congested receiver [node]:
+    each [level] asks the paused sender to halve its injection rate for
+    flows of class [cls] and above ([level] 0 is the all-clear);
+    [window_kbps] is an advisory ceiling (0 = none). Raises on a negative
+    class or level. *)
 
 val send_bcast :
   t ->
@@ -306,6 +326,19 @@ val set_arrive_tap : t -> (node:int -> packet -> unit) -> unit
 
 val max_queue_bytes : t -> int array
 (** Per-link maximum queue occupancy observed (bytes). *)
+
+val set_queue_watermarks : t -> high:int -> low:int -> unit
+(** Arm occupancy-watermark overload detection: a link is flagged
+    overloaded when its queue exceeds [high] bytes and unflagged only
+    once it drains to [low] (hysteresis against flapping). Standing
+    queues are re-evaluated immediately. Default [high] is [max_int], so
+    detection is off and the event stream is untouched. Raises unless
+    [0 <= low < high]. *)
+
+val overloaded_links : t -> int
+(** Links currently above their high watermark (not yet drained to low). *)
+
+val link_overloaded : t -> link_id:int -> bool
 
 val drops : t -> int
 val data_bytes_on_wire : t -> Util.Units.bytes

@@ -50,6 +50,29 @@ type config = {
   rejoin_retry_ns : int;
       (** a restarted node re-announces its JOIN at this period until it has
           caught up — a lost JOIN or snapshot must not strand the rejoin *)
+  (* -- SLO-guarded overload control; every default leaves it off -- *)
+  queue_high_watermark : int;
+      (** link-queue bytes above which the link counts as overloaded;
+          [max_int] (the default) disables detection entirely *)
+  queue_low_watermark : int;  (** hysteresis: overload clears only below this *)
+  overload_control : bool;
+      (** master switch for admission shedding and PAUSE backpressure *)
+  pause_interval_ns : int;
+      (** a congested receiver sends at most one PAUSE per this period *)
+  pause_class : int;
+      (** only flows of this class or below (numerically >=) are paced and
+          trigger pauses; higher classes are never slowed by backpressure *)
+  pause_backoff : float;  (** multiplicative decrease per PAUSE level *)
+  pause_recovery : float;  (** additive scale recovery per clean epoch *)
+  pause_min_scale : float;  (** floor of the pacing scale *)
+  shed_recover_epochs : int;
+      (** consecutive clean epochs before the shed floor relaxes one class *)
+  slos : (int * int) list;
+      (** (priority class, FCT bound ns) promises fed to {!Metrics.set_slo} *)
+  reserve_priority : int;
+      (** waterfill class reserve applies to classes >= this priority *)
+  class_reserve : U.fraction;
+      (** link-capacity fraction withheld from the low classes; 0 = off *)
   engine_backend : Engine.backend;
       (** event-queue implementation; [Calendar] is the production O(1)
           wheel, [Binary_heap] the reference for differential tests *)
@@ -88,6 +111,18 @@ let default_config =
     quarantine_loss_threshold = 0.02;
     probation_ns = 500_000;
     rejoin_retry_ns = 500_000;
+    queue_high_watermark = max_int;
+    queue_low_watermark = 0;
+    overload_control = false;
+    pause_interval_ns = 50_000;
+    pause_class = 1;
+    pause_backoff = 0.5;
+    pause_recovery = 0.1;
+    pause_min_scale = 0.05;
+    shed_recover_epochs = 3;
+    slos = [];
+    reserve_priority = 1;
+    class_reserve = U.fraction 0.0;
     engine_backend = Engine.Calendar;
     seed = 1;
   }
@@ -151,6 +186,13 @@ type result = {
   rejoins : (int * int * int) list;
       (** (node, restart ns, caught-up ns) per completed rejoin *)
   rejoins_pending : int;  (** restarted nodes not yet caught up at run end *)
+  (* robustness: overload control *)
+  shed_flows : int;  (** flows refused by admission control *)
+  shed_payload : int;  (** payload bytes those flows would have injected *)
+  pauses_sent : int;  (** PAUSE packets emitted by congested receivers *)
+  pauses_received : int;  (** PAUSEs that reached their paced sender *)
+  overload_epochs : int;  (** rate epochs with at least one overloaded link *)
+  overloaded_links : int;  (** links still above the watermark at run end *)
 }
 
 type fstate = {
@@ -267,6 +309,18 @@ type t = {
   mutable quarantines : int;
   mutable probations : int;
   mutable recoveries : int;
+  (* -- overload control (admission shedding + PAUSE backpressure) -- *)
+  overload_on : bool;  (** copy of [cfg.overload_control] for the hot paths *)
+  admission : Congestion.Overload.Admission.t option;
+  pacers : Congestion.Overload.Pacer.t array;  (** per sender node *)
+  pause_cls : int array;
+      (** lowest class the node's last PAUSE covers; [max_int] = never paused *)
+  last_pause : int array;  (** per receiver: ns of its last emitted PAUSE *)
+  mutable shed_flows : int;
+  mutable shed_payload : int;
+  mutable pauses_sent : int;
+  mutable pauses_received : int;
+  mutable overload_epochs : int;
 }
 
 let header = Wire.data_header_size
@@ -528,6 +582,15 @@ and schedule_injection t st =
     | Some d -> Float.min st.rate (d : U.byte_rate :> float)
     | None -> st.rate
   in
+  (* Backpressure: a paced sender scales the injection rate of its covered
+     classes down by the AIMD pacer, floored like {!apply_rate} so a flow
+     always trickles and can finish. *)
+  let pace =
+    if t.overload_on && st.priority >= t.pause_cls.(st.src) then
+      Float.max (0.001 *. t.cap_bytes_ns)
+        (pace *. Congestion.Overload.Pacer.scale t.pacers.(st.src))
+    else pace
+  in
   let gap = int_of_float (ceil (float_of_int wire /. pace)) in
   let tnext = max (Engine.now t.eng) (st.last_inject + gap) in
   Engine.at t.eng tnext (fun () ->
@@ -732,7 +795,21 @@ let stamp_reconvergence t =
     (fun fr -> if fr.reconverge_ns < 0 && fr.detect_ns <= now then fr.reconverge_ns <- now)
     t.failures
 
+(* One overload-controller tick per rate epoch: the watermark verdict
+   drives the admission shed floor, and a clean epoch lets every pacer
+   recover additively. *)
+let overload_tick t =
+  match t.admission with
+  | None -> ()
+  | Some adm ->
+      let overloaded = Net.overloaded_links t.net > 0 in
+      if overloaded then t.overload_epochs <- t.overload_epochs + 1;
+      Congestion.Overload.Admission.note_epoch adm ~overloaded;
+      if not overloaded then
+        Array.iter Congestion.Overload.Pacer.note_clean_epoch t.pacers
+
 let recompute t =
+  overload_tick t;
   update_loss_ewma t;
   (match (t.cfg.control, t.galloc) with
   | Global_epoch, Some inc -> recompute_global t inc
@@ -1037,6 +1114,38 @@ let handle_loss t pkt =
     | _ -> ()
   end
 
+(* A congested receiver paces senders down: when a delivered data packet's
+   final-hop link is above the high watermark, the receiver returns one
+   PAUSE (rate-limited per receiver) to the packet's source, covering
+   [pause_class] and every class below it. Higher classes are never
+   paused — their latency is what the backpressure is protecting. *)
+let maybe_send_pause t pkt ~flow =
+  if t.overload_on && Net.overloaded_links t.net > 0 then begin
+    let dst = Net.route_last t.net pkt in
+    let now = Engine.now t.eng in
+    if now - t.last_pause.(dst) >= t.cfg.pause_interval_ns then begin
+      let len = Net.route_length t.net pkt in
+      let l = Topology.find_link_id t.topo (Net.route_at t.net pkt (len - 2)) dst in
+      if l >= 0 && Net.link_overloaded t.net ~link_id:l then
+        match Hashtbl.find_opt t.all_states flow with
+        | Some st
+          when st.priority >= t.cfg.pause_class
+               && st.src <> dst && Net.node_up t.net st.src
+               && Topology.reachable t.topo dst st.src ->
+            t.last_pause.(dst) <- now;
+            t.pauses_sent <- t.pauses_sent + 1;
+            let route =
+              Net.intern_route t.net
+                (Routing.ecmp_path t.rctx ~flow_id:(dst + (131 * st.src))
+                   ~src:dst ~dst:st.src)
+            in
+            Net.send_pause t.net ~node:st.src ~cls:t.cfg.pause_class ~level:1
+              ~window_kbps:0 ~bytes:Wire.pause_size ~route;
+            Net.release_route t.net route
+        | _ -> ()
+    end
+  end
+
 (* Runs one detection delay after the physical event: flips the
    control-plane overlay, repairs broadcast trees, drops flows whose
    endpoint died, and re-paths + re-announces the survivors (§3.2: every
@@ -1323,6 +1432,10 @@ let create cfg topo =
     invalid_arg "R2c2_sim: Per_node control builds its views from real broadcasts";
   if cfg.reliable_bcast && not cfg.real_broadcast then
     invalid_arg "R2c2_sim: reliable_bcast needs real broadcasts to protect";
+  if cfg.overload_control && cfg.pause_interval_ns <= 0 then
+    invalid_arg "R2c2_sim: pause_interval_ns must be positive";
+  if cfg.overload_control && cfg.pause_class < 0 then
+    invalid_arg "R2c2_sim: negative pause_class";
   let eng = Engine.create ~backend:cfg.engine_backend () in
   let net =
     Net.create eng topo ~queue_capacity:cfg.queue_capacity ~link_gbps:cfg.link_gbps
@@ -1424,8 +1537,41 @@ let create cfg topo =
       quarantines = 0;
       probations = 0;
       recoveries = 0;
+      overload_on = cfg.overload_control;
+      admission =
+        (if cfg.overload_control then
+           Some
+             (Congestion.Overload.Admission.create
+                ~clean_epochs_to_recover:cfg.shed_recover_epochs
+                ~max_priority:(Metrics.max_class - 1) ())
+         else None);
+      pacers =
+        (if cfg.overload_control then
+           Array.init nverts (fun _ ->
+               Congestion.Overload.Pacer.create ~backoff:cfg.pause_backoff
+                 ~recovery:cfg.pause_recovery ~min_scale:cfg.pause_min_scale ())
+         else [||]);
+      pause_cls = (if cfg.overload_control then Array.make nverts max_int else [||]);
+      last_pause =
+        (if cfg.overload_control then Array.make nverts (-cfg.pause_interval_ns)
+         else [||]);
+      shed_flows = 0;
+      shed_payload = 0;
+      pauses_sent = 0;
+      pauses_received = 0;
+      overload_epochs = 0;
     }
   in
+  if cfg.queue_high_watermark < max_int then
+    Net.set_queue_watermarks net ~high:cfg.queue_high_watermark
+      ~low:cfg.queue_low_watermark;
+  List.iter (fun (priority, bound_ns) -> Metrics.set_slo t.mtrcs ~priority ~bound_ns) cfg.slos;
+  (if U.compare_q cfg.class_reserve U.zero > 0 then
+     match t.galloc with
+     | Some inc ->
+         Congestion.Waterfill.Inc.set_class_reserve inc ~priority:cfg.reserve_priority
+           ~reserve:cfg.class_reserve
+     | None -> ());
   (* Broadcast copies arriving anywhere bump the receipt counter; once all
      other vertices have a copy, the flow is globally visible. Per-node
      views learn flow starts/finishes from the same deliveries. In reliable
@@ -1501,6 +1647,7 @@ let create cfg topo =
           let flow = Net.data_flow net pkt and seq = Net.data_seq net pkt in
           let payload = Net.bytes net pkt - header in
           t.delivered_payload <- t.delivered_payload + payload;
+          maybe_send_pause t pkt ~flow;
           let finished =
             Metrics.record_delivery t.mtrcs ~id:flow ~seq ~payload ~now:(Engine.now eng)
           in
@@ -1559,6 +1706,15 @@ let create cfg topo =
               ~entries:(Net.sync_entries net pkt)
               ~last_seqs:(Net.sync_last_seqs net pkt)
           end
+      end
+      else if k = Net.code_pause then begin
+          if t.overload_on then begin
+            let node = Net.pause_node net pkt in
+            t.pauses_received <- t.pauses_received + 1;
+            t.pause_cls.(node) <- Net.pause_class net pkt;
+            Congestion.Overload.Pacer.note_pause t.pacers.(node)
+              ~level:(Net.pause_level net pkt)
+          end
       end);
   t
 
@@ -1566,9 +1722,25 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
     t ~src ~dst ~size =
   if src = dst then invalid_arg "R2c2_sim: flow with src = dst";
   if size <= 0 then invalid_arg "R2c2_sim: non-positive flow size";
+  let shed =
+    match t.admission with
+    | Some adm -> not (Congestion.Overload.Admission.admits adm ~priority)
+    | None -> false
+  in
+  if shed then begin
+    (* Refused at admission: the flow consumes an id but injects nothing —
+       its would-be payload is accounted to the shed counters, so the
+       byte-conservation ledger still balances exactly. *)
+    let idx = t.next_id in
+    t.next_id <- idx + 1;
+    t.shed_flows <- t.shed_flows + 1;
+    t.shed_payload <- t.shed_payload + size;
+    idx
+  end
+  else begin
   let idx = t.next_id in
   t.next_id <- idx + 1;
-  Metrics.add_flow t.mtrcs ~id:idx ~src ~dst ~size ~arrival_ns:(Engine.now t.eng);
+  Metrics.add_flow ~priority t.mtrcs ~id:idx ~src ~dst ~size ~arrival_ns:(Engine.now t.eng);
   let st =
     {
       idx;
@@ -1608,6 +1780,7 @@ let start_flow ?(weight = 1) ?(priority = 0) ?(protocol = Routing.Rps) ?demand_g
   ensure_loop t;
   inject t st;
   idx
+  end
 
 let run_engine ?until_ns t = Engine.run ?until:until_ns t.eng
 
@@ -1619,6 +1792,15 @@ let set_control_chaos_at t ~ns ~loss ~reorder ~dup =
 
 let loss_ewma t = U.fraction t.loss_ewma
 let effective_headroom t = U.fraction t.eff_headroom
+
+let shed_floor t =
+  match t.admission with
+  | Some adm -> Congestion.Overload.Admission.shed_floor adm
+  | None -> Metrics.max_class
+
+let pacer_scale t ~node =
+  if Array.length t.pacers = 0 then 1.0
+  else Congestion.Overload.Pacer.scale t.pacers.(node)
 
 let node_view_ids t ~node =
   if t.cfg.control <> Per_node then
@@ -1729,6 +1911,12 @@ let results t =
     joins_sent = t.joins_sent;
     rejoins = Metrics.rejoin_samples t.mtrcs;
     rejoins_pending = Hashtbl.length t.pending_rejoins;
+    shed_flows = t.shed_flows;
+    shed_payload = t.shed_payload;
+    pauses_sent = t.pauses_sent;
+    pauses_received = t.pauses_received;
+    overload_epochs = t.overload_epochs;
+    overloaded_links = Net.overloaded_links t.net;
   }
 
 let link_health t u v = Routing.link_health t.rctx u v

@@ -84,6 +84,38 @@ type config = {
   rejoin_retry_ns : int;
       (** period between JOIN re-announcements while a restarted node is
           still catching up *)
+  queue_high_watermark : int;
+      (** overload detection: a link whose queue exceeds this many bytes is
+          flagged overloaded; [max_int] (the default) disables detection and
+          keeps the event stream bit-identical to a build without it *)
+  queue_low_watermark : int;
+      (** hysteresis: the flag clears only once the queue drains to this *)
+  overload_control : bool;
+      (** master switch for strict-priority admission shedding and PAUSE
+          backpressure; needs [queue_high_watermark] to be armed to ever
+          see an overloaded epoch *)
+  pause_interval_ns : int;
+      (** a congested receiver emits at most one PAUSE per this period *)
+  pause_class : int;
+      (** backpressure covers classes numerically >= this (lower priority);
+          classes above it are never paced — their tail latency is what the
+          mechanism defends *)
+  pause_backoff : float;
+      (** multiplicative pacing decrease per PAUSE level, in (0, 1) *)
+  pause_recovery : float;  (** additive pacing recovery per clean epoch *)
+  pause_min_scale : float;  (** pacing-scale floor, in (0, 1] *)
+  shed_recover_epochs : int;
+      (** consecutive clean epochs before the shed floor re-admits one
+          class — the admission-side hysteresis *)
+  slos : (int * int) list;
+      (** per-class SLO promises [(priority, fct_bound_ns)], installed into
+          {!Metrics.set_slo} at {!create} *)
+  reserve_priority : int;
+      (** waterfill per-class headroom reservation applies to classes >=
+          this priority *)
+  class_reserve : Util.Units.fraction;
+      (** link-capacity fraction withheld from those classes, [0, 1);
+          0 (the default) disables the reservation *)
   engine_backend : Engine.backend;
       (** event-queue implementation; [Calendar] (the default) is the O(1)
           wheel, [Binary_heap] the reference queue kept for differential
@@ -175,6 +207,15 @@ type result = {
   rejoins_pending : int;
       (** restarted nodes still catching up when the run ended — 0 is the
           rejoin-protocol correctness criterion *)
+  shed_flows : int;
+      (** flows refused by admission control; they inject nothing, so the
+          byte-conservation identity is unaffected *)
+  shed_payload : int;  (** payload bytes the shed flows would have carried *)
+  pauses_sent : int;  (** PAUSE packets emitted by congested receivers *)
+  pauses_received : int;  (** PAUSEs that reached and paced their sender *)
+  overload_epochs : int;
+      (** rate epochs that saw at least one link above the high watermark *)
+  overloaded_links : int;  (** links still flagged when the run ended *)
 }
 
 (** {2 Handle API — dynamic workloads} *)
@@ -323,6 +364,17 @@ val node_allocations : t -> node:int -> (int * Util.Units.byte_rate) array
 
 val loss_ewma : t -> Util.Units.fraction
 val effective_headroom : t -> Util.Units.fraction
+
+(** {2 Overload-control introspection} *)
+
+val shed_floor : t -> int
+(** Admission's current shed floor: classes with [priority >= shed_floor]
+    are being refused; [Metrics.max_class] when nothing is shed (or the
+    controller is off). *)
+
+val pacer_scale : t -> node:int -> float
+(** The node's current backpressure pacing multiplier in
+    [[pause_min_scale, 1]]; 1 when the controller is off. *)
 
 (** {2 Batch API — pre-generated workloads} *)
 

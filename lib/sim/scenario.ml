@@ -13,6 +13,7 @@ type event =
   | Unflaky of int * int
   | Partition of int list
   | Heal of int list
+  | Surge of Workload.Flowgen.spec list
 
 type step = { at_ns : int; event : event }
 
@@ -27,12 +28,15 @@ let flaky ~at ?spike_ns u v ~loss ~spike =
 let unflaky ~at u v = { at_ns = at; event = Unflaky (u, v) }
 let partition ~at group = { at_ns = at; event = Partition group }
 let heal ~at group = { at_ns = at; event = Heal group }
+let surge ~at specs = { at_ns = at; event = Surge specs }
 
 type invariant =
   | Byte_conservation
   | No_crashed_traversal
   | Reconverge_within of { max_ns : int }
   | View_staleness of { max_ns : int; poll_ns : int }
+  | Slo_attainment of { priority : int; min_attainment : float }
+  | Tail_latency of { priority : int; percentile : float; max_ns : int }
 
 type report = {
   checks : int;
@@ -96,6 +100,17 @@ let apply st { at_ns = ns; event } =
       List.iter
         (fun (u, v) -> R2c2_sim.restore_link_at sim ~ns u v)
         (cut_cables (R2c2_sim.topology sim) group)
+  | Surge specs ->
+      (* A flow burst (e.g. one partition/aggregate incast volley); each
+         spec's arrival is relative to the step instant. Shed flows are
+         silently counted by the simulator's admission control. *)
+      List.iter
+        (fun (s : Workload.Flowgen.spec) ->
+          Engine.at eng (ns + s.arrival_ns) (fun () ->
+              ignore
+                (R2c2_sim.start_flow ~weight:s.weight ~priority:s.priority sim
+                   ~src:s.src ~dst:s.dst ~size:s.size)))
+        specs
 
 let install_tap st =
   let net = R2c2_sim.net st.sim in
@@ -184,6 +199,28 @@ let end_checks st invariants =
                   the run (bound %d)"
                  (Engine.now eng - st.diverged_since)
                  max_ns)
+      | Slo_attainment { priority; min_attainment } ->
+          st.checks <- st.checks + 1;
+          let m = R2c2_sim.metrics st.sim in
+          let att = Metrics.slo_attainment m ~priority in
+          if att < min_attainment -. 1e-9 then
+            violate st
+              (Printf.sprintf
+                 "class %d SLO attainment %.4f below the %.4f floor (%d \
+                  flows completed)"
+                 priority att min_attainment
+                 (Metrics.class_completed m ~priority))
+      | Tail_latency { priority; percentile; max_ns } ->
+          st.checks <- st.checks + 1;
+          let m = R2c2_sim.metrics st.sim in
+          if Metrics.class_completed m ~priority > 0 then begin
+            let v = Metrics.class_percentile m ~priority percentile in
+            if v > float_of_int max_ns then
+              violate st
+                (Printf.sprintf
+                   "class %d p%g FCT %.0f ns exceeds the %d ns bound" priority
+                   percentile v max_ns)
+          end
       | No_crashed_traversal -> ())
     invariants
 
@@ -222,7 +259,7 @@ let run ?on_violation ?until_ns ~invariants sim steps =
           in
           Engine.at (R2c2_sim.engine sim) poll_ns
             (staleness_poll st ~max_ns ~poll_ns ~stop_ns)
-      | Byte_conservation | Reconverge_within _ -> ())
+      | Byte_conservation | Reconverge_within _ | Slo_attainment _ | Tail_latency _ -> ())
     invariants;
   R2c2_sim.run_engine ?until_ns sim;
   end_checks st invariants;

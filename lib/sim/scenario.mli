@@ -27,6 +27,11 @@ type event =
   | Partition of int list
       (** cut every cable between the vertex set and the rest of the rack *)
   | Heal of int list  (** restore the cables a [Partition] of the set cut *)
+  | Surge of Workload.Flowgen.spec list
+      (** inject a flow burst — e.g. a {!Workload.Flowgen.partition_aggregate}
+          incast — with each spec's [arrival_ns] relative to the step
+          instant; flows the simulator's admission control sheds are
+          counted, not started *)
 
 type step = { at_ns : int; event : event }
 
@@ -49,6 +54,7 @@ val flaky :
 val unflaky : at:int -> int -> int -> step
 val partition : at:int -> int list -> step
 val heal : at:int -> int list -> step
+val surge : at:int -> Workload.Flowgen.spec list -> step
 
 (** {2 Invariants} *)
 
@@ -67,6 +73,15 @@ type invariant =
       (** polled check: no continuous stretch of control-plane view
           divergence lasts longer than [max_ns]; also fails if views
           still disagree when the run ends *)
+  | Slo_attainment of { priority : int; min_attainment : float }
+      (** end check: the class's measured SLO attainment
+          ({!Metrics.slo_attainment} — exact per-flow accounting, not a
+          percentile estimate) is at least [min_attainment]; vacuously 1
+          when the class completed no flows or has no SLO armed *)
+  | Tail_latency of { priority : int; percentile : float; max_ns : int }
+      (** end check: the class's FCT [percentile] read from its
+          log-bucketed histogram is within [max_ns]; skipped when the
+          class completed no flows *)
 
 type report = {
   checks : int;  (** individual invariant evaluations performed *)

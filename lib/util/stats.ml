@@ -74,13 +74,15 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   max : float;
   min : float;
 }
 
 let summarize xs =
   let n = Array.length xs in
-  if n = 0 then { count = 0; mean = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0; max = 0.0; min = 0.0 }
+  if n = 0 then
+    { count = 0; mean = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0; p999 = 0.0; max = 0.0; min = 0.0 }
   else begin
     let ys = sorted_copy xs in
     {
@@ -89,11 +91,12 @@ let summarize xs =
       p50 = percentile_sorted ys 50.0;
       p95 = percentile_sorted ys 95.0;
       p99 = percentile_sorted ys 99.0;
+      p999 = percentile_sorted ys 99.9;
       max = ys.(n - 1);
       min = ys.(0);
     }
   end
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g" s.count s.mean s.p50
-    s.p95 s.p99 s.max
+  Format.fprintf ppf "n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g p999=%.3g max=%.3g" s.count
+    s.mean s.p50 s.p95 s.p99 s.p999 s.max

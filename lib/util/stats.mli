@@ -29,6 +29,7 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;  (** the tail the SLO accounting watches *)
   max : float;
   min : float;
 }

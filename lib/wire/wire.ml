@@ -5,6 +5,7 @@ let digest_size = 22
 let nack_size = 16
 let join_size = 10
 let snapshot_req_size = 12
+let pause_size = 11
 let max_route_hops = 42
 let max_links_per_node = 8
 
@@ -49,6 +50,7 @@ type nack = {
 
 type join = { jnode : int; jinc : int }
 type snapshot_req = { sroot : int; srequester : int; sinc : int }
+type pause = { pnode : int; pclass : int; plevel : int; pwindow_kbps : int }
 
 (* Packet type codes. 0 is a data packet; broadcast packets carry the event
    kind directly in the type byte; digests and NACKs get their own codes,
@@ -58,6 +60,7 @@ let type_digest = 5
 let type_nack = 6
 let type_join = 7
 let type_snapshot_req = 8
+let type_pause = 9
 
 let type_of_event = function
   | Flow_start -> 1
@@ -536,6 +539,59 @@ let encode_snapshot_req s =
 let decode_snapshot_req b =
   if Bytes.length b <> snapshot_req_size then Error "SNAPSHOT-REQ must be 12 bytes"
   else decode_snapshot_req_at b ~off:0
+
+(* -- backpressure PAUSE --------------------------------------------------- *)
+
+(* A congested receiver paces its senders down: the PAUSE names the choking
+   node, the lowest priority class it still admits, the back-off level the
+   sender must apply (each level halves the pacing rate; 0 means recovered)
+   and an advisory per-class rate window in Kbps (0 = no advice). Fixed
+   size, checksummed, [_at ~off] discipline like the rejoin formats so the
+   U3 symbolic walk proves exact fill and encode/decode symmetry. *)
+
+let poff_node = 1
+let poff_class = 3
+let poff_level = 4
+let poff_window = 5
+let poff_cksum = 9
+
+let encode_pause_at b ~off p =
+  check_width "node" p.pnode 16;
+  check_width "class" p.pclass 8;
+  check_width "level" p.plevel 8;
+  check_width "window" p.pwindow_kbps 32;
+  put8 b (off + boff_type) type_pause;
+  put16 b (off + poff_node) p.pnode;
+  put8 b (off + poff_class) p.pclass;
+  put8 b (off + poff_level) p.plevel;
+  put32 b (off + poff_window) p.pwindow_kbps;
+  put16 b (off + poff_cksum) (checksum_sub b off pause_size)
+
+let decode_pause_at b ~off =
+  if off < 0 || off + pause_size > Bytes.length b then Error "short PAUSE"
+  else if get8 b (off + boff_type) <> type_pause then Error "not a PAUSE packet"
+  else if
+    not
+      (verify_sub b ~off ~len:pause_size ~cksum_off:(off + poff_cksum)
+         ~stored:(get16 b (off + poff_cksum)))
+  then Error "PAUSE checksum mismatch"
+  else
+    Ok
+      {
+        pnode = get16 b (off + poff_node);
+        pclass = get8 b (off + poff_class);
+        plevel = get8 b (off + poff_level);
+        pwindow_kbps = get32 b (off + poff_window);
+      }
+
+let encode_pause p =
+  let b = Bytes.make pause_size '\000' in
+  encode_pause_at b ~off:0 p;
+  b
+
+let decode_pause b =
+  if Bytes.length b <> pause_size then Error "PAUSE must be 11 bytes"
+  else decode_pause_at b ~off:0
 
 (* -- batched control-plane codec ------------------------------------------ *)
 

@@ -34,6 +34,9 @@ val join_size : int
 val snapshot_req_size : int
 (** 12 bytes: a full-state catch-up request. *)
 
+val pause_size : int
+(** 11 bytes: a backpressure PAUSE from a congested receiver. *)
+
 val max_route_hops : int
 (** 42: the 128-bit route field at 3 bits per hop. *)
 
@@ -144,6 +147,29 @@ val encode_snapshot_req : snapshot_req -> bytes
 (** 12-byte full-state catch-up request. *)
 
 val decode_snapshot_req : bytes -> (snapshot_req, string) result
+
+(** {2 Overload backpressure}
+
+    A receiver whose output queue crosses its high watermark PAUSEs the
+    senders feeding it: the packet names the congested node, the lowest
+    priority class it still admits, and the multiplicative back-off level
+    senders must apply (each level halves the pacing rate; level 0 is the
+    all-clear that begins additive recovery). The window field is an
+    advisory per-class rate ceiling in Kbps, 0 when the receiver offers no
+    estimate. *)
+
+type pause = {
+  pnode : int;  (** the congested node *)
+  pclass : int;  (** lowest priority class still admitted (0 is highest) *)
+  plevel : int;  (** multiplicative back-off level; 0 = recovered *)
+  pwindow_kbps : int;  (** advisory rate window, 0 = none *)
+}
+
+val encode_pause : pause -> bytes
+(** 11-byte backpressure notification. Raises [Invalid_argument] when a
+    field exceeds its width. *)
+
+val decode_pause : bytes -> (pause, string) result
 
 (** {2 Batched control-plane codec}
 

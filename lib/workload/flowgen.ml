@@ -30,13 +30,13 @@ let poisson_arrivals rng ~flows ~mean_interarrival_ns =
       t := !t +. Util.Rng.exponential rng ~mean:mean_interarrival_ns;
       int_of_float !t)
 
-let poisson_pareto ?(shape = 1.05) ?(mean_size = 100_000.0) ?(max_size = 50_000_000) topo rng
-    ~flows ~mean_interarrival_ns =
+let poisson_pareto ?(shape = 1.05) ?(mean_size = 100_000.0) ?(max_size = 50_000_000)
+    ?(priority = 0) topo rng ~flows ~mean_interarrival_ns =
   List.map
     (fun arrival_ns ->
       let src, dst = random_pair topo rng in
       let size = pareto_size rng ~shape ~mean:mean_size ~max_size in
-      { arrival_ns; src; dst; size; weight = 1; priority = 0 })
+      { arrival_ns; src; dst; size; weight = 1; priority })
     (poisson_arrivals rng ~flows ~mean_interarrival_ns)
 
 let fixed_size topo rng ~flows ~size ~mean_interarrival_ns =
@@ -71,6 +71,46 @@ let permutation_long_flows topo rng ~load =
   done;
   List.init n (fun i ->
       { arrival_ns = 0; src = sources.(i); dst = dests.(i); size = max_int / 2; weight = 1; priority = 0 })
+
+(* Partition/aggregate incast: each aggregator fans a request to [fanout]
+   workers and every worker answers at once — the responses of one round
+   all converge on the aggregator's ingress links in the same instant,
+   which is exactly the surge the overload controller must survive. The
+   aggregator set is a fixed permutation prefix; workers are re-drawn per
+   round, so the whole workload is a pure function of the RNG. *)
+let partition_aggregate ?(priority = 0) ?(response_size = 20_000) topo rng ~aggregators
+    ~fanout ~rounds ~round_interval_ns =
+  let h = Topology.host_count topo in
+  if aggregators < 1 || aggregators > h then
+    invalid_arg "Flowgen.partition_aggregate: aggregators out of [1, hosts]";
+  if fanout < 1 || fanout > h - 1 then
+    invalid_arg "Flowgen.partition_aggregate: fanout out of [1, hosts - 1]";
+  if rounds < 1 then invalid_arg "Flowgen.partition_aggregate: rounds < 1";
+  if round_interval_ns < 0 then
+    invalid_arg "Flowgen.partition_aggregate: negative round interval";
+  if response_size <= 0 then
+    invalid_arg "Flowgen.partition_aggregate: non-positive response size";
+  let aggs = Array.sub (Util.Rng.permutation rng h) 0 aggregators in
+  let out = ref [] in
+  for r = 0 to rounds - 1 do
+    let arrival_ns = r * round_interval_ns in
+    Array.iter
+      (fun agg ->
+        let perm = Util.Rng.permutation rng h in
+        let picked = ref 0 and i = ref 0 in
+        while !picked < fanout do
+          let w = perm.(!i) in
+          incr i;
+          if w <> agg then begin
+            incr picked;
+            out :=
+              { arrival_ns; src = w; dst = agg; size = response_size; weight = 1; priority }
+              :: !out
+          end
+        done)
+      aggs
+  done;
+  List.rev !out
 
 let short_fraction specs ~threshold =
   let n = List.length specs in

@@ -21,6 +21,7 @@ val poisson_pareto :
   ?shape:float ->
   ?mean_size:float ->
   ?max_size:int ->
+  ?priority:int ->
   Topology.t ->
   Util.Rng.t ->
   flows:int ->
@@ -28,7 +29,9 @@ val poisson_pareto :
   spec list
 (** The §5.2 workload: [flows] flows, Poisson arrivals with the given mean
     spacing, uniform random host pairs, Pareto(shape=1.05, mean=100 KB)
-    sizes truncated at [max_size] (default 50 MB). Sorted by arrival. *)
+    sizes truncated at [max_size] (default 50 MB). Sorted by arrival.
+    [priority] (default 0) tags every flow — use it to run this as the
+    background class under a higher-priority foreground workload. *)
 
 val fixed_size :
   Topology.t -> Util.Rng.t -> flows:int -> size:int -> mean_interarrival_ns:float -> spec list
@@ -41,6 +44,26 @@ val permutation_long_flows :
     long-running flow to a random host, with every host the source and
     destination of at most one flow. Long-running is encoded as
     [size = max_int / 2]. *)
+
+val partition_aggregate :
+  ?priority:int ->
+  ?response_size:int ->
+  Topology.t ->
+  Util.Rng.t ->
+  aggregators:int ->
+  fanout:int ->
+  rounds:int ->
+  round_interval_ns:int ->
+  spec list
+(** Partition/aggregate incast: [aggregators] hosts (a fixed random set)
+    each fan a request to [fanout] distinct workers every
+    [round_interval_ns], and all workers answer with a [response_size]
+    (default 20 KB) flow {e simultaneously} — [rounds] synchronized
+    response surges converging on each aggregator's ingress links. All
+    flows carry [priority] (default 0, the most urgent class). Sorted by
+    arrival; deterministic in the RNG. Raises [Invalid_argument] on an
+    aggregator count outside [1, hosts], a fanout outside [1, hosts - 1],
+    fewer than one round, or a negative interval. *)
 
 val short_fraction : spec list -> threshold:int -> Util.Units.fraction
 (** Fraction of flows smaller than [threshold] bytes. *)

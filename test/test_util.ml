@@ -195,7 +195,19 @@ let stats_ewma () =
 let stats_summary_empty () =
   let s = Util.Stats.summarize [||] in
   Alcotest.(check int) "count" 0 s.Util.Stats.count;
-  check_float "mean" 0.0 s.Util.Stats.mean
+  check_float "mean" 0.0 s.Util.Stats.mean;
+  check_float "p999" 0.0 s.Util.Stats.p999
+
+let stats_summary_p999 () =
+  (* 0..999: rank 99.9 * 999 / 100 = 998.001 interpolates between the two
+     largest samples; p99 sits well below it on a uniform ramp. *)
+  let xs = Array.init 1000 float_of_int in
+  let s = Util.Stats.summarize xs in
+  check_float "p999 interpolated" 998.001 s.Util.Stats.p999;
+  Alcotest.(check bool) "p99 <= p999 <= max" true
+    (s.Util.Stats.p99 <= s.Util.Stats.p999 && s.Util.Stats.p999 <= s.Util.Stats.max);
+  let one = Util.Stats.summarize [| 7.0 |] in
+  check_float "single sample" 7.0 one.Util.Stats.p999
 
 let qcheck_percentile_bounds =
   QCheck.Test.make ~name:"percentile within min..max" ~count:500
@@ -205,6 +217,32 @@ let qcheck_percentile_bounds =
       let v = Util.Stats.percentile xs p in
       let mn = Array.fold_left min xs.(0) xs and mx = Array.fold_left max xs.(0) xs in
       v >= mn -. 1e-9 && v <= mx +. 1e-9)
+
+let qcheck_percentile_monotone =
+  (* Monotone in p, and exact at the band edges: p = 100*k/(n-1) must hit
+     the k-th sorted sample (the interpolation weight is exactly 0 there),
+     pinning the rank convention the histogram percentiles mirror. *)
+  QCheck.Test.make ~name:"percentile monotone in p, exact at band edges" ~count:300
+    QCheck.(array_of_size Gen.(2 -- 40) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      QCheck.assume (Array.length xs >= 2);
+      let n = Array.length xs in
+      let ys = Array.copy xs in
+      Array.sort compare ys;
+      let mono = ref true in
+      let prev = ref (Util.Stats.percentile xs 0.0) in
+      for i = 1 to 20 do
+        let v = Util.Stats.percentile xs (5.0 *. float_of_int i) in
+        if v < !prev -. 1e-9 then mono := false;
+        prev := v
+      done;
+      let edges = ref true in
+      for k = 0 to n - 1 do
+        let p = 100.0 *. float_of_int k /. float_of_int (n - 1) in
+        if abs_float (Util.Stats.percentile xs p -. ys.(k)) > 1e-6 *. (1.0 +. ys.(k))
+        then edges := false
+      done;
+      !mono && !edges)
 
 let qcheck_heap_sorts =
   QCheck.Test.make ~name:"heap pops = sorted input" ~count:300
@@ -487,6 +525,8 @@ let suites =
         tc "cdf monotone, reaches 1" stats_cdf_monotone;
         tc "ewma smoothing" stats_ewma;
         tc "summary of empty array" stats_summary_empty;
+        tc "summary p999 tail" stats_summary_p999;
         QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+        QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
       ] );
   ]
