@@ -10,7 +10,7 @@
 
     This interface is the {e sealed} D3 escape hatch: the one raw
     [Hashtbl.fold] in the implementation (annotated with the repo's only
-    [lint: allow D3]) is deliberately not exported, so the unsorted
+    D3 suppression comment) is deliberately not exported, so the unsorted
     bindings can never leak past this module. Every exported helper takes
     an explicit [~cmp] on keys — no polymorphic compare (rule S2) — and
     sorts stably, so tables with duplicate keys (via [Hashtbl.add]

@@ -515,7 +515,10 @@ let driver_json_and_exit_code () =
       Alcotest.(check bool) "json carries per-rule counts" true
         (contains json "\"violations_by_rule\"");
       Alcotest.(check bool) "json carries the ownership key" true
-        (contains json "\"ownership\""))
+        (contains json "\"ownership\"");
+      Alcotest.(check bool) "json carries per-pass timings" true
+        (contains json "\"timings_ms\"");
+      Alcotest.(check bool) "parse pass is timed" true (contains json "\"parse\""))
 
 let driver_relaxed_override () =
   (* --relaxed forces a root to the Relaxed tier regardless of basename:
@@ -543,6 +546,83 @@ let registry_syntax_error_is_internal () =
   | _ -> Alcotest.fail "entry without a class must not load"
   | exception Lint_core.Internal msg ->
       Alcotest.(check bool) "missing field is diagnosed" true (contains msg "class")
+
+let driver_mli_stale_allow () =
+  (* Interface files carry allow comments too (doc text can trip D rules);
+     a stale one must be reported with its file and line, same as in .ml. *)
+  let dir = "lint_fixture_mli" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let mli = Filename.concat dir "iface.mli" in
+  let oc = open_out mli in
+  output_string oc
+    (q "val f : int -> int\n(* lint^ allow D1 - nothing on this line needs it *)\nval g : int\n");
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove mli;
+      Sys.rmdir dir)
+    (fun () ->
+      let config =
+        { Lint_driver.roots = [ dir ]; relaxed = []; registry_file = None; cmt_root = None }
+      in
+      let report = Lint_driver.run config in
+      match report.Lint_driver.core.Lint_core.unused_allows with
+      | [ sa ] ->
+          Alcotest.(check string) "file" mli sa.Lint_core.sa_file;
+          Alcotest.(check int) "line" 2 sa.sa_line;
+          Alcotest.(check (list string)) "rules" [ "D1" ] sa.sa_rules
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "expected exactly one stale allow, got %d" (List.length other)))
+
+let init_spans_windows () =
+  let spans =
+    Lint_core.init_spans
+      (String.concat "\n"
+         [
+           "let a = 1";
+           "(* lint: init *)";
+           "let b = 2";
+           "(* lint: init end *)";
+           "let c = 3";
+           "(* lint: init *)";
+           "let d = 4";
+         ])
+  in
+  Alcotest.(check (list (pair int int)))
+    "closed span, then an unclosed one running to end of file"
+    [ (2, 4); (6, max_int) ]
+    spans
+
+let cmt_preflight_diagnoses () =
+  (* The --cmt-root pre-flight: each failure mode gets a one-line cause. *)
+  (match Lint_typed.cmt_root_problem ~cmt_root:"no_such_dir_zz" with
+  | Some why -> Alcotest.(check bool) "missing dir named" true (contains why "does not exist")
+  | None -> Alcotest.fail "missing dir must be diagnosed");
+  let dir = "lint_fixture_cmt" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let ml = Filename.concat dir "foo.ml" and cmt = Filename.concat dir "lint__Foo.cmt" in
+  let touch f = close_out (open_out f) in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ ml; cmt ];
+      Sys.rmdir dir)
+    (fun () ->
+      (match Lint_typed.cmt_root_problem ~cmt_root:dir with
+      | Some why -> Alcotest.(check bool) "empty dir named" true (contains why ".cmt")
+      | None -> Alcotest.fail "cmt-less dir must be diagnosed");
+      touch cmt;
+      touch ml;
+      (* mangled `lint__Foo.cmt` pairs with `foo.ml`; date the .cmt a day
+         before the .ml so the tree reads as stale *)
+      Unix.utimes cmt 1000.0 1000.0;
+      (match Lint_typed.cmt_root_problem ~cmt_root:dir with
+      | Some why -> Alcotest.(check bool) "staleness named" true (contains why "stale")
+      | None -> Alcotest.fail "stale .cmt must be diagnosed");
+      let now = Unix.gettimeofday () in
+      Unix.utimes cmt (now +. 60.0) (now +. 60.0);
+      Alcotest.(check bool) "fresh tree passes" true
+        (Lint_typed.cmt_root_problem ~cmt_root:dir = None))
 
 (* -- whole-tree gate ------------------------------------------------------ *)
 
@@ -634,6 +714,9 @@ let suites =
         tc "driver: json report and exit code" driver_json_and_exit_code;
         tc "driver: --relaxed tier override" driver_relaxed_override;
         tc "driver: registry errors are internal" registry_syntax_error_is_internal;
+        tc "driver: .mli stale allow reported" driver_mli_stale_allow;
+        tc "init spans: windows parsed" init_spans_windows;
+        tc "driver: cmt-root pre-flight diagnoses" cmt_preflight_diagnoses;
         tc "repo tree is lint-clean" repo_tree_is_clean;
       ] );
   ]

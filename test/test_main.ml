@@ -22,4 +22,5 @@ let () =
          Test_lint.suites;
          Test_lint_life.suites;
          Test_lint_typed.suites;
+         Test_lint_effects.suites;
        ])

@@ -75,6 +75,14 @@
        every toplevel mutable item in `lib/` must be declared in the
        ownership registry `tools/lint/ownership.sexp`, and closures
        capturing shard-owned state must not escape their module.
+   E1–E3  shard-safety rules over the inferred interprocedural effect
+       map (`Lint_effects`, v4): writes to `shard_owned` regions that
+       are reachable from the event-dispatch roots must be keyed by the
+       handler's node argument, `shared_readonly` state is written only
+       by its owning module (or inside a `(* lint: init *)` …
+       `(* lint: init end *)` span), and order-sensitive float
+       reductions over effectful iteration must not sit on a
+       dispatch-reachable path.
 
    Rule tiers. Each linted root runs one of three tiers:
 
@@ -128,7 +136,10 @@ type report = {
 }
 
 let rules =
-  [ "A1"; "D1"; "D2"; "D3"; "L1"; "L2"; "M1"; "M2"; "M3"; "S1"; "S2"; "U1"; "U2"; "U3" ]
+  [
+    "A1"; "D1"; "D2"; "D3"; "E1"; "E2"; "E3"; "L1"; "L2"; "M1"; "M2"; "M3"; "S1"; "S2";
+    "U1"; "U2"; "U3";
+  ]
 
 (* Which parse-level rules run where. L/M rules are driven from
    Lint_driver (L needs the sim scope, M needs .cmt files) but share the
@@ -644,7 +655,10 @@ type scanned = {
 
 let in_sim file = List.mem "sim" (String.split_on_char '/' file)
 
-let scan_source ~file ~tier src =
+(* The allow table of one source file plus the malformed-allow (LINT)
+   violations — shared between the `.ml` scan below and the comment-only
+   `.mli` scan (`scan_allows_only`). *)
+let scan_allow_lines ~file src =
   let allows = Hashtbl.create 8 in
   let raw = ref [] in
   List.iteri
@@ -664,6 +678,33 @@ let scan_source ~file ~tier src =
             }
             :: !raw)
     (split_lines src);
+  (allows, !raw)
+
+(* `(* lint: init *)` … `(* lint: init end *)` spans: the E2 rule's
+   initialization windows. Returns inclusive (start, stop) line pairs;
+   an unclosed opener extends to end of file. Matching is the same raw
+   line scan the allow table uses, so the markers work in any comment
+   style. *)
+let init_spans src =
+  let spans = ref [] and opened = ref None in
+  List.iteri
+    (fun i line ->
+      let l = i + 1 in
+      if find_substring line "lint: init end" <> None then (
+        match !opened with
+        | Some s ->
+            spans := (s, l) :: !spans;
+            opened := None
+        | None -> ())
+      else if find_substring line "lint: init" <> None then
+        match !opened with None -> opened := Some l | Some _ -> ())
+    (split_lines src);
+  (match !opened with Some s -> spans := (s, max_int) :: !spans | None -> ());
+  List.rev !spans
+
+let scan_source ~file ~tier src =
+  let allows, raw0 = scan_allow_lines ~file src in
+  let raw = ref raw0 in
   let add rule (loc : Location.t) message =
     let line = loc.loc_start.pos_lnum in
     raw := { file; line; rule; message } :: !raw
@@ -692,6 +733,13 @@ let scan_source ~file ~tier src =
       None
   in
   { s_file = file; s_raw = !raw; s_allows = allows; s_structure = structure }
+
+(* Comment-only scan for interface files: builds the allow table (so
+   stale allows in `.mli` files are reported like `.ml` ones) without
+   attempting to parse the file as an implementation. *)
+let scan_allows_only ~file src =
+  let allows, raw = scan_allow_lines ~file src in
+  { s_file = file; s_raw = raw; s_allows = allows; s_structure = None }
 
 let add_violations scanned vs = scanned.s_raw <- vs @ scanned.s_raw
 
@@ -779,6 +827,7 @@ let rec files_under ~suffix path =
   else []
 
 let ml_files_under = files_under ~suffix:".ml"
+let mli_files_under = files_under ~suffix:".mli"
 
 let merge a b =
   {

@@ -30,6 +30,9 @@ type full_report = {
   ownership : (Lint_typed.inv_item * string option) list;
       (* inventory item, registered class (None = unregistered, which M3
          already flagged) *)
+  effects : Lint_effects.result option;
+      (* the interprocedural effect map; None when the typed pass is off *)
+  timings : (string * float) list;  (* pass name, wall-clock ms, run order *)
 }
 
 let tier_for config root =
@@ -37,33 +40,65 @@ let tier_for config root =
   else Lint_core.tier_of_root root
 
 let run config =
-  (* Parse pass: scan every file, keeping the records open. *)
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := (name, (Unix.gettimeofday () -. t0) *. 1000.) :: !timings;
+    r
+  in
+  (* Parse pass: scan every implementation, keeping the records open;
+     interfaces get a comment-only scan so their allows (and stale
+     allows) are tracked too. *)
   let scanned =
-    List.concat_map
-      (fun root ->
-        let tier = tier_for config root in
-        List.map
-          (fun file -> (tier, Lint_core.scan_source ~file ~tier (Lint_core.read_file file)))
-          (Lint_core.ml_files_under root))
-      config.roots
+    timed "parse" (fun () ->
+        List.concat_map
+          (fun root ->
+            let tier = tier_for config root in
+            List.map
+              (fun file ->
+                (tier, Lint_core.scan_source ~file ~tier (Lint_core.read_file file)))
+              (Lint_core.ml_files_under root)
+            @ List.map
+                (fun file -> (tier, Lint_core.scan_allows_only ~file (Lint_core.read_file file)))
+                (Lint_core.mli_files_under root))
+          config.roots)
   in
   (* Lifetime pass: the arena discipline lives under lib/sim. *)
-  List.iter
-    (fun ((tier, sc) : Lint_core.tier * Lint_core.scanned) ->
-      match (tier, sc.s_structure) with
-      | Lint_core.Lib, Some str when Lint_core.in_sim sc.s_file ->
-          Lint_core.add_violations sc (Lint_life.scan_structure ~file:sc.s_file str)
-      | _ -> ())
-    scanned;
+  timed "lifetime" (fun () ->
+      List.iter
+        (fun ((tier, sc) : Lint_core.tier * Lint_core.scanned) ->
+          match (tier, sc.s_structure) with
+          | Lint_core.Lib, Some str when Lint_core.in_sim sc.s_file ->
+              Lint_core.add_violations sc (Lint_life.scan_structure ~file:sc.s_file str)
+          | _ -> ())
+        scanned);
+  (* Typed passes share one registry + .cmt load. *)
+  let loaded =
+    timed "load_cmt" (fun () ->
+        match (config.registry_file, config.cmt_root) with
+        | Some reg_file, Some cmt_root ->
+            Some (Lint_typed.load_registry reg_file, Lint_typed.load_units ~cmt_root)
+        | _ -> None)
+  in
   (* Typed pass: inventory + registry over the .cmt files. *)
   let ownership, typed_violations =
-    match (config.registry_file, config.cmt_root) with
-    | Some reg_file, Some cmt_root ->
-        let registry = Lint_typed.load_registry reg_file in
-        let units = Lint_typed.load_units ~cmt_root in
-        let r = Lint_typed.analyze ~registry units in
-        (r.inventory, r.typed_violations)
-    | _ -> ([], [])
+    timed "typed" (fun () ->
+        match loaded with
+        | Some (registry, units) ->
+            let r = Lint_typed.analyze ~registry units in
+            (r.inventory, r.typed_violations)
+        | None -> ([], []))
+  in
+  (* Effect pass: the interprocedural shard-safety proof (E-rules). *)
+  let effects =
+    timed "effects" (fun () ->
+        match loaded with
+        | Some (registry, units) -> Some (Lint_effects.analyze ~registry units)
+        | None -> None)
+  in
+  let eff_violations =
+    match effects with Some e -> e.Lint_effects.eff_violations | None -> []
   in
   (* Attribute typed violations to their scanned files so allows apply;
      whatever has no scanned record (ownership.sexp) stays as-is. *)
@@ -75,7 +110,7 @@ let run config =
             Lint_core.add_violations sc [ v ];
             false
         | None -> true)
-      typed_violations
+      (typed_violations @ eff_violations)
   in
   let core =
     List.fold_left
@@ -83,7 +118,7 @@ let run config =
       Lint_core.empty scanned
   in
   let core = { core with Lint_core.violations = core.Lint_core.violations @ orphans } in
-  { core; ownership }
+  { core; ownership; effects; timings = List.rev !timings }
 
 (* -- JSON ------------------------------------------------------------------ *)
 
@@ -129,6 +164,13 @@ let to_json report =
   in
   kv_ints "violations_by_rule" (per_rule_violations r);
   kv_ints "suppressions_by_rule" r.suppressed_by_rule;
+  Buffer.add_string buf "  \"timings_ms\": {";
+  List.iteri
+    (fun i (name, ms) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\": %.1f" (if i = 0 then "" else ", ") (json_escape name) ms))
+    report.timings;
+  Buffer.add_string buf "},\n";
   Buffer.add_string buf "  \"violations\": [";
   List.iteri
     (fun i (v : Lint_core.violation) ->
@@ -172,6 +214,53 @@ let write_json path report =
   output_string oc (to_json report);
   close_out oc
 
+(* SHARD_REPORT.json: the effect map and cut-set the multicore PR
+   consumes. Unlike LINT_REPORT.json this file carries no timings —
+   it must be byte-identical for a given repo state, because CI diffs
+   the checked-in copy against the freshly built one (the ratchet). *)
+let shard_to_json (e : Lint_effects.result) =
+  let buf = Buffer.create 4096 in
+  let strings l =
+    String.concat ", " (List.map (fun s -> "\"" ^ json_escape s ^ "\"") l)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"r2c2-shard-report/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"roots\": [%s],\n" (strings e.eff_roots));
+  Buffer.add_string buf (Printf.sprintf "  \"analyzed_fns\": %d,\n" e.analyzed_fns);
+  Buffer.add_string buf (Printf.sprintf "  \"reachable_fns\": %d,\n" e.reachable_fns);
+  Buffer.add_string buf "  \"cut_set\": [";
+  List.iteri
+    (fun i (c : Lint_effects.cut_entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s\n    {\"item\": \"%s\", \"class\": \"%s\", \"key\": %s, \"via\": \"%s\", \
+            \"writers\": [%s]}"
+           (if i = 0 then "" else ",")
+           (json_escape c.c_item) (json_escape c.c_class)
+           (match c.c_key with Some k -> "\"" ^ json_escape k ^ "\"" | None -> "null")
+           (json_escape c.c_via) (strings c.c_writers)))
+    e.cut_set;
+  Buffer.add_string buf (if e.cut_set = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"effects\": [";
+  List.iteri
+    (fun i (f : Lint_effects.fn_effect) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s\n    {\"fn\": \"%s\", \"reachable\": %b, \"widened\": %b, \"param_ho\": \
+            %b, \"reads\": [%s], \"writes\": [%s]}"
+           (if i = 0 then "" else ",")
+           (json_escape f.f_name) f.f_reachable f.f_widened f.f_param_ho
+           (strings f.f_reads) (strings f.f_writes)))
+    e.fn_effects;
+  Buffer.add_string buf (if e.fn_effects = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_shard_json path e =
+  let oc = open_out path in
+  output_string oc (shard_to_json e);
+  close_out oc
+
 (* -- text report ----------------------------------------------------------- *)
 
 let report_and_exit_code oc report =
@@ -183,4 +272,15 @@ let report_and_exit_code oc report =
     Printf.fprintf oc "  ownership map: %d mutable item(s), %d registered\n"
       (List.length report.ownership) n_reg
   end;
+  (match report.effects with
+  | Some e ->
+      let witnessed =
+        List.length
+          (List.filter (fun (c : Lint_effects.cut_entry) -> c.c_via = "witnessed") e.cut_set)
+      in
+      Printf.fprintf oc
+        "  effect map: %d function(s), %d reachable from dispatch roots; cut-set %d \
+         region(s), %d witnessed\n"
+        e.analyzed_fns e.reachable_fns (List.length e.cut_set) witnessed
+  | None -> ());
   code

@@ -180,6 +180,9 @@ type reg_entry = {
   r_item : string;
   r_class : string;  (* raw; validated by M1 so a typo is a violation, not a crash *)
   r_why : string;
+  r_key : string option;
+      (* shard_owned only: the handler argument the sharding key is
+         derived from (e.g. `(key node)`); E1 checks writes against it *)
   r_line : int;
 }
 
@@ -203,7 +206,13 @@ let load_registry_src ~file src =
                 (Lint_core.Internal
                    (Printf.sprintf "%s:%d: registry entry is missing '(%s …)'" file line key))
         in
-        { r_item = need "item"; r_class = need "class"; r_why = need "why"; r_line = line }
+        {
+          r_item = need "item";
+          r_class = need "class";
+          r_why = need "why";
+          r_key = field "key";
+          r_line = line;
+        }
     | Atom (_, line) ->
         raise
           (Lint_core.Internal
@@ -254,6 +263,66 @@ let load_unit path =
              modules (`sim.ml-gen`): pure aliases, nothing to inventory. *)
           Some { u_name = display_name cmt.cmt_modname; u_file = src; u_str = str }
       | _ -> None)
+
+(* Pre-flight diagnosis of --cmt-root, run before any .cmt is parsed so
+   lint_main can exit 2 with one line instead of an exception trace.
+   dune copies sources next to the .cmt output (`_build/default/lib`
+   holds both `foo.ml` and `.objs/byte/…__Foo.cmt`), so freshness is
+   judged by pairing each `.ml` with the newest same-named `.cmt` by
+   mtime. Returns [Some diagnostic] if the root is missing, empty, or
+   stale. *)
+let cmt_root_problem ~cmt_root =
+  if not (Sys.file_exists cmt_root && Sys.is_directory cmt_root) then
+    Some
+      (Printf.sprintf "cmt root '%s' does not exist; run 'dune build' first" cmt_root)
+  else begin
+    let cmts = Lint_core.files_under ~suffix:".cmt" cmt_root in
+    if cmts = [] then
+      Some
+        (Printf.sprintf "no .cmt files under '%s'; run 'dune build' first" cmt_root)
+    else begin
+      (* Module key: cmt basename minus the wrapped-library `Lib__`
+         prefix (everything up to the last "__"), lowercased —
+         "sim__R2c2_sim.cmt" and "r2c2_sim.ml" both → "r2c2_sim". *)
+      let module_key base =
+        let base = Filename.remove_extension base in
+        let n = String.length base in
+        let cut = ref 0 in
+        for i = 1 to n - 1 do
+          if base.[i] = '_' && base.[i - 1] = '_' then cut := i + 1
+        done;
+        String.lowercase_ascii (String.sub base !cut (n - !cut))
+      in
+      let newest = Hashtbl.create 64 in
+      List.iter
+        (fun cmt ->
+          let key = module_key (Filename.basename cmt) in
+          let mt = (Unix.stat cmt).Unix.st_mtime in
+          match Hashtbl.find_opt newest key with
+          | Some prev when prev >= mt -> ()
+          | _ -> Hashtbl.replace newest key mt)
+        cmts;
+      let mls =
+        List.filter
+          (fun ml -> not (Filename.check_suffix ml ".pp.ml"))
+          (Lint_core.ml_files_under cmt_root)
+      in
+      let stale_of ml =
+        let key = module_key (Filename.basename ml) in
+        match Hashtbl.find_opt newest key with
+        | None -> Some (Printf.sprintf "no .cmt for '%s'" ml)
+        | Some cmt_mt ->
+            if (Unix.stat ml).Unix.st_mtime > cmt_mt then
+              Some (Printf.sprintf "'%s' is newer than its .cmt" ml)
+            else None
+      in
+      match List.find_map stale_of mls with
+      | Some why ->
+          Some
+            (Printf.sprintf "cmt root '%s' is stale (%s); rerun 'dune build'" cmt_root why)
+      | None -> None
+    end
+  end
 
 let load_units ~cmt_root =
   if not (Sys.file_exists cmt_root && Sys.is_directory cmt_root) then
@@ -656,6 +725,17 @@ let analyze ~registry units =
       if String.trim e.r_why = "" then
         add registry.reg_file e.r_line "M1"
           (Printf.sprintf "'%s' has an empty justification" e.r_item);
+      (match e.r_key with
+      | Some k when e.r_class <> "shard_owned" ->
+          add registry.reg_file e.r_line "M1"
+            (Printf.sprintf
+               "'%s' declares '(key %s)' but is %s; a sharding key is only meaningful on \
+                shard_owned entries"
+               e.r_item k e.r_class)
+      | Some k when String.trim k = "" ->
+          add registry.reg_file e.r_line "M1"
+            (Printf.sprintf "'%s' has an empty '(key …)' field" e.r_item)
+      | _ -> ());
       if not (List.exists (fun i -> i.i_name = e.r_item) inventory) then
         add registry.reg_file e.r_line "M1"
           (Printf.sprintf

@@ -8,8 +8,15 @@
 ;   domain_local     one copy per domain; no synchronization needed.
 ;   shard_owned      owned by exactly one shard; reachable from other
 ;                    shards only via messages. M2 patrols closures that
-;                    capture these and escape their module.
+;                    capture these and escape their module; E1 requires
+;                    every dispatch-reachable write to be keyed by the
+;                    handler argument named in the entry's optional
+;                    `(key node)` field (M1 rejects `key` on any other
+;                    class).
 ;   shared_readonly  frozen after setup; safe to share between domains.
+;                    E2 flags writes from outside the owning module
+;                    unless they sit in a `(* lint: init *)` …
+;                    `(* lint: init end *)` span.
 
 ((item Congestion.Waterfill.dbg)
  (class domain_local)
